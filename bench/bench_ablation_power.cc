@@ -1,0 +1,116 @@
+// Ablation of the §IV-C energy-estimation post-processing, plus the §V-I
+// future-work refinement: constant-P_a pricing vs segment-wise step
+// estimation, and the no-training Combinatorial Optimization reference
+// (Hart 1992) that motivated learned NILM in the first place.
+
+#include "baselines/combinatorial.h"
+#include "baselines/fhmm.h"
+#include "bench_common.h"
+#include "core/power_estimation.h"
+#include "metrics/classification.h"
+#include "metrics/energy.h"
+
+namespace camal {
+namespace {
+
+struct EnergyRow {
+  double mae = 0.0;
+  double mr = 0.0;
+};
+
+EnergyRow ScoreEnergy(const nn::Tensor& estimate,
+                      const data::WindowDataset& test) {
+  std::vector<float> est(estimate.data(), estimate.data() + estimate.numel());
+  std::vector<float> truth(
+      test.appliance_power.data(),
+      test.appliance_power.data() + test.appliance_power.numel());
+  return {metrics::MeanAbsoluteError(est, truth),
+          metrics::MatchingRatio(est, truth)};
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Ablation — power estimation post-processing & CO reference",
+      "§IV-C vs §V-I estimators; CO [1] and FHMM [21] references");
+  const eval::BenchParams params = eval::CurrentBenchParams();
+
+  std::vector<bench::EvalCase> cases = {
+      {simulate::UkdaleProfile(), simulate::ApplianceType::kKettle},
+      {simulate::RefitProfile(), simulate::ApplianceType::kDishwasher},
+      {simulate::EdfEvProfile(), simulate::ApplianceType::kElectricVehicle}};
+  if (params.mode == eval::BenchMode::kSmoke) cases.resize(1);
+
+  TablePrinter table({"Case", "Status source", "Estimator", "F1", "MAE",
+                      "MR"});
+  std::vector<std::vector<std::string>> csv_rows{
+      {"case", "status_source", "estimator", "f1", "mae", "mr"}};
+  int idx = 0;
+  for (const auto& eval_case : cases) {
+    bench::CaseData data;
+    if (!bench::MakeCaseData(eval_case, params, 1200 + idx, &data)) {
+      ++idx;
+      continue;
+    }
+    // CamAL status.
+    auto ens = core::CamalEnsemble::Train(data.train, data.valid,
+                                          params.ensemble, 7);
+    if (!ens.ok()) {
+      ++idx;
+      continue;
+    }
+    core::CamalEnsemble ensemble = std::move(ens).value();
+    core::CamalLocalizer localizer(&ensemble);
+    nn::Tensor camal_status = localizer.Localize(data.test.inputs).status;
+    // CO and FHMM status (no training, no labels).
+    nn::Tensor co_status = baselines::PredictCoStatus(data.test);
+    nn::Tensor fhmm_status = baselines::PredictFhmmStatus(data.test);
+
+    nn::Tensor watts =
+        data.test.inputs.Reshape({data.test.size(), data.test.window_length});
+    watts.ScaleInPlace(1000.0f);
+    const float pa = data.test.appliance.avg_power_w;
+
+    for (const auto& [source, status] :
+         std::vector<std::pair<std::string, const nn::Tensor*>>{
+             {"CamAL", &camal_status},
+             {"CO (Hart 1992)", &co_status},
+             {"FHMM (Kim 2011)", &fhmm_status}}) {
+      std::vector<float> pred(status->data(),
+                              status->data() + status->numel());
+      std::vector<float> truth(
+          data.test.status.data(),
+          data.test.status.data() + data.test.status.numel());
+      const double f1 =
+          metrics::F1Score(metrics::CountBinary(pred, truth));
+      const EnergyRow simple =
+          ScoreEnergy(core::EstimatePower(*status, watts, pa), data.test);
+      const EnergyRow refined = ScoreEnergy(
+          core::EstimatePowerRefined(*status, watts, pa), data.test);
+      table.AddRow({eval_case.Name(), source, "constant P_a (paper IV-C)",
+                    Fmt(f1, 3), Fmt(simple.mae, 1), Fmt(simple.mr, 3)});
+      table.AddRow({eval_case.Name(), source, "segment step (refined)",
+                    Fmt(f1, 3), Fmt(refined.mae, 1), Fmt(refined.mr, 3)});
+      csv_rows.push_back({eval_case.Name(), source, "constant",
+                          Fmt(f1, 4), Fmt(simple.mae, 2),
+                          Fmt(simple.mr, 4)});
+      csv_rows.push_back({eval_case.Name(), source, "refined", Fmt(f1, 4),
+                          Fmt(refined.mae, 2), Fmt(refined.mr, 4)});
+    }
+    ++idx;
+  }
+  table.Print(stdout);
+  bench::WriteCsv("ablation_power", csv_rows);
+  std::printf("\nReading: the refined estimator prices each detected\n"
+              "segment at its observed power step, improving MAE/MR when\n"
+              "the true draw differs from the Table-I average (the paper's\n"
+              "§V-I future-work direction). CO detects crude steps without\n"
+              "any labels but cannot separate same-power appliances.\n");
+}
+
+}  // namespace
+}  // namespace camal
+
+int main() {
+  camal::Run();
+  return 0;
+}

@@ -1,0 +1,118 @@
+#ifndef CAMAL_BENCH_BENCH_COMMON_H_
+#define CAMAL_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/table_printer.h"
+#include "data/balance.h"
+#include "data/split.h"
+#include "eval/bench_mode.h"
+#include "eval/experiment.h"
+#include "simulate/profiles.h"
+
+namespace camal::bench {
+
+/// One (dataset, appliance) evaluation case of the paper (§V-A/B).
+struct EvalCase {
+  simulate::DatasetProfile profile;
+  simulate::ApplianceType appliance;
+
+  std::string Name() const {
+    return profile.name + "/" + simulate::ApplianceName(appliance);
+  }
+};
+
+/// The 11 cases of Table III / Fig. 5.
+inline std::vector<EvalCase> AllCases() {
+  using simulate::ApplianceType;
+  std::vector<EvalCase> cases;
+  auto add = [&](const simulate::DatasetProfile& p,
+                 std::vector<ApplianceType> types) {
+    for (ApplianceType t : types) cases.push_back({p, t});
+  };
+  add(simulate::UkdaleProfile(),
+      {ApplianceType::kDishwasher, ApplianceType::kKettle,
+       ApplianceType::kMicrowave});
+  add(simulate::RefitProfile(),
+      {ApplianceType::kDishwasher, ApplianceType::kKettle,
+       ApplianceType::kMicrowave, ApplianceType::kWashingMachine});
+  add(simulate::IdealProfile(),
+      {ApplianceType::kDishwasher, ApplianceType::kShower,
+       ApplianceType::kWashingMachine});
+  add(simulate::EdfEvProfile(), {ApplianceType::kElectricVehicle});
+  return cases;
+}
+
+/// Train/valid/test windows for one case.
+struct CaseData {
+  data::WindowDataset train;  ///< balanced by weak label
+  data::WindowDataset valid;
+  data::WindowDataset test;
+};
+
+/// Simulates the case's cohort (scaled by the bench mode), splits houses
+/// per §V-B (distinct houses for train/valid/test), and windows + balances.
+/// Returns false when the simulated cohort yields no usable case (e.g. no
+/// house owns the appliance at tiny scales).
+inline bool MakeCaseData(const EvalCase& eval_case,
+                         const eval::BenchParams& params, uint64_t seed,
+                         CaseData* out) {
+  auto houses =
+      simulate::SimulateDataset(eval_case.profile, params.dataset_scale, seed);
+  // Keep only submetered houses for the standard (non-possession) pipeline.
+  std::vector<data::HouseRecord> submetered;
+  for (auto& h : houses) {
+    if (!h.appliances.empty()) submetered.push_back(std::move(h));
+  }
+  if (submetered.size() < 3) return false;
+  Rng rng(seed + 1);
+  const auto n = static_cast<int64_t>(submetered.size());
+  auto split = data::SplitHouses(submetered, std::max<int64_t>(1, n / 5),
+                                 std::max<int64_t>(1, n / 4), &rng);
+  if (!split.ok()) return false;
+  data::BuildOptions opt;
+  opt.window_length = params.window_length;
+  const data::ApplianceSpec spec = simulate::SpecFor(eval_case.appliance);
+  auto train = data::BuildWindowDataset(split.value().train, spec, opt);
+  auto valid = data::BuildWindowDataset(split.value().valid, spec, opt);
+  auto test = data::BuildWindowDataset(split.value().test, spec, opt);
+  if (!train.ok() || !valid.ok() || !test.ok()) return false;
+  out->train = data::BalanceByWeakLabel(train.value(), &rng);
+  out->valid = std::move(valid).value();
+  out->test = std::move(test).value();
+  return out->train.size() >= 8 && out->valid.size() > 0 &&
+         out->test.size() > 0;
+}
+
+/// Writes a CSV copy of a bench table under bench_results/.
+inline void WriteCsv(const std::string& bench_name,
+                     const std::vector<std::vector<std::string>>& rows) {
+  (void)std::system("mkdir -p bench_results");
+  CsvWriter writer("bench_results/" + bench_name + ".csv");
+  for (const auto& row : rows) writer.AddRow(row);
+  Status st = writer.Write();
+  if (!st.ok()) {
+    std::fprintf(stderr, "warning: %s\n", st.ToString().c_str());
+  }
+}
+
+/// Standard bench banner with the active mode.
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  const eval::BenchParams params = eval::CurrentBenchParams();
+  std::printf("==================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("Mode: %s (CAMAL_BENCH_MODE={smoke,fast,full}); window=%lld, "
+              "scale=%.2f\n",
+              eval::BenchModeName(params.mode),
+              static_cast<long long>(params.window_length),
+              params.dataset_scale);
+  std::printf("==================================================\n");
+}
+
+}  // namespace camal::bench
+
+#endif  // CAMAL_BENCH_BENCH_COMMON_H_

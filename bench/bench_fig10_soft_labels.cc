@@ -1,0 +1,149 @@
+// Reproduces Fig. 10 (RQ5): strongly supervised baselines trained on CamAL
+// soft labels. CamAL is trained on the EDF-Weak possession cohort, its
+// predicted status on EDF-EV houses becomes soft labels, and each baseline
+// is trained with 0%, 50%, and 100% of houses carrying strong labels (the
+// rest using CamAL's soft labels).
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+namespace camal {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Fig. 10 — strong baselines on CamAL soft labels (RQ5)",
+                     "Fig. 10 (soft-label data augmentation)");
+  const eval::BenchParams params = eval::CurrentBenchParams();
+
+  // Simulate the EDF-EV cohort and split houses train/valid/test.
+  auto houses = simulate::SimulateDataset(simulate::EdfEvProfile(),
+                                          params.dataset_scale, 31);
+  const data::ApplianceSpec spec =
+      simulate::SpecFor(simulate::ApplianceType::kElectricVehicle);
+  Rng rng(31);
+  const auto n = static_cast<int64_t>(houses.size());
+  auto split_result = data::SplitHouses(
+      houses, std::max<int64_t>(1, n / 5), std::max<int64_t>(1, n / 4), &rng);
+  if (!split_result.ok()) {
+    std::printf("cohort too small at this scale\n");
+    return;
+  }
+  const data::HouseSplit& split = split_result.value();
+  data::BuildOptions opt;
+  opt.window_length = params.window_length;
+  auto train_r = data::BuildWindowDataset(split.train, spec, opt);
+  auto valid_r = data::BuildWindowDataset(split.valid, spec, opt);
+  auto test_r = data::BuildWindowDataset(split.test, spec, opt);
+  if (!train_r.ok() || !valid_r.ok() || !test_r.ok()) {
+    std::printf("could not build EDF-EV windows\n");
+    return;
+  }
+  data::WindowDataset train = std::move(train_r).value();
+  data::WindowDataset valid = std::move(valid_r).value();
+  data::WindowDataset test = std::move(test_r).value();
+
+  // Train CamAL on the EDF-Weak possession cohort and produce soft labels
+  // for the EDF-EV training windows.
+  auto weak_houses = simulate::SimulateDataset(simulate::EdfWeakProfile(),
+                                               params.dataset_scale, 32);
+  data::BuildOptions popt = opt;
+  popt.possession_labels = true;
+  auto weak_all = data::BuildWindowDataset(weak_houses, spec, popt);
+  if (!weak_all.ok()) {
+    std::printf("could not build EDF-Weak windows\n");
+    return;
+  }
+  data::WindowDataset weak_balanced =
+      data::BalanceByWeakLabel(weak_all.value(), &rng);
+  std::vector<int64_t> widx_train, widx_valid;
+  for (int64_t i = 0; i < weak_balanced.size(); ++i) {
+    (i % 5 == 0 ? widx_valid : widx_train).push_back(i);
+  }
+  auto camal = core::CamalEnsemble::Train(weak_balanced.Subset(widx_train),
+                                          weak_balanced.Subset(widx_valid),
+                                          params.ensemble, 7);
+  if (!camal.ok()) {
+    std::printf("CamAL training failed: %s\n",
+                camal.status().ToString().c_str());
+    return;
+  }
+  core::CamalEnsemble ensemble = std::move(camal).value();
+  core::CamalLocalizer localizer(&ensemble);
+  core::LocalizationResult soft = localizer.Localize(train.inputs);
+
+  // Mixtures: 0, half, all houses with strong labels; the rest soft.
+  std::vector<double> strong_fractions = {0.0, 0.5, 1.0};
+  if (params.mode == eval::BenchMode::kSmoke) strong_fractions = {0.0, 1.0};
+  std::vector<baselines::BaselineKind> kinds = {
+      baselines::BaselineKind::kTpnilm, baselines::BaselineKind::kBiGru};
+  if (params.mode == eval::BenchMode::kFull) {
+    kinds = {baselines::BaselineKind::kTpnilm,
+             baselines::BaselineKind::kBiGru,
+             baselines::BaselineKind::kUnetNilm,
+             baselines::BaselineKind::kCrnnStrong,
+             baselines::BaselineKind::kTransNilm};
+  }
+
+  // Distinct house ids in the training windows.
+  std::vector<int> house_ids;
+  for (int id : train.house_ids) {
+    if (std::find(house_ids.begin(), house_ids.end(), id) ==
+        house_ids.end()) {
+      house_ids.push_back(id);
+    }
+  }
+
+  TablePrinter table({"Method", "Strong houses", "Soft houses", "F1"});
+  std::vector<std::vector<std::string>> csv_rows{
+      {"method", "strong_houses", "soft_houses", "f1"}};
+  baselines::BaselineScale scale;
+  scale.width = params.baseline_width;
+
+  for (double frac : strong_fractions) {
+    const auto n_strong = static_cast<size_t>(
+        std::llround(frac * static_cast<double>(house_ids.size())));
+    // Targets: ground truth for strong houses, CamAL prediction otherwise.
+    nn::Tensor targets({train.size(), train.window_length});
+    for (int64_t i = 0; i < train.size(); ++i) {
+      const int id = train.house_ids[static_cast<size_t>(i)];
+      const auto pos = static_cast<size_t>(
+          std::find(house_ids.begin(), house_ids.end(), id) -
+          house_ids.begin());
+      const bool strong = pos < n_strong;
+      for (int64_t t = 0; t < train.window_length; ++t) {
+        targets.at2(i, t) =
+            strong ? train.status.at2(i, t) : soft.status.at2(i, t);
+      }
+    }
+    for (baselines::BaselineKind kind : kinds) {
+      Rng mrng(7);
+      auto model = baselines::MakeBaseline(kind, scale, &mrng);
+      eval::TrainConfig tc = params.train;
+      eval::TrainWithSoftTargets(model.get(), train, targets, valid, tc);
+      nn::Tensor probs = eval::PredictFrameProbabilities(model.get(), test);
+      const eval::LocalizationScores scores =
+          eval::ScoreLocalization(eval::ThresholdStatus(probs), test);
+      table.AddRow({baselines::BaselineName(kind), FmtInt(n_strong),
+                    FmtInt(house_ids.size() - n_strong),
+                    Fmt(scores.f1, 3)});
+      csv_rows.push_back({baselines::BaselineName(kind), FmtInt(n_strong),
+                          FmtInt(house_ids.size() - n_strong),
+                          Fmt(scores.f1, 4)});
+    }
+  }
+  table.Print(stdout);
+  bench::WriteCsv("fig10_soft_labels", csv_rows);
+  std::printf("\nShape check vs paper: baselines trained purely on CamAL\n"
+              "soft labels stay close to fully supervised scores, and\n"
+              "mixing soft labels with scarce strong labels recovers most\n"
+              "of the gap (paper: +34%% to +1200%% at <=1 strong house).\n");
+}
+
+}  // namespace
+}  // namespace camal
+
+int main() {
+  camal::Run();
+  return 0;
+}

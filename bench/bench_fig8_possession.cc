@@ -1,0 +1,183 @@
+// Reproduces Fig. 8 (RQ4): training with one possession label per
+// household. IDEAL: train on the possession-only cohort, evaluate on the
+// submetered subset. EDF: train on EDF-Weak possession labels, evaluate on
+// the per-timestamp EDF-EV houses. Compared against the same methods
+// trained with one label per subsequence and per timestamp.
+
+#include "bench_common.h"
+
+namespace camal {
+namespace {
+
+struct PossessionSetup {
+  data::WindowDataset train;  // possession labels, balanced
+  data::WindowDataset valid;  // possession labels
+  data::WindowDataset test;   // per-timestamp ground truth
+};
+
+// Builds the possession-only pipeline of §V-H.1 from two cohorts: a
+// possession-labelled training cohort and a submetered test cohort.
+bool MakePossessionSetup(const std::vector<data::HouseRecord>& possession,
+                         const std::vector<data::HouseRecord>& submetered,
+                         const data::ApplianceSpec& spec, int64_t window,
+                         uint64_t seed, PossessionSetup* out) {
+  data::BuildOptions popt;
+  popt.window_length = window;
+  popt.possession_labels = true;
+  auto all = data::BuildWindowDataset(possession, spec, popt);
+  if (!all.ok()) return false;
+  Rng rng(seed);
+  data::WindowDataset balanced =
+      data::BalanceByWeakLabel(all.value(), &rng);
+  if (balanced.PositiveCount() == 0 ||
+      balanced.PositiveCount() == balanced.size()) {
+    return false;
+  }
+  std::vector<int64_t> train_idx, valid_idx;
+  for (int64_t i = 0; i < balanced.size(); ++i) {
+    (i % 5 == 0 ? valid_idx : train_idx).push_back(i);
+  }
+  data::BuildOptions topt;
+  topt.window_length = window;
+  auto test = data::BuildWindowDataset(submetered, spec, topt);
+  if (!test.ok()) return false;
+  out->train = balanced.Subset(train_idx);
+  out->valid = balanced.Subset(valid_idx);
+  out->test = std::move(test).value();
+  return out->train.size() >= 8 && out->valid.size() > 0 &&
+         out->test.size() > 0;
+}
+
+void RunCase(const char* label,
+             const std::vector<data::HouseRecord>& possession,
+             const std::vector<data::HouseRecord>& submetered,
+             const data::ApplianceSpec& spec,
+             const eval::BenchParams& params, TablePrinter* table,
+             std::vector<std::vector<std::string>>* csv_rows) {
+  // (1) One label per household (possession).
+  PossessionSetup setup;
+  if (MakePossessionSetup(possession, submetered, spec, params.window_length,
+                          77, &setup)) {
+    auto run = eval::RunCamalExperiment(setup.train, setup.valid, setup.test,
+                                        params.ensemble,
+                                        core::LocalizerOptions{}, 7);
+    if (run.ok()) {
+      table->AddRow({label, "CamAL", "per household",
+                     FmtInt(run.value().labels_used),
+                     Fmt(run.value().scores.f1, 3)});
+      csv_rows->push_back({label, "CamAL", "per_household",
+                           FmtInt(run.value().labels_used),
+                           Fmt(run.value().scores.f1, 4)});
+    }
+    baselines::BaselineScale scale;
+    scale.width = params.baseline_width;
+    auto crnn = eval::RunBaselineExperiment(
+        baselines::BaselineKind::kCrnnWeak, scale, params.train, setup.train,
+        setup.valid, setup.test, 7);
+    if (crnn.ok()) {
+      table->AddRow({label, "CRNN Weak", "per household",
+                     FmtInt(crnn.value().labels_used),
+                     Fmt(crnn.value().scores.f1, 3)});
+      csv_rows->push_back({label, "CRNN Weak", "per_household",
+                           FmtInt(crnn.value().labels_used),
+                           Fmt(crnn.value().scores.f1, 4)});
+    }
+  } else {
+    std::printf("%s: possession setup not buildable at this scale\n", label);
+  }
+
+  // (2) One label per subsequence / per timestamp, from the submetered
+  // cohort (the standard pipeline), for comparison.
+  if (submetered.size() >= 3) {
+    Rng rng(78);
+    const auto n = static_cast<int64_t>(submetered.size());
+    auto split = data::SplitHouses(submetered, std::max<int64_t>(1, n / 5),
+                                   std::max<int64_t>(1, n / 4), &rng);
+    if (split.ok()) {
+      data::BuildOptions opt;
+      opt.window_length = params.window_length;
+      auto train = data::BuildWindowDataset(split.value().train, spec, opt);
+      auto valid = data::BuildWindowDataset(split.value().valid, spec, opt);
+      auto test = data::BuildWindowDataset(split.value().test, spec, opt);
+      if (train.ok() && valid.ok() && test.ok()) {
+        data::WindowDataset btrain =
+            data::BalanceByWeakLabel(train.value(), &rng);
+        auto camal = eval::RunCamalExperiment(
+            btrain, valid.value(), test.value(), params.ensemble,
+            core::LocalizerOptions{}, 7);
+        if (camal.ok()) {
+          table->AddRow({label, "CamAL", "per subsequence",
+                         FmtInt(camal.value().labels_used),
+                         Fmt(camal.value().scores.f1, 3)});
+          csv_rows->push_back({label, "CamAL", "per_subsequence",
+                               FmtInt(camal.value().labels_used),
+                               Fmt(camal.value().scores.f1, 4)});
+        }
+        baselines::BaselineScale scale;
+        scale.width = params.baseline_width;
+        auto strong = eval::RunBaselineExperiment(
+            baselines::BaselineKind::kTpnilm, scale, params.train, btrain,
+            valid.value(), test.value(), 7);
+        if (strong.ok()) {
+          table->AddRow({label, "TPNILM", "per timestamp",
+                         FmtInt(strong.value().labels_used),
+                         Fmt(strong.value().scores.f1, 3)});
+          csv_rows->push_back({label, "TPNILM", "per_timestamp",
+                               FmtInt(strong.value().labels_used),
+                               Fmt(strong.value().scores.f1, 4)});
+        }
+      }
+    }
+  }
+}
+
+void Run() {
+  bench::PrintHeader("Fig. 8 — one weak label per household (RQ4)",
+                     "Fig. 8 (possession-only training)");
+  const eval::BenchParams params = eval::CurrentBenchParams();
+
+  TablePrinter table({"Setting", "Method", "Label granularity", "#Labels",
+                      "F1"});
+  std::vector<std::vector<std::string>> csv_rows{
+      {"setting", "method", "granularity", "labels", "f1"}};
+
+  // IDEAL: 255-household possession cohort, 39 submetered for testing.
+  {
+    auto houses = simulate::SimulateDataset(simulate::IdealProfile(),
+                                            params.dataset_scale, 21);
+    std::vector<data::HouseRecord> possession, submetered;
+    for (auto& h : houses) {
+      (h.appliances.empty() ? possession : submetered)
+          .push_back(std::move(h));
+    }
+    RunCase("IDEAL/dishwasher", possession, submetered,
+            simulate::SpecFor(simulate::ApplianceType::kDishwasher), params,
+            &table, &csv_rows);
+  }
+
+  // EDF: train on EDF-Weak possession labels, test on EDF-EV submeters.
+  {
+    auto weak_houses = simulate::SimulateDataset(simulate::EdfWeakProfile(),
+                                                 params.dataset_scale, 22);
+    auto ev_houses = simulate::SimulateDataset(simulate::EdfEvProfile(),
+                                               params.dataset_scale, 23);
+    RunCase("EDF Weak->EV", weak_houses, ev_houses,
+            simulate::SpecFor(simulate::ApplianceType::kElectricVehicle),
+            params, &table, &csv_rows);
+  }
+
+  table.Print(stdout);
+  bench::WriteCsv("fig8_possession", csv_rows);
+  std::printf("\nShape check vs paper: CamAL trained on household possession\n"
+              "labels approaches its per-subsequence score and the strongly\n"
+              "supervised baselines, while CRNN Weak degrades when moved to\n"
+              "possession labels.\n");
+}
+
+}  // namespace
+}  // namespace camal
+
+int main() {
+  camal::Run();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Table IV: CamAL design ablations on REFIT — removing the
+// attention-sigmoid module, and removing kernel diversity (all members use
+// k_p = 7 as in the original TSC ResNet).
+
+#include "bench_common.h"
+#include "metrics/classification.h"
+
+namespace camal {
+namespace {
+
+struct Accumulator {
+  double f1 = 0, pr = 0, rc = 0, mae = 0, mr = 0;
+  int n = 0;
+  void Add(const eval::LocalizationScores& s) {
+    f1 += s.f1;
+    pr += s.precision;
+    rc += s.recall;
+    mae += s.mae;
+    mr += s.matching_ratio;
+    ++n;
+  }
+};
+
+void Run() {
+  bench::PrintHeader("Table IV — CamAL design ablations (REFIT)",
+                     "Table IV (attention module, kernel diversity)");
+  const eval::BenchParams params = eval::CurrentBenchParams();
+
+  std::vector<bench::EvalCase> cases = {
+      {simulate::RefitProfile(), simulate::ApplianceType::kDishwasher},
+      {simulate::RefitProfile(), simulate::ApplianceType::kKettle},
+      {simulate::RefitProfile(), simulate::ApplianceType::kMicrowave},
+      {simulate::RefitProfile(), simulate::ApplianceType::kWashingMachine}};
+  if (params.mode == eval::BenchMode::kSmoke) cases.resize(2);
+
+  Accumulator base, no_attention, fixed_kernel;
+  int idx = 0;
+  for (const auto& eval_case : cases) {
+    bench::CaseData data;
+    if (!bench::MakeCaseData(eval_case, params, 800 + idx, &data)) {
+      ++idx;
+      continue;
+    }
+    // Full CamAL and the attention ablation share one trained ensemble.
+    auto full_run = eval::RunCamalExperiment(
+        data.train, data.valid, data.test, params.ensemble,
+        core::LocalizerOptions{}, 7);
+    core::LocalizerOptions no_attn;
+    no_attn.use_attention = false;
+    auto no_attn_run = eval::RunCamalExperiment(
+        data.train, data.valid, data.test, params.ensemble, no_attn, 7);
+    // Kernel-diversity ablation: every member uses k_p = 7.
+    core::EnsembleConfig fixed = params.ensemble;
+    fixed.kernel_sizes.assign(fixed.kernel_sizes.size(), 7);
+    auto fixed_run = eval::RunCamalExperiment(
+        data.train, data.valid, data.test, fixed,
+        core::LocalizerOptions{}, 7);
+    if (full_run.ok()) base.Add(full_run.value().scores);
+    if (no_attn_run.ok()) no_attention.Add(no_attn_run.value().scores);
+    if (fixed_run.ok()) fixed_kernel.Add(fixed_run.value().scores);
+    ++idx;
+  }
+
+  TablePrinter table(
+      {"Metric", "CamAL", "w/o Attention module", "w/o kernel diversity"});
+  std::vector<std::vector<std::string>> csv_rows{
+      {"metric", "camal", "no_attention", "fixed_kernel"}};
+  auto add_metric = [&](const char* name, double a, double b, double c) {
+    table.AddRow({name, Fmt(a, 3), Fmt(b, 3), Fmt(c, 3)});
+    csv_rows.push_back({name, Fmt(a, 4), Fmt(b, 4), Fmt(c, 4)});
+  };
+  if (base.n > 0 && no_attention.n > 0 && fixed_kernel.n > 0) {
+    add_metric("F1 (higher better)", base.f1 / base.n,
+               no_attention.f1 / no_attention.n,
+               fixed_kernel.f1 / fixed_kernel.n);
+    add_metric("Precision", base.pr / base.n,
+               no_attention.pr / no_attention.n,
+               fixed_kernel.pr / fixed_kernel.n);
+    add_metric("Recall", base.rc / base.n, no_attention.rc / no_attention.n,
+               fixed_kernel.rc / fixed_kernel.n);
+    add_metric("MAE (lower better)", base.mae / base.n,
+               no_attention.mae / no_attention.n,
+               fixed_kernel.mae / fixed_kernel.n);
+    add_metric("MR", base.mr / base.n, no_attention.mr / no_attention.n,
+               fixed_kernel.mr / fixed_kernel.n);
+  }
+  table.Print(stdout);
+  bench::WriteCsv("table4_ablation", csv_rows);
+  std::printf("\nShape check vs paper: removing the attention module\n"
+              "collapses precision (paper: -68.9%%) with slightly higher\n"
+              "recall; removing kernel diversity costs a few F1 points\n"
+              "(paper: -5.6%%).\n");
+}
+
+}  // namespace
+}  // namespace camal
+
+int main() {
+  camal::Run();
+  return 0;
+}

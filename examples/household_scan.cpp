@@ -1,0 +1,86 @@
+// Household scan (DeviceScope-style demo [41]): train one CamAL model per
+// appliance and scan a single household's recording, reporting for each
+// appliance whether it was used and when — from the aggregate signal only.
+
+#include <cstdio>
+#include <string>
+
+#include "data/balance.h"
+#include "data/split.h"
+#include "eval/experiment.h"
+#include "simulate/profiles.h"
+
+int main() {
+  using namespace camal;
+  std::printf("Household scan: which appliances ran, and when?\n");
+  std::printf("------------------------------------------------\n");
+
+  const auto profile = simulate::RefitProfile();
+  auto houses = simulate::SimulateDataset(profile, 0.3, 3);
+  Rng rng(4);
+  auto split = data::SplitHouses(houses, 1, 1, &rng).value();
+  const data::HouseRecord& target_house = split.test.front();
+  std::printf("Scanning house %d (%.1f days of data).\n",
+              target_house.house_id,
+              static_cast<double>(target_house.aggregate.size()) *
+                  profile.interval_seconds / 86400.0);
+
+  constexpr int64_t kWindow = 128;
+  for (simulate::ApplianceType type :
+       {simulate::ApplianceType::kDishwasher, simulate::ApplianceType::kKettle,
+        simulate::ApplianceType::kMicrowave,
+        simulate::ApplianceType::kWashingMachine}) {
+    const data::ApplianceSpec spec = simulate::SpecFor(type);
+    data::BuildOptions opt;
+    opt.window_length = kWindow;
+    auto train_r = data::BuildWindowDataset(split.train, spec, opt);
+    auto valid_r = data::BuildWindowDataset(split.valid, spec, opt);
+    auto target_r = data::BuildWindowDataset({target_house}, spec, opt);
+    if (!train_r.ok() || !valid_r.ok() || !target_r.ok()) {
+      std::printf("%-16s: no training data in this cohort\n", spec.name.c_str());
+      continue;
+    }
+    data::WindowDataset train = data::BalanceByWeakLabel(train_r.value(), &rng);
+    if (!data::IsBalanceable(train_r.value())) {
+      std::printf("%-16s: weak labels are single-class; skipping\n",
+                  spec.name.c_str());
+      continue;
+    }
+
+    core::EnsembleConfig config;
+    config.kernel_sizes = {5, 9, 15};
+    config.trials_per_kernel = 1;
+    config.ensemble_size = 3;
+    config.base_filters = 16;
+    config.train.max_epochs = 6;
+    auto ensemble_result =
+        core::CamalEnsemble::Train(train, valid_r.value(), config, 5);
+    if (!ensemble_result.ok()) {
+      std::printf("%-16s: training failed\n", spec.name.c_str());
+      continue;
+    }
+    core::CamalEnsemble ensemble = std::move(ensemble_result).value();
+    core::CamalLocalizer localizer(&ensemble);
+    const data::WindowDataset& target = target_r.value();
+    core::LocalizationResult result = localizer.Localize(target.inputs);
+
+    // Summarize: windows with detections and total estimated usage time.
+    int64_t detected_windows = 0;
+    int64_t on_samples = 0;
+    for (int64_t i = 0; i < target.size(); ++i) {
+      if (result.probabilities.at(i) > 0.5f) ++detected_windows;
+      for (int64_t t = 0; t < kWindow; ++t) {
+        on_samples += result.status.at2(i, t) > 0.5f ? 1 : 0;
+      }
+    }
+    const double hours = static_cast<double>(on_samples) *
+                         profile.interval_seconds / 3600.0;
+    const bool owned = target_house.Owns(spec.name);
+    std::printf("%-16s: detected in %3lld/%lld windows, ~%.1f h of use "
+                "(house actually owns it: %s)\n",
+                spec.name.c_str(), static_cast<long long>(detected_windows),
+                static_cast<long long>(target.size()), hours,
+                owned ? "yes" : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Possession-only pipeline (§V-H, RQ4): train CamAL with literally ONE
+// label per household — "does this house own an electric vehicle?" — and
+// localize EV charging sessions on held-out, submetered houses.
+//
+// This is the regime electricity suppliers actually face: the EDF-Weak
+// style training cohort has aggregate meters plus a questionnaire bit, and
+// no appliance submeter anywhere.
+
+#include <cstdio>
+
+#include "data/balance.h"
+#include "eval/experiment.h"
+#include "simulate/profiles.h"
+
+int main() {
+  using namespace camal;
+  std::printf("Possession-only training (one label per household)\n");
+  std::printf("---------------------------------------------------\n");
+
+  // Training cohort: EDF-Weak style — aggregate + EV ownership bit only.
+  auto weak_houses =
+      simulate::SimulateDataset(simulate::EdfWeakProfile(), 0.05, 11);
+  int owners = 0;
+  for (const auto& h : weak_houses) owners += h.Owns("electric_vehicle");
+  std::printf("Survey cohort: %zu households, %d EV owners, zero submeters.\n",
+              weak_houses.size(), owners);
+
+  // Test cohort: EDF-EV style — submetered EV chargers (ground truth).
+  auto ev_houses =
+      simulate::SimulateDataset(simulate::EdfEvProfile(), 0.2, 12);
+  std::printf("Evaluation cohort: %zu submetered households.\n",
+              ev_houses.size());
+
+  const data::ApplianceSpec spec =
+      simulate::SpecFor(simulate::ApplianceType::kElectricVehicle);
+  constexpr int64_t kWindow = 96;  // 2 days at 30-minute sampling
+
+  // Possession pipeline: slice each survey household into tumbling windows,
+  // replicate the ownership bit onto every window, balance classes.
+  data::BuildOptions popt;
+  popt.window_length = kWindow;
+  popt.possession_labels = true;
+  auto weak_windows =
+      data::BuildWindowDataset(weak_houses, spec, popt).value();
+  Rng rng(13);
+  data::WindowDataset balanced = data::BalanceByWeakLabel(weak_windows, &rng);
+  std::vector<int64_t> train_idx, valid_idx;
+  for (int64_t i = 0; i < balanced.size(); ++i) {
+    (i % 5 == 0 ? valid_idx : train_idx).push_back(i);
+  }
+  std::printf("Possession windows: %lld train / %lld valid (label = the "
+              "household ownership bit).\n",
+              static_cast<long long>(train_idx.size()),
+              static_cast<long long>(valid_idx.size()));
+
+  data::BuildOptions topt;
+  topt.window_length = kWindow;
+  auto test = data::BuildWindowDataset(ev_houses, spec, topt).value();
+
+  core::EnsembleConfig config;
+  config.kernel_sizes = {5, 9, 15};
+  config.trials_per_kernel = 1;
+  config.ensemble_size = 3;
+  config.base_filters = 16;
+  config.train.max_epochs = 8;
+  auto run = eval::RunCamalExperiment(balanced.Subset(train_idx),
+                                      balanced.Subset(valid_idx), test,
+                                      config, core::LocalizerOptions{}, 13);
+  if (!run.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const auto& r = run.value();
+  std::printf("\nResults on submetered ground truth:\n");
+  std::printf("  detection balanced accuracy : %.3f\n",
+              r.detection_balanced_accuracy);
+  std::printf("  localization F1             : %.3f (Pr %.3f / Rc %.3f)\n",
+              r.scores.f1, r.scores.precision, r.scores.recall);
+  std::printf("  energy MAE / MR             : %.1f W / %.3f\n", r.scores.mae,
+              r.scores.matching_ratio);
+  std::printf("  labels used for training    : %lld (vs %lld per-timestamp "
+              "labels a NILM method would need)\n",
+              static_cast<long long>(r.labels_used),
+              static_cast<long long>(r.labels_used * kWindow));
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Soft-label augmentation (§V-I, RQ5): use a trained CamAL model to
+// generate per-timestamp *soft* labels on unlabeled houses and train a
+// strongly supervised NILM baseline (TPNILM) on them — no submeter data is
+// ever used for training.
+
+#include <cstdio>
+
+#include "data/balance.h"
+#include "data/split.h"
+#include "eval/experiment.h"
+#include "simulate/profiles.h"
+
+int main() {
+  using namespace camal;
+  std::printf("CamAL soft labels -> strongly supervised baseline (RQ5)\n");
+  std::printf("--------------------------------------------------------\n");
+
+  const data::ApplianceSpec spec =
+      simulate::SpecFor(simulate::ApplianceType::kDishwasher);
+  auto houses =
+      simulate::SimulateDataset(simulate::RefitProfile(), 0.35, 5);
+  Rng rng(6);
+  auto split = data::SplitHouses(houses, 1, 2, &rng).value();
+  data::BuildOptions opt;
+  opt.window_length = 128;
+  auto train = data::BuildWindowDataset(split.train, spec, opt).value();
+  auto valid = data::BuildWindowDataset(split.valid, spec, opt).value();
+  auto test = data::BuildWindowDataset(split.test, spec, opt).value();
+
+  // Step 1: train CamAL on weak labels.
+  data::WindowDataset balanced = data::BalanceByWeakLabel(train, &rng);
+  core::EnsembleConfig config;
+  config.kernel_sizes = {5, 9, 15};
+  config.trials_per_kernel = 1;
+  config.ensemble_size = 3;
+  config.base_filters = 16;
+  config.train.max_epochs = 8;
+  auto ensemble_result =
+      core::CamalEnsemble::Train(balanced, valid, config, 6);
+  if (!ensemble_result.ok()) {
+    std::fprintf(stderr, "CamAL training failed: %s\n",
+                 ensemble_result.status().ToString().c_str());
+    return 1;
+  }
+  core::CamalEnsemble ensemble = std::move(ensemble_result).value();
+
+  // Step 2: CamAL predictions on the (unlabeled) training houses become
+  // soft per-timestamp labels.
+  core::CamalLocalizer localizer(&ensemble);
+  core::LocalizationResult soft = localizer.Localize(train.inputs);
+  double soft_on = 0.0;
+  for (int64_t i = 0; i < soft.status.numel(); ++i) {
+    soft_on += soft.status.at(i);
+  }
+  std::printf("Generated soft labels for %lld windows (%.1f%% timestamps "
+              "marked ON).\n",
+              static_cast<long long>(train.size()),
+              100.0 * soft_on / static_cast<double>(soft.status.numel()));
+
+  // Step 3: train TPNILM on (a) the soft labels and (b) the true strong
+  // labels, then compare on held-out houses.
+  baselines::BaselineScale scale;
+  scale.width = 0.25;
+  eval::TrainConfig tc;
+  tc.max_epochs = 8;
+
+  Rng m1(7);
+  auto soft_model =
+      baselines::MakeBaseline(baselines::BaselineKind::kTpnilm, scale, &m1);
+  eval::TrainWithSoftTargets(soft_model.get(), train, soft.status, valid, tc);
+  const eval::LocalizationScores soft_scores = eval::ScoreLocalization(
+      eval::ThresholdStatus(
+          eval::PredictFrameProbabilities(soft_model.get(), test)),
+      test);
+
+  Rng m2(7);
+  auto strong_model =
+      baselines::MakeBaseline(baselines::BaselineKind::kTpnilm, scale, &m2);
+  eval::TrainStrongModel(strong_model.get(), train, valid, tc);
+  const eval::LocalizationScores strong_scores = eval::ScoreLocalization(
+      eval::ThresholdStatus(
+          eval::PredictFrameProbabilities(strong_model.get(), test)),
+      test);
+
+  std::printf("\nTPNILM test F1:\n");
+  std::printf("  trained on CamAL soft labels (0 submeters): %.3f\n",
+              soft_scores.f1);
+  std::printf("  trained on true strong labels (submeters) : %.3f\n",
+              strong_scores.f1);
+  std::printf("\nThe paper's RQ5 claim: the soft-label model stays close to\n"
+              "the fully supervised one — CamAL predictions can bootstrap\n"
+              "strongly supervised NILM where no submeter data exists.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "baselines/bigru.h"
+
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/gru.h"
+
+namespace camal::baselines {
+
+BiGruModel::BiGruModel(const BaselineScale& scale, Rng* rng) {
+  const int64_t c1 = scale.Channels(16);
+  const int64_t h = scale.Channels(128);
+  net_ = std::make_unique<nn::Sequential>();
+  nn::Conv1dOptions conv;
+  conv.in_channels = 1;
+  conv.out_channels = c1;
+  conv.kernel_size = 3;
+  conv.padding = conv.SamePadding();
+  net_->Add(std::make_unique<nn::Conv1d>(conv, rng));
+  net_->Add(std::make_unique<nn::ReLU>());
+  net_->Add(std::make_unique<nn::BiGru>(c1, h, rng));
+  nn::Conv1dOptions head;
+  head.in_channels = 2 * h;
+  head.out_channels = 1;
+  head.kernel_size = 1;
+  net_->Add(std::make_unique<nn::Conv1d>(head, rng));
+}
+
+nn::Tensor BiGruModel::Forward(const nn::Tensor& x) {
+  last_n_ = x.dim(0);
+  last_l_ = x.dim(2);
+  return net_->Forward(x).Reshape({last_n_, last_l_});
+}
+
+nn::Tensor BiGruModel::Backward(const nn::Tensor& grad_output) {
+  return net_->Backward(grad_output.Reshape({last_n_, 1, last_l_}));
+}
+
+void BiGruModel::CollectParameters(std::vector<nn::Parameter*>* out) {
+  net_->CollectParameters(out);
+}
+
+void BiGruModel::CollectBuffers(std::vector<nn::Tensor*>* out) {
+  net_->CollectBuffers(out);
+}
+
+void BiGruModel::SetTraining(bool training) {
+  Module::SetTraining(training);
+  net_->SetTraining(training);
+}
+
+}  // namespace camal::baselines

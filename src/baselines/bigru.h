@@ -1,0 +1,34 @@
+#ifndef CAMAL_BASELINES_BIGRU_H_
+#define CAMAL_BASELINES_BIGRU_H_
+
+#include <memory>
+
+#include "baselines/registry.h"
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/sequential.h"
+
+namespace camal::baselines {
+
+/// The BiGRU baseline of Precioso & Gomez-Ullate [28]: a light convolutional
+/// feature extractor followed by a bidirectional GRU and a 1x1-conv head
+/// producing per-timestamp logits.
+class BiGruModel : public nn::Module {
+ public:
+  BiGruModel(const BaselineScale& scale, Rng* rng);
+
+  /// (N, 1, L) -> (N, L) frame logits.
+  nn::Tensor Forward(const nn::Tensor& x) override;
+  nn::Tensor Backward(const nn::Tensor& grad_output) override;
+  void CollectParameters(std::vector<nn::Parameter*>* out) override;
+  void CollectBuffers(std::vector<nn::Tensor*>* out) override;
+  void SetTraining(bool training) override;
+
+ private:
+  std::unique_ptr<nn::Sequential> net_;
+  int64_t last_n_ = 0, last_l_ = 0;
+};
+
+}  // namespace camal::baselines
+
+#endif  // CAMAL_BASELINES_BIGRU_H_

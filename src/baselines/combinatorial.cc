@@ -1,0 +1,34 @@
+#include "baselines/combinatorial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace camal::baselines {
+
+nn::Tensor PredictCoStatus(const data::WindowDataset& dataset,
+                           const CoOptions& options) {
+  CAMAL_CHECK_GE(options.baseline_quantile, 0.0);
+  CAMAL_CHECK_LE(options.baseline_quantile, 1.0);
+  const int64_t n = dataset.size(), l = dataset.window_length;
+  const float pa_scaled = dataset.appliance.avg_power_w / 1000.0f;
+  nn::Tensor status({n, l});
+  std::vector<float> sorted(static_cast<size_t>(l));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t t = 0; t < l; ++t) {
+      sorted[static_cast<size_t>(t)] = dataset.inputs.at3(i, 0, t);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    const auto q_idx = static_cast<size_t>(std::min<double>(
+        static_cast<double>(l - 1),
+        std::floor(options.baseline_quantile * static_cast<double>(l))));
+    const float base = sorted[q_idx];
+    for (int64_t t = 0; t < l; ++t) {
+      const float residual = dataset.inputs.at3(i, 0, t) - base;
+      status.at2(i, t) = residual > pa_scaled / 2.0f ? 1.0f : 0.0f;
+    }
+  }
+  return status;
+}
+
+}  // namespace camal::baselines

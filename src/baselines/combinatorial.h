@@ -1,0 +1,29 @@
+#ifndef CAMAL_BASELINES_COMBINATORIAL_H_
+#define CAMAL_BASELINES_COMBINATORIAL_H_
+
+#include "data/dataset.h"
+#include "nn/tensor.h"
+
+namespace camal::baselines {
+
+/// Options for the Combinatorial Optimization baseline.
+struct CoOptions {
+  /// Quantile of the window used as the always-on baseline estimate.
+  double baseline_quantile = 0.05;
+};
+
+/// Combinatorial Optimization (Hart 1992 [1]) — the earliest NILM method
+/// and the paper's historical reference point. It needs no training at all:
+/// at each timestamp the appliance state s in {0, 1} is chosen to minimise
+/// |x(t) - base - s * P_a|, where `base` is a per-window quantile estimate
+/// of the always-on load. For a single target appliance this reduces to
+///   ON  iff  x(t) - base > P_a / 2.
+///
+/// Returns the (N, L) binary status for \p dataset using its appliance's
+/// average power P_a (Table I).
+nn::Tensor PredictCoStatus(const data::WindowDataset& dataset,
+                           const CoOptions& options = {});
+
+}  // namespace camal::baselines
+
+#endif  // CAMAL_BASELINES_COMBINATORIAL_H_

@@ -1,0 +1,123 @@
+#include "baselines/crnn.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+
+namespace camal::baselines {
+namespace {
+
+std::unique_ptr<nn::Sequential> ConvBnRelu(int64_t in_ch, int64_t out_ch,
+                                           int64_t kernel, Rng* rng) {
+  auto seq = std::make_unique<nn::Sequential>();
+  nn::Conv1dOptions opt;
+  opt.in_channels = in_ch;
+  opt.out_channels = out_ch;
+  opt.kernel_size = kernel;
+  opt.padding = opt.SamePadding();
+  opt.bias = false;
+  seq->Add(std::make_unique<nn::Conv1d>(opt, rng));
+  seq->Add(std::make_unique<nn::BatchNorm1d>(out_ch));
+  seq->Add(std::make_unique<nn::ReLU>());
+  return seq;
+}
+
+}  // namespace
+
+Crnn::Crnn(const BaselineScale& scale, Rng* rng) {
+  const int64_t c1 = scale.Channels(32);
+  const int64_t c2 = scale.Channels(64);
+  const int64_t c3 = scale.Channels(128);
+  const int64_t h = scale.Channels(192);
+  net_ = std::make_unique<nn::Sequential>();
+  net_->Add(ConvBnRelu(1, c1, 5, rng));
+  net_->Add(ConvBnRelu(c1, c2, 5, rng));
+  net_->Add(ConvBnRelu(c2, c3, 5, rng));
+  net_->Add(std::make_unique<nn::BiGru>(c3, h, rng));
+  nn::Conv1dOptions head;
+  head.in_channels = 2 * h;
+  head.out_channels = 1;
+  head.kernel_size = 1;
+  net_->Add(std::make_unique<nn::Conv1d>(head, rng));
+}
+
+nn::Tensor Crnn::Forward(const nn::Tensor& x) {
+  last_n_ = x.dim(0);
+  last_l_ = x.dim(2);
+  nn::Tensor y = net_->Forward(x);  // (N, 1, L)
+  return y.Reshape({last_n_, last_l_});
+}
+
+nn::Tensor Crnn::Backward(const nn::Tensor& grad_output) {
+  return net_->Backward(grad_output.Reshape({last_n_, 1, last_l_}));
+}
+
+void Crnn::CollectParameters(std::vector<nn::Parameter*>* out) {
+  net_->CollectParameters(out);
+}
+
+void Crnn::CollectBuffers(std::vector<nn::Tensor*>* out) {
+  net_->CollectBuffers(out);
+}
+
+void Crnn::SetTraining(bool training) {
+  Module::SetTraining(training);
+  net_->SetTraining(training);
+}
+
+nn::Tensor MilSequenceProbability(const nn::Tensor& frame_logits) {
+  CAMAL_CHECK_EQ(frame_logits.ndim(), 2);
+  const int64_t n = frame_logits.dim(0), l = frame_logits.dim(1);
+  nn::Tensor seq_prob({n});
+  for (int64_t i = 0; i < n; ++i) {
+    double sum_p = 0.0, sum_p2 = 0.0;
+    for (int64_t t = 0; t < l; ++t) {
+      const double p = nn::SigmoidScalar(frame_logits.at2(i, t));
+      sum_p += p;
+      sum_p2 += p * p;
+    }
+    seq_prob.at(i) =
+        sum_p > 1e-12 ? static_cast<float>(sum_p2 / sum_p) : 0.0f;
+  }
+  return seq_prob;
+}
+
+nn::LossResult WeakMilLoss(const nn::Tensor& frame_logits,
+                           const std::vector<int>& weak_labels) {
+  CAMAL_CHECK_EQ(frame_logits.ndim(), 2);
+  const int64_t n = frame_logits.dim(0), l = frame_logits.dim(1);
+  CAMAL_CHECK_EQ(static_cast<int64_t>(weak_labels.size()), n);
+  nn::LossResult out;
+  out.grad = nn::Tensor({n, l});
+  double total = 0.0;
+  constexpr double kEps = 1e-7;
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<double> p(static_cast<size_t>(l));
+    double sum_p = 0.0, sum_p2 = 0.0;
+    for (int64_t t = 0; t < l; ++t) {
+      p[static_cast<size_t>(t)] =
+          nn::SigmoidScalar(frame_logits.at2(i, t));
+      sum_p += p[static_cast<size_t>(t)];
+      sum_p2 += p[static_cast<size_t>(t)] * p[static_cast<size_t>(t)];
+    }
+    sum_p = std::max(sum_p, kEps);
+    double big_p = sum_p2 / sum_p;
+    big_p = std::min(1.0 - kEps, std::max(kEps, big_p));
+    const double y = weak_labels[static_cast<size_t>(i)];
+    total += -(y * std::log(big_p) + (1.0 - y) * std::log(1.0 - big_p));
+    // dL/dP, then dP/dp_t = (2 p_t sum_p - sum_p2) / sum_p^2, then
+    // dp_t/dz_t = p_t (1 - p_t).
+    const double dL_dP = (-y / big_p + (1.0 - y) / (1.0 - big_p)) /
+                         static_cast<double>(n);
+    for (int64_t t = 0; t < l; ++t) {
+      const double pt = p[static_cast<size_t>(t)];
+      const double dP_dp = (2.0 * pt * sum_p - sum_p2) / (sum_p * sum_p);
+      out.grad.at2(i, t) =
+          static_cast<float>(dL_dP * dP_dp * pt * (1.0 - pt));
+    }
+  }
+  out.value = total / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace camal::baselines

@@ -1,0 +1,54 @@
+#ifndef CAMAL_BASELINES_CRNN_H_
+#define CAMAL_BASELINES_CRNN_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/batchnorm1d.h"
+#include "nn/conv1d.h"
+#include "nn/gru.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/sequential.h"
+#include "baselines/registry.h"
+
+namespace camal::baselines {
+
+/// The Convolutional Recurrent Neural Network of Tanoni et al. [5]:
+/// a convolutional front-end followed by a bidirectional GRU and a 1x1
+/// convolution producing per-timestamp activation logits (N, L).
+///
+/// The same architecture serves both CRNN (strong) and CRNN Weak; the MIL
+/// pooling that turns frame probabilities into a sequence-level weak
+/// prediction lives in WeakMilLoss below.
+class Crnn : public nn::Module {
+ public:
+  Crnn(const BaselineScale& scale, Rng* rng);
+
+  /// (N, 1, L) -> (N, L) frame logits.
+  nn::Tensor Forward(const nn::Tensor& x) override;
+  nn::Tensor Backward(const nn::Tensor& grad_output) override;
+  void CollectParameters(std::vector<nn::Parameter*>* out) override;
+  void CollectBuffers(std::vector<nn::Tensor*>* out) override;
+  void SetTraining(bool training) override;
+
+ private:
+  std::unique_ptr<nn::Sequential> net_;
+  int64_t last_n_ = 0, last_l_ = 0;
+};
+
+/// Linear-softmax Multiple-Instance-Learning loss for weak labels [5]:
+/// frame probabilities p_t = sigmoid(z_t) are pooled into a sequence
+/// probability  P = sum(p^2) / sum(p)  and binary cross-entropy is applied
+/// between P and the weak label. Returns the loss value and the gradient
+/// with respect to the (N, L) frame logits.
+nn::LossResult WeakMilLoss(const nn::Tensor& frame_logits,
+                           const std::vector<int>& weak_labels);
+
+/// The pooled sequence probabilities (N) for given frame logits — the
+/// detection output of CRNN Weak.
+nn::Tensor MilSequenceProbability(const nn::Tensor& frame_logits);
+
+}  // namespace camal::baselines
+
+#endif  // CAMAL_BASELINES_CRNN_H_

@@ -1,0 +1,127 @@
+#include "baselines/fhmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace camal::baselines {
+namespace {
+
+// Log of a Gaussian density (unnormalized constants kept: they cancel in
+// the posteriors and Viterbi comparisons only within a fixed sigma).
+double LogGauss(double x, double mean, double sigma) {
+  const double z = (x - mean) / sigma;
+  return -0.5 * z * z - std::log(sigma);
+}
+
+double LogSumExp(double a, double b) {
+  const double m = std::max(a, b);
+  if (!std::isfinite(m)) return m;
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+}  // namespace
+
+nn::Tensor PredictFhmmStatus(const data::WindowDataset& dataset,
+                             const FhmmOptions& options) {
+  CAMAL_CHECK_GE(options.em_iterations, 0);
+  CAMAL_CHECK_GT(options.self_transition, 0.0);
+  CAMAL_CHECK_LT(options.self_transition, 1.0);
+  const int64_t n = dataset.size(), l = dataset.window_length;
+  nn::Tensor status({n, l});
+  const double pa = dataset.appliance.avg_power_w / 1000.0;  // scaled kW
+  const double sigma =
+      std::max(0.05, options.sigma_fraction * pa);
+  const double log_stay = std::log(options.self_transition);
+  const double log_switch = std::log(1.0 - options.self_transition);
+
+  std::vector<double> x(static_cast<size_t>(l));
+  std::vector<double> sorted(static_cast<size_t>(l));
+  // log alpha/beta for the 2 states.
+  std::vector<double> la0(static_cast<size_t>(l)), la1(static_cast<size_t>(l));
+  std::vector<double> lb0(static_cast<size_t>(l)), lb1(static_cast<size_t>(l));
+
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t t = 0; t < l; ++t) {
+      x[static_cast<size_t>(t)] = dataset.inputs.at3(i, 0, t);
+      sorted[static_cast<size_t>(t)] = x[static_cast<size_t>(t)];
+    }
+    std::sort(sorted.begin(), sorted.end());
+    const auto q_idx = static_cast<size_t>(std::min<double>(
+        static_cast<double>(l - 1),
+        std::floor(options.baseline_quantile * static_cast<double>(l))));
+    double mu_off = sorted[q_idx];
+    double mu_on = mu_off + pa;
+
+    // Baum-Welch refinement of the emission means.
+    for (int iter = 0; iter < options.em_iterations; ++iter) {
+      // Forward pass (log domain); uniform initial state.
+      la0[0] = LogGauss(x[0], mu_off, sigma);
+      la1[0] = LogGauss(x[0], mu_on, sigma);
+      for (int64_t t = 1; t < l; ++t) {
+        const size_t u = static_cast<size_t>(t);
+        la0[u] = LogGauss(x[u], mu_off, sigma) +
+                 LogSumExp(la0[u - 1] + log_stay, la1[u - 1] + log_switch);
+        la1[u] = LogGauss(x[u], mu_on, sigma) +
+                 LogSumExp(la1[u - 1] + log_stay, la0[u - 1] + log_switch);
+      }
+      // Backward pass.
+      lb0[static_cast<size_t>(l - 1)] = 0.0;
+      lb1[static_cast<size_t>(l - 1)] = 0.0;
+      for (int64_t t = l - 2; t >= 0; --t) {
+        const size_t u = static_cast<size_t>(t);
+        const double e0 = LogGauss(x[u + 1], mu_off, sigma) + lb0[u + 1];
+        const double e1 = LogGauss(x[u + 1], mu_on, sigma) + lb1[u + 1];
+        lb0[u] = LogSumExp(log_stay + e0, log_switch + e1);
+        lb1[u] = LogSumExp(log_stay + e1, log_switch + e0);
+      }
+      // Posterior-weighted mean update (M-step).
+      double w_off = 0.0, w_on = 0.0, s_off = 0.0, s_on = 0.0;
+      for (int64_t t = 0; t < l; ++t) {
+        const size_t u = static_cast<size_t>(t);
+        const double g0 = la0[u] + lb0[u];
+        const double g1 = la1[u] + lb1[u];
+        const double norm = LogSumExp(g0, g1);
+        const double p_on = std::exp(g1 - norm);
+        w_on += p_on;
+        w_off += 1.0 - p_on;
+        s_on += p_on * x[u];
+        s_off += (1.0 - p_on) * x[u];
+      }
+      if (w_off > 1e-6) mu_off = s_off / w_off;
+      if (w_on > 1e-6) mu_on = s_on / w_on;
+      // Keep the states identifiable: ON must stay above OFF by a margin.
+      if (mu_on < mu_off + 0.25 * pa) mu_on = mu_off + 0.25 * pa;
+    }
+
+    // Viterbi decode.
+    std::vector<double> v0(static_cast<size_t>(l)), v1(static_cast<size_t>(l));
+    std::vector<uint8_t> from0(static_cast<size_t>(l)),
+        from1(static_cast<size_t>(l));
+    v0[0] = LogGauss(x[0], mu_off, sigma);
+    v1[0] = LogGauss(x[0], mu_on, sigma);
+    for (int64_t t = 1; t < l; ++t) {
+      const size_t u = static_cast<size_t>(t);
+      const double stay0 = v0[u - 1] + log_stay;
+      const double jump0 = v1[u - 1] + log_switch;
+      from0[u] = stay0 >= jump0 ? 0 : 1;
+      v0[u] = LogGauss(x[u], mu_off, sigma) + std::max(stay0, jump0);
+      const double stay1 = v1[u - 1] + log_stay;
+      const double jump1 = v0[u - 1] + log_switch;
+      from1[u] = stay1 >= jump1 ? 1 : 0;
+      v1[u] = LogGauss(x[u], mu_on, sigma) + std::max(stay1, jump1);
+    }
+    uint8_t state = v1[static_cast<size_t>(l - 1)] >
+                            v0[static_cast<size_t>(l - 1)]
+                        ? 1
+                        : 0;
+    for (int64_t t = l - 1; t >= 0; --t) {
+      const size_t u = static_cast<size_t>(t);
+      status.at2(i, t) = state == 1 ? 1.0f : 0.0f;
+      state = state == 1 ? from1[u] : from0[u];
+    }
+  }
+  return status;
+}
+
+}  // namespace camal::baselines

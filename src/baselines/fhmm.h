@@ -1,0 +1,37 @@
+#ifndef CAMAL_BASELINES_FHMM_H_
+#define CAMAL_BASELINES_FHMM_H_
+
+#include "data/dataset.h"
+#include "nn/tensor.h"
+
+namespace camal::baselines {
+
+/// Options for the factorial-HMM baseline.
+struct FhmmOptions {
+  /// Baum-Welch refinement iterations of the emission means per window.
+  int em_iterations = 3;
+  /// Prior probability of staying in the same state between timestamps.
+  double self_transition = 0.95;
+  /// Emission standard deviation, as a fraction of the appliance average
+  /// power (floored at 50 W).
+  double sigma_fraction = 0.35;
+  /// Quantile of the window used to initialize the OFF-state mean.
+  double baseline_quantile = 0.1;
+};
+
+/// Unsupervised hidden-Markov NILM (Kim et al. 2011 [21]) specialized to
+/// one target appliance: a 2-state (OFF/ON) HMM over the aggregate signal
+/// with Gaussian emissions. Per window, emission means are initialized
+/// from a low quantile (OFF) and the Table-I average power offset (ON),
+/// refined with a few Baum-Welch EM iterations, and the state sequence is
+/// decoded with Viterbi. Needs no labels at all — the paper's example of
+/// the pre-deep-learning NILM generation whose "accuracy reported is low
+/// compared to supervised ones".
+///
+/// Returns the (N, L) binary status for \p dataset.
+nn::Tensor PredictFhmmStatus(const data::WindowDataset& dataset,
+                             const FhmmOptions& options = {});
+
+}  // namespace camal::baselines
+
+#endif  // CAMAL_BASELINES_FHMM_H_

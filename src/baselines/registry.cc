@@ -1,0 +1,69 @@
+#include "baselines/registry.h"
+
+#include <cmath>
+
+#include "baselines/bigru.h"
+#include "baselines/crnn.h"
+#include "baselines/tpnilm.h"
+#include "baselines/transnilm.h"
+#include "baselines/unet_nilm.h"
+#include "common/check.h"
+
+namespace camal::baselines {
+
+const char* BaselineName(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kUnetNilm:
+      return "Unet-NILM";
+    case BaselineKind::kTpnilm:
+      return "TPNILM";
+    case BaselineKind::kBiGru:
+      return "BiGRU";
+    case BaselineKind::kTransNilm:
+      return "TransNILM";
+    case BaselineKind::kCrnnStrong:
+      return "CRNN";
+    case BaselineKind::kCrnnWeak:
+      return "CRNN Weak";
+  }
+  return "unknown";
+}
+
+bool IsWeaklySupervised(BaselineKind kind) {
+  return kind == BaselineKind::kCrnnWeak;
+}
+
+int64_t BaselineScale::Channels(int64_t full_width) const {
+  CAMAL_CHECK_GT(width, 0.0);
+  const auto scaled = static_cast<int64_t>(
+      std::llround(static_cast<double>(full_width) * width));
+  return std::max<int64_t>(2, scaled);
+}
+
+std::unique_ptr<nn::Module> MakeBaseline(BaselineKind kind,
+                                         const BaselineScale& scale,
+                                         Rng* rng) {
+  switch (kind) {
+    case BaselineKind::kUnetNilm:
+      return std::make_unique<UnetNilm>(scale, rng);
+    case BaselineKind::kTpnilm:
+      return std::make_unique<Tpnilm>(scale, rng);
+    case BaselineKind::kBiGru:
+      return std::make_unique<BiGruModel>(scale, rng);
+    case BaselineKind::kTransNilm:
+      return std::make_unique<TransNilm>(scale, rng);
+    case BaselineKind::kCrnnStrong:
+    case BaselineKind::kCrnnWeak:
+      return std::make_unique<Crnn>(scale, rng);
+  }
+  CAMAL_CHECK_MSG(false, "unreachable baseline kind");
+  return nullptr;
+}
+
+std::vector<BaselineKind> AllBaselines() {
+  return {BaselineKind::kCrnnWeak,  BaselineKind::kTpnilm,
+          BaselineKind::kBiGru,     BaselineKind::kCrnnStrong,
+          BaselineKind::kTransNilm, BaselineKind::kUnetNilm};
+}
+
+}  // namespace camal::baselines

@@ -1,0 +1,51 @@
+#ifndef CAMAL_BASELINES_REGISTRY_H_
+#define CAMAL_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace camal::baselines {
+
+/// The comparator methods of §V-C. All are sequence-to-sequence models
+/// mapping a (N, 1, L) aggregate window to (N, L) per-timestamp activation
+/// logits. CRNN exists in a strongly supervised variant and a weakly
+/// supervised (MIL) variant that differs only in its training loss.
+enum class BaselineKind {
+  kUnetNilm,
+  kTpnilm,
+  kBiGru,
+  kTransNilm,
+  kCrnnStrong,
+  kCrnnWeak,
+};
+
+/// Display name matching the paper's figures ("Unet-NILM", "CRNN Weak", ...).
+const char* BaselineName(BaselineKind kind);
+
+/// True for the baselines trained with one label per subsequence.
+bool IsWeaklySupervised(BaselineKind kind);
+
+/// Channel-width scaling for bounded bench runtimes: 1.0 reproduces
+/// paper-scale models (Table II parameter counts), smaller values shrink
+/// every hidden width proportionally (min 2 channels).
+struct BaselineScale {
+  double width = 1.0;
+
+  /// Applies the scale to a full-width channel count.
+  int64_t Channels(int64_t full_width) const;
+};
+
+/// Instantiates a baseline model. All models accept any window length.
+std::unique_ptr<nn::Module> MakeBaseline(BaselineKind kind,
+                                         const BaselineScale& scale, Rng* rng);
+
+/// Every baseline, in the paper's reporting order.
+std::vector<BaselineKind> AllBaselines();
+
+}  // namespace camal::baselines
+
+#endif  // CAMAL_BASELINES_REGISTRY_H_

@@ -1,0 +1,142 @@
+#include "baselines/tpnilm.h"
+
+#include "nn/activations.h"
+#include "nn/batchnorm1d.h"
+#include "nn/conv1d.h"
+
+namespace camal::baselines {
+namespace {
+
+std::unique_ptr<nn::Sequential> ConvBnRelu(int64_t in_ch, int64_t out_ch,
+                                           int64_t kernel, Rng* rng) {
+  auto seq = std::make_unique<nn::Sequential>();
+  nn::Conv1dOptions opt;
+  opt.in_channels = in_ch;
+  opt.out_channels = out_ch;
+  opt.kernel_size = kernel;
+  opt.padding = opt.SamePadding();
+  opt.bias = false;
+  seq->Add(std::make_unique<nn::Conv1d>(opt, rng));
+  seq->Add(std::make_unique<nn::BatchNorm1d>(out_ch));
+  seq->Add(std::make_unique<nn::ReLU>());
+  return seq;
+}
+
+}  // namespace
+
+Tpnilm::Tpnilm(const BaselineScale& scale, Rng* rng) {
+  const int64_t c1 = scale.Channels(64);
+  const int64_t c2 = scale.Channels(128);
+  enc_channels_ = scale.Channels(256);
+  branch_channels_ = scale.Channels(64);
+
+  encoder_ = std::make_unique<nn::Sequential>();
+  encoder_->Add(ConvBnRelu(1, c1, 3, rng));
+  encoder_->Add(std::make_unique<nn::MaxPool1d>(2, 2));
+  encoder_->Add(ConvBnRelu(c1, c2, 3, rng));
+  encoder_->Add(std::make_unique<nn::MaxPool1d>(2, 2));
+  encoder_->Add(ConvBnRelu(c2, enc_channels_, 3, rng));
+
+  for (int64_t s : {1, 2, 4, 8}) {
+    Branch b;
+    b.scale = s;
+    if (s > 1) b.pool = std::make_unique<nn::AvgPool1d>(s, s);
+    auto proj = std::make_unique<nn::Sequential>();
+    nn::Conv1dOptions p;
+    p.in_channels = enc_channels_;
+    p.out_channels = branch_channels_;
+    p.kernel_size = 1;
+    proj->Add(std::make_unique<nn::Conv1d>(p, rng));
+    proj->Add(std::make_unique<nn::ReLU>());
+    b.project = std::move(proj);
+    branches_.push_back(std::move(b));
+  }
+
+  const int64_t concat_ch =
+      enc_channels_ + branch_channels_ * static_cast<int64_t>(branches_.size());
+  decoder_head_ = std::make_unique<nn::Sequential>();
+  decoder_head_->Add(ConvBnRelu(concat_ch, c2, 1, rng));
+
+  output_head_ = std::make_unique<nn::Sequential>();
+  nn::Conv1dOptions out;
+  out.in_channels = c2;
+  out.out_channels = 1;
+  out.kernel_size = 1;
+  output_head_->Add(std::make_unique<nn::Conv1d>(out, rng));
+}
+
+nn::Tensor Tpnilm::Forward(const nn::Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  last_n_ = x.dim(0);
+  last_l_ = x.dim(2);
+  CAMAL_CHECK_MSG(last_l_ % 4 == 0 && last_l_ >= 32,
+                  "TPNILM window length must be divisible by 4 and >= 32");
+  nn::Tensor enc = encoder_->Forward(x);  // (N, C, L/4)
+  const int64_t lenc = enc.dim(2);
+
+  std::vector<nn::Tensor> parts;
+  parts.push_back(enc);
+  for (auto& b : branches_) {
+    nn::Tensor h = b.pool ? b.pool->Forward(enc) : enc;
+    h = b.project->Forward(h);
+    if (b.scale > 1) {
+      b.resize = std::make_unique<nn::ResizeNearest1d>(lenc);
+      h = b.resize->Forward(h);
+    }
+    parts.push_back(std::move(h));
+  }
+  nn::Tensor concat = nn::ConcatChannels(parts);
+  nn::Tensor dec = decoder_head_->Forward(concat);
+  final_resize_ = std::make_unique<nn::ResizeNearest1d>(last_l_);
+  nn::Tensor up = final_resize_->Forward(dec);
+  nn::Tensor y = output_head_->Forward(up);  // (N, 1, L)
+  return y.Reshape({last_n_, last_l_});
+}
+
+nn::Tensor Tpnilm::Backward(const nn::Tensor& grad_output) {
+  nn::Tensor g = output_head_->Backward(
+      grad_output.Reshape({last_n_, 1, last_l_}));
+  g = final_resize_->Backward(g);
+  g = decoder_head_->Backward(g);
+  // Split concat gradient: [enc, branch_0, branch_1, ...].
+  std::vector<int64_t> channel_counts;
+  channel_counts.push_back(enc_channels_);
+  for (size_t i = 0; i < branches_.size(); ++i) {
+    channel_counts.push_back(branch_channels_);
+  }
+  std::vector<nn::Tensor> grads = nn::SplitChannels(g, channel_counts);
+  nn::Tensor g_enc = grads[0];
+  for (size_t i = 0; i < branches_.size(); ++i) {
+    auto& b = branches_[i];
+    nn::Tensor gb = grads[i + 1];
+    if (b.scale > 1) gb = b.resize->Backward(gb);
+    gb = b.project->Backward(gb);
+    if (b.pool) gb = b.pool->Backward(gb);
+    g_enc.AddInPlace(gb);
+  }
+  return encoder_->Backward(g_enc);
+}
+
+void Tpnilm::CollectParameters(std::vector<nn::Parameter*>* out) {
+  encoder_->CollectParameters(out);
+  for (auto& b : branches_) b.project->CollectParameters(out);
+  decoder_head_->CollectParameters(out);
+  output_head_->CollectParameters(out);
+}
+
+void Tpnilm::CollectBuffers(std::vector<nn::Tensor*>* out) {
+  encoder_->CollectBuffers(out);
+  for (auto& b : branches_) b.project->CollectBuffers(out);
+  decoder_head_->CollectBuffers(out);
+  output_head_->CollectBuffers(out);
+}
+
+void Tpnilm::SetTraining(bool training) {
+  Module::SetTraining(training);
+  encoder_->SetTraining(training);
+  for (auto& b : branches_) b.project->SetTraining(training);
+  decoder_head_->SetTraining(training);
+  output_head_->SetTraining(training);
+}
+
+}  // namespace camal::baselines

@@ -1,0 +1,54 @@
+#ifndef CAMAL_BASELINES_TPNILM_H_
+#define CAMAL_BASELINES_TPNILM_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "nn/upsample.h"
+
+namespace camal::baselines {
+
+/// TPNILM (Massidda et al. [26]): a fully convolutional encoder that
+/// downsamples the window by 4x, a temporal-pooling module that summarizes
+/// the encoded sequence at multiple scales (avg-pool at {1, 2, 4, 8}, 1x1
+/// conv, resize back), channel concatenation, and a decoder that restores
+/// the input resolution.
+///
+/// Window length must be divisible by 4 and at least 32.
+class Tpnilm : public nn::Module {
+ public:
+  Tpnilm(const BaselineScale& scale, Rng* rng);
+
+  /// (N, 1, L) -> (N, L) frame logits.
+  nn::Tensor Forward(const nn::Tensor& x) override;
+  nn::Tensor Backward(const nn::Tensor& grad_output) override;
+  void CollectParameters(std::vector<nn::Parameter*>* out) override;
+  void CollectBuffers(std::vector<nn::Tensor*>* out) override;
+  void SetTraining(bool training) override;
+
+ private:
+  int64_t enc_channels_;
+  int64_t branch_channels_;
+  std::unique_ptr<nn::Sequential> encoder_;
+  // One pooling branch per scale; scale 1 has no pool (identity).
+  struct Branch {
+    int64_t scale;
+    std::unique_ptr<nn::AvgPool1d> pool;       // null for scale 1
+    std::unique_ptr<nn::Sequential> project;   // 1x1 conv + ReLU
+    std::unique_ptr<nn::ResizeNearest1d> resize;  // rebuilt per forward
+  };
+  std::vector<Branch> branches_;
+  std::unique_ptr<nn::Sequential> decoder_head_;  // 1x1 convs after concat
+  std::unique_ptr<nn::ResizeNearest1d> final_resize_;  // rebuilt per forward
+  std::unique_ptr<nn::Sequential> output_head_;
+  int64_t last_n_ = 0, last_l_ = 0;
+};
+
+}  // namespace camal::baselines
+
+#endif  // CAMAL_BASELINES_TPNILM_H_

@@ -1,0 +1,112 @@
+#include "baselines/transnilm.h"
+
+#include "nn/activations.h"
+#include "nn/batchnorm1d.h"
+#include "nn/conv1d.h"
+
+namespace camal::baselines {
+
+TransformerBlock::TransformerBlock(int64_t d_model, int64_t num_heads,
+                                   Rng* rng) {
+  mhsa_ = std::make_unique<nn::MultiHeadSelfAttention>(d_model, num_heads,
+                                                       rng);
+  ln1_ = std::make_unique<nn::LayerNorm>(d_model);
+  ln2_ = std::make_unique<nn::LayerNorm>(d_model);
+  ffn_ = std::make_unique<nn::Sequential>();
+  nn::Conv1dOptions expand;
+  expand.in_channels = d_model;
+  expand.out_channels = 4 * d_model;
+  expand.kernel_size = 1;
+  ffn_->Add(std::make_unique<nn::Conv1d>(expand, rng));
+  ffn_->Add(std::make_unique<nn::Gelu>());
+  nn::Conv1dOptions contract;
+  contract.in_channels = 4 * d_model;
+  contract.out_channels = d_model;
+  contract.kernel_size = 1;
+  ffn_->Add(std::make_unique<nn::Conv1d>(contract, rng));
+}
+
+nn::Tensor TransformerBlock::Forward(const nn::Tensor& x) {
+  nn::Tensor attn = mhsa_->Forward(x);
+  nn::Tensor h = ln1_->Forward(nn::Add(x, attn));
+  nn::Tensor ff = ffn_->Forward(h);
+  return ln2_->Forward(nn::Add(h, ff));
+}
+
+nn::Tensor TransformerBlock::Backward(const nn::Tensor& grad_output) {
+  nn::Tensor g = ln2_->Backward(grad_output);
+  nn::Tensor g_ffn = ffn_->Backward(g);
+  nn::Tensor g_h = nn::Add(g, g_ffn);
+  g = ln1_->Backward(g_h);
+  nn::Tensor g_attn = mhsa_->Backward(g);
+  return nn::Add(g, g_attn);
+}
+
+void TransformerBlock::CollectParameters(std::vector<nn::Parameter*>* out) {
+  mhsa_->CollectParameters(out);
+  ln1_->CollectParameters(out);
+  ffn_->CollectParameters(out);
+  ln2_->CollectParameters(out);
+}
+
+void TransformerBlock::CollectBuffers(std::vector<nn::Tensor*>* out) {
+  ffn_->CollectBuffers(out);
+}
+
+void TransformerBlock::SetTraining(bool training) {
+  Module::SetTraining(training);
+  mhsa_->SetTraining(training);
+  ln1_->SetTraining(training);
+  ffn_->SetTraining(training);
+  ln2_->SetTraining(training);
+}
+
+TransNilm::TransNilm(const BaselineScale& scale, Rng* rng) {
+  // d_model must stay divisible by the head count after scaling.
+  const int64_t heads = 4;
+  int64_t d = scale.Channels(192);
+  d = std::max<int64_t>(heads, (d / heads) * heads);
+  net_ = std::make_unique<nn::Sequential>();
+  nn::Conv1dOptions embed;
+  embed.in_channels = 1;
+  embed.out_channels = d;
+  embed.kernel_size = 3;
+  embed.padding = embed.SamePadding();
+  embed.bias = false;
+  net_->Add(std::make_unique<nn::Conv1d>(embed, rng));
+  net_->Add(std::make_unique<nn::BatchNorm1d>(d));
+  net_->Add(std::make_unique<nn::ReLU>());
+  net_->Add(std::make_unique<TransformerBlock>(d, heads, rng));
+  net_->Add(std::make_unique<TransformerBlock>(d, heads, rng));
+  net_->Add(std::make_unique<TransformerBlock>(d, heads, rng));
+  nn::Conv1dOptions head;
+  head.in_channels = d;
+  head.out_channels = 1;
+  head.kernel_size = 1;
+  net_->Add(std::make_unique<nn::Conv1d>(head, rng));
+}
+
+nn::Tensor TransNilm::Forward(const nn::Tensor& x) {
+  last_n_ = x.dim(0);
+  last_l_ = x.dim(2);
+  return net_->Forward(x).Reshape({last_n_, last_l_});
+}
+
+nn::Tensor TransNilm::Backward(const nn::Tensor& grad_output) {
+  return net_->Backward(grad_output.Reshape({last_n_, 1, last_l_}));
+}
+
+void TransNilm::CollectParameters(std::vector<nn::Parameter*>* out) {
+  net_->CollectParameters(out);
+}
+
+void TransNilm::CollectBuffers(std::vector<nn::Tensor*>* out) {
+  net_->CollectBuffers(out);
+}
+
+void TransNilm::SetTraining(bool training) {
+  Module::SetTraining(training);
+  net_->SetTraining(training);
+}
+
+}  // namespace camal::baselines

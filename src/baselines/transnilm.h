@@ -1,0 +1,56 @@
+#ifndef CAMAL_BASELINES_TRANSNILM_H_
+#define CAMAL_BASELINES_TRANSNILM_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "nn/layernorm.h"
+#include "nn/module.h"
+#include "nn/sequential.h"
+
+namespace camal::baselines {
+
+/// One pre-head transformer encoder block (post-norm):
+///   h = LN1(x + MHSA(x));  out = LN2(h + FFN(h))
+/// with a 1x1-conv GELU feed-forward network.
+class TransformerBlock : public nn::Module {
+ public:
+  TransformerBlock(int64_t d_model, int64_t num_heads, Rng* rng);
+
+  nn::Tensor Forward(const nn::Tensor& x) override;
+  nn::Tensor Backward(const nn::Tensor& grad_output) override;
+  void CollectParameters(std::vector<nn::Parameter*>* out) override;
+  void CollectBuffers(std::vector<nn::Tensor*>* out) override;
+  void SetTraining(bool training) override;
+
+ private:
+  std::unique_ptr<nn::MultiHeadSelfAttention> mhsa_;
+  std::unique_ptr<nn::LayerNorm> ln1_, ln2_;
+  std::unique_ptr<nn::Sequential> ffn_;
+};
+
+/// TransNILM (Cheng et al. [31]): convolutional embedding, stacked
+/// transformer encoder blocks, and a per-timestamp 1x1-conv status head.
+/// The quadratic attention cost dominates its Table II complexity row.
+class TransNilm : public nn::Module {
+ public:
+  TransNilm(const BaselineScale& scale, Rng* rng);
+
+  /// (N, 1, L) -> (N, L) frame logits.
+  nn::Tensor Forward(const nn::Tensor& x) override;
+  nn::Tensor Backward(const nn::Tensor& grad_output) override;
+  void CollectParameters(std::vector<nn::Parameter*>* out) override;
+  void CollectBuffers(std::vector<nn::Tensor*>* out) override;
+  void SetTraining(bool training) override;
+
+ private:
+  std::unique_ptr<nn::Sequential> net_;
+  int64_t last_n_ = 0, last_l_ = 0;
+};
+
+}  // namespace camal::baselines
+
+#endif  // CAMAL_BASELINES_TRANSNILM_H_

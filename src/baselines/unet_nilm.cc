@@ -1,0 +1,115 @@
+#include "baselines/unet_nilm.h"
+
+#include "nn/activations.h"
+#include "nn/batchnorm1d.h"
+#include "nn/conv1d.h"
+
+namespace camal::baselines {
+namespace {
+
+std::unique_ptr<nn::Sequential> DoubleConv(int64_t in_ch, int64_t out_ch,
+                                           Rng* rng) {
+  auto seq = std::make_unique<nn::Sequential>();
+  for (int i = 0; i < 2; ++i) {
+    nn::Conv1dOptions opt;
+    opt.in_channels = i == 0 ? in_ch : out_ch;
+    opt.out_channels = out_ch;
+    opt.kernel_size = 3;
+    opt.padding = opt.SamePadding();
+    opt.bias = false;
+    seq->Add(std::make_unique<nn::Conv1d>(opt, rng));
+    seq->Add(std::make_unique<nn::BatchNorm1d>(out_ch));
+    seq->Add(std::make_unique<nn::ReLU>());
+  }
+  return seq;
+}
+
+}  // namespace
+
+UnetNilm::UnetNilm(const BaselineScale& scale, Rng* rng) {
+  c1_ = scale.Channels(64);
+  c2_ = scale.Channels(128);
+  c3_ = scale.Channels(256);
+  enc1_ = DoubleConv(1, c1_, rng);
+  pool1_ = std::make_unique<nn::MaxPool1d>(2, 2);
+  enc2_ = DoubleConv(c1_, c2_, rng);
+  pool2_ = std::make_unique<nn::MaxPool1d>(2, 2);
+  bottleneck_ = DoubleConv(c2_, c3_, rng);
+  up2_ = std::make_unique<nn::UpsampleNearest1d>(2);
+  dec2_ = DoubleConv(c3_ + c2_, c2_, rng);
+  up1_ = std::make_unique<nn::UpsampleNearest1d>(2);
+  dec1_ = DoubleConv(c2_ + c1_, c1_, rng);
+  head_ = std::make_unique<nn::Sequential>();
+  nn::Conv1dOptions out;
+  out.in_channels = c1_;
+  out.out_channels = 1;
+  out.kernel_size = 1;
+  head_->Add(std::make_unique<nn::Conv1d>(out, rng));
+}
+
+nn::Tensor UnetNilm::Forward(const nn::Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  last_n_ = x.dim(0);
+  last_l_ = x.dim(2);
+  CAMAL_CHECK_MSG(last_l_ % 4 == 0,
+                  "UNet-NILM window length must be divisible by 4");
+  nn::Tensor a1 = enc1_->Forward(x);            // (N, c1, L)
+  nn::Tensor p1 = pool1_->Forward(a1);          // (N, c1, L/2)
+  nn::Tensor a2 = enc2_->Forward(p1);           // (N, c2, L/2)
+  nn::Tensor p2 = pool2_->Forward(a2);          // (N, c2, L/4)
+  nn::Tensor b = bottleneck_->Forward(p2);      // (N, c3, L/4)
+  nn::Tensor u2 = up2_->Forward(b);             // (N, c3, L/2)
+  nn::Tensor d2 = dec2_->Forward(nn::ConcatChannels({u2, a2}));
+  nn::Tensor u1 = up1_->Forward(d2);            // (N, c2, L)
+  nn::Tensor d1 = dec1_->Forward(nn::ConcatChannels({u1, a1}));
+  return head_->Forward(d1).Reshape({last_n_, last_l_});
+}
+
+nn::Tensor UnetNilm::Backward(const nn::Tensor& grad_output) {
+  nn::Tensor g = head_->Backward(grad_output.Reshape({last_n_, 1, last_l_}));
+  g = dec1_->Backward(g);
+  std::vector<nn::Tensor> s1 = nn::SplitChannels(g, {c2_, c1_});
+  nn::Tensor g_a1_skip = s1[1];
+  g = up1_->Backward(s1[0]);
+  g = dec2_->Backward(g);
+  std::vector<nn::Tensor> s2 = nn::SplitChannels(g, {c3_, c2_});
+  nn::Tensor g_a2_skip = s2[1];
+  g = up2_->Backward(s2[0]);
+  g = bottleneck_->Backward(g);
+  g = pool2_->Backward(g);
+  g.AddInPlace(g_a2_skip);
+  g = enc2_->Backward(g);
+  g = pool1_->Backward(g);
+  g.AddInPlace(g_a1_skip);
+  return enc1_->Backward(g);
+}
+
+void UnetNilm::CollectParameters(std::vector<nn::Parameter*>* out) {
+  enc1_->CollectParameters(out);
+  enc2_->CollectParameters(out);
+  bottleneck_->CollectParameters(out);
+  dec2_->CollectParameters(out);
+  dec1_->CollectParameters(out);
+  head_->CollectParameters(out);
+}
+
+void UnetNilm::CollectBuffers(std::vector<nn::Tensor*>* out) {
+  enc1_->CollectBuffers(out);
+  enc2_->CollectBuffers(out);
+  bottleneck_->CollectBuffers(out);
+  dec2_->CollectBuffers(out);
+  dec1_->CollectBuffers(out);
+  head_->CollectBuffers(out);
+}
+
+void UnetNilm::SetTraining(bool training) {
+  Module::SetTraining(training);
+  enc1_->SetTraining(training);
+  enc2_->SetTraining(training);
+  bottleneck_->SetTraining(training);
+  dec2_->SetTraining(training);
+  dec1_->SetTraining(training);
+  head_->SetTraining(training);
+}
+
+}  // namespace camal::baselines

@@ -1,0 +1,41 @@
+#ifndef CAMAL_BASELINES_UNET_NILM_H_
+#define CAMAL_BASELINES_UNET_NILM_H_
+
+#include <memory>
+
+#include "baselines/registry.h"
+#include "common/rng.h"
+#include "nn/module.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "nn/upsample.h"
+
+namespace camal::baselines {
+
+/// UNet-NILM (Faustine et al. [27]): a 1-D U-Net with two down/up levels
+/// and skip connections, ending in a 1x1-conv status head.
+///
+/// Window length must be divisible by 4.
+class UnetNilm : public nn::Module {
+ public:
+  UnetNilm(const BaselineScale& scale, Rng* rng);
+
+  /// (N, 1, L) -> (N, L) frame logits.
+  nn::Tensor Forward(const nn::Tensor& x) override;
+  nn::Tensor Backward(const nn::Tensor& grad_output) override;
+  void CollectParameters(std::vector<nn::Parameter*>* out) override;
+  void CollectBuffers(std::vector<nn::Tensor*>* out) override;
+  void SetTraining(bool training) override;
+
+ private:
+  int64_t c1_, c2_, c3_;
+  std::unique_ptr<nn::Sequential> enc1_, enc2_, bottleneck_;
+  std::unique_ptr<nn::MaxPool1d> pool1_, pool2_;
+  std::unique_ptr<nn::UpsampleNearest1d> up2_, up1_;
+  std::unique_ptr<nn::Sequential> dec2_, dec1_, head_;
+  int64_t last_n_ = 0, last_l_ = 0;
+};
+
+}  // namespace camal::baselines
+
+#endif  // CAMAL_BASELINES_UNET_NILM_H_

@@ -1,0 +1,37 @@
+#ifndef CAMAL_COMMON_CHECK_H_
+#define CAMAL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file check.h
+/// CHECK-style assertion macros for programmer errors (contract violations).
+/// These abort the process with a message; they are *not* for recoverable
+/// errors, which use camal::Status / camal::Result instead.
+
+#define CAMAL_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "CAMAL_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define CAMAL_CHECK_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "CAMAL_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                           \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define CAMAL_CHECK_EQ(a, b) CAMAL_CHECK((a) == (b))
+#define CAMAL_CHECK_NE(a, b) CAMAL_CHECK((a) != (b))
+#define CAMAL_CHECK_LT(a, b) CAMAL_CHECK((a) < (b))
+#define CAMAL_CHECK_LE(a, b) CAMAL_CHECK((a) <= (b))
+#define CAMAL_CHECK_GT(a, b) CAMAL_CHECK((a) > (b))
+#define CAMAL_CHECK_GE(a, b) CAMAL_CHECK((a) >= (b))
+
+#endif  // CAMAL_COMMON_CHECK_H_

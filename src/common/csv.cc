@@ -1,0 +1,101 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+namespace camal {
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteCell(const std::string& cell) {
+  if (!NeedsQuoting(cell)) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += QuoteCell(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status CsvWriter::Write() const {
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path_);
+  }
+  std::string text = ToString();
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::IoError("short write to " + path_);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < text.size()) {
+    char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += ch;
+      }
+    } else if (ch == '"') {
+      if (!cell.empty()) {
+        return Status::InvalidArgument("quote in unquoted cell");
+      }
+      in_quotes = true;
+    } else if (ch == ',') {
+      row.push_back(std::move(cell));
+      cell.clear();
+    } else if (ch == '\n') {
+      row.push_back(std::move(cell));
+      cell.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+    } else if (ch != '\r') {
+      cell += ch;
+    }
+    ++i;
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted cell");
+  if (!cell.empty() || !row.empty()) {
+    row.push_back(std::move(cell));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace camal

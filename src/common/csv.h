@@ -1,0 +1,39 @@
+#ifndef CAMAL_COMMON_CSV_H_
+#define CAMAL_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace camal {
+
+/// Writes rows of string cells to a CSV file. Cells containing commas,
+/// quotes, or newlines are quoted per RFC 4180. Bench binaries use this to
+/// dump machine-readable copies of each reproduced table/figure.
+class CsvWriter {
+ public:
+  /// Creates a writer targeting \p path; nothing is written until Write().
+  explicit CsvWriter(std::string path) : path_(std::move(path)) {}
+
+  /// Appends a row.
+  void AddRow(const std::vector<std::string>& cells);
+
+  /// Writes all accumulated rows to the file, overwriting it.
+  Status Write() const;
+
+  /// Serializes the accumulated rows (for tests).
+  std::string ToString() const;
+
+ private:
+  std::string path_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses a CSV string into rows of cells (RFC 4180 quoting).
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text);
+
+}  // namespace camal
+
+#endif  // CAMAL_COMMON_CSV_H_

@@ -1,0 +1,134 @@
+#include "common/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace camal {
+namespace {
+
+// A minimal fixed-size pool that executes [begin, end) chunk tasks. Workers
+// live for the process lifetime; tasks are distributed as contiguous ranges.
+class Pool {
+ public:
+  explicit Pool(int workers) : workers_(workers) {
+    threads_.reserve(workers_);
+    for (int w = 0; w < workers_; ++w) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  // Runs body over [begin, end) split into one chunk per worker; blocks.
+  void Run(int64_t begin, int64_t end,
+           const std::function<void(int64_t, int64_t)>& body) {
+    const int64_t n = end - begin;
+    const int chunks = static_cast<int>(
+        std::min<int64_t>(workers_ + 1, n));  // +1: caller also works
+    const int64_t chunk = (n + chunks - 1) / chunks;
+    std::atomic<int> remaining{chunks - 1};
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int c = 1; c < chunks; ++c) {
+        int64_t b = begin + c * chunk;
+        int64_t e = std::min<int64_t>(b + chunk, end);
+        if (b >= e) {
+          remaining.fetch_sub(1, std::memory_order_relaxed);
+          continue;
+        }
+        queue_.push_back([&body, b, e, &remaining, this] {
+          body(b, e);
+          if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> done_lock(done_mu_);
+            done_cv_.notify_all();
+          }
+        });
+      }
+      cv_.notify_all();
+    }
+    // The calling thread processes the first chunk itself.
+    body(begin, std::min<int64_t>(begin + chunk, end));
+    std::unique_lock<std::mutex> done_lock(done_mu_);
+    done_cv_.wait(done_lock, [&remaining] {
+      return remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return !queue_.empty(); });
+        task = std::move(queue_.back());
+        queue_.pop_back();
+      }
+      task();
+    }
+  }
+
+  int workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::function<void()>> queue_;
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+};
+
+int ReadThreadsEnv() {
+  const char* env = std::getenv("CAMAL_THREADS");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v >= 1) return std::min(v, 64);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  return static_cast<int>(std::min<unsigned>(hw, 32));
+}
+
+Pool* GetPool() {
+  // Leaked intentionally: threads run for the process lifetime (style-guide
+  // pattern for non-trivially-destructible singletons).
+  static Pool* pool = new Pool(NumThreads() - 1);
+  return pool;
+}
+
+thread_local bool in_parallel_region = false;
+
+}  // namespace
+
+int NumThreads() {
+  static int threads = ReadThreadsEnv();
+  return threads;
+}
+
+void ParallelForChunked(int64_t begin, int64_t end,
+                        const std::function<void(int64_t, int64_t)>& body) {
+  if (begin >= end) return;
+  const int64_t n = end - begin;
+  if (NumThreads() == 1 || n < 2 || in_parallel_region) {
+    body(begin, end);
+    return;
+  }
+  in_parallel_region = true;
+  GetPool()->Run(begin, end, [&body](int64_t b, int64_t e) {
+    in_parallel_region = true;
+    body(b, e);
+    in_parallel_region = false;
+  });
+  in_parallel_region = false;
+}
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& body) {
+  ParallelForChunked(begin, end, [&body](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) body(i);
+  });
+}
+
+}  // namespace camal

@@ -1,0 +1,32 @@
+#ifndef CAMAL_COMMON_PARALLEL_FOR_H_
+#define CAMAL_COMMON_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace camal {
+
+/// Returns the worker count used by ParallelFor. Defaults to the hardware
+/// concurrency, clamped to [1, 32]; override with the CAMAL_THREADS
+/// environment variable (CAMAL_THREADS=1 forces serial execution).
+int NumThreads();
+
+/// Runs body(i) for i in [begin, end) across the process-wide thread pool.
+///
+/// Iterations are split into contiguous chunks, one per worker. The call
+/// blocks until all iterations finish. `body` must be safe to invoke
+/// concurrently on disjoint indices. Serial when (end - begin) is small or
+/// NumThreads() == 1. Nested ParallelFor calls execute the inner loop
+/// serially (the pool is not re-entrant).
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& body);
+
+/// Chunked variant: body(chunk_begin, chunk_end) per worker. Use when per-
+/// iteration work is tiny and loop overhead matters (e.g. elementwise ops).
+void ParallelForChunked(
+    int64_t begin, int64_t end,
+    const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace camal
+
+#endif  // CAMAL_COMMON_PARALLEL_FOR_H_

@@ -1,0 +1,130 @@
+#ifndef CAMAL_COMMON_STATUS_H_
+#define CAMAL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace camal {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a human-readable name for \p code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation (Arrow/RocksDB idiom: no exceptions).
+///
+/// A Status is either OK or carries a code plus a message. Functions that can
+/// fail for reasons outside the programmer's control return Status (or
+/// Result<T> when they also produce a value).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with \p code and \p message. \p code must not be kOk.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    CAMAL_CHECK(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status (Arrow's Result idiom).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning functions.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status; \p status must not be OK.
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    CAMAL_CHECK(!std::get<Status>(value_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// Returns the error, or OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  /// Returns the held value; aborts if this holds an error.
+  const T& value() const& {
+    CAMAL_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    CAMAL_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    CAMAL_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(value_));
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define CAMAL_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::camal::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define CAMAL_CONCAT_INNER_(a, b) a##b
+#define CAMAL_CONCAT_(a, b) CAMAL_CONCAT_INNER_(a, b)
+#define CAMAL_ASSIGN_OR_RETURN(lhs, expr) \
+  CAMAL_ASSIGN_OR_RETURN_IMPL_(CAMAL_CONCAT_(_camal_res_, __LINE__), lhs, expr)
+#define CAMAL_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                 \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).value();
+
+}  // namespace camal
+
+#endif  // CAMAL_COMMON_STATUS_H_

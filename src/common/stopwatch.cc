@@ -1,0 +1,3 @@
+#include "common/stopwatch.h"
+
+// Stopwatch is header-only; this translation unit anchors the library target.

@@ -1,0 +1,32 @@
+#ifndef CAMAL_COMMON_STOPWATCH_H_
+#define CAMAL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace camal {
+
+/// Wall-clock stopwatch for timing training / inference (Fig. 7 experiments).
+class Stopwatch {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace camal
+
+#endif  // CAMAL_COMMON_STOPWATCH_H_

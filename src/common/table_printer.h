@@ -1,0 +1,43 @@
+#ifndef CAMAL_COMMON_TABLE_PRINTER_H_
+#define CAMAL_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace camal {
+
+/// Renders aligned ASCII tables; used by the bench binaries to print the
+/// rows/series that the paper's tables and figures report.
+///
+/// Usage:
+///   TablePrinter t({"Dataset", "Case", "F1", "MAE"});
+///   t.AddRow({"REFIT", "Dishwasher", Fmt(0.54), Fmt(44.8)});
+///   t.Print(stdout);
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the table (with separators) to \p out.
+  void Print(std::FILE* out) const;
+
+  /// Renders the table to a string (for tests).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with \p decimals decimal places.
+std::string Fmt(double value, int decimals = 3);
+
+/// Formats an integer with thousands separators (e.g. 12'418'000 -> "12418000").
+std::string FmtInt(int64_t value);
+
+}  // namespace camal
+
+#endif  // CAMAL_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,101 @@
+#ifndef CAMAL_CORE_ENSEMBLE_H_
+#define CAMAL_CORE_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/backbone.h"
+#include "core/inception.h"
+#include "core/resnet.h"
+#include "data/dataset.h"
+
+namespace camal::core {
+
+/// Training hyper-parameters for one ResNet classifier (Problem 1).
+struct ClassifierTrainConfig {
+  int max_epochs = 12;
+  int batch_size = 32;
+  float lr = 1e-3f;
+  float weight_decay = 0.0f;
+  /// Early-stopping patience (epochs without val-sub improvement).
+  int patience = 3;
+};
+
+/// Configuration of Algorithm 1 (CamAL ResNet ensemble training).
+struct EnsembleConfig {
+  /// Kernel grid K_p; the paper uses {5, 7, 9, 15, 25}.
+  std::vector<int64_t> kernel_sizes = {5, 7, 9, 15, 25};
+  /// Trials per kernel size (Algorithm 1 uses 3).
+  int trials_per_kernel = 3;
+  /// Ensemble size n: the n models with the lowest validation loss are kept.
+  int ensemble_size = 5;
+  /// Base filter count of each ResNet (paper: 64).
+  int64_t base_filters = 64;
+  /// Classifier architecture: the paper's ResNet by default; Inception is
+  /// provided to test the §IV-A design choice (bench_ablation_backbone).
+  BackboneKind backbone = BackboneKind::kResNet;
+  ClassifierTrainConfig train;
+};
+
+/// One selected ensemble member with its selection score.
+struct EnsembleMember {
+  std::unique_ptr<CamBackbone> model;
+  int64_t kernel_size = 0;
+  double validation_loss = 0.0;
+};
+
+/// Trains one ResNet classifier on weak labels with softmax cross-entropy,
+/// Adam, and early stopping monitored on \p val_sub (best-epoch weights are
+/// restored). Returns the best val_sub loss.
+double TrainClassifier(CamBackbone* model,
+                       const data::WindowDataset& train_sub,
+                       const data::WindowDataset& val_sub,
+                       const ClassifierTrainConfig& config, Rng* rng);
+
+/// Mean softmax cross-entropy of \p model on \p dataset (eval mode).
+double EvaluateClassifierLoss(CamBackbone* model,
+                              const data::WindowDataset& dataset);
+
+/// The detection half of CamAL: an ensemble of ResNets with diverse
+/// receptive fields, trained with Algorithm 1.
+class CamalEnsemble {
+ public:
+  /// Algorithm 1: splits \p train 80/20 into train-sub/val-sub, trains
+  /// trials_per_kernel ResNets per kernel size, scores every trained model
+  /// on \p validation, and keeps the ensemble_size best.
+  static Result<CamalEnsemble> Train(const data::WindowDataset& train,
+                                     const data::WindowDataset& validation,
+                                     const EnsembleConfig& config,
+                                     uint64_t seed);
+
+  /// Assembles an ensemble from already-trained members (used by
+  /// LoadEnsemble and by ablation benches that subset a candidate pool).
+  static CamalEnsemble FromMembers(std::vector<EnsembleMember> members) {
+    return CamalEnsemble(std::move(members));
+  }
+
+  CamalEnsemble(CamalEnsemble&&) = default;
+  CamalEnsemble& operator=(CamalEnsemble&&) = default;
+
+  /// Ensemble detection probability (step 1 of §IV-B): the mean of member
+  /// class-1 softmax probabilities, shape (N) for inputs (N, C, L).
+  /// Member forward passes also cache the feature maps used for CAMs.
+  nn::Tensor DetectProbability(const nn::Tensor& inputs);
+
+  std::vector<EnsembleMember>& members() { return members_; }
+  const std::vector<EnsembleMember>& members() const { return members_; }
+
+  /// Total trainable parameters across members (Table II row).
+  int64_t NumParameters() const;
+
+ private:
+  explicit CamalEnsemble(std::vector<EnsembleMember> members)
+      : members_(std::move(members)) {}
+
+  std::vector<EnsembleMember> members_;
+};
+
+}  // namespace camal::core
+
+#endif  // CAMAL_CORE_ENSEMBLE_H_

@@ -1,0 +1,23 @@
+#ifndef CAMAL_CORE_MODEL_IO_H_
+#define CAMAL_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "core/ensemble.h"
+
+namespace camal::core {
+
+/// Persists a trained CamAL ensemble to \p directory (created if needed):
+/// a `manifest.csv` describing each member (kernel size, base filters,
+/// validation loss, weight file) plus one binary weight file per member.
+/// Weights include BatchNorm running statistics, so a reloaded ensemble
+/// reproduces inference exactly.
+Status SaveEnsemble(const CamalEnsemble& ensemble,
+                    const std::string& directory);
+
+/// Loads an ensemble saved by SaveEnsemble.
+Result<CamalEnsemble> LoadEnsemble(const std::string& directory);
+
+}  // namespace camal::core
+
+#endif  // CAMAL_CORE_MODEL_IO_H_

@@ -1,0 +1,69 @@
+#ifndef CAMAL_CORE_RESNET_H_
+#define CAMAL_CORE_RESNET_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/backbone.h"
+#include "nn/conv1d.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+
+namespace camal::core {
+
+/// Configuration of one CamAL ResNet member (Fig. 4 of the paper).
+struct ResNetConfig {
+  /// The per-member kernel size k_p; the first conv block of every residual
+  /// unit uses this kernel, the remaining two use 5 and 3.
+  int64_t kernel_size = 7;
+  /// Filters of the first residual unit; units use {f, 2f, 2f}. The paper
+  /// uses f = 64 (570K parameters); benches shrink this in fast modes.
+  int64_t base_filters = 64;
+  int64_t input_channels = 1;
+  int64_t num_classes = 2;
+};
+
+/// The time-series ResNet classifier of Wang et al. adapted per Fig. 4:
+/// three residual units (filters {f, 2f, 2f}), each made of three
+/// Conv-BN-ReLU blocks with kernels {k_p, 5, 3} (the last block's ReLU is
+/// applied after the shortcut addition), followed by Global Average Pooling
+/// and a linear softmax head.
+///
+/// The layer keeps the post-GAP feature maps of the most recent Forward so
+/// the CAM can be extracted (Definition II.1): CAM_c(t) = sum_k w_kc f_k(t).
+class ResNetClassifier : public CamBackbone {
+ public:
+  ResNetClassifier(const ResNetConfig& config, Rng* rng);
+
+  /// (N, C_in, L) -> (N, num_classes) logits.
+  nn::Tensor Forward(const nn::Tensor& x) override;
+  nn::Tensor Backward(const nn::Tensor& grad_output) override;
+  void CollectParameters(std::vector<nn::Parameter*>* out) override;
+  void CollectBuffers(std::vector<nn::Tensor*>* out) override;
+  void SetTraining(bool training) override;
+
+  const ResNetConfig& config() const { return config_; }
+
+  /// Feature maps (N, 2f, L) that fed the GAP in the last Forward call.
+  const nn::Tensor& feature_maps() const override { return feature_maps_; }
+
+  /// Linear head weights (num_classes, 2f) — the w_kc of the CAM.
+  const nn::Tensor& head_weights() const override;
+
+  BackboneKind kind() const override { return BackboneKind::kResNet; }
+  int64_t base_filters() const override { return config_.base_filters; }
+
+ private:
+  ResNetConfig config_;
+  std::unique_ptr<nn::Sequential> body_;  // residual units + ReLUs
+  std::unique_ptr<nn::GlobalAvgPool1d> gap_;
+  nn::Linear* head_ = nullptr;            // owned by head_seq_
+  std::unique_ptr<nn::Sequential> head_seq_;
+  nn::Tensor feature_maps_;
+};
+
+}  // namespace camal::core
+
+#endif  // CAMAL_CORE_RESNET_H_

@@ -1,0 +1,42 @@
+#include "data/balance.h"
+
+#include <algorithm>
+
+namespace camal::data {
+
+bool IsBalanceable(const WindowDataset& dataset) {
+  const int64_t pos = dataset.PositiveCount();
+  return pos > 0 && pos < dataset.size();
+}
+
+WindowDataset BalanceByWeakLabel(const WindowDataset& dataset, Rng* rng) {
+  std::vector<int64_t> pos, neg;
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    if (dataset.weak_labels[static_cast<size_t>(i)] == 1) {
+      pos.push_back(i);
+    } else {
+      neg.push_back(i);
+    }
+  }
+  if (pos.empty() || neg.empty()) return dataset;
+  rng->Shuffle(&pos);
+  rng->Shuffle(&neg);
+  const size_t keep = std::min(pos.size(), neg.size());
+  std::vector<int64_t> indices;
+  indices.reserve(2 * keep);
+  indices.insert(indices.end(), pos.begin(), pos.begin() + keep);
+  indices.insert(indices.end(), neg.begin(), neg.begin() + keep);
+  rng->Shuffle(&indices);
+  return dataset.Subset(indices);
+}
+
+WindowDataset ShuffleDataset(const WindowDataset& dataset, Rng* rng) {
+  std::vector<int64_t> indices(static_cast<size_t>(dataset.size()));
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    indices[static_cast<size_t>(i)] = i;
+  }
+  rng->Shuffle(&indices);
+  return dataset.Subset(indices);
+}
+
+}  // namespace camal::data

@@ -1,0 +1,25 @@
+#ifndef CAMAL_DATA_BALANCE_H_
+#define CAMAL_DATA_BALANCE_H_
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace camal::data {
+
+/// Random undersampling to equalize the weak-label class distribution
+/// (the balancing step of §V-H's possession-only pipeline). Returns a new
+/// dataset with min(#pos, #neg) windows of each class, shuffled.
+/// When one class is empty the dataset is returned unchanged — this mirrors
+/// the paper's "no negative sample for training" failure mode in Fig. 6(a),
+/// which callers detect via IsBalanceable().
+WindowDataset BalanceByWeakLabel(const WindowDataset& dataset, Rng* rng);
+
+/// True when both weak classes are represented.
+bool IsBalanceable(const WindowDataset& dataset);
+
+/// Random shuffle of all windows.
+WindowDataset ShuffleDataset(const WindowDataset& dataset, Rng* rng);
+
+}  // namespace camal::data
+
+#endif  // CAMAL_DATA_BALANCE_H_

@@ -1,0 +1,164 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "data/window.h"
+
+namespace camal::data {
+
+int64_t WindowDataset::PositiveCount() const {
+  int64_t n = 0;
+  for (int w : weak_labels) n += w;
+  return n;
+}
+
+int64_t WindowDataset::LabelCount(bool strong) const {
+  return strong ? size() * window_length : size();
+}
+
+WindowDataset WindowDataset::Subset(const std::vector<int64_t>& indices) const {
+  WindowDataset out;
+  out.window_length = window_length;
+  out.appliance = appliance;
+  const int64_t n = static_cast<int64_t>(indices.size());
+  out.inputs = nn::Tensor({n, 1, window_length});
+  out.status = nn::Tensor({n, window_length});
+  out.appliance_power = nn::Tensor({n, window_length});
+  out.weak_labels.reserve(static_cast<size_t>(n));
+  out.house_ids.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t src = indices[static_cast<size_t>(i)];
+    CAMAL_CHECK_GE(src, 0);
+    CAMAL_CHECK_LT(src, size());
+    for (int64_t t = 0; t < window_length; ++t) {
+      out.inputs.at3(i, 0, t) = inputs.at3(src, 0, t);
+      out.status.at2(i, t) = status.at2(src, t);
+      out.appliance_power.at2(i, t) = appliance_power.at2(src, t);
+    }
+    out.weak_labels.push_back(weak_labels[static_cast<size_t>(src)]);
+    out.house_ids.push_back(house_ids[static_cast<size_t>(src)]);
+  }
+  return out;
+}
+
+Result<WindowDataset> BuildWindowDataset(
+    const std::vector<HouseRecord>& houses, const ApplianceSpec& appliance,
+    const BuildOptions& options) {
+  if (options.window_length <= 0) {
+    return Status::InvalidArgument("window_length must be positive");
+  }
+  if (options.input_scale <= 0.0f) {
+    return Status::InvalidArgument("input_scale must be positive");
+  }
+
+  struct Slice {
+    const HouseRecord* house;
+    const ApplianceTrace* trace;  // may be null (possession-only house)
+    int64_t offset;
+    bool owned;
+  };
+  std::vector<Slice> slices;
+  for (const auto& house : houses) {
+    const ApplianceTrace* trace = house.FindAppliance(appliance.name);
+    if (trace == nullptr && !options.possession_labels) continue;
+    if (trace != nullptr &&
+        trace->power.size() != house.aggregate.size()) {
+      return Status::InvalidArgument(
+          "appliance trace length mismatch in house " +
+          std::to_string(house.house_id));
+    }
+    const auto offsets = TumblingWindowOffsets(
+        static_cast<int64_t>(house.aggregate.size()), options.window_length);
+    for (int64_t off : offsets) {
+      if (options.drop_incomplete &&
+          !WindowIsComplete(house.aggregate, off, options.window_length)) {
+        continue;
+      }
+      slices.push_back(
+          {&house, trace, off, house.Owns(appliance.name)});
+    }
+  }
+  if (slices.empty()) {
+    return Status::FailedPrecondition("no usable window for appliance " +
+                                      appliance.name);
+  }
+
+  WindowDataset ds;
+  ds.window_length = options.window_length;
+  ds.appliance = appliance;
+  const int64_t n = static_cast<int64_t>(slices.size());
+  const int64_t l = options.window_length;
+  ds.inputs = nn::Tensor({n, 1, l});
+  ds.status = nn::Tensor({n, l});
+  ds.appliance_power = nn::Tensor({n, l});
+  ds.weak_labels.reserve(static_cast<size_t>(n));
+  ds.house_ids.reserve(static_cast<size_t>(n));
+  const float inv_scale = 1.0f / options.input_scale;
+
+  for (int64_t i = 0; i < n; ++i) {
+    const Slice& s = slices[static_cast<size_t>(i)];
+    bool any_on = false;
+    for (int64_t t = 0; t < l; ++t) {
+      float agg = s.house->aggregate[static_cast<size_t>(s.offset + t)];
+      if (IsMissing(agg)) agg = 0.0f;  // only reachable with drop_incomplete=false
+      ds.inputs.at3(i, 0, t) = agg * inv_scale;
+      float power = 0.0f;
+      float on = 0.0f;
+      if (s.trace != nullptr) {
+        power = s.trace->power[static_cast<size_t>(s.offset + t)];
+        if (IsMissing(power)) power = 0.0f;
+        on = power >= appliance.on_threshold_w ? 1.0f : 0.0f;
+      }
+      ds.status.at2(i, t) = on;
+      ds.appliance_power.at2(i, t) = power;
+      any_on = any_on || on > 0.5f;
+    }
+    int weak;
+    if (s.trace != nullptr) {
+      weak = any_on ? 1 : 0;
+    } else {
+      // Possession-only pipeline (§V-H): the household ownership bit is
+      // replicated onto every sliced subsequence.
+      weak = s.owned ? 1 : 0;
+    }
+    ds.weak_labels.push_back(weak);
+    ds.house_ids.push_back(s.house->house_id);
+  }
+  return ds;
+}
+
+Result<WindowDataset> ConcatDatasets(const std::vector<WindowDataset>& parts) {
+  if (parts.empty()) return Status::InvalidArgument("no datasets to concat");
+  int64_t total = 0;
+  for (const auto& p : parts) {
+    if (p.window_length != parts[0].window_length) {
+      return Status::InvalidArgument("window length mismatch in concat");
+    }
+    if (p.appliance.name != parts[0].appliance.name) {
+      return Status::InvalidArgument("appliance mismatch in concat");
+    }
+    total += p.size();
+  }
+  WindowDataset out;
+  out.window_length = parts[0].window_length;
+  out.appliance = parts[0].appliance;
+  const int64_t l = out.window_length;
+  out.inputs = nn::Tensor({total, 1, l});
+  out.status = nn::Tensor({total, l});
+  out.appliance_power = nn::Tensor({total, l});
+  int64_t row = 0;
+  for (const auto& p : parts) {
+    for (int64_t i = 0; i < p.size(); ++i, ++row) {
+      for (int64_t t = 0; t < l; ++t) {
+        out.inputs.at3(row, 0, t) = p.inputs.at3(i, 0, t);
+        out.status.at2(row, t) = p.status.at2(i, t);
+        out.appliance_power.at2(row, t) = p.appliance_power.at2(i, t);
+      }
+      out.weak_labels.push_back(p.weak_labels[static_cast<size_t>(i)]);
+      out.house_ids.push_back(p.house_ids[static_cast<size_t>(i)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace camal::data

@@ -1,0 +1,59 @@
+#include "data/resample.h"
+
+#include <cmath>
+
+namespace camal::data {
+
+Result<TimeSeries> ResampleAverage(const TimeSeries& series,
+                                   double target_interval_seconds) {
+  if (target_interval_seconds <= 0.0) {
+    return Status::InvalidArgument("target interval must be positive");
+  }
+  const double ratio = target_interval_seconds / series.interval_seconds;
+  const auto factor = static_cast<int64_t>(std::llround(ratio));
+  if (factor < 1 || std::fabs(ratio - static_cast<double>(factor)) > 1e-9) {
+    return Status::InvalidArgument(
+        "target interval must be an integer multiple of the source interval");
+  }
+  TimeSeries out;
+  out.interval_seconds = target_interval_seconds;
+  const int64_t n_out = series.size() / factor;
+  out.values.reserve(static_cast<size_t>(n_out));
+  for (int64_t i = 0; i < n_out; ++i) {
+    double sum = 0.0;
+    int64_t valid = 0;
+    for (int64_t j = 0; j < factor; ++j) {
+      const float v = series.values[static_cast<size_t>(i * factor + j)];
+      if (!IsMissing(v)) {
+        sum += v;
+        ++valid;
+      }
+    }
+    out.values.push_back(valid > 0
+                             ? static_cast<float>(sum / valid)
+                             : kMissingValue);
+  }
+  return out;
+}
+
+TimeSeries ForwardFill(const TimeSeries& series, double max_gap_seconds) {
+  TimeSeries out = series;
+  const auto max_gap = static_cast<int64_t>(
+      max_gap_seconds / series.interval_seconds);
+  int64_t gap = 0;
+  float last_valid = kMissingValue;
+  for (size_t i = 0; i < out.values.size(); ++i) {
+    if (!IsMissing(out.values[i])) {
+      last_valid = out.values[i];
+      gap = 0;
+      continue;
+    }
+    ++gap;
+    if (!IsMissing(last_valid) && gap <= max_gap) {
+      out.values[i] = last_valid;
+    }
+  }
+  return out;
+}
+
+}  // namespace camal::data

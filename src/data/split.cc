@@ -1,0 +1,47 @@
+#include "data/split.h"
+
+#include <cmath>
+
+namespace camal::data {
+
+Result<HouseSplit> SplitHouses(const std::vector<HouseRecord>& houses,
+                               int64_t n_valid, int64_t n_test, Rng* rng) {
+  const int64_t n = static_cast<int64_t>(houses.size());
+  if (n_valid < 0 || n_test < 0) {
+    return Status::InvalidArgument("split counts must be non-negative");
+  }
+  if (n_valid + n_test >= n) {
+    return Status::InvalidArgument(
+        "valid + test houses must leave at least one training house");
+  }
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  rng->Shuffle(&order);
+  HouseSplit split;
+  for (int64_t i = 0; i < n; ++i) {
+    const HouseRecord& h = houses[static_cast<size_t>(order[static_cast<size_t>(i)])];
+    if (i < n_valid) {
+      split.valid.push_back(h);
+    } else if (i < n_valid + n_test) {
+      split.test.push_back(h);
+    } else {
+      split.train.push_back(h);
+    }
+  }
+  return split;
+}
+
+Result<HouseSplit> SplitHousesFraction(const std::vector<HouseRecord>& houses,
+                                       double valid_fraction,
+                                       double test_fraction, Rng* rng) {
+  if (valid_fraction < 0.0 || test_fraction < 0.0 ||
+      valid_fraction + test_fraction >= 1.0) {
+    return Status::InvalidArgument("invalid split fractions");
+  }
+  const int64_t n = static_cast<int64_t>(houses.size());
+  const int64_t n_valid = static_cast<int64_t>(std::floor(n * valid_fraction));
+  const int64_t n_test = static_cast<int64_t>(std::floor(n * test_fraction));
+  return SplitHouses(houses, n_valid, n_test, rng);
+}
+
+}  // namespace camal::data

@@ -1,0 +1,34 @@
+#ifndef CAMAL_DATA_SPLIT_H_
+#define CAMAL_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/time_series.h"
+
+namespace camal::data {
+
+/// House-level split: distinct houses for train/valid/test (§V-B's
+/// "unseen data from different houses" protocol).
+struct HouseSplit {
+  std::vector<HouseRecord> train;
+  std::vector<HouseRecord> valid;
+  std::vector<HouseRecord> test;
+};
+
+/// Randomly assigns \p n_valid and \p n_test houses to the validation and
+/// test sets and the remainder to training. Fails when the counts exceed
+/// the number of houses or leave the training set empty.
+Result<HouseSplit> SplitHouses(const std::vector<HouseRecord>& houses,
+                               int64_t n_valid, int64_t n_test, Rng* rng);
+
+/// Fractional split (70/10/20-style, §V-H possession pipeline). Fractions
+/// must sum to at most 1; the remainder goes to training.
+Result<HouseSplit> SplitHousesFraction(const std::vector<HouseRecord>& houses,
+                                       double valid_fraction,
+                                       double test_fraction, Rng* rng);
+
+}  // namespace camal::data
+
+#endif  // CAMAL_DATA_SPLIT_H_

@@ -1,0 +1,28 @@
+#include "data/time_series.h"
+
+namespace camal::data {
+
+int64_t TimeSeries::MissingCount() const {
+  int64_t n = 0;
+  for (float v : values) {
+    if (IsMissing(v)) ++n;
+  }
+  return n;
+}
+
+const ApplianceTrace* HouseRecord::FindAppliance(
+    const std::string& name) const {
+  for (const auto& a : appliances) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+bool HouseRecord::Owns(const std::string& name) const {
+  for (const auto& n : owned_appliances) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+}  // namespace camal::data

@@ -1,0 +1,24 @@
+#include "data/window.h"
+
+namespace camal::data {
+
+std::vector<int64_t> TumblingWindowOffsets(int64_t series_length,
+                                           int64_t window_length) {
+  std::vector<int64_t> offsets;
+  if (window_length <= 0) return offsets;
+  for (int64_t off = 0; off + window_length <= series_length;
+       off += window_length) {
+    offsets.push_back(off);
+  }
+  return offsets;
+}
+
+bool WindowIsComplete(const std::vector<float>& values, int64_t offset,
+                      int64_t length) {
+  for (int64_t i = offset; i < offset + length; ++i) {
+    if (IsMissing(values[static_cast<size_t>(i)])) return false;
+  }
+  return true;
+}
+
+}  // namespace camal::data

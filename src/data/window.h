@@ -1,0 +1,24 @@
+#ifndef CAMAL_DATA_WINDOW_H_
+#define CAMAL_DATA_WINDOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/time_series.h"
+
+namespace camal::data {
+
+/// Offsets of non-overlapping (tumbling) windows of \p window_length in a
+/// series of \p series_length samples, skipping the trailing remainder.
+std::vector<int64_t> TumblingWindowOffsets(int64_t series_length,
+                                           int64_t window_length);
+
+/// True when values[offset, offset + length) contains no missing reading.
+/// Windows with remaining missing values after preprocessing are discarded
+/// (§V-B).
+bool WindowIsComplete(const std::vector<float>& values, int64_t offset,
+                      int64_t length);
+
+}  // namespace camal::data
+
+#endif  // CAMAL_DATA_WINDOW_H_

@@ -1,0 +1,86 @@
+#include "eval/bench_mode.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace camal::eval {
+
+BenchMode GetBenchMode() {
+  const char* env = std::getenv("CAMAL_BENCH_MODE");
+  if (env == nullptr) return BenchMode::kFast;
+  if (std::strcmp(env, "smoke") == 0) return BenchMode::kSmoke;
+  if (std::strcmp(env, "full") == 0) return BenchMode::kFull;
+  return BenchMode::kFast;
+}
+
+const char* BenchModeName(BenchMode mode) {
+  switch (mode) {
+    case BenchMode::kSmoke:
+      return "smoke";
+    case BenchMode::kFast:
+      return "fast";
+    case BenchMode::kFull:
+      return "full";
+  }
+  return "unknown";
+}
+
+BenchParams ParamsForMode(BenchMode mode) {
+  BenchParams p;
+  p.mode = mode;
+  switch (mode) {
+    case BenchMode::kSmoke:
+      p.dataset_scale = 0.1;
+      p.window_length = 64;
+      p.base_filters = 8;
+      p.baseline_width = 0.0625;
+      p.ensemble.kernel_sizes = {5, 9};
+      p.ensemble.trials_per_kernel = 1;
+      p.ensemble.ensemble_size = 2;
+      p.ensemble.base_filters = 8;
+      p.ensemble.train.max_epochs = 3;
+      p.ensemble.train.batch_size = 32;
+      p.ensemble.train.patience = 2;
+      p.train.max_epochs = 3;
+      p.train.batch_size = 32;
+      p.train.patience = 2;
+      break;
+    case BenchMode::kFast:
+      p.dataset_scale = 0.25;
+      p.window_length = 128;
+      p.base_filters = 16;
+      p.baseline_width = 0.125;
+      p.ensemble.kernel_sizes = {5, 9, 15};
+      p.ensemble.trials_per_kernel = 1;
+      p.ensemble.ensemble_size = 3;
+      p.ensemble.base_filters = 16;
+      p.ensemble.train.max_epochs = 8;
+      p.ensemble.train.batch_size = 32;
+      p.ensemble.train.patience = 3;
+      p.train.max_epochs = 8;
+      p.train.batch_size = 32;
+      p.train.patience = 3;
+      break;
+    case BenchMode::kFull:
+      p.dataset_scale = 1.0;
+      p.window_length = 512;  // paper uses 510; 512 keeps pooling exact
+      p.base_filters = 64;
+      p.baseline_width = 1.0;
+      p.ensemble.kernel_sizes = {5, 7, 9, 15, 25};
+      p.ensemble.trials_per_kernel = 3;
+      p.ensemble.ensemble_size = 5;
+      p.ensemble.base_filters = 64;
+      p.ensemble.train.max_epochs = 30;
+      p.ensemble.train.batch_size = 32;
+      p.ensemble.train.patience = 5;
+      p.train.max_epochs = 30;
+      p.train.batch_size = 32;
+      p.train.patience = 5;
+      break;
+  }
+  return p;
+}
+
+BenchParams CurrentBenchParams() { return ParamsForMode(GetBenchMode()); }
+
+}  // namespace camal::eval

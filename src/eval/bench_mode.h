@@ -1,0 +1,50 @@
+#ifndef CAMAL_EVAL_BENCH_MODE_H_
+#define CAMAL_EVAL_BENCH_MODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "core/ensemble.h"
+#include "eval/trainer.h"
+
+namespace camal::eval {
+
+/// Bench runtime tier, selected via CAMAL_BENCH_MODE={smoke,fast,full}.
+/// smoke: seconds per bench (CI); fast: minutes (default); full: paper-scale
+/// widths and windows (hours on CPU).
+enum class BenchMode { kSmoke, kFast, kFull };
+
+/// Reads CAMAL_BENCH_MODE (defaults to fast; unknown values fall back to
+/// fast).
+BenchMode GetBenchMode();
+
+/// Human-readable mode name.
+const char* BenchModeName(BenchMode mode);
+
+/// Scaled experiment parameters for one tier.
+struct BenchParams {
+  BenchMode mode = BenchMode::kFast;
+  /// Cohort scale passed to simulate::SimulateDataset.
+  double dataset_scale = 0.15;
+  /// Training/evaluation window length (paper: 510; must be divisible by 4
+  /// for the pooling baselines, so full mode uses 512).
+  int64_t window_length = 128;
+  /// CamAL ResNet base filters (paper: 64).
+  int64_t base_filters = 16;
+  /// Baseline width multiplier (1.0 = paper widths).
+  double baseline_width = 0.25;
+  core::EnsembleConfig ensemble;
+  TrainConfig train;
+};
+
+/// The parameter set for \p mode.
+BenchParams ParamsForMode(BenchMode mode);
+
+/// Convenience: parameters for the current CAMAL_BENCH_MODE.
+BenchParams CurrentBenchParams();
+
+}  // namespace camal::eval
+
+#endif  // CAMAL_EVAL_BENCH_MODE_H_

@@ -1,0 +1,69 @@
+#include "eval/cost_model.h"
+
+#include "common/check.h"
+
+namespace camal::eval {
+namespace {
+
+constexpr double kSecondsPerYear = 365.0 * 86400.0;
+constexpr double kBytesPerTb = 1e12;
+// Surveys per year in the per-subsequence regime (weekly).
+constexpr double kSurveysPerYear = 52.0;
+// A recurring short survey is assumed far cheaper than the full entry
+// questionnaire.
+constexpr double kSurveyCostFraction = 0.02;
+
+}  // namespace
+
+double CostUsdPerHousehold(const CostModel& model, LabelRegime regime,
+                           double years) {
+  CAMAL_CHECK_GE(years, 0.0);
+  switch (regime) {
+    case LabelRegime::kPerTimestamp:
+      return model.sensor_install_usd +
+             model.sensor_maintenance_usd_per_year * years;
+    case LabelRegime::kPerSubsequence:
+      return model.questionnaire_usd * kSurveyCostFraction * kSurveysPerYear *
+             years;
+    case LabelRegime::kPerHousehold:
+      return model.questionnaire_usd;
+  }
+  return 0.0;
+}
+
+double CostGco2PerHousehold(const CostModel& model, LabelRegime regime,
+                            double years) {
+  CAMAL_CHECK_GE(years, 0.0);
+  switch (regime) {
+    case LabelRegime::kPerTimestamp:
+      return model.technician_visit_gco2;
+    case LabelRegime::kPerSubsequence:
+      return model.website_visit_gco2 * kSurveysPerYear * years;
+    case LabelRegime::kPerHousehold:
+      return model.website_visit_gco2;
+  }
+  return 0.0;
+}
+
+double StorageTbPerYearStrong(const CostModel& model, int64_t households,
+                              int appliances, double interval_seconds) {
+  CAMAL_CHECK_GT(interval_seconds, 0.0);
+  const double readings_per_year = kSecondsPerYear / interval_seconds;
+  // Aggregate stream + one submeter stream per appliance.
+  const double streams = 1.0 + static_cast<double>(appliances);
+  return static_cast<double>(households) * streams * readings_per_year *
+         model.bytes_per_reading / kBytesPerTb;
+}
+
+double StorageTbPerYearWeak(const CostModel& model, int64_t households,
+                            int appliances, double interval_seconds) {
+  CAMAL_CHECK_GT(interval_seconds, 0.0);
+  const double readings_per_year = kSecondsPerYear / interval_seconds;
+  const double aggregate_bytes = readings_per_year * model.bytes_per_reading;
+  const double possession_bytes =
+      static_cast<double>(appliances) * model.bytes_per_possession;
+  return static_cast<double>(households) *
+         (aggregate_bytes + possession_bytes) / kBytesPerTb;
+}
+
+}  // namespace camal::eval

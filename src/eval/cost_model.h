@@ -1,0 +1,54 @@
+#ifndef CAMAL_EVAL_COST_MODEL_H_
+#define CAMAL_EVAL_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace camal::eval {
+
+/// The §V-H.2 label-acquisition cost model (Fig. 9): every constant comes
+/// from the paper's text.
+struct CostModel {
+  // Strong labels (submeter sensors).
+  double sensor_install_usd = 1000.0;          ///< per household
+  double sensor_maintenance_usd_per_year = 1500.0;
+  double technician_visit_gco2 = 2134.0;       ///< 97 g/km * 22 km commute
+
+  // Weak labels (questionnaires / web surveys).
+  double questionnaire_usd = 10.0;             ///< per household
+  double website_visit_gco2 = 4.62;            ///< per questionnaire answer
+
+  // Storage encoding.
+  double bytes_per_reading = 8.0;    ///< BIGINT per recorded timestamp
+  double bytes_per_possession = 10.0;  ///< VARCHAR per appliance ownership bit
+};
+
+/// Label regimes compared in Fig. 9(a).
+enum class LabelRegime {
+  kPerTimestamp,   ///< strong NILM labels: instrumented household
+  kPerSubsequence, ///< periodic surveys (one answer per subsequence)
+  kPerHousehold,   ///< possession questionnaire (what CamAL uses)
+};
+
+/// Dollar cost per household of acquiring labels for \p years under the
+/// given regime. Per-subsequence assumes one (weekly) survey answer per
+/// subsequence at 1/50 of the questionnaire cost each.
+double CostUsdPerHousehold(const CostModel& model, LabelRegime regime,
+                           double years);
+
+/// gCO2 per household of acquiring labels under the regime (technician
+/// visit for strong; website visits for surveys).
+double CostGco2PerHousehold(const CostModel& model, LabelRegime regime,
+                            double years);
+
+/// Fig. 9(b): storage in terabytes per year. Strong labels store one
+/// reading per appliance per sampling interval on top of the aggregate;
+/// weak labels store the aggregate plus one possession string per
+/// appliance.
+double StorageTbPerYearStrong(const CostModel& model, int64_t households,
+                              int appliances, double interval_seconds);
+double StorageTbPerYearWeak(const CostModel& model, int64_t households,
+                            int appliances, double interval_seconds);
+
+}  // namespace camal::eval
+
+#endif  // CAMAL_EVAL_COST_MODEL_H_

@@ -1,0 +1,138 @@
+#include "eval/experiment.h"
+
+#include "common/stopwatch.h"
+#include "core/power_estimation.h"
+#include "metrics/classification.h"
+#include "metrics/energy.h"
+
+namespace camal::eval {
+namespace {
+
+// Recovers the aggregate in Watts from the /1000-scaled model input.
+nn::Tensor AggregateWatts(const data::WindowDataset& ds) {
+  nn::Tensor watts = ds.inputs.Reshape({ds.size(), ds.window_length});
+  watts.ScaleInPlace(1000.0f);
+  return watts;
+}
+
+std::vector<float> Flatten(const nn::Tensor& t) {
+  return std::vector<float>(t.data(), t.data() + t.numel());
+}
+
+}  // namespace
+
+nn::Tensor ThresholdStatus(const nn::Tensor& frame_probabilities) {
+  nn::Tensor status = frame_probabilities;
+  float* d = status.data();
+  for (int64_t i = 0; i < status.numel(); ++i) {
+    d[i] = d[i] >= 0.5f ? 1.0f : 0.0f;
+  }
+  return status;
+}
+
+LocalizationScores ScoreLocalization(const nn::Tensor& predicted_status,
+                                     const data::WindowDataset& test) {
+  CAMAL_CHECK_EQ(predicted_status.dim(0), test.size());
+  CAMAL_CHECK_EQ(predicted_status.dim(1), test.window_length);
+  LocalizationScores scores;
+  const metrics::BinaryCounts counts = metrics::CountBinary(
+      Flatten(predicted_status), Flatten(test.status));
+  scores.f1 = metrics::F1Score(counts);
+  scores.precision = metrics::Precision(counts);
+  scores.recall = metrics::Recall(counts);
+
+  const nn::Tensor watts = AggregateWatts(test);
+  const nn::Tensor est = core::EstimatePower(predicted_status, watts,
+                                             test.appliance.avg_power_w);
+  const std::vector<float> est_v = Flatten(est);
+  const std::vector<float> truth_v = Flatten(test.appliance_power);
+  scores.mae = metrics::MeanAbsoluteError(est_v, truth_v);
+  scores.rmse = metrics::RootMeanSquareError(est_v, truth_v);
+  scores.matching_ratio = metrics::MatchingRatio(est_v, truth_v);
+  return scores;
+}
+
+Result<CamalRunResult> RunCamalExperiment(const data::WindowDataset& train,
+                                          const data::WindowDataset& valid,
+                                          const data::WindowDataset& test,
+                                          const core::EnsembleConfig& config,
+                                          const core::LocalizerOptions& loc,
+                                          uint64_t seed) {
+  Stopwatch watch;
+  auto ensemble_result = core::CamalEnsemble::Train(train, valid, config, seed);
+  if (!ensemble_result.ok()) return ensemble_result.status();
+  core::CamalEnsemble ensemble = std::move(ensemble_result).value();
+
+  CamalRunResult run;
+  run.train_seconds = watch.ElapsedSeconds();
+  run.labels_used = train.LabelCount(/*strong=*/false);
+  run.num_parameters = ensemble.NumParameters();
+
+  core::CamalLocalizer localizer(&ensemble, loc);
+  // Localize in batches to bound memory.
+  const int64_t n = test.size(), l = test.window_length;
+  nn::Tensor status({n, l});
+  nn::Tensor probabilities({n});
+  constexpr int64_t kBatch = 64;
+  for (int64_t begin = 0; begin < n; begin += kBatch) {
+    const int64_t end = std::min(n, begin + kBatch);
+    std::vector<int64_t> idx;
+    for (int64_t i = begin; i < end; ++i) idx.push_back(i);
+    data::WindowDataset chunk = test.Subset(idx);
+    core::LocalizationResult res = localizer.Localize(chunk.inputs);
+    for (int64_t i = begin; i < end; ++i) {
+      probabilities.at(i) = res.probabilities.at(i - begin);
+      for (int64_t t = 0; t < l; ++t) {
+        status.at2(i, t) = res.status.at2(i - begin, t);
+      }
+    }
+  }
+  run.scores = ScoreLocalization(status, test);
+
+  // Problem-1 detection score (Balanced Accuracy on weak labels).
+  std::vector<float> det_pred, det_truth;
+  det_pred.reserve(static_cast<size_t>(n));
+  det_truth.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    det_pred.push_back(
+        probabilities.at(i) > loc.detection_threshold ? 1.0f : 0.0f);
+    det_truth.push_back(
+        static_cast<float>(test.weak_labels[static_cast<size_t>(i)]));
+  }
+  run.detection_balanced_accuracy =
+      metrics::BalancedAccuracy(metrics::CountBinary(det_pred, det_truth));
+  return run;
+}
+
+Result<BaselineRunResult> RunBaselineExperiment(
+    baselines::BaselineKind kind, const baselines::BaselineScale& scale,
+    const TrainConfig& train_config, const data::WindowDataset& train,
+    const data::WindowDataset& valid, const data::WindowDataset& test,
+    uint64_t seed) {
+  if (train.size() == 0 || valid.size() == 0 || test.size() == 0) {
+    return Status::FailedPrecondition("empty split for baseline experiment");
+  }
+  Rng rng(seed);
+  std::unique_ptr<nn::Module> model =
+      baselines::MakeBaseline(kind, scale, &rng);
+
+  BaselineRunResult run;
+  run.num_parameters = model->NumParameters();
+  TrainConfig cfg = train_config;
+  cfg.seed = seed;
+  TrainStats stats;
+  if (baselines::IsWeaklySupervised(kind)) {
+    stats = TrainWeakMilModel(model.get(), train, valid, cfg);
+    run.labels_used = train.LabelCount(/*strong=*/false);
+  } else {
+    stats = TrainStrongModel(model.get(), train, valid, cfg);
+    run.labels_used = train.LabelCount(/*strong=*/true);
+  }
+  run.train_seconds = stats.total_seconds;
+
+  nn::Tensor probs = PredictFrameProbabilities(model.get(), test);
+  run.scores = ScoreLocalization(ThresholdStatus(probs), test);
+  return run;
+}
+
+}  // namespace camal::eval

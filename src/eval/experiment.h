@@ -1,0 +1,67 @@
+#ifndef CAMAL_EVAL_EXPERIMENT_H_
+#define CAMAL_EVAL_EXPERIMENT_H_
+
+#include "baselines/registry.h"
+#include "core/ensemble.h"
+#include "core/localizer.h"
+#include "data/dataset.h"
+#include "eval/trainer.h"
+
+namespace camal::eval {
+
+/// The §V-D localization + energy metrics for one evaluation.
+struct LocalizationScores {
+  double f1 = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double mae = 0.0;   ///< Watts
+  double rmse = 0.0;  ///< Watts
+  double matching_ratio = 0.0;
+};
+
+/// Scores a predicted (N, L) binary status against \p test: F1/Pr/Rc on the
+/// per-timestamp status, and MAE/RMSE/MR on the §IV-C power estimate
+/// min(s-hat * P_a, x) versus the true submeter power.
+LocalizationScores ScoreLocalization(const nn::Tensor& predicted_status,
+                                     const data::WindowDataset& test);
+
+/// Thresholds frame probabilities at 0.5 into a binary status.
+nn::Tensor ThresholdStatus(const nn::Tensor& frame_probabilities);
+
+/// Result of one CamAL train+evaluate run.
+struct CamalRunResult {
+  LocalizationScores scores;
+  double detection_balanced_accuracy = 0.0;  ///< Problem-1 score on test.
+  double train_seconds = 0.0;
+  int64_t labels_used = 0;  ///< weak labels: one per training window.
+  int64_t num_parameters = 0;
+};
+
+/// Trains a CamAL ensemble on \p train (weak labels), selects members on
+/// \p valid, and evaluates localization on \p test.
+Result<CamalRunResult> RunCamalExperiment(const data::WindowDataset& train,
+                                          const data::WindowDataset& valid,
+                                          const data::WindowDataset& test,
+                                          const core::EnsembleConfig& config,
+                                          const core::LocalizerOptions& loc,
+                                          uint64_t seed);
+
+/// Result of one baseline train+evaluate run.
+struct BaselineRunResult {
+  LocalizationScores scores;
+  double train_seconds = 0.0;
+  int64_t labels_used = 0;  ///< strong: L per window; weak: 1 per window.
+  int64_t num_parameters = 0;
+};
+
+/// Trains a §V-C baseline (strong per-timestamp BCE, or the MIL weak loss
+/// for CRNN Weak) and evaluates localization on \p test.
+Result<BaselineRunResult> RunBaselineExperiment(
+    baselines::BaselineKind kind, const baselines::BaselineScale& scale,
+    const TrainConfig& train_config, const data::WindowDataset& train,
+    const data::WindowDataset& valid, const data::WindowDataset& test,
+    uint64_t seed);
+
+}  // namespace camal::eval
+
+#endif  // CAMAL_EVAL_EXPERIMENT_H_

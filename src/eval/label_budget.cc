@@ -1,0 +1,65 @@
+#include "eval/label_budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace camal::eval {
+
+std::vector<int64_t> GeometricBudgets(int64_t min_windows,
+                                      int64_t max_windows, int steps) {
+  CAMAL_CHECK_GT(min_windows, 0);
+  CAMAL_CHECK_GE(max_windows, min_windows);
+  CAMAL_CHECK_GE(steps, 1);
+  std::vector<int64_t> budgets;
+  if (steps == 1 || min_windows == max_windows) {
+    budgets.push_back(min_windows);
+    if (max_windows != min_windows) budgets.push_back(max_windows);
+    return budgets;
+  }
+  const double ratio =
+      std::pow(static_cast<double>(max_windows) / min_windows,
+               1.0 / (steps - 1));
+  double value = static_cast<double>(min_windows);
+  for (int i = 0; i < steps; ++i) {
+    const auto b = static_cast<int64_t>(std::llround(value));
+    if (budgets.empty() || b > budgets.back()) budgets.push_back(b);
+    value *= ratio;
+  }
+  if (budgets.back() != max_windows) budgets.back() = max_windows;
+  return budgets;
+}
+
+data::WindowDataset SubsetByBudget(const data::WindowDataset& dataset,
+                                   int64_t num_windows, Rng* rng) {
+  const int64_t n = dataset.size();
+  num_windows = std::min(num_windows, n);
+  CAMAL_CHECK_GT(num_windows, 0);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  rng->Shuffle(&order);
+  std::vector<int64_t> chosen(order.begin(),
+                              order.begin() + static_cast<long>(num_windows));
+
+  // Keep both weak classes represented when the source has both.
+  auto has_class = [&](const std::vector<int64_t>& idx, int label) {
+    for (int64_t i : idx) {
+      if (dataset.weak_labels[static_cast<size_t>(i)] == label) return true;
+    }
+    return false;
+  };
+  const bool source_has_pos = dataset.PositiveCount() > 0;
+  const bool source_has_neg = dataset.PositiveCount() < n;
+  for (int label = 0; label <= 1; ++label) {
+    const bool source_has = label == 1 ? source_has_pos : source_has_neg;
+    if (!source_has || has_class(chosen, label)) continue;
+    for (size_t i = static_cast<size_t>(num_windows); i < order.size(); ++i) {
+      if (dataset.weak_labels[static_cast<size_t>(order[i])] == label) {
+        chosen.back() = order[i];
+        break;
+      }
+    }
+  }
+  return dataset.Subset(chosen);
+}
+
+}  // namespace camal::eval

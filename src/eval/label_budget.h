@@ -1,0 +1,26 @@
+#ifndef CAMAL_EVAL_LABEL_BUDGET_H_
+#define CAMAL_EVAL_LABEL_BUDGET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace camal::eval {
+
+/// Geometric grid of training-set sizes (in windows) between \p min_windows
+/// and \p max_windows inclusive, with \p steps points — the x-axis sweep of
+/// Figs. 1 and 5.
+std::vector<int64_t> GeometricBudgets(int64_t min_windows,
+                                      int64_t max_windows, int steps);
+
+/// Random subset of \p num_windows windows (label budget). When the subset
+/// would lose one weak class entirely while the source has both, one window
+/// of the missing class is swapped in so weak training stays feasible.
+data::WindowDataset SubsetByBudget(const data::WindowDataset& dataset,
+                                   int64_t num_windows, Rng* rng);
+
+}  // namespace camal::eval
+
+#endif  // CAMAL_EVAL_LABEL_BUDGET_H_

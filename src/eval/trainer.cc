@@ -1,0 +1,244 @@
+#include "eval/trainer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "baselines/crnn.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "nn/activations.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+
+namespace camal::eval {
+namespace {
+
+// Copies rows `order[begin, end)` into a batch input tensor.
+nn::Tensor MakeBatchInputs(const data::WindowDataset& ds,
+                           const std::vector<int64_t>& order, size_t begin,
+                           size_t end) {
+  const int64_t b = static_cast<int64_t>(end - begin);
+  const int64_t l = ds.window_length;
+  nn::Tensor inputs({b, 1, l});
+  for (size_t i = begin; i < end; ++i) {
+    const int64_t src = order[i];
+    for (int64_t t = 0; t < l; ++t) {
+      inputs.at3(static_cast<int64_t>(i - begin), 0, t) =
+          ds.inputs.at3(src, 0, t);
+    }
+  }
+  return inputs;
+}
+
+nn::Tensor MakeBatchStatus(const data::WindowDataset& ds,
+                           const std::vector<int64_t>& order, size_t begin,
+                           size_t end) {
+  const int64_t b = static_cast<int64_t>(end - begin);
+  const int64_t l = ds.window_length;
+  nn::Tensor status({b, l});
+  for (size_t i = begin; i < end; ++i) {
+    const int64_t src = order[i];
+    for (int64_t t = 0; t < l; ++t) {
+      status.at2(static_cast<int64_t>(i - begin), t) = ds.status.at2(src, t);
+    }
+  }
+  return status;
+}
+
+nn::Tensor MakeBatchRows(const nn::Tensor& source,
+                         const std::vector<int64_t>& order, size_t begin,
+                         size_t end) {
+  const int64_t b = static_cast<int64_t>(end - begin);
+  const int64_t l = source.dim(1);
+  nn::Tensor out({b, l});
+  for (size_t i = begin; i < end; ++i) {
+    const int64_t src = order[i];
+    for (int64_t t = 0; t < l; ++t) {
+      out.at2(static_cast<int64_t>(i - begin), t) = source.at2(src, t);
+    }
+  }
+  return out;
+}
+
+std::vector<int> MakeBatchWeakLabels(const data::WindowDataset& ds,
+                                     const std::vector<int64_t>& order,
+                                     size_t begin, size_t end) {
+  std::vector<int> labels;
+  labels.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    labels.push_back(ds.weak_labels[static_cast<size_t>(order[i])]);
+  }
+  return labels;
+}
+
+double EvaluateWeakMilLoss(nn::Module* model,
+                           const data::WindowDataset& dataset,
+                           int batch_size) {
+  model->SetTraining(false);
+  std::vector<int64_t> order(static_cast<size_t>(dataset.size()));
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    order[static_cast<size_t>(i)] = i;
+  }
+  double total = 0.0;
+  for (size_t begin = 0; begin < order.size();
+       begin += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(order.size(), begin + static_cast<size_t>(batch_size));
+    nn::Tensor inputs = MakeBatchInputs(dataset, order, begin, end);
+    std::vector<int> labels = MakeBatchWeakLabels(dataset, order, begin, end);
+    nn::Tensor logits = model->Forward(inputs);
+    total += baselines::WeakMilLoss(logits, labels).value *
+             static_cast<double>(end - begin);
+  }
+  return total / static_cast<double>(dataset.size());
+}
+
+// Shared epoch loop. `step` runs forward+loss+backward on one batch and
+// returns the loss; `validate` returns the early-stopping criterion.
+template <typename StepFn, typename ValidateFn>
+TrainStats RunTrainingLoop(nn::Module* model, int64_t num_rows,
+                           const TrainConfig& config, StepFn step,
+                           ValidateFn validate) {
+  CAMAL_CHECK_GT(num_rows, 0);
+  Rng rng(config.seed);
+  nn::Adam optimizer(model->Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
+                     config.weight_decay);
+  std::vector<int64_t> order(static_cast<size_t>(num_rows));
+  for (int64_t i = 0; i < num_rows; ++i) order[static_cast<size_t>(i)] = i;
+
+  Stopwatch watch;
+  TrainStats stats;
+  double best_val = std::numeric_limits<double>::infinity();
+  std::vector<nn::Tensor> best_params = nn::SnapshotParameters(model);
+  int bad_epochs = 0;
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    model->SetTraining(true);
+    rng.Shuffle(&order);
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(config.batch_size)) {
+      const size_t end = std::min(
+          order.size(), begin + static_cast<size_t>(config.batch_size));
+      optimizer.ZeroGrad();
+      step(order, begin, end);
+      optimizer.Step();
+    }
+    ++stats.epochs_run;
+    const double val_loss = validate();
+    if (val_loss < best_val - 1e-6) {
+      best_val = val_loss;
+      best_params = nn::SnapshotParameters(model);
+      bad_epochs = 0;
+    } else if (++bad_epochs > config.patience) {
+      break;
+    }
+  }
+  nn::RestoreParameters(model, best_params);
+  model->SetTraining(false);
+  stats.total_seconds = watch.ElapsedSeconds();
+  stats.seconds_per_epoch =
+      stats.epochs_run > 0 ? stats.total_seconds / stats.epochs_run : 0.0;
+  stats.best_val_loss = best_val;
+  return stats;
+}
+
+}  // namespace
+
+double EvaluateFrameLoss(nn::Module* model, const data::WindowDataset& dataset,
+                         int batch_size) {
+  CAMAL_CHECK_GT(dataset.size(), 0);
+  model->SetTraining(false);
+  std::vector<int64_t> order(static_cast<size_t>(dataset.size()));
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    order[static_cast<size_t>(i)] = i;
+  }
+  double total = 0.0;
+  for (size_t begin = 0; begin < order.size();
+       begin += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(order.size(), begin + static_cast<size_t>(batch_size));
+    nn::Tensor inputs = MakeBatchInputs(dataset, order, begin, end);
+    nn::Tensor status = MakeBatchStatus(dataset, order, begin, end);
+    nn::Tensor logits = model->Forward(inputs);
+    total += nn::BceWithLogits(logits, status).value *
+             static_cast<double>(end - begin);
+  }
+  return total / static_cast<double>(dataset.size());
+}
+
+TrainStats TrainStrongModel(nn::Module* model,
+                            const data::WindowDataset& train,
+                            const data::WindowDataset& valid,
+                            const TrainConfig& config) {
+  return RunTrainingLoop(
+      model, train.size(), config,
+      [&](const std::vector<int64_t>& order, size_t begin, size_t end) {
+        nn::Tensor inputs = MakeBatchInputs(train, order, begin, end);
+        nn::Tensor status = MakeBatchStatus(train, order, begin, end);
+        nn::Tensor logits = model->Forward(inputs);
+        nn::LossResult loss = nn::BceWithLogits(logits, status);
+        model->Backward(loss.grad);
+      },
+      [&] { return EvaluateFrameLoss(model, valid, 64); });
+}
+
+TrainStats TrainWeakMilModel(nn::Module* model,
+                             const data::WindowDataset& train,
+                             const data::WindowDataset& valid,
+                             const TrainConfig& config) {
+  return RunTrainingLoop(
+      model, train.size(), config,
+      [&](const std::vector<int64_t>& order, size_t begin, size_t end) {
+        nn::Tensor inputs = MakeBatchInputs(train, order, begin, end);
+        std::vector<int> labels = MakeBatchWeakLabels(train, order, begin, end);
+        nn::Tensor logits = model->Forward(inputs);
+        nn::LossResult loss = baselines::WeakMilLoss(logits, labels);
+        model->Backward(loss.grad);
+      },
+      [&] { return EvaluateWeakMilLoss(model, valid, 64); });
+}
+
+TrainStats TrainWithSoftTargets(nn::Module* model,
+                                const data::WindowDataset& train_inputs,
+                                const nn::Tensor& soft_targets,
+                                const data::WindowDataset& valid,
+                                const TrainConfig& config) {
+  CAMAL_CHECK_EQ(soft_targets.dim(0), train_inputs.size());
+  CAMAL_CHECK_EQ(soft_targets.dim(1), train_inputs.window_length);
+  return RunTrainingLoop(
+      model, train_inputs.size(), config,
+      [&](const std::vector<int64_t>& order, size_t begin, size_t end) {
+        nn::Tensor inputs = MakeBatchInputs(train_inputs, order, begin, end);
+        nn::Tensor targets = MakeBatchRows(soft_targets, order, begin, end);
+        nn::Tensor logits = model->Forward(inputs);
+        nn::LossResult loss = nn::BceWithLogits(logits, targets);
+        model->Backward(loss.grad);
+      },
+      [&] { return EvaluateFrameLoss(model, valid, 64); });
+}
+
+nn::Tensor PredictFrameProbabilities(nn::Module* model,
+                                     const data::WindowDataset& dataset,
+                                     int batch_size) {
+  model->SetTraining(false);
+  const int64_t n = dataset.size(), l = dataset.window_length;
+  nn::Tensor probs({n, l});
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  for (size_t begin = 0; begin < order.size();
+       begin += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(order.size(), begin + static_cast<size_t>(batch_size));
+    nn::Tensor inputs = MakeBatchInputs(dataset, order, begin, end);
+    nn::Tensor logits = model->Forward(inputs);
+    for (size_t i = begin; i < end; ++i) {
+      for (int64_t t = 0; t < l; ++t) {
+        probs.at2(static_cast<int64_t>(i), t) = nn::SigmoidScalar(
+            logits.at2(static_cast<int64_t>(i - begin), t));
+      }
+    }
+  }
+  return probs;
+}
+
+}  // namespace camal::eval

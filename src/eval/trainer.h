@@ -1,0 +1,65 @@
+#ifndef CAMAL_EVAL_TRAINER_H_
+#define CAMAL_EVAL_TRAINER_H_
+
+#include "data/dataset.h"
+#include "nn/module.h"
+
+namespace camal::eval {
+
+/// Hyper-parameters for training a sequence-to-sequence baseline.
+struct TrainConfig {
+  int max_epochs = 10;
+  int batch_size = 32;
+  float lr = 1e-3f;
+  float weight_decay = 0.0f;
+  /// Early-stopping patience in epochs (monitored on the validation loss);
+  /// best-epoch weights are restored.
+  int patience = 3;
+  uint64_t seed = 42;
+};
+
+/// Wall-clock and convergence statistics of a training run (Fig. 7 data).
+struct TrainStats {
+  double total_seconds = 0.0;
+  double seconds_per_epoch = 0.0;
+  int epochs_run = 0;
+  double best_val_loss = 0.0;
+};
+
+/// Strong supervision (§V-C): per-timestamp binary cross-entropy between
+/// the model's (N, L) frame logits and the ground-truth status. Uses one
+/// label per timestamp — window_length labels per window.
+TrainStats TrainStrongModel(nn::Module* model,
+                            const data::WindowDataset& train,
+                            const data::WindowDataset& valid,
+                            const TrainConfig& config);
+
+/// Weak supervision for CRNN Weak: the MIL linear-softmax pooling loss of
+/// Tanoni et al. over frame probabilities, one label per window.
+TrainStats TrainWeakMilModel(nn::Module* model,
+                             const data::WindowDataset& train,
+                             const data::WindowDataset& valid,
+                             const TrainConfig& config);
+
+/// Soft-target training (Fig. 10): per-timestamp BCE against an arbitrary
+/// (N, L) target in [0, 1] — e.g. CamAL's predicted status used as soft
+/// labels. Validation monitors frame BCE against \p valid ground truth.
+TrainStats TrainWithSoftTargets(nn::Module* model,
+                                const data::WindowDataset& train_inputs,
+                                const nn::Tensor& soft_targets,
+                                const data::WindowDataset& valid,
+                                const TrainConfig& config);
+
+/// Batched inference: (N, L) per-timestamp activation probabilities
+/// (sigmoid of the model's frame logits), eval mode.
+nn::Tensor PredictFrameProbabilities(nn::Module* model,
+                                     const data::WindowDataset& dataset,
+                                     int batch_size = 64);
+
+/// Mean per-timestamp BCE of the model on \p dataset (eval mode).
+double EvaluateFrameLoss(nn::Module* model, const data::WindowDataset& dataset,
+                         int batch_size = 64);
+
+}  // namespace camal::eval
+
+#endif  // CAMAL_EVAL_TRAINER_H_

@@ -1,0 +1,58 @@
+#include "metrics/classification.h"
+
+#include "common/check.h"
+
+namespace camal::metrics {
+
+void BinaryCounts::Merge(const BinaryCounts& other) {
+  tp += other.tp;
+  fp += other.fp;
+  tn += other.tn;
+  fn += other.fn;
+}
+
+BinaryCounts CountBinary(const std::vector<float>& predicted,
+                         const std::vector<float>& truth) {
+  CAMAL_CHECK_EQ(predicted.size(), truth.size());
+  BinaryCounts c;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    const bool p = predicted[i] >= 0.5f;
+    const bool t = truth[i] >= 0.5f;
+    if (p && t) {
+      ++c.tp;
+    } else if (p && !t) {
+      ++c.fp;
+    } else if (!p && t) {
+      ++c.fn;
+    } else {
+      ++c.tn;
+    }
+  }
+  return c;
+}
+
+double Precision(const BinaryCounts& c) {
+  const int64_t denom = c.tp + c.fp;
+  return denom > 0 ? static_cast<double>(c.tp) / denom : 0.0;
+}
+
+double Recall(const BinaryCounts& c) {
+  const int64_t denom = c.tp + c.fn;
+  return denom > 0 ? static_cast<double>(c.tp) / denom : 0.0;
+}
+
+double F1Score(const BinaryCounts& c) {
+  const double p = Precision(c);
+  const double r = Recall(c);
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double BalancedAccuracy(const BinaryCounts& c) {
+  const int64_t pos = c.tp + c.fn;
+  const int64_t neg = c.tn + c.fp;
+  const double tpr = pos > 0 ? static_cast<double>(c.tp) / pos : 0.0;
+  const double tnr = neg > 0 ? static_cast<double>(c.tn) / neg : 0.0;
+  return 0.5 * (tpr + tnr);
+}
+
+}  // namespace camal::metrics

@@ -1,0 +1,42 @@
+#ifndef CAMAL_METRICS_CLASSIFICATION_H_
+#define CAMAL_METRICS_CLASSIFICATION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace camal::metrics {
+
+/// Binary confusion counts.
+struct BinaryCounts {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t tn = 0;
+  int64_t fn = 0;
+
+  int64_t total() const { return tp + fp + tn + fn; }
+
+  /// Merges another set of counts into this one.
+  void Merge(const BinaryCounts& other);
+};
+
+/// Tallies predictions against ground truth; both are 0/1 sequences of the
+/// same length (values >= 0.5 count as positive).
+BinaryCounts CountBinary(const std::vector<float>& predicted,
+                         const std::vector<float>& truth);
+
+/// Precision tp/(tp+fp); 0 when undefined.
+double Precision(const BinaryCounts& counts);
+
+/// Recall tp/(tp+fn); 0 when undefined.
+double Recall(const BinaryCounts& counts);
+
+/// F1 = harmonic mean of precision and recall; 0 when undefined.
+double F1Score(const BinaryCounts& counts);
+
+/// Balanced accuracy = (TPR + TNR) / 2 (§V-D); a side with no examples
+/// contributes 0.
+double BalancedAccuracy(const BinaryCounts& counts);
+
+}  // namespace camal::metrics
+
+#endif  // CAMAL_METRICS_CLASSIFICATION_H_

@@ -1,0 +1,44 @@
+#include "metrics/energy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace camal::metrics {
+
+double MeanAbsoluteError(const std::vector<float>& predicted,
+                         const std::vector<float>& truth) {
+  CAMAL_CHECK_EQ(predicted.size(), truth.size());
+  CAMAL_CHECK(!predicted.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    total += std::fabs(static_cast<double>(predicted[i]) - truth[i]);
+  }
+  return total / static_cast<double>(predicted.size());
+}
+
+double RootMeanSquareError(const std::vector<float>& predicted,
+                           const std::vector<float>& truth) {
+  CAMAL_CHECK_EQ(predicted.size(), truth.size());
+  CAMAL_CHECK(!predicted.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    const double d = static_cast<double>(predicted[i]) - truth[i];
+    total += d * d;
+  }
+  return std::sqrt(total / static_cast<double>(predicted.size()));
+}
+
+double MatchingRatio(const std::vector<float>& predicted,
+                     const std::vector<float>& truth) {
+  CAMAL_CHECK_EQ(predicted.size(), truth.size());
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    num += std::min(predicted[i], truth[i]);
+    den += std::max(predicted[i], truth[i]);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace camal::metrics

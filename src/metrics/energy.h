@@ -1,0 +1,24 @@
+#ifndef CAMAL_METRICS_ENERGY_H_
+#define CAMAL_METRICS_ENERGY_H_
+
+#include <vector>
+
+namespace camal::metrics {
+
+/// Mean absolute error between predicted and true appliance power (Watts).
+double MeanAbsoluteError(const std::vector<float>& predicted,
+                         const std::vector<float>& truth);
+
+/// Root mean square error between predicted and true appliance power.
+double RootMeanSquareError(const std::vector<float>& predicted,
+                           const std::vector<float>& truth);
+
+/// Matching Ratio (§V-D, the energy-disaggregation overlap indicator):
+///   MR = sum_t min(yhat_t, y_t) / sum_t max(yhat_t, y_t).
+/// Returns 0 when the denominator is 0 (both series all-zero).
+double MatchingRatio(const std::vector<float>& predicted,
+                     const std::vector<float>& truth);
+
+}  // namespace camal::metrics
+
+#endif  // CAMAL_METRICS_ENERGY_H_

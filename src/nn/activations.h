@@ -1,0 +1,58 @@
+#ifndef CAMAL_NN_ACTIVATIONS_H_
+#define CAMAL_NN_ACTIVATIONS_H_
+
+#include "nn/module.h"
+
+namespace camal::nn {
+
+/// Elementwise max(0, x).
+class ReLU : public Module {
+ public:
+  ReLU() = default;
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor input_;
+};
+
+/// Elementwise logistic sigmoid 1 / (1 + e^-x).
+class Sigmoid : public Module {
+ public:
+  Sigmoid() = default;
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor output_;
+};
+
+/// Elementwise hyperbolic tangent.
+class Tanh : public Module {
+ public:
+  Tanh() = default;
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor output_;
+};
+
+/// Elementwise GELU (tanh approximation), used by the TransNILM encoder.
+class Gelu : public Module {
+ public:
+  Gelu() = default;
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor input_;
+};
+
+/// Stateless helpers for code that needs activation math outside a Module
+/// (e.g. CamAL's attention-sigmoid localization step).
+float SigmoidScalar(float x);
+
+}  // namespace camal::nn
+
+#endif  // CAMAL_NN_ACTIVATIONS_H_

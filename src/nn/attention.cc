@@ -1,0 +1,181 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace camal::nn {
+namespace {
+
+// (N, D, L) -> per-sample (L, D) matrix.
+Tensor ToLd(const Tensor& x, int64_t sample) {
+  const int64_t d = x.dim(1), l = x.dim(2);
+  Tensor out({l, d});
+  for (int64_t t = 0; t < l; ++t) {
+    for (int64_t j = 0; j < d; ++j) out.at2(t, j) = x.at3(sample, j, t);
+  }
+  return out;
+}
+
+}  // namespace
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t d_model,
+                                               int64_t num_heads, Rng* rng)
+    : d_model_(d_model), num_heads_(num_heads), d_head_(d_model / num_heads) {
+  CAMAL_CHECK_GT(num_heads, 0);
+  CAMAL_CHECK_EQ(d_head_ * num_heads_, d_model_);
+  auto init = [&](Parameter* p, const char* name) {
+    p->name = name;
+    p->value = Tensor({d_model_, d_model_});
+    p->grad = Tensor(p->value.shape());
+    XavierUniform(&p->value, d_model_, d_model_, rng);
+  };
+  init(&wq_, "mhsa.wq");
+  init(&wk_, "mhsa.wk");
+  init(&wv_, "mhsa.wv");
+  init(&wo_, "mhsa.wo");
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  CAMAL_CHECK_EQ(x.dim(1), d_model_);
+  input_ = x;
+  const int64_t n = x.dim(0), l = x.dim(2);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+
+  q_.clear();
+  k_.clear();
+  v_.clear();
+  attn_.clear();
+  context_.clear();
+  Tensor y({n, d_model_, l});
+
+  for (int64_t ni = 0; ni < n; ++ni) {
+    Tensor xs = ToLd(x, ni);                         // (L, D)
+    Tensor q = MatMulTransposeB(xs, wq_.value);      // (L, D)
+    Tensor k = MatMulTransposeB(xs, wk_.value);
+    Tensor v = MatMulTransposeB(xs, wv_.value);
+
+    Tensor attn({num_heads_, l, l});
+    Tensor ctx({l, d_model_});
+    for (int64_t hh = 0; hh < num_heads_; ++hh) {
+      const int64_t off = hh * d_head_;
+      // Scores + softmax per query position.
+      for (int64_t i = 0; i < l; ++i) {
+        float max_s = -1e30f;
+        for (int64_t j = 0; j < l; ++j) {
+          float s = 0.0f;
+          for (int64_t p = 0; p < d_head_; ++p) {
+            s += q.at2(i, off + p) * k.at2(j, off + p);
+          }
+          s *= scale;
+          attn.at3(hh, i, j) = s;
+          if (s > max_s) max_s = s;
+        }
+        float denom = 0.0f;
+        for (int64_t j = 0; j < l; ++j) {
+          const float e = std::exp(attn.at3(hh, i, j) - max_s);
+          attn.at3(hh, i, j) = e;
+          denom += e;
+        }
+        const float inv = 1.0f / denom;
+        for (int64_t j = 0; j < l; ++j) attn.at3(hh, i, j) *= inv;
+        // Context row for this head.
+        for (int64_t p = 0; p < d_head_; ++p) {
+          float acc = 0.0f;
+          for (int64_t j = 0; j < l; ++j) {
+            acc += attn.at3(hh, i, j) * v.at2(j, off + p);
+          }
+          ctx.at2(i, off + p) = acc;
+        }
+      }
+    }
+    Tensor out = MatMulTransposeB(ctx, wo_.value);  // (L, D)
+    for (int64_t t = 0; t < l; ++t) {
+      for (int64_t j = 0; j < d_model_; ++j) y.at3(ni, j, t) = out.at2(t, j);
+    }
+    q_.push_back(std::move(q));
+    k_.push_back(std::move(k));
+    v_.push_back(std::move(v));
+    attn_.push_back(std::move(attn));
+    context_.push_back(std::move(ctx));
+  }
+  return y;
+}
+
+Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_output) {
+  const int64_t n = input_.dim(0), l = input_.dim(2);
+  CAMAL_CHECK(grad_output.SameShape(input_));
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  Tensor grad_input({n, d_model_, l});
+
+  for (int64_t ni = 0; ni < n; ++ni) {
+    Tensor gy = ToLd(grad_output, ni);  // (L, D)
+    // Output projection: ctx -> out. d_ctx = gy Wo; dWo += gy^T ctx.
+    Tensor dwo = MatMulTransposeA(gy, context_[ni]);  // (D, D)
+    wo_.grad.AddInPlace(dwo);
+    Tensor dctx = MatMul(gy, wo_.value);  // (L, D)
+
+    Tensor dq({l, d_model_}), dk({l, d_model_}), dv({l, d_model_});
+    const Tensor& attn = attn_[ni];
+    const Tensor& q = q_[ni];
+    const Tensor& k = k_[ni];
+    const Tensor& v = v_[ni];
+    for (int64_t hh = 0; hh < num_heads_; ++hh) {
+      const int64_t off = hh * d_head_;
+      for (int64_t i = 0; i < l; ++i) {
+        // dA[i, j] = sum_p dctx[i, off+p] * v[j, off+p]
+        // dV[j] += A[i, j] * dctx[i]
+        std::vector<float> dA(static_cast<size_t>(l), 0.0f);
+        for (int64_t j = 0; j < l; ++j) {
+          float acc = 0.0f;
+          const float a = attn.at3(hh, i, j);
+          for (int64_t p = 0; p < d_head_; ++p) {
+            acc += dctx.at2(i, off + p) * v.at2(j, off + p);
+            dv.at2(j, off + p) += a * dctx.at2(i, off + p);
+          }
+          dA[static_cast<size_t>(j)] = acc;
+        }
+        // Softmax backward: dS = A * (dA - sum_j A dA).
+        double dot = 0.0;
+        for (int64_t j = 0; j < l; ++j) {
+          dot += static_cast<double>(attn.at3(hh, i, j)) *
+                 dA[static_cast<size_t>(j)];
+        }
+        for (int64_t j = 0; j < l; ++j) {
+          const float ds = attn.at3(hh, i, j) *
+                           (dA[static_cast<size_t>(j)] -
+                            static_cast<float>(dot)) * scale;
+          for (int64_t p = 0; p < d_head_; ++p) {
+            dq.at2(i, off + p) += ds * k.at2(j, off + p);
+            dk.at2(j, off + p) += ds * q.at2(i, off + p);
+          }
+        }
+      }
+    }
+
+    // Projections: q = x Wq^T => dWq += dq^T x; dx += dq Wq.
+    Tensor xs = ToLd(input_, ni);
+    wq_.grad.AddInPlace(MatMulTransposeA(dq, xs));
+    wk_.grad.AddInPlace(MatMulTransposeA(dk, xs));
+    wv_.grad.AddInPlace(MatMulTransposeA(dv, xs));
+    Tensor dxs = MatMul(dq, wq_.value);
+    dxs.AddInPlace(MatMul(dk, wk_.value));
+    dxs.AddInPlace(MatMul(dv, wv_.value));
+    for (int64_t t = 0; t < l; ++t) {
+      for (int64_t j = 0; j < d_model_; ++j) {
+        grad_input.at3(ni, j, t) = dxs.at2(t, j);
+      }
+    }
+  }
+  return grad_input;
+}
+
+void MultiHeadSelfAttention::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&wq_);
+  out->push_back(&wk_);
+  out->push_back(&wv_);
+  out->push_back(&wo_);
+}
+
+}  // namespace camal::nn

@@ -1,0 +1,38 @@
+#ifndef CAMAL_NN_ATTENTION_H_
+#define CAMAL_NN_ATTENTION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace camal::nn {
+
+/// Multi-head scaled-dot-product self-attention over (N, D, L) sequences.
+///
+/// Q/K/V/O are learned (D, D) projections; attention is computed per head
+/// with softmax over the length axis. Used by the TransNILM baseline's
+/// transformer encoder blocks.
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int64_t d_model, int64_t num_heads, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+ private:
+  int64_t d_model_;
+  int64_t num_heads_;
+  int64_t d_head_;
+  Parameter wq_, wk_, wv_, wo_;  // (D, D) each
+  // Cached forward state.
+  Tensor input_;                  // (N, D, L)
+  std::vector<Tensor> q_, k_, v_;  // per sample (L, D)
+  std::vector<Tensor> attn_;       // per sample (H, L, L) softmax weights
+  std::vector<Tensor> context_;    // per sample (L, D) pre-output-projection
+};
+
+}  // namespace camal::nn
+
+#endif  // CAMAL_NN_ATTENTION_H_

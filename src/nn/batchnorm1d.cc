@@ -1,0 +1,133 @@
+#include "nn/batchnorm1d.h"
+
+#include <cmath>
+
+namespace camal::nn {
+
+BatchNorm1d::BatchNorm1d(int64_t channels, float eps, float momentum)
+    : channels_(channels), eps_(eps), momentum_(momentum) {
+  CAMAL_CHECK_GT(channels, 0);
+  gamma_.name = "bn.gamma";
+  gamma_.value = Tensor::Full({channels_}, 1.0f);
+  gamma_.grad = Tensor({channels_});
+  beta_.name = "bn.beta";
+  beta_.value = Tensor({channels_});
+  beta_.grad = Tensor({channels_});
+  running_mean_ = Tensor({channels_});
+  running_var_ = Tensor::Full({channels_}, 1.0f);
+}
+
+Tensor BatchNorm1d::Forward(const Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  CAMAL_CHECK_EQ(x.dim(1), channels_);
+  const int64_t n = x.dim(0), c = channels_, l = x.dim(2);
+  const int64_t count = n * l;
+  forward_was_training_ = training();
+
+  Tensor mean({c}), var({c});
+  if (training()) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      double sum = 0.0, sq = 0.0;
+      for (int64_t ni = 0; ni < n; ++ni) {
+        const float* row = x.data() + (ni * c + ci) * l;
+        for (int64_t t = 0; t < l; ++t) {
+          sum += row[t];
+          sq += static_cast<double>(row[t]) * row[t];
+        }
+      }
+      const double m = sum / count;
+      const double v = sq / count - m * m;
+      mean.at(ci) = static_cast<float>(m);
+      var.at(ci) = static_cast<float>(v > 0.0 ? v : 0.0);
+      running_mean_.at(ci) = (1.0f - momentum_) * running_mean_.at(ci) +
+                             momentum_ * mean.at(ci);
+      // Unbiased variance for the running estimate (PyTorch convention).
+      const float unbiased =
+          count > 1 ? var.at(ci) * count / static_cast<float>(count - 1)
+                    : var.at(ci);
+      running_var_.at(ci) =
+          (1.0f - momentum_) * running_var_.at(ci) + momentum_ * unbiased;
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  inv_std_ = Tensor({c});
+  for (int64_t ci = 0; ci < c; ++ci) {
+    inv_std_.at(ci) = 1.0f / std::sqrt(var.at(ci) + eps_);
+  }
+
+  x_hat_ = Tensor({n, c, l});
+  Tensor y({n, c, l});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float m = mean.at(ci), is = inv_std_.at(ci);
+      const float g = gamma_.value.at(ci), b = beta_.value.at(ci);
+      const float* row = x.data() + (ni * c + ci) * l;
+      float* xh = x_hat_.data() + (ni * c + ci) * l;
+      float* out = y.data() + (ni * c + ci) * l;
+      for (int64_t t = 0; t < l; ++t) {
+        xh[t] = (row[t] - m) * is;
+        out[t] = g * xh[t] + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm1d::Backward(const Tensor& grad_output) {
+  const int64_t n = x_hat_.dim(0), c = channels_, l = x_hat_.dim(2);
+  CAMAL_CHECK(grad_output.SameShape(x_hat_));
+  const int64_t count = n * l;
+  Tensor grad_input({n, c, l});
+
+  for (int64_t ci = 0; ci < c; ++ci) {
+    // Accumulate per-channel sums of g and g * x_hat.
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (int64_t ni = 0; ni < n; ++ni) {
+      const float* go = grad_output.data() + (ni * c + ci) * l;
+      const float* xh = x_hat_.data() + (ni * c + ci) * l;
+      for (int64_t t = 0; t < l; ++t) {
+        sum_g += go[t];
+        sum_gx += static_cast<double>(go[t]) * xh[t];
+      }
+    }
+    gamma_.grad.at(ci) += static_cast<float>(sum_gx);
+    beta_.grad.at(ci) += static_cast<float>(sum_g);
+
+    const float g = gamma_.value.at(ci), is = inv_std_.at(ci);
+    if (forward_was_training_) {
+      const float mean_g = static_cast<float>(sum_g / count);
+      const float mean_gx = static_cast<float>(sum_gx / count);
+      for (int64_t ni = 0; ni < n; ++ni) {
+        const float* go = grad_output.data() + (ni * c + ci) * l;
+        const float* xh = x_hat_.data() + (ni * c + ci) * l;
+        float* gi = grad_input.data() + (ni * c + ci) * l;
+        for (int64_t t = 0; t < l; ++t) {
+          gi[t] = g * is * (go[t] - mean_g - xh[t] * mean_gx);
+        }
+      }
+    } else {
+      // Eval mode: running stats are constants w.r.t. the input.
+      for (int64_t ni = 0; ni < n; ++ni) {
+        const float* go = grad_output.data() + (ni * c + ci) * l;
+        float* gi = grad_input.data() + (ni * c + ci) * l;
+        for (int64_t t = 0; t < l; ++t) gi[t] = g * is * go[t];
+      }
+    }
+  }
+  return grad_input;
+}
+
+void BatchNorm1d::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&gamma_);
+  out->push_back(&beta_);
+}
+
+void BatchNorm1d::CollectBuffers(std::vector<Tensor*>* out) {
+  out->push_back(&running_mean_);
+  out->push_back(&running_var_);
+}
+
+}  // namespace camal::nn

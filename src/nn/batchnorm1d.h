@@ -1,0 +1,46 @@
+#ifndef CAMAL_NN_BATCHNORM1D_H_
+#define CAMAL_NN_BATCHNORM1D_H_
+
+#include "nn/module.h"
+
+namespace camal::nn {
+
+/// Batch normalization over the channel dimension of (N, C, L) tensors.
+///
+/// Training mode normalizes with batch statistics (mean/var over N x L per
+/// channel) and updates exponential running statistics; eval mode uses the
+/// running statistics. Gamma/beta are trainable.
+class BatchNorm1d : public Module {
+ public:
+  /// \p momentum is the running-average update rate (PyTorch convention:
+  /// running = (1 - momentum) * running + momentum * batch).
+  explicit BatchNorm1d(int64_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+  void CollectBuffers(std::vector<Tensor*>* out) override;
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+
+ private:
+  int64_t channels_;
+  float eps_;
+  float momentum_;
+  Parameter gamma_;  // (C)
+  Parameter beta_;   // (C)
+  Tensor running_mean_;
+  Tensor running_var_;
+  // Cached forward state for backward.
+  Tensor x_hat_;      // normalized input
+  Tensor inv_std_;    // (C)
+  bool forward_was_training_ = true;
+};
+
+}  // namespace camal::nn
+
+#endif  // CAMAL_NN_BATCHNORM1D_H_

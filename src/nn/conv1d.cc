@@ -1,0 +1,157 @@
+#include "nn/conv1d.h"
+
+#include <algorithm>
+
+#include "common/parallel_for.h"
+#include "nn/init.h"
+
+namespace camal::nn {
+
+Conv1d::Conv1d(const Conv1dOptions& options, Rng* rng) : options_(options) {
+  CAMAL_CHECK_GT(options_.in_channels, 0);
+  CAMAL_CHECK_GT(options_.out_channels, 0);
+  CAMAL_CHECK_GT(options_.kernel_size, 0);
+  CAMAL_CHECK_GT(options_.stride, 0);
+  CAMAL_CHECK_GE(options_.padding, 0);
+  CAMAL_CHECK_GT(options_.dilation, 0);
+  weight_.name = "conv.weight";
+  weight_.value = Tensor(
+      {options_.out_channels, options_.in_channels, options_.kernel_size});
+  weight_.grad = Tensor(weight_.value.shape());
+  KaimingUniform(&weight_.value,
+                 options_.in_channels * options_.kernel_size, rng);
+  if (options_.bias) {
+    bias_.name = "conv.bias";
+    bias_.value = Tensor({options_.out_channels});
+    bias_.grad = Tensor({options_.out_channels});
+    KaimingUniform(&bias_.value, options_.in_channels * options_.kernel_size,
+                   rng);
+  }
+}
+
+int64_t Conv1d::OutputLength(int64_t input_length) const {
+  const int64_t effective_k = options_.dilation * (options_.kernel_size - 1) + 1;
+  return (input_length + 2 * options_.padding - effective_k) /
+             options_.stride + 1;
+}
+
+Tensor Conv1d::Forward(const Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  CAMAL_CHECK_EQ(x.dim(1), options_.in_channels);
+  input_ = x;
+  const int64_t n = x.dim(0), cin = options_.in_channels, lin = x.dim(2);
+  const int64_t cout = options_.out_channels, k = options_.kernel_size;
+  const int64_t lout = OutputLength(lin);
+  CAMAL_CHECK_GT(lout, 0);
+  Tensor y({n, cout, lout});
+  const int64_t stride = options_.stride, pad = options_.padding,
+                dil = options_.dilation;
+
+  ParallelFor(0, n * cout, [&](int64_t idx) {
+    const int64_t ni = idx / cout;
+    const int64_t co = idx % cout;
+    float* out_row = y.data() + (ni * cout + co) * lout;
+    if (options_.bias) {
+      std::fill(out_row, out_row + lout, bias_.value.at(co));
+    }
+    for (int64_t ci = 0; ci < cin; ++ci) {
+      const float* in_row = x.data() + (ni * cin + ci) * lin;
+      const float* w_row = weight_.value.data() + (co * cin + ci) * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float w = w_row[kk];
+        if (w == 0.0f) continue;
+        const int64_t in_off = kk * dil - pad;
+        // Valid output positions: 0 <= t*stride + in_off < lin.
+        int64_t t0 = 0;
+        if (in_off < 0) t0 = (-in_off + stride - 1) / stride;
+        int64_t t1 = lout;
+        if (in_off < lin) {
+          t1 = std::min<int64_t>(lout, (lin - 1 - in_off) / stride + 1);
+        } else {
+          t1 = 0;
+        }
+        for (int64_t t = t0; t < t1; ++t) {
+          out_row[t] += w * in_row[t * stride + in_off];
+        }
+      }
+    }
+  });
+  return y;
+}
+
+Tensor Conv1d::Backward(const Tensor& grad_output) {
+  CAMAL_CHECK_EQ(grad_output.ndim(), 3);
+  const int64_t n = input_.dim(0), cin = options_.in_channels,
+                lin = input_.dim(2);
+  const int64_t cout = options_.out_channels, k = options_.kernel_size;
+  const int64_t lout = OutputLength(lin);
+  CAMAL_CHECK_EQ(grad_output.dim(0), n);
+  CAMAL_CHECK_EQ(grad_output.dim(1), cout);
+  CAMAL_CHECK_EQ(grad_output.dim(2), lout);
+  const int64_t stride = options_.stride, pad = options_.padding,
+                dil = options_.dilation;
+
+  // Parameter gradients: parallel over output channels (each channel's
+  // weight slice is touched by exactly one worker).
+  ParallelFor(0, cout, [&](int64_t co) {
+    float* wg_base = weight_.grad.data() + co * cin * k;
+    double bias_acc = 0.0;
+    for (int64_t ni = 0; ni < n; ++ni) {
+      const float* go_row = grad_output.data() + (ni * cout + co) * lout;
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        const float* in_row = input_.data() + (ni * cin + ci) * lin;
+        float* wg_row = wg_base + ci * k;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const int64_t in_off = kk * dil - pad;
+          int64_t t0 = 0;
+          if (in_off < 0) t0 = (-in_off + stride - 1) / stride;
+          int64_t t1 = 0;
+          if (in_off < lin) t1 = std::min<int64_t>(lout, (lin - 1 - in_off) / stride + 1);
+          float acc = 0.0f;
+          for (int64_t t = t0; t < t1; ++t) {
+            acc += go_row[t] * in_row[t * stride + in_off];
+          }
+          wg_row[kk] += acc;
+        }
+      }
+      if (options_.bias) {
+        for (int64_t t = 0; t < lout; ++t) bias_acc += go_row[t];
+      }
+    }
+    if (options_.bias) {
+      bias_.grad.at(co) += static_cast<float>(bias_acc);
+    }
+  });
+
+  // Input gradient: parallel over (batch x input-channel).
+  Tensor grad_input({n, cin, lin});
+  ParallelFor(0, n * cin, [&](int64_t idx) {
+    const int64_t ni = idx / cin;
+    const int64_t ci = idx % cin;
+    float* gi_row = grad_input.data() + (ni * cin + ci) * lin;
+    for (int64_t co = 0; co < cout; ++co) {
+      const float* go_row = grad_output.data() + (ni * cout + co) * lout;
+      const float* w_row = weight_.value.data() + (co * cin + ci) * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float w = w_row[kk];
+        if (w == 0.0f) continue;
+        const int64_t in_off = kk * dil - pad;
+        int64_t t0 = 0;
+        if (in_off < 0) t0 = (-in_off + stride - 1) / stride;
+        int64_t t1 = 0;
+        if (in_off < lin) t1 = std::min<int64_t>(lout, (lin - 1 - in_off) / stride + 1);
+        for (int64_t t = t0; t < t1; ++t) {
+          gi_row[t * stride + in_off] += w * go_row[t];
+        }
+      }
+    }
+  });
+  return grad_input;
+}
+
+void Conv1d::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&weight_);
+  if (options_.bias) out->push_back(&bias_);
+}
+
+}  // namespace camal::nn

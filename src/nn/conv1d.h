@@ -1,0 +1,55 @@
+#ifndef CAMAL_NN_CONV1D_H_
+#define CAMAL_NN_CONV1D_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace camal::nn {
+
+/// Configuration for a Conv1d layer.
+struct Conv1dOptions {
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t kernel_size = 1;
+  int64_t stride = 1;
+  /// Zero padding added on each side. Use SamePadding() for length-preserving
+  /// convolutions (odd kernels, stride 1).
+  int64_t padding = 0;
+  int64_t dilation = 1;
+  bool bias = true;
+
+  /// Padding that preserves length at stride 1: dilation * (k - 1) / 2.
+  int64_t SamePadding() const { return dilation * (kernel_size - 1) / 2; }
+};
+
+/// 1-D convolution over (N, C_in, L) -> (N, C_out, L_out).
+///
+/// Weight shape is (C_out, C_in, K); output length is
+///   L_out = (L + 2*padding - dilation*(K-1) - 1) / stride + 1.
+/// Forward and backward are multithreaded over (batch x output-channel).
+class Conv1d : public Module {
+ public:
+  /// Creates the layer and initializes weights (Kaiming uniform) from \p rng.
+  Conv1d(const Conv1dOptions& options, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+  const Conv1dOptions& options() const { return options_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias_param() { return bias_; }
+
+  /// Output length for an input of length \p input_length.
+  int64_t OutputLength(int64_t input_length) const;
+
+ private:
+  Conv1dOptions options_;
+  Parameter weight_;  // (C_out, C_in, K)
+  Parameter bias_;    // (C_out) when options_.bias
+  Tensor input_;      // cached for backward
+};
+
+}  // namespace camal::nn
+
+#endif  // CAMAL_NN_CONV1D_H_

@@ -1,0 +1,28 @@
+#include "nn/dropout.h"
+
+namespace camal::nn {
+
+Dropout::Dropout(float p, Rng* rng) : p_(p), rng_(rng) {
+  CAMAL_CHECK_GE(p, 0.0f);
+  CAMAL_CHECK_LT(p, 1.0f);
+  CAMAL_CHECK(rng != nullptr);
+}
+
+Tensor Dropout::Forward(const Tensor& x) {
+  forward_was_training_ = training();
+  if (!training() || p_ == 0.0f) return x;
+  mask_ = Tensor(x.shape());
+  const float scale = 1.0f / (1.0f - p_);
+  float* m = mask_.data();
+  for (int64_t i = 0; i < mask_.numel(); ++i) {
+    m[i] = rng_->Bernoulli(p_) ? 0.0f : scale;
+  }
+  return Mul(x, mask_);
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output) {
+  if (!forward_was_training_ || p_ == 0.0f) return grad_output;
+  return Mul(grad_output, mask_);
+}
+
+}  // namespace camal::nn

@@ -1,0 +1,28 @@
+#ifndef CAMAL_NN_DROPOUT_H_
+#define CAMAL_NN_DROPOUT_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace camal::nn {
+
+/// Inverted dropout: zeroes each element with probability p during training
+/// and scales survivors by 1/(1-p); identity in eval mode.
+class Dropout : public Module {
+ public:
+  /// \p rng must outlive the layer (shared model-level generator).
+  Dropout(float p, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  float p_;
+  Rng* rng_;
+  Tensor mask_;  // scale factors applied in the last training forward
+  bool forward_was_training_ = true;
+};
+
+}  // namespace camal::nn
+
+#endif  // CAMAL_NN_DROPOUT_H_

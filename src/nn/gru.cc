@@ -1,0 +1,246 @@
+#include "nn/gru.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/init.h"
+
+namespace camal::nn {
+namespace {
+
+// Extracts timestep t of (N, C, L) into an (N, C) matrix.
+Tensor SliceTimestep(const Tensor& x, int64_t t) {
+  const int64_t n = x.dim(0), c = x.dim(1), l = x.dim(2);
+  Tensor out({n, c});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t ci = 0; ci < c; ++ci) out.at2(ni, ci) = x.at3(ni, ci, t);
+  }
+  (void)l;
+  return out;
+}
+
+}  // namespace
+
+Gru::Gru(int64_t input_size, int64_t hidden_size, bool reverse, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size), reverse_(reverse) {
+  CAMAL_CHECK_GT(input_size, 0);
+  CAMAL_CHECK_GT(hidden_size, 0);
+  const int64_t h3 = 3 * hidden_size_;
+  w_ih_.name = "gru.w_ih";
+  w_ih_.value = Tensor({h3, input_size_});
+  w_ih_.grad = Tensor(w_ih_.value.shape());
+  w_hh_.name = "gru.w_hh";
+  w_hh_.value = Tensor({h3, hidden_size_});
+  w_hh_.grad = Tensor(w_hh_.value.shape());
+  b_ih_.name = "gru.b_ih";
+  b_ih_.value = Tensor({h3});
+  b_ih_.grad = Tensor({h3});
+  b_hh_.name = "gru.b_hh";
+  b_hh_.value = Tensor({h3});
+  b_hh_.grad = Tensor({h3});
+  XavierUniform(&w_ih_.value, input_size_, hidden_size_, rng);
+  XavierUniform(&w_hh_.value, hidden_size_, hidden_size_, rng);
+  const float bound = 1.0f / std::sqrt(static_cast<float>(hidden_size_));
+  UniformInit(&b_ih_.value, -bound, bound, rng);
+  UniformInit(&b_hh_.value, -bound, bound, rng);
+}
+
+Tensor Gru::Forward(const Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  CAMAL_CHECK_EQ(x.dim(1), input_size_);
+  input_ = x;
+  const int64_t n = x.dim(0), l = x.dim(2), h = hidden_size_;
+
+  h_.assign(1, Tensor({n, h}));
+  r_.clear();
+  z_.clear();
+  n_.clear();
+  q_.clear();
+  r_.reserve(l);
+  z_.reserve(l);
+  n_.reserve(l);
+  q_.reserve(l);
+
+  Tensor y({n, h, l});
+  for (int64_t step = 0; step < l; ++step) {
+    const int64_t t = reverse_ ? l - 1 - step : step;
+    Tensor xt = SliceTimestep(x, t);                       // (N, I)
+    Tensor gi = MatMulTransposeB(xt, w_ih_.value);         // (N, 3H)
+    Tensor gh = MatMulTransposeB(h_.back(), w_hh_.value);  // (N, 3H)
+    Tensor rt({n, h}), zt({n, h}), nt({n, h}), qt({n, h}), ht({n, h});
+    const Tensor& hprev = h_.back();
+    for (int64_t ni = 0; ni < n; ++ni) {
+      for (int64_t j = 0; j < h; ++j) {
+        const float ir = gi.at2(ni, j) + b_ih_.value.at(j);
+        const float hr = gh.at2(ni, j) + b_hh_.value.at(j);
+        const float iz = gi.at2(ni, h + j) + b_ih_.value.at(h + j);
+        const float hz = gh.at2(ni, h + j) + b_hh_.value.at(h + j);
+        const float in = gi.at2(ni, 2 * h + j) + b_ih_.value.at(2 * h + j);
+        const float hn = gh.at2(ni, 2 * h + j) + b_hh_.value.at(2 * h + j);
+        const float r = SigmoidScalar(ir + hr);
+        const float zz = SigmoidScalar(iz + hz);
+        const float nn = std::tanh(in + r * hn);
+        rt.at2(ni, j) = r;
+        zt.at2(ni, j) = zz;
+        nt.at2(ni, j) = nn;
+        qt.at2(ni, j) = hn;
+        ht.at2(ni, j) = (1.0f - zz) * nn + zz * hprev.at2(ni, j);
+      }
+    }
+    for (int64_t ni = 0; ni < n; ++ni) {
+      for (int64_t j = 0; j < h; ++j) y.at3(ni, j, t) = ht.at2(ni, j);
+    }
+    r_.push_back(std::move(rt));
+    z_.push_back(std::move(zt));
+    n_.push_back(std::move(nt));
+    q_.push_back(std::move(qt));
+    h_.push_back(std::move(ht));
+  }
+  return y;
+}
+
+Tensor Gru::Backward(const Tensor& grad_output) {
+  const int64_t n = input_.dim(0), l = input_.dim(2), h = hidden_size_;
+  CAMAL_CHECK_EQ(grad_output.dim(1), h);
+  CAMAL_CHECK_EQ(grad_output.dim(2), l);
+  Tensor grad_input({n, input_size_, l});
+  Tensor dh({n, h});  // gradient flowing into h_t from the future
+
+  for (int64_t step = l - 1; step >= 0; --step) {
+    const int64_t t = reverse_ ? l - 1 - step : step;
+    // Add the gradient from the output at this timestep.
+    for (int64_t ni = 0; ni < n; ++ni) {
+      for (int64_t j = 0; j < h; ++j) dh.at2(ni, j) += grad_output.at3(ni, j, t);
+    }
+    const Tensor& hprev = h_[step];
+    const Tensor& rt = r_[step];
+    const Tensor& zt = z_[step];
+    const Tensor& nt = n_[step];
+    const Tensor& qt = q_[step];
+
+    // Pre-activation gradients for the three stacked gates.
+    Tensor da({n, 3 * h});       // d(pre-sigmoid/tanh) for [r, z, n]
+    Tensor dq({n, h});           // gradient into q = W_hn h_prev + b_hn
+    Tensor dh_prev({n, h});
+    for (int64_t ni = 0; ni < n; ++ni) {
+      for (int64_t j = 0; j < h; ++j) {
+        const float g = dh.at2(ni, j);
+        const float z = zt.at2(ni, j), r = rt.at2(ni, j),
+                    nn = nt.at2(ni, j), q = qt.at2(ni, j);
+        const float dn = g * (1.0f - z);
+        const float dz = g * (hprev.at2(ni, j) - nn);
+        dh_prev.at2(ni, j) = g * z;
+        const float dan = dn * (1.0f - nn * nn);
+        const float dr = dan * q;
+        dq.at2(ni, j) = dan * r;
+        da.at2(ni, j) = dr * r * (1.0f - r);
+        da.at2(ni, h + j) = dz * z * (1.0f - z);
+        da.at2(ni, 2 * h + j) = dan;
+      }
+    }
+
+    // Bias gradients. b_ih gets da for all gates; b_hh gets da for r,z and
+    // dq for n (the reset gate multiplies the hidden contribution).
+    for (int64_t ni = 0; ni < n; ++ni) {
+      for (int64_t j = 0; j < h; ++j) {
+        b_ih_.grad.at(j) += da.at2(ni, j);
+        b_ih_.grad.at(h + j) += da.at2(ni, h + j);
+        b_ih_.grad.at(2 * h + j) += da.at2(ni, 2 * h + j);
+        b_hh_.grad.at(j) += da.at2(ni, j);
+        b_hh_.grad.at(h + j) += da.at2(ni, h + j);
+        b_hh_.grad.at(2 * h + j) += dq.at2(ni, j);
+      }
+    }
+
+    // Weight gradients: W_ih += da^T x_t; W_hh(r,z) += da^T h_prev;
+    // W_hn += dq^T h_prev.
+    Tensor xt = SliceTimestep(input_, t);
+    Tensor dwih = MatMulTransposeA(da, xt);  // (3H, I)
+    w_ih_.grad.AddInPlace(dwih);
+    // Build hidden-side pre-activation grad [da_r, da_z, dq].
+    Tensor dah({n, 3 * h});
+    for (int64_t ni = 0; ni < n; ++ni) {
+      for (int64_t j = 0; j < h; ++j) {
+        dah.at2(ni, j) = da.at2(ni, j);
+        dah.at2(ni, h + j) = da.at2(ni, h + j);
+        dah.at2(ni, 2 * h + j) = dq.at2(ni, j);
+      }
+    }
+    Tensor dwhh = MatMulTransposeA(dah, hprev);  // (3H, H)
+    w_hh_.grad.AddInPlace(dwhh);
+
+    // Input gradient at t: dx = da * W_ih.
+    Tensor dx = MatMul(da, w_ih_.value);  // (N, I)
+    for (int64_t ni = 0; ni < n; ++ni) {
+      for (int64_t ci = 0; ci < input_size_; ++ci) {
+        grad_input.at3(ni, ci, t) = dx.at2(ni, ci);
+      }
+    }
+
+    // Hidden gradient into h_{t-1}: direct path + through gates.
+    Tensor dh_gates = MatMul(dah, w_hh_.value);  // (N, H)
+    dh = Add(dh_prev, dh_gates);
+  }
+  return grad_input;
+}
+
+void Gru::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&w_ih_);
+  out->push_back(&w_hh_);
+  out->push_back(&b_ih_);
+  out->push_back(&b_hh_);
+}
+
+BiGru::BiGru(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : hidden_size_(hidden_size),
+      fwd_(std::make_unique<Gru>(input_size, hidden_size, /*reverse=*/false,
+                                 rng)),
+      bwd_(std::make_unique<Gru>(input_size, hidden_size, /*reverse=*/true,
+                                 rng)) {}
+
+Tensor BiGru::Forward(const Tensor& x) {
+  Tensor yf = fwd_->Forward(x);
+  Tensor yb = bwd_->Forward(x);
+  const int64_t n = x.dim(0), l = x.dim(2), h = hidden_size_;
+  Tensor y({n, 2 * h, l});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t j = 0; j < h; ++j) {
+      for (int64_t t = 0; t < l; ++t) {
+        y.at3(ni, j, t) = yf.at3(ni, j, t);
+        y.at3(ni, h + j, t) = yb.at3(ni, j, t);
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BiGru::Backward(const Tensor& grad_output) {
+  const int64_t n = grad_output.dim(0), l = grad_output.dim(2),
+                h = hidden_size_;
+  CAMAL_CHECK_EQ(grad_output.dim(1), 2 * h);
+  Tensor gf({n, h, l}), gb({n, h, l});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t j = 0; j < h; ++j) {
+      for (int64_t t = 0; t < l; ++t) {
+        gf.at3(ni, j, t) = grad_output.at3(ni, j, t);
+        gb.at3(ni, j, t) = grad_output.at3(ni, h + j, t);
+      }
+    }
+  }
+  Tensor gx_f = fwd_->Backward(gf);
+  Tensor gx_b = bwd_->Backward(gb);
+  return Add(gx_f, gx_b);
+}
+
+void BiGru::CollectParameters(std::vector<Parameter*>* out) {
+  fwd_->CollectParameters(out);
+  bwd_->CollectParameters(out);
+}
+
+void BiGru::SetTraining(bool training) {
+  Module::SetTraining(training);
+  fwd_->SetTraining(training);
+  bwd_->SetTraining(training);
+}
+
+}  // namespace camal::nn

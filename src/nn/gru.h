@@ -1,0 +1,68 @@
+#ifndef CAMAL_NN_GRU_H_
+#define CAMAL_NN_GRU_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace camal::nn {
+
+/// Unidirectional gated recurrent unit over (N, C, L) -> (N, H, L).
+///
+/// Gate equations follow the PyTorch convention (gate order r, z, n):
+///   r_t = sigmoid(W_ir x_t + b_ir + W_hr h_{t-1} + b_hr)
+///   z_t = sigmoid(W_iz x_t + b_iz + W_hz h_{t-1} + b_hz)
+///   n_t = tanh(W_in x_t + b_in + r_t * (W_hn h_{t-1} + b_hn))
+///   h_t = (1 - z_t) * n_t + z_t * h_{t-1}
+/// Backward is full BPTT over the cached per-step gate activations.
+class Gru : public Module {
+ public:
+  /// \p reverse runs the recurrence from the last timestep to the first
+  /// (the backward half of a bidirectional GRU).
+  Gru(int64_t input_size, int64_t hidden_size, bool reverse, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  // Gate block offsets within the stacked (3H, *) weights: r=0, z=H, n=2H.
+  int64_t input_size_;
+  int64_t hidden_size_;
+  bool reverse_;
+  Parameter w_ih_;  // (3H, I)
+  Parameter w_hh_;  // (3H, H)
+  Parameter b_ih_;  // (3H)
+  Parameter b_hh_;  // (3H)
+  // Cached forward state (time-ordered in processing order).
+  Tensor input_;                 // (N, C, L)
+  std::vector<Tensor> h_;       // L+1 entries of (N, H); h_[0] is zeros
+  std::vector<Tensor> r_, z_, n_, q_;  // per-step gate values, q = W_hn h + b_hn
+};
+
+/// Bidirectional GRU: concatenates a forward and a reverse Gru along the
+/// channel axis, (N, C, L) -> (N, 2H, L).
+class BiGru : public Module {
+ public:
+  BiGru(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+  void SetTraining(bool training) override;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t hidden_size_;
+  std::unique_ptr<Gru> fwd_;
+  std::unique_ptr<Gru> bwd_;
+};
+
+}  // namespace camal::nn
+
+#endif  // CAMAL_NN_GRU_H_

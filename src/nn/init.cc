@@ -1,0 +1,26 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace camal::nn {
+
+void KaimingUniform(Tensor* t, int64_t fan_in, Rng* rng) {
+  CAMAL_CHECK_GT(fan_in, 0);
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  UniformInit(t, -bound, bound, rng);
+}
+
+void XavierUniform(Tensor* t, int64_t fan_in, int64_t fan_out, Rng* rng) {
+  CAMAL_CHECK_GT(fan_in + fan_out, 0);
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  UniformInit(t, -bound, bound, rng);
+}
+
+void UniformInit(Tensor* t, float lo, float hi, Rng* rng) {
+  float* d = t->data();
+  for (int64_t i = 0; i < t->numel(); ++i) {
+    d[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+}
+
+}  // namespace camal::nn

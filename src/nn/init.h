@@ -1,0 +1,22 @@
+#ifndef CAMAL_NN_INIT_H_
+#define CAMAL_NN_INIT_H_
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace camal::nn {
+
+/// Kaiming/He uniform initialization: U(-b, b) with b = sqrt(6 / fan_in).
+/// Used for conv and linear weights feeding ReLU nonlinearities.
+void KaimingUniform(Tensor* t, int64_t fan_in, Rng* rng);
+
+/// Xavier/Glorot uniform: U(-b, b) with b = sqrt(6 / (fan_in + fan_out)).
+/// Used for recurrent and attention projection weights.
+void XavierUniform(Tensor* t, int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// Uniform in [lo, hi).
+void UniformInit(Tensor* t, float lo, float hi, Rng* rng);
+
+}  // namespace camal::nn
+
+#endif  // CAMAL_NN_INIT_H_

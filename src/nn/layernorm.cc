@@ -1,0 +1,81 @@
+#include "nn/layernorm.h"
+
+#include <cmath>
+
+namespace camal::nn {
+
+LayerNorm::LayerNorm(int64_t features, float eps)
+    : features_(features), eps_(eps) {
+  CAMAL_CHECK_GT(features, 0);
+  gamma_.name = "ln.gamma";
+  gamma_.value = Tensor::Full({features_}, 1.0f);
+  gamma_.grad = Tensor({features_});
+  beta_.name = "ln.beta";
+  beta_.value = Tensor({features_});
+  beta_.grad = Tensor({features_});
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  CAMAL_CHECK_EQ(x.dim(1), features_);
+  const int64_t n = x.dim(0), d = features_, l = x.dim(2);
+  x_hat_ = Tensor({n, d, l});
+  inv_std_ = Tensor({n, l});
+  Tensor y({n, d, l});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t t = 0; t < l; ++t) {
+      double sum = 0.0, sq = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        const float v = x.at3(ni, j, t);
+        sum += v;
+        sq += static_cast<double>(v) * v;
+      }
+      const double mean = sum / d;
+      double var = sq / d - mean * mean;
+      if (var < 0.0) var = 0.0;
+      const float is = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      inv_std_.at2(ni, t) = is;
+      for (int64_t j = 0; j < d; ++j) {
+        const float xh = (x.at3(ni, j, t) - static_cast<float>(mean)) * is;
+        x_hat_.at3(ni, j, t) = xh;
+        y.at3(ni, j, t) = gamma_.value.at(j) * xh + beta_.value.at(j);
+      }
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::Backward(const Tensor& grad_output) {
+  CAMAL_CHECK(grad_output.SameShape(x_hat_));
+  const int64_t n = x_hat_.dim(0), d = features_, l = x_hat_.dim(2);
+  Tensor grad_input({n, d, l});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t t = 0; t < l; ++t) {
+      double sum_g = 0.0, sum_gx = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        const float g = grad_output.at3(ni, j, t) * gamma_.value.at(j);
+        sum_g += g;
+        sum_gx += static_cast<double>(g) * x_hat_.at3(ni, j, t);
+        gamma_.grad.at(j) +=
+            grad_output.at3(ni, j, t) * x_hat_.at3(ni, j, t);
+        beta_.grad.at(j) += grad_output.at3(ni, j, t);
+      }
+      const float mean_g = static_cast<float>(sum_g / d);
+      const float mean_gx = static_cast<float>(sum_gx / d);
+      const float is = inv_std_.at2(ni, t);
+      for (int64_t j = 0; j < d; ++j) {
+        const float g = grad_output.at3(ni, j, t) * gamma_.value.at(j);
+        grad_input.at3(ni, j, t) =
+            is * (g - mean_g - x_hat_.at3(ni, j, t) * mean_gx);
+      }
+    }
+  }
+  return grad_input;
+}
+
+void LayerNorm::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&gamma_);
+  out->push_back(&beta_);
+}
+
+}  // namespace camal::nn

@@ -1,0 +1,30 @@
+#ifndef CAMAL_NN_LAYERNORM_H_
+#define CAMAL_NN_LAYERNORM_H_
+
+#include "nn/module.h"
+
+namespace camal::nn {
+
+/// Layer normalization over the channel dimension of (N, D, L) tensors:
+/// each (n, t) position is normalized across its D features. Used by the
+/// TransNILM transformer encoder.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t features, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  void CollectParameters(std::vector<Parameter*>* out) override;
+
+ private:
+  int64_t features_;
+  float eps_;
+  Parameter gamma_;  // (D)
+  Parameter beta_;   // (D)
+  Tensor x_hat_;     // (N, D, L)
+  Tensor inv_std_;   // (N, L)
+};
+
+}  // namespace camal::nn
+
+#endif  // CAMAL_NN_LAYERNORM_H_

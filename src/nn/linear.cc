@@ -1,0 +1,64 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace camal::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool bias, Rng* rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  CAMAL_CHECK_GT(in_features, 0);
+  CAMAL_CHECK_GT(out_features, 0);
+  weight_.name = "linear.weight";
+  weight_.value = Tensor({out_features_, in_features_});
+  weight_.grad = Tensor(weight_.value.shape());
+  KaimingUniform(&weight_.value, in_features_, rng);
+  if (has_bias_) {
+    bias_.name = "linear.bias";
+    bias_.value = Tensor({out_features_});
+    bias_.grad = Tensor({out_features_});
+    KaimingUniform(&bias_.value, in_features_, rng);
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 2);
+  CAMAL_CHECK_EQ(x.dim(1), in_features_);
+  input_ = x;
+  Tensor y = MatMulTransposeB(x, weight_.value);  // (N, F_out)
+  if (has_bias_) {
+    const int64_t n = y.dim(0);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < out_features_; ++j) {
+        y.at2(i, j) += bias_.value.at(j);
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Linear::Backward(const Tensor& grad_output) {
+  CAMAL_CHECK_EQ(grad_output.ndim(), 2);
+  CAMAL_CHECK_EQ(grad_output.dim(1), out_features_);
+  // dW = g^T x, accumulated.
+  Tensor dw = MatMulTransposeA(grad_output, input_);  // (F_out, F_in)
+  weight_.grad.AddInPlace(dw);
+  if (has_bias_) {
+    const int64_t n = grad_output.dim(0);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < out_features_; ++j) {
+        bias_.grad.at(j) += grad_output.at2(i, j);
+      }
+    }
+  }
+  // dx = g W.
+  return MatMul(grad_output, weight_.value);
+}
+
+void Linear::CollectParameters(std::vector<Parameter*>* out) {
+  out->push_back(&weight_);
+  if (has_bias_) out->push_back(&bias_);
+}
+
+}  // namespace camal::nn

@@ -1,0 +1,91 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+namespace camal::nn {
+
+LossResult BceWithLogits(const Tensor& logits, const Tensor& targets) {
+  CAMAL_CHECK_MSG(logits.SameShape(targets), "BCE shape mismatch");
+  const int64_t n = logits.numel();
+  CAMAL_CHECK_GT(n, 0);
+  LossResult out;
+  out.grad = Tensor(logits.shape());
+  double total = 0.0;
+  const float* x = logits.data();
+  const float* y = targets.data();
+  float* g = out.grad.data();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    // loss = max(x,0) - x*y + log(1 + exp(-|x|))
+    const float xi = x[i], yi = y[i];
+    const float max_part = xi > 0.0f ? xi : 0.0f;
+    total += max_part - xi * yi + std::log1p(std::exp(-std::fabs(xi)));
+    const float sig = 1.0f / (1.0f + std::exp(-xi));
+    g[i] = (sig - yi) * inv_n;
+  }
+  out.value = total / static_cast<double>(n);
+  return out;
+}
+
+Tensor Softmax(const Tensor& logits) {
+  CAMAL_CHECK_EQ(logits.ndim(), 2);
+  const int64_t n = logits.dim(0), k = logits.dim(1);
+  Tensor p({n, k});
+  for (int64_t i = 0; i < n; ++i) {
+    float max_v = logits.at2(i, 0);
+    for (int64_t j = 1; j < k; ++j) max_v = std::max(max_v, logits.at2(i, j));
+    float denom = 0.0f;
+    for (int64_t j = 0; j < k; ++j) {
+      const float e = std::exp(logits.at2(i, j) - max_v);
+      p.at2(i, j) = e;
+      denom += e;
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t j = 0; j < k; ++j) p.at2(i, j) *= inv;
+  }
+  return p;
+}
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int>& labels) {
+  CAMAL_CHECK_EQ(logits.ndim(), 2);
+  const int64_t n = logits.dim(0), k = logits.dim(1);
+  CAMAL_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  Tensor p = Softmax(logits);
+  LossResult out;
+  out.grad = p;
+  double total = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<size_t>(i)];
+    CAMAL_CHECK_GE(y, 0);
+    CAMAL_CHECK_LT(y, k);
+    total += -std::log(std::max(p.at2(i, y), 1e-12f));
+    out.grad.at2(i, y) -= 1.0f;
+  }
+  out.grad.ScaleInPlace(inv_n);
+  out.value = total / static_cast<double>(n);
+  return out;
+}
+
+LossResult MeanSquaredError(const Tensor& pred, const Tensor& target) {
+  CAMAL_CHECK_MSG(pred.SameShape(target), "MSE shape mismatch");
+  const int64_t n = pred.numel();
+  CAMAL_CHECK_GT(n, 0);
+  LossResult out;
+  out.grad = Tensor(pred.shape());
+  double total = 0.0;
+  const float* x = pred.data();
+  const float* y = target.data();
+  float* g = out.grad.data();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const float d = x[i] - y[i];
+    total += static_cast<double>(d) * d;
+    g[i] = 2.0f * d * inv_n;
+  }
+  out.value = total / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace camal::nn

@@ -1,0 +1,32 @@
+#ifndef CAMAL_NN_LOSS_H_
+#define CAMAL_NN_LOSS_H_
+
+#include "nn/tensor.h"
+
+namespace camal::nn {
+
+/// A scalar loss value plus the gradient with respect to the prediction.
+struct LossResult {
+  double value = 0.0;
+  Tensor grad;  ///< dLoss/dPrediction, same shape as the prediction.
+};
+
+/// Mean binary cross-entropy on logits (numerically stable log-sum-exp
+/// form). Prediction and target have the same shape; targets in [0, 1]
+/// (soft labels allowed — used for the Fig. 10 soft-label experiments).
+LossResult BceWithLogits(const Tensor& logits, const Tensor& targets);
+
+/// Softmax cross-entropy for (N, K) logits and integer class labels.
+/// The gradient is (softmax - onehot) / N.
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int>& labels);
+
+/// Mean squared error; prediction and target have the same shape.
+LossResult MeanSquaredError(const Tensor& pred, const Tensor& target);
+
+/// Row-wise softmax of (N, K) logits.
+Tensor Softmax(const Tensor& logits);
+
+}  // namespace camal::nn
+
+#endif  // CAMAL_NN_LOSS_H_

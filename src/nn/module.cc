@@ -1,0 +1,27 @@
+#include "nn/module.h"
+
+namespace camal::nn {
+
+std::vector<Parameter*> Module::Parameters() {
+  std::vector<Parameter*> out;
+  CollectParameters(&out);
+  return out;
+}
+
+std::vector<Tensor*> Module::Buffers() {
+  std::vector<Tensor*> out;
+  CollectBuffers(&out);
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (Parameter* p : Parameters()) p->grad.Zero();
+}
+
+int64_t Module::NumParameters() {
+  int64_t total = 0;
+  for (Parameter* p : Parameters()) total += p->value.numel();
+  return total;
+}
+
+}  // namespace camal::nn

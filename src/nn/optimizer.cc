@@ -1,0 +1,72 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace camal::nn {
+
+void Optimizer::ZeroGrad() {
+  for (Parameter* p : params_) p->grad.Zero();
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* vel = velocity_[i].data();
+    for (int64_t j = 0; j < p->value.numel(); ++j) {
+      float grad = g[j] + weight_decay_ * w[j];
+      vel[j] = momentum_ * vel[j] + grad;
+      w[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (int64_t j = 0; j < p->value.numel(); ++j) {
+      float grad = g[j] + weight_decay_ * w[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      w[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace camal::nn

@@ -1,0 +1,69 @@
+#include "nn/sequential.h"
+
+namespace camal::nn {
+
+Tensor Sequential::Forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->Forward(h);
+  return h;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+void Sequential::CollectParameters(std::vector<Parameter*>* out) {
+  for (auto& layer : layers_) layer->CollectParameters(out);
+}
+
+void Sequential::CollectBuffers(std::vector<Tensor*>* out) {
+  for (auto& layer : layers_) layer->CollectBuffers(out);
+}
+
+void Sequential::SetTraining(bool training) {
+  Module::SetTraining(training);
+  for (auto& layer : layers_) layer->SetTraining(training);
+}
+
+Residual::Residual(std::unique_ptr<Module> body,
+                   std::unique_ptr<Module> shortcut)
+    : body_(std::move(body)), shortcut_(std::move(shortcut)) {
+  CAMAL_CHECK(body_ != nullptr);
+}
+
+Tensor Residual::Forward(const Tensor& x) {
+  Tensor main = body_->Forward(x);
+  Tensor skip = shortcut_ ? shortcut_->Forward(x) : x;
+  CAMAL_CHECK_MSG(main.SameShape(skip),
+                  "residual body/shortcut shape mismatch");
+  return Add(main, skip);
+}
+
+Tensor Residual::Backward(const Tensor& grad_output) {
+  Tensor g_body = body_->Backward(grad_output);
+  Tensor g_skip =
+      shortcut_ ? shortcut_->Backward(grad_output) : grad_output;
+  return Add(g_body, g_skip);
+}
+
+void Residual::CollectParameters(std::vector<Parameter*>* out) {
+  body_->CollectParameters(out);
+  if (shortcut_) shortcut_->CollectParameters(out);
+}
+
+void Residual::CollectBuffers(std::vector<Tensor*>* out) {
+  body_->CollectBuffers(out);
+  if (shortcut_) shortcut_->CollectBuffers(out);
+}
+
+void Residual::SetTraining(bool training) {
+  Module::SetTraining(training);
+  body_->SetTraining(training);
+  if (shortcut_) shortcut_->SetTraining(training);
+}
+
+}  // namespace camal::nn

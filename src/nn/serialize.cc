@@ -1,0 +1,137 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace camal::nn {
+namespace {
+
+constexpr uint32_t kMagic = 0x43414D4C;  // "CAML"
+
+}  // namespace
+
+namespace {
+
+bool WriteTensor(std::FILE* f, const Tensor& t) {
+  uint32_t ndim = static_cast<uint32_t>(t.ndim());
+  if (std::fwrite(&ndim, sizeof(ndim), 1, f) != 1) return false;
+  for (int i = 0; i < t.ndim(); ++i) {
+    int64_t d = t.dim(i);
+    if (std::fwrite(&d, sizeof(d), 1, f) != 1) return false;
+  }
+  if (t.numel() > 0 &&
+      std::fwrite(t.data(), sizeof(float), static_cast<size_t>(t.numel()),
+                  f) != static_cast<size_t>(t.numel())) {
+    return false;
+  }
+  return true;
+}
+
+Status ReadTensorInto(std::FILE* f, Tensor* t, const std::string& name,
+                      const std::string& path) {
+  uint32_t ndim = 0;
+  if (std::fread(&ndim, sizeof(ndim), 1, f) != 1) {
+    return Status::IoError("truncated shape in " + path);
+  }
+  if (static_cast<int>(ndim) != t->ndim()) {
+    return Status::InvalidArgument("rank mismatch for " + name);
+  }
+  for (uint32_t i = 0; i < ndim; ++i) {
+    int64_t d = 0;
+    if (std::fread(&d, sizeof(d), 1, f) != 1) {
+      return Status::IoError("truncated shape in " + path);
+    }
+    if (d != t->dim(static_cast<int>(i))) {
+      return Status::InvalidArgument("shape mismatch for " + name);
+    }
+  }
+  if (t->numel() > 0 &&
+      std::fread(t->data(), sizeof(float), static_cast<size_t>(t->numel()),
+                 f) != static_cast<size_t>(t->numel())) {
+    return Status::IoError("truncated payload in " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveParameters(Module* module, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  auto params = module->Parameters();
+  auto buffers = module->Buffers();
+  uint32_t magic = kMagic;
+  uint64_t count = params.size();
+  uint64_t buffer_count = buffers.size();
+  bool ok = std::fwrite(&magic, sizeof(magic), 1, f) == 1 &&
+            std::fwrite(&count, sizeof(count), 1, f) == 1 &&
+            std::fwrite(&buffer_count, sizeof(buffer_count), 1, f) == 1;
+  for (Parameter* p : params) {
+    if (!ok) break;
+    ok = WriteTensor(f, p->value);
+  }
+  for (Tensor* b : buffers) {
+    if (!ok) break;
+    ok = WriteTensor(f, *b);
+  }
+  std::fclose(f);
+  if (!ok) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  auto close_and = [&](Status st) {
+    std::fclose(f);
+    return st;
+  };
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  uint64_t buffer_count = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f) != 1 || magic != kMagic) {
+    return close_and(Status::InvalidArgument("bad magic in " + path));
+  }
+  if (std::fread(&count, sizeof(count), 1, f) != 1 ||
+      std::fread(&buffer_count, sizeof(buffer_count), 1, f) != 1) {
+    return close_and(Status::IoError("truncated header in " + path));
+  }
+  auto params = module->Parameters();
+  auto buffers = module->Buffers();
+  if (count != params.size()) {
+    return close_and(Status::InvalidArgument(
+        "parameter count mismatch: file has " + std::to_string(count) +
+        ", module has " + std::to_string(params.size())));
+  }
+  if (buffer_count != buffers.size()) {
+    return close_and(Status::InvalidArgument(
+        "buffer count mismatch: file has " + std::to_string(buffer_count) +
+        ", module has " + std::to_string(buffers.size())));
+  }
+  for (Parameter* p : params) {
+    Status st = ReadTensorInto(f, &p->value, p->name, path);
+    if (!st.ok()) return close_and(st);
+  }
+  for (Tensor* b : buffers) {
+    Status st = ReadTensorInto(f, b, "buffer", path);
+    if (!st.ok()) return close_and(st);
+  }
+  return close_and(Status::OK());
+}
+
+std::vector<Tensor> SnapshotParameters(Module* module) {
+  std::vector<Tensor> out;
+  for (Parameter* p : module->Parameters()) out.push_back(p->value);
+  return out;
+}
+
+void RestoreParameters(Module* module, const std::vector<Tensor>& snapshot) {
+  auto params = module->Parameters();
+  CAMAL_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    CAMAL_CHECK(params[i]->value.SameShape(snapshot[i]));
+    params[i]->value = snapshot[i];
+  }
+}
+
+}  // namespace camal::nn

@@ -1,0 +1,28 @@
+#ifndef CAMAL_NN_SERIALIZE_H_
+#define CAMAL_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace camal::nn {
+
+/// Writes all parameters of \p module to \p path in a simple binary format
+/// (magic, parameter count, then shape + float32 payload per parameter,
+/// in CollectParameters order).
+Status SaveParameters(Module* module, const std::string& path);
+
+/// Loads parameters saved by SaveParameters into \p module. The module must
+/// have an identical parameter structure (same order, same shapes).
+Status LoadParameters(Module* module, const std::string& path);
+
+/// In-memory snapshot of parameter values (for best-epoch checkpointing).
+std::vector<Tensor> SnapshotParameters(Module* module);
+
+/// Restores a snapshot taken by SnapshotParameters.
+void RestoreParameters(Module* module, const std::vector<Tensor>& snapshot);
+
+}  // namespace camal::nn
+
+#endif  // CAMAL_NN_SERIALIZE_H_

@@ -1,0 +1,86 @@
+#include "nn/upsample.h"
+
+namespace camal::nn {
+
+UpsampleNearest1d::UpsampleNearest1d(int64_t factor) : factor_(factor) {
+  CAMAL_CHECK_GT(factor, 0);
+}
+
+Tensor UpsampleNearest1d::Forward(const Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  input_shape_ = x.shape();
+  const int64_t n = x.dim(0), c = x.dim(1), l = x.dim(2);
+  Tensor y({n, c, l * factor_});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float* row = x.data() + (ni * c + ci) * l;
+      float* out = y.data() + (ni * c + ci) * l * factor_;
+      for (int64_t t = 0; t < l; ++t) {
+        for (int64_t f = 0; f < factor_; ++f) out[t * factor_ + f] = row[t];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor UpsampleNearest1d::Backward(const Tensor& grad_output) {
+  const int64_t n = input_shape_[0], c = input_shape_[1], l = input_shape_[2];
+  CAMAL_CHECK_EQ(grad_output.dim(2), l * factor_);
+  Tensor grad_input({n, c, l});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float* go = grad_output.data() + (ni * c + ci) * l * factor_;
+      float* gi = grad_input.data() + (ni * c + ci) * l;
+      for (int64_t t = 0; t < l; ++t) {
+        float acc = 0.0f;
+        for (int64_t f = 0; f < factor_; ++f) acc += go[t * factor_ + f];
+        gi[t] = acc;
+      }
+    }
+  }
+  return grad_input;
+}
+
+ResizeNearest1d::ResizeNearest1d(int64_t target_length)
+    : target_length_(target_length) {
+  CAMAL_CHECK_GT(target_length, 0);
+}
+
+Tensor ResizeNearest1d::Forward(const Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  input_shape_ = x.shape();
+  const int64_t n = x.dim(0), c = x.dim(1), l = x.dim(2);
+  Tensor y({n, c, target_length_});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float* row = x.data() + (ni * c + ci) * l;
+      float* out = y.data() + (ni * c + ci) * target_length_;
+      for (int64_t t = 0; t < target_length_; ++t) {
+        int64_t src = t * l / target_length_;
+        if (src >= l) src = l - 1;
+        out[t] = row[src];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor ResizeNearest1d::Backward(const Tensor& grad_output) {
+  const int64_t n = input_shape_[0], c = input_shape_[1], l = input_shape_[2];
+  CAMAL_CHECK_EQ(grad_output.dim(2), target_length_);
+  Tensor grad_input({n, c, l});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float* go = grad_output.data() + (ni * c + ci) * target_length_;
+      float* gi = grad_input.data() + (ni * c + ci) * l;
+      for (int64_t t = 0; t < target_length_; ++t) {
+        int64_t src = t * l / target_length_;
+        if (src >= l) src = l - 1;
+        gi[src] += go[t];
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace camal::nn

@@ -1,0 +1,40 @@
+#ifndef CAMAL_NN_UPSAMPLE_H_
+#define CAMAL_NN_UPSAMPLE_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace camal::nn {
+
+/// Nearest-neighbour upsampling of (N, C, L) -> (N, C, L * factor); the
+/// decoder step in UNet-NILM and the multi-scale merge in TPNILM/TransNILM.
+class UpsampleNearest1d : public Module {
+ public:
+  explicit UpsampleNearest1d(int64_t factor);
+
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  int64_t factor_;
+  std::vector<int64_t> input_shape_;
+};
+
+/// Nearest-neighbour resize of (N, C, L) to an arbitrary target length;
+/// used to restore the exact input resolution after pooling pyramids.
+class ResizeNearest1d : public Module {
+ public:
+  explicit ResizeNearest1d(int64_t target_length);
+
+  Tensor Forward(const Tensor& x) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  int64_t target_length_;
+  std::vector<int64_t> input_shape_;
+};
+
+}  // namespace camal::nn
+
+#endif  // CAMAL_NN_UPSAMPLE_H_

@@ -1,0 +1,53 @@
+#include "simulate/base_load.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace camal::simulate {
+
+std::vector<float> GenerateBaseLoad(int64_t num_samples,
+                                    double interval_seconds,
+                                    const BaseLoadConfig& config, Rng* rng) {
+  std::vector<float> out(static_cast<size_t>(num_samples), 0.0f);
+  const double samples_per_day = 86400.0 / interval_seconds;
+  const double fridge_period =
+      config.fridge_period_minutes * 60.0 / interval_seconds;
+  const double fridge_phase = rng->Uniform(0.0, fridge_period);
+
+  for (int64_t i = 0; i < num_samples; ++i) {
+    double w = config.standby_w;
+    // Fridge compressor square wave.
+    const double cycle_pos =
+        std::fmod(static_cast<double>(i) + fridge_phase, fridge_period) /
+        fridge_period;
+    if (cycle_pos < config.fridge_duty) w += config.fridge_w;
+    // Diurnal lighting: peaks around 20:00, near zero mid-day/night.
+    const double hour =
+        std::fmod(static_cast<double>(i) / samples_per_day * 24.0, 24.0);
+    double dist = std::fabs(hour - 20.0);
+    dist = std::min(dist, 24.0 - dist);
+    w += config.lighting_peak_w * std::exp(-0.5 * (dist / 2.5) * (dist / 2.5));
+    // Measurement noise.
+    w += rng->Gaussian(0.0, config.noise_std_w);
+    out[static_cast<size_t>(i)] = static_cast<float>(std::max(0.0, w));
+  }
+
+  // Distractor pulses (unmodelled appliances).
+  const double days = static_cast<double>(num_samples) / samples_per_day;
+  const int64_t n_pulses = rng->Poisson(config.distractor_rate_per_day * days);
+  for (int64_t p = 0; p < n_pulses; ++p) {
+    const int64_t start = rng->UniformInt(0, num_samples - 1);
+    const double minutes = rng->Uniform(config.distractor_min_minutes,
+                                        config.distractor_max_minutes);
+    const auto len = static_cast<int64_t>(
+        std::max(1.0, std::round(minutes * 60.0 / interval_seconds)));
+    const double watts =
+        rng->Uniform(config.distractor_min_w, config.distractor_max_w);
+    for (int64_t i = start; i < std::min(num_samples, start + len); ++i) {
+      out[static_cast<size_t>(i)] += static_cast<float>(watts);
+    }
+  }
+  return out;
+}
+
+}  // namespace camal::simulate

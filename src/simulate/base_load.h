@@ -1,0 +1,39 @@
+#ifndef CAMAL_SIMULATE_BASE_LOAD_H_
+#define CAMAL_SIMULATE_BASE_LOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace camal::simulate {
+
+/// Parameters of the non-target household load: everything in the aggregate
+/// that is *not* the appliance of interest (the cumulative noise term v(t)
+/// of Equation 4).
+struct BaseLoadConfig {
+  double standby_w = 60.0;          ///< always-on electronics
+  double fridge_w = 110.0;          ///< fridge compressor amplitude
+  double fridge_period_minutes = 55.0;
+  double fridge_duty = 0.42;
+  double lighting_peak_w = 220.0;   ///< evening lighting peak
+  double noise_std_w = 18.0;        ///< measurement noise epsilon(t)
+  /// Distractor appliances: random rectangular pulses from unmodelled
+  /// devices (TV, oven, vacuum...). Rate is starts per day.
+  double distractor_rate_per_day = 6.0;
+  double distractor_min_w = 150.0;
+  double distractor_max_w = 2500.0;
+  double distractor_min_minutes = 3.0;
+  double distractor_max_minutes = 45.0;
+};
+
+/// Synthesizes \p num_samples of base load (Watts) at \p interval_seconds.
+/// The series starts at midnight; the diurnal lighting component repeats
+/// every 24 h.
+std::vector<float> GenerateBaseLoad(int64_t num_samples,
+                                    double interval_seconds,
+                                    const BaseLoadConfig& config, Rng* rng);
+
+}  // namespace camal::simulate
+
+#endif  // CAMAL_SIMULATE_BASE_LOAD_H_

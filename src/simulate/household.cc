@@ -1,0 +1,91 @@
+#include "simulate/household.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace camal::simulate {
+namespace {
+
+// Samples an activation start index from the appliance's diurnal prior by
+// rejection sampling over the whole recording.
+int64_t SampleStartIndex(ApplianceType type, int64_t num_samples,
+                         double interval_seconds, Rng* rng) {
+  const double samples_per_day = 86400.0 / interval_seconds;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const int64_t idx = rng->UniformInt(0, num_samples - 1);
+    const double hour =
+        std::fmod(static_cast<double>(idx) / samples_per_day * 24.0, 24.0);
+    const double w = UsageWeightAtHour(type, hour);
+    if (rng->Uniform(0.0, 2.0) < w) return idx;
+  }
+  return rng->UniformInt(0, num_samples - 1);
+}
+
+}  // namespace
+
+data::HouseRecord SimulateHousehold(const HouseholdConfig& config, Rng* rng) {
+  const auto num_samples = static_cast<int64_t>(
+      std::llround(config.days * 86400.0 / config.interval_seconds));
+  CAMAL_CHECK_GT(num_samples, 0);
+
+  data::HouseRecord house;
+  house.house_id = config.house_id;
+  house.interval_seconds = config.interval_seconds;
+  std::vector<float> aggregate =
+      GenerateBaseLoad(num_samples, config.interval_seconds, config.base_load,
+                       rng);
+
+  for (const auto& installed : config.appliances) {
+    const double rate = installed.activations_per_day > 0.0
+                            ? installed.activations_per_day
+                            : DefaultActivationsPerDay(installed.type);
+    std::vector<float> trace(static_cast<size_t>(num_samples), 0.0f);
+    const int64_t n_activations =
+        std::max<int64_t>(1, rng->Poisson(rate * config.days));
+    for (int64_t a = 0; a < n_activations; ++a) {
+      const std::vector<float> profile =
+          GenerateActivation(installed.type, config.interval_seconds, rng);
+      const int64_t start = SampleStartIndex(
+          installed.type, num_samples, config.interval_seconds, rng);
+      for (size_t i = 0; i < profile.size(); ++i) {
+        const int64_t t = start + static_cast<int64_t>(i);
+        if (t >= num_samples) break;
+        trace[static_cast<size_t>(t)] += profile[i];
+      }
+    }
+    for (int64_t t = 0; t < num_samples; ++t) {
+      aggregate[static_cast<size_t>(t)] += trace[static_cast<size_t>(t)];
+    }
+    house.owned_appliances.push_back(ApplianceName(installed.type));
+    if (installed.submetered) {
+      data::ApplianceTrace at;
+      at.name = ApplianceName(installed.type);
+      at.power = std::move(trace);
+      house.appliances.push_back(std::move(at));
+    }
+  }
+
+  // Inject missing gaps.
+  if (config.missing_fraction > 0.0) {
+    int64_t missing_budget = static_cast<int64_t>(
+        config.missing_fraction * static_cast<double>(num_samples));
+    while (missing_budget > 0) {
+      const int64_t start = rng->UniformInt(0, num_samples - 1);
+      const int64_t len = std::max<int64_t>(
+          1, static_cast<int64_t>(
+                 rng->Exponential(1.0 / config.mean_gap_samples)));
+      for (int64_t t = start;
+           t < std::min(num_samples, start + len) && missing_budget > 0; ++t) {
+        if (!data::IsMissing(aggregate[static_cast<size_t>(t)])) {
+          aggregate[static_cast<size_t>(t)] = data::kMissingValue;
+          --missing_budget;
+        }
+      }
+    }
+  }
+
+  house.aggregate = std::move(aggregate);
+  return house;
+}
+
+}  // namespace camal::simulate

@@ -1,0 +1,179 @@
+#include "simulate/signature.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace camal::simulate {
+namespace {
+
+// Appends a constant-power phase of `seconds` duration with multiplicative
+// jitter.
+void AppendPhase(std::vector<float>* out, double seconds, double watts,
+                 double jitter, double interval_seconds, Rng* rng) {
+  const auto n = static_cast<int64_t>(
+      std::max(1.0, std::round(seconds / interval_seconds)));
+  for (int64_t i = 0; i < n; ++i) {
+    const double w = watts * (1.0 + rng->Gaussian(0.0, jitter));
+    out->push_back(static_cast<float>(std::max(0.0, w)));
+  }
+}
+
+}  // namespace
+
+const char* ApplianceName(ApplianceType type) {
+  switch (type) {
+    case ApplianceType::kDishwasher:
+      return "dishwasher";
+    case ApplianceType::kKettle:
+      return "kettle";
+    case ApplianceType::kMicrowave:
+      return "microwave";
+    case ApplianceType::kWashingMachine:
+      return "washing_machine";
+    case ApplianceType::kShower:
+      return "shower";
+    case ApplianceType::kElectricVehicle:
+      return "electric_vehicle";
+  }
+  return "unknown";
+}
+
+data::ApplianceSpec SpecFor(ApplianceType type) {
+  // ON Power / Avg. Power from Table I of the paper.
+  switch (type) {
+    case ApplianceType::kDishwasher:
+      return {"dishwasher", 300.0f, 800.0f};
+    case ApplianceType::kKettle:
+      return {"kettle", 500.0f, 2000.0f};
+    case ApplianceType::kMicrowave:
+      return {"microwave", 200.0f, 1000.0f};
+    case ApplianceType::kWashingMachine:
+      return {"washing_machine", 300.0f, 500.0f};
+    case ApplianceType::kShower:
+      return {"shower", 1000.0f, 8000.0f};
+    case ApplianceType::kElectricVehicle:
+      return {"electric_vehicle", 1000.0f, 4000.0f};
+  }
+  return {"unknown", 0.0f, 0.0f};
+}
+
+std::vector<float> GenerateActivation(ApplianceType type,
+                                      double interval_seconds, Rng* rng) {
+  std::vector<float> out;
+  switch (type) {
+    case ApplianceType::kKettle: {
+      const double secs = rng->Uniform(90.0, 300.0);
+      const double watts = rng->Uniform(1800.0, 2300.0);
+      AppendPhase(&out, secs, watts, 0.02, interval_seconds, rng);
+      break;
+    }
+    case ApplianceType::kMicrowave: {
+      const int bursts = static_cast<int>(rng->UniformInt(1, 3));
+      for (int b = 0; b < bursts; ++b) {
+        const double secs = rng->Uniform(45.0, 240.0);
+        const double watts = rng->Uniform(900.0, 1300.0);
+        AppendPhase(&out, secs, watts, 0.05, interval_seconds, rng);
+        if (b + 1 < bursts) {
+          AppendPhase(&out, rng->Uniform(20.0, 90.0), 5.0, 0.2,
+                      interval_seconds, rng);
+        }
+      }
+      break;
+    }
+    case ApplianceType::kDishwasher: {
+      // Pre-wash, heat 1, wash, heat 2, dry: the classic two-hump cycle.
+      AppendPhase(&out, rng->Uniform(300.0, 900.0), 60.0, 0.2,
+                  interval_seconds, rng);
+      AppendPhase(&out, rng->Uniform(600.0, 1200.0),
+                  rng->Uniform(1800.0, 2200.0), 0.03, interval_seconds, rng);
+      AppendPhase(&out, rng->Uniform(900.0, 1800.0), 110.0, 0.25,
+                  interval_seconds, rng);
+      AppendPhase(&out, rng->Uniform(480.0, 900.0),
+                  rng->Uniform(1800.0, 2200.0), 0.03, interval_seconds, rng);
+      AppendPhase(&out, rng->Uniform(600.0, 1500.0), 40.0, 0.3,
+                  interval_seconds, rng);
+      break;
+    }
+    case ApplianceType::kWashingMachine: {
+      // Heating plateau then an oscillating drum/spin load.
+      AppendPhase(&out, rng->Uniform(600.0, 1200.0),
+                  rng->Uniform(1800.0, 2100.0), 0.03, interval_seconds, rng);
+      const double spin_secs = rng->Uniform(2400.0, 4200.0);
+      const auto n = static_cast<int64_t>(
+          std::max(1.0, std::round(spin_secs / interval_seconds)));
+      for (int64_t i = 0; i < n; ++i) {
+        const double phase = 2.0 * M_PI * static_cast<double>(i) / 8.0;
+        const double w = 400.0 + 250.0 * std::sin(phase) +
+                         rng->Gaussian(0.0, 60.0);
+        out.push_back(static_cast<float>(std::max(30.0, w)));
+      }
+      break;
+    }
+    case ApplianceType::kShower: {
+      const double secs = rng->Uniform(240.0, 720.0);
+      const double watts = rng->Uniform(7200.0, 8800.0);
+      AppendPhase(&out, secs, watts, 0.02, interval_seconds, rng);
+      break;
+    }
+    case ApplianceType::kElectricVehicle: {
+      const double secs = rng->Uniform(3600.0, 6.0 * 3600.0);
+      const double watts = rng->Uniform(3500.0, 4300.0);
+      AppendPhase(&out, secs * 0.9, watts, 0.02, interval_seconds, rng);
+      // Constant-voltage taper at the end of the charge.
+      const auto taper = static_cast<int64_t>(
+          std::max(1.0, std::round(secs * 0.1 / interval_seconds)));
+      for (int64_t i = 0; i < taper; ++i) {
+        const double frac = 1.0 - static_cast<double>(i + 1) /
+                                      static_cast<double>(taper + 1);
+        out.push_back(static_cast<float>(watts * std::max(0.15, frac)));
+      }
+      break;
+    }
+  }
+  if (out.empty()) out.push_back(0.0f);
+  return out;
+}
+
+double DefaultActivationsPerDay(ApplianceType type) {
+  switch (type) {
+    case ApplianceType::kKettle:
+      return 3.0;
+    case ApplianceType::kMicrowave:
+      return 2.0;
+    case ApplianceType::kDishwasher:
+      return 0.7;
+    case ApplianceType::kWashingMachine:
+      return 0.5;
+    case ApplianceType::kShower:
+      return 1.2;
+    case ApplianceType::kElectricVehicle:
+      return 0.6;
+  }
+  return 1.0;
+}
+
+double UsageWeightAtHour(ApplianceType type, double hour) {
+  auto bump = [](double h, double center, double width) {
+    double d = std::fabs(h - center);
+    d = std::min(d, 24.0 - d);  // circular distance
+    return std::exp(-0.5 * (d / width) * (d / width));
+  };
+  switch (type) {
+    case ApplianceType::kKettle:
+      return 0.1 + bump(hour, 7.5, 1.5) + 0.6 * bump(hour, 13.0, 2.0) +
+             0.8 * bump(hour, 18.0, 2.5);
+    case ApplianceType::kMicrowave:
+      return 0.1 + 0.7 * bump(hour, 12.5, 1.5) + bump(hour, 19.0, 2.0);
+    case ApplianceType::kDishwasher:
+      return 0.05 + 0.6 * bump(hour, 13.5, 2.0) + bump(hour, 20.5, 2.0);
+    case ApplianceType::kWashingMachine:
+      return 0.1 + bump(hour, 10.0, 3.0) + 0.7 * bump(hour, 17.0, 3.0);
+    case ApplianceType::kShower:
+      return 0.05 + bump(hour, 7.0, 1.2) + 0.7 * bump(hour, 21.5, 1.5);
+    case ApplianceType::kElectricVehicle:
+      return 0.05 + bump(hour, 23.0, 3.0) + 0.5 * bump(hour, 2.0, 3.0);
+  }
+  return 1.0;
+}
+
+}  // namespace camal::simulate

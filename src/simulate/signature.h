@@ -1,0 +1,52 @@
+#ifndef CAMAL_SIMULATE_SIGNATURE_H_
+#define CAMAL_SIMULATE_SIGNATURE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace camal::simulate {
+
+/// Appliance categories evaluated in the paper (Table I).
+enum class ApplianceType {
+  kDishwasher,
+  kKettle,
+  kMicrowave,
+  kWashingMachine,
+  kShower,
+  kElectricVehicle,
+};
+
+/// Canonical lower-case name ("dishwasher", "kettle", ...).
+const char* ApplianceName(ApplianceType type);
+
+/// Table I preprocessing parameters (ON threshold, average power) for the
+/// appliance; these drive both the simulator and the evaluation pipeline.
+data::ApplianceSpec SpecFor(ApplianceType type);
+
+/// One synthetic appliance activation: a power-vs-time profile in Watts,
+/// sampled at \p interval_seconds. Profiles follow the characteristic
+/// shapes of each appliance class:
+///  - kettle: short single rectangle near 2 kW;
+///  - microwave: short pulse train near 1.1 kW (duty-cycled);
+///  - dishwasher: long multi-phase cycle with two ~2 kW heating plateaus
+///    separated by low-power wash/rinse phases;
+///  - washing machine: heating plateau followed by oscillating drum load;
+///  - shower: medium rectangle near 8 kW;
+///  - electric vehicle: hours-long plateau near 4 kW with a charging taper.
+std::vector<float> GenerateActivation(ApplianceType type,
+                                      double interval_seconds, Rng* rng);
+
+/// Typical number of activations per day used by the dataset profiles.
+double DefaultActivationsPerDay(ApplianceType type);
+
+/// Relative probability of an activation starting at a given hour of day
+/// (diurnal usage prior; EV charging is mostly nocturnal, kettles peak at
+/// breakfast, etc.). Values need not be normalized.
+double UsageWeightAtHour(ApplianceType type, double hour);
+
+}  // namespace camal::simulate
+
+#endif  // CAMAL_SIMULATE_SIGNATURE_H_

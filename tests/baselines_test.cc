@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "baselines/crnn.h"
+#include "baselines/registry.h"
+#include "baselines/unet_nilm.h"
+#include "gradcheck.h"
+#include "nn/activations.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace camal::baselines {
+namespace {
+
+using camal::testing::CheckModuleGradients;
+using camal::testing::RandomInput;
+
+BaselineScale TinyScale() {
+  BaselineScale s;
+  s.width = 0.125;
+  return s;
+}
+
+class BaselineShapes : public ::testing::TestWithParam<BaselineKind> {};
+
+TEST_P(BaselineShapes, ForwardProducesFrameLogits) {
+  Rng rng(1);
+  auto model = MakeBaseline(GetParam(), TinyScale(), &rng);
+  nn::Tensor x = RandomInput({3, 1, 32}, 2, -0.5, 1.5);
+  nn::Tensor y = model->Forward(x);
+  EXPECT_EQ(y.ndim(), 2);
+  EXPECT_EQ(y.dim(0), 3);
+  EXPECT_EQ(y.dim(1), 32);
+}
+
+TEST_P(BaselineShapes, BackwardReturnsInputShapedGradient) {
+  Rng rng(1);
+  auto model = MakeBaseline(GetParam(), TinyScale(), &rng);
+  model->SetTraining(true);
+  nn::Tensor x = RandomInput({2, 1, 32}, 3, -0.5, 1.5);
+  nn::Tensor y = model->Forward(x);
+  nn::Tensor g = model->Backward(nn::Tensor::Full(y.shape(), 0.1f));
+  EXPECT_EQ(g.ndim(), 3);
+  EXPECT_EQ(g.dim(0), 2);
+  EXPECT_EQ(g.dim(1), 1);
+  EXPECT_EQ(g.dim(2), 32);
+}
+
+TEST_P(BaselineShapes, HasTrainableParameters) {
+  Rng rng(1);
+  auto model = MakeBaseline(GetParam(), TinyScale(), &rng);
+  EXPECT_GT(model->NumParameters(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselineKinds, BaselineShapes, ::testing::ValuesIn(AllBaselines()),
+    [](const ::testing::TestParamInfo<BaselineKind>& info) {
+      std::string name = BaselineName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+class BaselineGradCheck : public ::testing::TestWithParam<BaselineKind> {};
+
+TEST_P(BaselineGradCheck, AnalyticMatchesNumeric) {
+  Rng rng(4);
+  auto model = MakeBaseline(GetParam(), TinyScale(), &rng);
+  // BatchNorm batch statistics couple samples; gradcheck still holds since
+  // the check perturbs inputs and replays the full forward.
+  model->SetTraining(true);
+  nn::Tensor x = RandomInput({2, 1, 32}, 5, -0.5, 0.5);
+  // Deep ReLU stacks make central differences land on kinks; a small eps
+  // keeps the crossing probability low (the 90% probe criterion absorbs
+  // the rest).
+  auto result = CheckModuleGradients(model.get(), x, 6, 3e-4);
+  EXPECT_TRUE(result.ok(3e-2))
+      << BaselineName(GetParam()) << ": abs=" << result.max_abs_err
+      << " rel=" << result.max_rel_err;
+}
+
+// UNet-NILM is excluded from the pointwise gradcheck: its max-pools sit on
+// smoothly varying conv features, so central-difference probes constantly
+// flip argmax choices and measure adjacent linear pieces (~10% deviations
+// that shrink with eps). Its backward pass is validated functionally by
+// DescentDirection and Overfit below instead.
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselineKinds, BaselineGradCheck,
+    ::testing::Values(BaselineKind::kBiGru, BaselineKind::kCrnnStrong,
+                      BaselineKind::kTpnilm, BaselineKind::kTransNilm),
+    [](const ::testing::TestParamInfo<BaselineKind>& info) {
+      std::string name = BaselineName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(UnetGradientTest, AnalyticGradientIsDescentDirection) {
+  // Functional gradient validation: stepping against the analytic gradient
+  // must reduce the loss for a small step size.
+  Rng rng(4);
+  BaselineScale scale;
+  scale.width = 0.125;
+  UnetNilm model(scale, &rng);
+  model.SetTraining(true);
+  nn::Tensor x = RandomInput({2, 1, 32}, 5, -0.5, 1.0);
+  nn::Tensor target({2, 32});
+  for (int64_t i = 0; i < target.numel(); ++i) {
+    target.at(i) = rng.Bernoulli(0.3) ? 1.0f : 0.0f;
+  }
+  auto loss_of = [&] {
+    return nn::BceWithLogits(model.Forward(x), target).value;
+  };
+  const double before = loss_of();
+  model.ZeroGrad();
+  nn::LossResult loss = nn::BceWithLogits(model.Forward(x), target);
+  model.Backward(loss.grad);
+  constexpr float kStep = 0.05f;
+  for (auto* p : model.Parameters()) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      p->value.at(i) -= kStep * p->grad.at(i);
+    }
+  }
+  EXPECT_LT(loss_of(), before);
+}
+
+TEST(UnetGradientTest, OverfitsTinyBatch) {
+  Rng rng(4);
+  BaselineScale scale;
+  scale.width = 0.125;
+  UnetNilm model(scale, &rng);
+  model.SetTraining(true);
+  nn::Tensor x = RandomInput({4, 1, 32}, 5, -0.5, 1.0);
+  nn::Tensor target({4, 32});
+  for (int64_t i = 0; i < target.numel(); ++i) {
+    target.at(i) = rng.Bernoulli(0.3) ? 1.0f : 0.0f;
+  }
+  nn::Adam adam(model.Parameters(), 5e-3f);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    nn::LossResult loss = nn::BceWithLogits(model.Forward(x), target);
+    if (step == 0) first = loss.value;
+    last = loss.value;
+    adam.ZeroGrad();
+    model.Backward(loss.grad);
+    adam.Step();
+  }
+  EXPECT_LT(last, first * 0.6);
+}
+
+TEST(RegistryTest, NamesMatchPaper) {
+  EXPECT_STREQ(BaselineName(BaselineKind::kUnetNilm), "Unet-NILM");
+  EXPECT_STREQ(BaselineName(BaselineKind::kTpnilm), "TPNILM");
+  EXPECT_STREQ(BaselineName(BaselineKind::kBiGru), "BiGRU");
+  EXPECT_STREQ(BaselineName(BaselineKind::kTransNilm), "TransNILM");
+  EXPECT_STREQ(BaselineName(BaselineKind::kCrnnStrong), "CRNN");
+  EXPECT_STREQ(BaselineName(BaselineKind::kCrnnWeak), "CRNN Weak");
+}
+
+TEST(RegistryTest, OnlyCrnnWeakIsWeaklySupervised) {
+  for (BaselineKind kind : AllBaselines()) {
+    EXPECT_EQ(IsWeaklySupervised(kind), kind == BaselineKind::kCrnnWeak);
+  }
+}
+
+TEST(RegistryTest, ScaleChannelsClampsAtTwo) {
+  BaselineScale s;
+  s.width = 0.01;
+  EXPECT_EQ(s.Channels(64), 2);
+  s.width = 1.0;
+  EXPECT_EQ(s.Channels(64), 64);
+  s.width = 0.5;
+  EXPECT_EQ(s.Channels(64), 32);
+}
+
+TEST(MilTest, SequenceProbabilityPoolsTowardActiveFrames) {
+  // All-low logits -> low pooled probability; one strong frame raises it.
+  nn::Tensor quiet = nn::Tensor::Full({1, 10}, -4.0f);
+  nn::Tensor active = quiet;
+  for (int64_t t = 0; t < 5; ++t) active.at2(0, t) = 4.0f;
+  const float p_quiet = MilSequenceProbability(quiet).at(0);
+  const float p_active = MilSequenceProbability(active).at(0);
+  EXPECT_LT(p_quiet, 0.1f);
+  EXPECT_GT(p_active, 0.6f);
+}
+
+TEST(MilTest, PoolingIsBoundedByMaxFrameProbability) {
+  Rng rng(3);
+  nn::Tensor logits = camal::testing::RandomInput({4, 12}, 9, -3, 3);
+  nn::Tensor pooled = MilSequenceProbability(logits);
+  for (int64_t i = 0; i < 4; ++i) {
+    float max_p = 0.0f;
+    for (int64_t t = 0; t < 12; ++t) {
+      max_p = std::max(max_p, nn::SigmoidScalar(logits.at2(i, t)));
+    }
+    EXPECT_LE(pooled.at(i), max_p + 1e-5f);
+    EXPECT_GE(pooled.at(i), 0.0f);
+  }
+}
+
+TEST(MilTest, WeakLossGradientMatchesNumeric) {
+  nn::Tensor logits = RandomInput({3, 8}, 11, -2, 2);
+  std::vector<int> labels{1, 0, 1};
+  nn::LossResult res = WeakMilLoss(logits, labels);
+  const double eps = 1e-3;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    nn::Tensor lp = logits, lm = logits;
+    lp.at(i) += static_cast<float>(eps);
+    lm.at(i) -= static_cast<float>(eps);
+    const double numeric =
+        (WeakMilLoss(lp, labels).value - WeakMilLoss(lm, labels).value) /
+        (2 * eps);
+    EXPECT_NEAR(res.grad.at(i), numeric, 2e-3);
+  }
+}
+
+TEST(MilTest, LossDecreasesWhenPredictionMatchesLabel) {
+  nn::Tensor positive_logits = nn::Tensor::Full({1, 8}, 3.0f);
+  nn::Tensor negative_logits = nn::Tensor::Full({1, 8}, -3.0f);
+  EXPECT_LT(WeakMilLoss(positive_logits, {1}).value,
+            WeakMilLoss(negative_logits, {1}).value);
+  EXPECT_LT(WeakMilLoss(negative_logits, {0}).value,
+            WeakMilLoss(positive_logits, {0}).value);
+}
+
+TEST(ParamCountTest, FullScaleOrderingMatchesTable2) {
+  // Table II ordering of trainable parameters:
+  // TransNILM > Unet-NILM > CRNN > TPNILM > BiGRU.
+  Rng rng(1);
+  BaselineScale full;
+  auto trans = MakeBaseline(BaselineKind::kTransNilm, full, &rng);
+  auto unet = MakeBaseline(BaselineKind::kUnetNilm, full, &rng);
+  auto crnn = MakeBaseline(BaselineKind::kCrnnStrong, full, &rng);
+  auto tpnilm = MakeBaseline(BaselineKind::kTpnilm, full, &rng);
+  auto bigru = MakeBaseline(BaselineKind::kBiGru, full, &rng);
+  EXPECT_GT(trans->NumParameters(), unet->NumParameters());
+  EXPECT_GT(unet->NumParameters(), crnn->NumParameters());
+  EXPECT_GT(crnn->NumParameters(), tpnilm->NumParameters());
+  EXPECT_GT(tpnilm->NumParameters(), bigru->NumParameters());
+}
+
+}  // namespace
+}  // namespace camal::baselines

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/csv.h"
+#include "common/parallel_for.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+
+namespace camal {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad window");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad window");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad window");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.UniformInt(0, 1'000'000) != b.UniformInt(0, 1'000'000)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.UniformInt(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.count(0) == 1 && seen.count(3) == 1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double v = rng.Gaussian(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kTrials;
+  const double var = sq / kTrials - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  // The fork advanced the parent; both continue to produce values.
+  EXPECT_NO_FATAL_FAILURE(child.Uniform(0, 1));
+  EXPECT_NO_FATAL_FAILURE(a.Uniform(0, 1));
+}
+
+TEST(ParallelForTest, VisitsEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(0, 1000, [&](int64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  std::atomic<int> calls{0};
+  ParallelFor(5, 5, [&](int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, ChunkedCoversRange) {
+  std::atomic<int64_t> total{0};
+  ParallelForChunked(0, 10000, [&](int64_t b, int64_t e) {
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 10000);
+}
+
+TEST(ParallelForTest, NestedCallsStaySerial) {
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, 8, [&](int64_t) {
+    ParallelFor(0, 100, [&](int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch w;
+  double t1 = w.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  w.Restart();
+  EXPECT_LT(w.ElapsedSeconds(), 1.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"A", "LongHeader"});
+  t.AddRow({"xx", "1"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| A  | LongHeader |"), std::string::npos);
+  EXPECT_NE(out.find("| xx | 1          |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtHelpers) {
+  EXPECT_EQ(Fmt(0.5444, 2), "0.54");
+  EXPECT_EQ(Fmt(1.0, 0), "1");
+  EXPECT_EQ(FmtInt(123456), "123456");
+}
+
+TEST(CsvTest, RoundTripWithQuoting) {
+  CsvWriter w("/tmp/camal_csv_test.csv");
+  w.AddRow({"a", "b,with,commas", "c\"quoted\""});
+  w.AddRow({"1", "2", "3"});
+  ASSERT_TRUE(w.Write().ok());
+  const std::string text = w.ToString();
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  const auto& rows = parsed.value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b,with,commas");
+  EXPECT_EQ(rows[0][2], "c\"quoted\"");
+  EXPECT_EQ(rows[1][2], "3");
+}
+
+TEST(CsvTest, ParseRejectsUnterminatedQuote) {
+  auto parsed = ParseCsv("\"abc");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, WriteFailsForBadPath) {
+  CsvWriter w("/nonexistent_dir/x.csv");
+  w.AddRow({"a"});
+  EXPECT_EQ(w.Write().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace camal

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "baselines/crnn.h"
+#include "eval/bench_mode.h"
+#include "eval/cost_model.h"
+#include "eval/experiment.h"
+#include "eval/label_budget.h"
+#include "eval/trainer.h"
+
+namespace camal::eval {
+namespace {
+
+// Easy separable dataset shared by the trainer tests.
+data::WindowDataset MakePulseDataset(int64_t n, int64_t l, uint64_t seed) {
+  Rng rng(seed);
+  data::WindowDataset ds;
+  ds.window_length = l;
+  ds.appliance = {"pulse", 300.0f, 800.0f};
+  ds.inputs = nn::Tensor({n, 1, l});
+  ds.status = nn::Tensor({n, l});
+  ds.appliance_power = nn::Tensor({n, l});
+  for (int64_t i = 0; i < n; ++i) {
+    const bool positive = i % 2 == 0;
+    for (int64_t t = 0; t < l; ++t) {
+      ds.inputs.at3(i, 0, t) =
+          0.1f + static_cast<float>(rng.Gaussian(0.0, 0.02));
+    }
+    if (positive) {
+      const int64_t start = rng.UniformInt(0, l - 9);
+      for (int64_t t = start; t < start + 8; ++t) {
+        ds.inputs.at3(i, 0, t) += 0.8f;
+        ds.status.at2(i, t) = 1.0f;
+        ds.appliance_power.at2(i, t) = 800.0f;
+      }
+    }
+    ds.weak_labels.push_back(positive ? 1 : 0);
+    ds.house_ids.push_back(static_cast<int>(i % 4));
+  }
+  return ds;
+}
+
+TrainConfig TinyTrain() {
+  TrainConfig c;
+  c.max_epochs = 6;
+  c.batch_size = 16;
+  c.patience = 3;
+  return c;
+}
+
+TEST(TrainerTest, StrongTrainingReducesFrameLoss) {
+  data::WindowDataset train = MakePulseDataset(48, 32, 1);
+  data::WindowDataset valid = MakePulseDataset(16, 32, 2);
+  Rng rng(1);
+  baselines::BaselineScale scale;
+  scale.width = 0.125;
+  auto model = baselines::MakeBaseline(baselines::BaselineKind::kTpnilm,
+                                       scale, &rng);
+  const double before = EvaluateFrameLoss(model.get(), valid);
+  TrainStats stats = TrainStrongModel(model.get(), train, valid, TinyTrain());
+  const double after = EvaluateFrameLoss(model.get(), valid);
+  EXPECT_LT(after, before);
+  EXPECT_GT(stats.epochs_run, 0);
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_NEAR(stats.seconds_per_epoch * stats.epochs_run, stats.total_seconds,
+              stats.total_seconds * 0.5);
+}
+
+TEST(TrainerTest, WeakMilTrainingImprovesDetection) {
+  data::WindowDataset train = MakePulseDataset(48, 32, 1);
+  data::WindowDataset valid = MakePulseDataset(16, 32, 2);
+  data::WindowDataset test = MakePulseDataset(16, 32, 3);
+  Rng rng(1);
+  baselines::BaselineScale scale;
+  scale.width = 0.125;
+  auto model = baselines::MakeBaseline(baselines::BaselineKind::kCrnnWeak,
+                                       scale, &rng);
+  TrainWeakMilModel(model.get(), train, valid, TinyTrain());
+  nn::Tensor frame = PredictFrameProbabilities(model.get(), test);
+  nn::Tensor pooled = baselines::MilSequenceProbability(
+      frame.Reshape({test.size(), test.window_length}));
+  // Pooled probability of positives should exceed negatives on average.
+  double pos = 0.0, neg = 0.0;
+  int64_t n_pos = 0, n_neg = 0;
+  for (int64_t i = 0; i < test.size(); ++i) {
+    // PredictFrameProbabilities returns probabilities, so re-pool manually:
+    double sum_p = 0.0, sum_p2 = 0.0;
+    for (int64_t t = 0; t < test.window_length; ++t) {
+      const double p = frame.at2(i, t);
+      sum_p += p;
+      sum_p2 += p * p;
+    }
+    const double seq = sum_p > 1e-9 ? sum_p2 / sum_p : 0.0;
+    if (test.weak_labels[static_cast<size_t>(i)] == 1) {
+      pos += seq;
+      ++n_pos;
+    } else {
+      neg += seq;
+      ++n_neg;
+    }
+  }
+  (void)pooled;
+  EXPECT_GT(pos / n_pos, neg / n_neg);
+}
+
+TEST(TrainerTest, SoftTargetTrainingMatchesTargets) {
+  data::WindowDataset train = MakePulseDataset(32, 32, 1);
+  data::WindowDataset valid = MakePulseDataset(16, 32, 2);
+  // Use the ground truth itself as "soft" targets; training should fit it.
+  Rng rng(1);
+  baselines::BaselineScale scale;
+  scale.width = 0.125;
+  auto model = baselines::MakeBaseline(baselines::BaselineKind::kBiGru,
+                                       scale, &rng);
+  const double before = EvaluateFrameLoss(model.get(), valid);
+  TrainWithSoftTargets(model.get(), train, train.status, valid, TinyTrain());
+  const double after = EvaluateFrameLoss(model.get(), valid);
+  EXPECT_LT(after, before);
+}
+
+TEST(TrainerTest, PredictFrameProbabilitiesInUnitInterval) {
+  data::WindowDataset test = MakePulseDataset(8, 32, 3);
+  Rng rng(1);
+  baselines::BaselineScale scale;
+  scale.width = 0.125;
+  auto model = baselines::MakeBaseline(baselines::BaselineKind::kCrnnStrong,
+                                       scale, &rng);
+  nn::Tensor probs = PredictFrameProbabilities(model.get(), test);
+  EXPECT_EQ(probs.dim(0), 8);
+  EXPECT_EQ(probs.dim(1), 32);
+  for (int64_t i = 0; i < probs.numel(); ++i) {
+    EXPECT_GE(probs.at(i), 0.0f);
+    EXPECT_LE(probs.at(i), 1.0f);
+  }
+}
+
+TEST(LabelBudgetTest, GeometricGridIsIncreasing) {
+  auto budgets = GeometricBudgets(10, 1000, 5);
+  ASSERT_GE(budgets.size(), 3u);
+  EXPECT_EQ(budgets.front(), 10);
+  EXPECT_EQ(budgets.back(), 1000);
+  for (size_t i = 1; i < budgets.size(); ++i) {
+    EXPECT_GT(budgets[i], budgets[i - 1]);
+  }
+}
+
+TEST(LabelBudgetTest, SingleStep) {
+  auto budgets = GeometricBudgets(10, 10, 4);
+  ASSERT_EQ(budgets.size(), 1u);
+  EXPECT_EQ(budgets[0], 10);
+}
+
+TEST(LabelBudgetTest, SubsetKeepsBothClassesWhenPossible) {
+  data::WindowDataset ds = MakePulseDataset(40, 16, 1);
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto sub = SubsetByBudget(ds, 3, &rng);
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_GT(sub.PositiveCount(), 0);
+    EXPECT_LT(sub.PositiveCount(), 3);
+  }
+}
+
+TEST(LabelBudgetTest, SubsetCapsAtDatasetSize) {
+  data::WindowDataset ds = MakePulseDataset(10, 16, 1);
+  Rng rng(3);
+  auto sub = SubsetByBudget(ds, 100, &rng);
+  EXPECT_EQ(sub.size(), 10);
+}
+
+TEST(ScoreTest, PerfectPredictionScoresPerfectly) {
+  data::WindowDataset test = MakePulseDataset(10, 32, 3);
+  LocalizationScores s = ScoreLocalization(test.status, test);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  // Power estimate: P_a = 800 exactly matches the simulated pulse.
+  EXPECT_NEAR(s.mae, 0.0, 1e-3);
+  EXPECT_NEAR(s.matching_ratio, 1.0, 1e-3);
+}
+
+TEST(ScoreTest, AllOffPredictionHasZeroRecall) {
+  data::WindowDataset test = MakePulseDataset(10, 32, 3);
+  nn::Tensor zeros({test.size(), test.window_length});
+  LocalizationScores s = ScoreLocalization(zeros, test);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+  EXPECT_GT(s.mae, 0.0);
+}
+
+TEST(ScoreTest, ThresholdStatusRounds) {
+  nn::Tensor probs({1, 3});
+  probs.at2(0, 0) = 0.49f;
+  probs.at2(0, 1) = 0.5f;
+  probs.at2(0, 2) = 0.99f;
+  nn::Tensor status = ThresholdStatus(probs);
+  EXPECT_EQ(status.at2(0, 0), 0.0f);
+  EXPECT_EQ(status.at2(0, 1), 1.0f);
+  EXPECT_EQ(status.at2(0, 2), 1.0f);
+}
+
+TEST(CostModelTest, PaperConstants) {
+  CostModel m;
+  // Fig. 9(a): strong labels cost >= $1000 + $1500/yr; possession is $10.
+  EXPECT_DOUBLE_EQ(
+      CostUsdPerHousehold(m, LabelRegime::kPerTimestamp, 1.0), 2500.0);
+  EXPECT_DOUBLE_EQ(
+      CostUsdPerHousehold(m, LabelRegime::kPerHousehold, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(
+      CostGco2PerHousehold(m, LabelRegime::kPerTimestamp, 1.0), 2134.0);
+  EXPECT_DOUBLE_EQ(
+      CostGco2PerHousehold(m, LabelRegime::kPerHousehold, 1.0), 4.62);
+}
+
+TEST(CostModelTest, OrdersOfMagnitudeMatchPaper) {
+  CostModel m;
+  const double strong = CostUsdPerHousehold(m, LabelRegime::kPerTimestamp, 1);
+  const double subseq =
+      CostUsdPerHousehold(m, LabelRegime::kPerSubsequence, 1);
+  const double possession =
+      CostUsdPerHousehold(m, LabelRegime::kPerHousehold, 1);
+  // Each regime is at least an order of magnitude cheaper than the last.
+  EXPECT_GT(strong / subseq, 10.0);
+  EXPECT_GT(subseq / possession, 1.0);
+  EXPECT_GT(strong / possession, 100.0);
+}
+
+TEST(CostModelTest, StorageStrongIsSixStreams) {
+  CostModel m;
+  // 1M households, 5 appliances, 1-minute sampling (the Fig. 9(b) setting).
+  const double strong = StorageTbPerYearStrong(m, 1'000'000, 5, 60.0);
+  const double weak = StorageTbPerYearWeak(m, 1'000'000, 5, 60.0);
+  EXPECT_NEAR(strong / weak, 6.0, 0.01);  // 6 streams vs aggregate only
+  EXPECT_GT(strong, 10.0);                // tens of TB
+  EXPECT_LT(strong, 50.0);
+}
+
+TEST(BenchModeTest, EnvSelection) {
+  // Note: GetBenchMode caches nothing, so setenv works per call.
+  setenv("CAMAL_BENCH_MODE", "smoke", 1);
+  EXPECT_EQ(GetBenchMode(), BenchMode::kSmoke);
+  setenv("CAMAL_BENCH_MODE", "full", 1);
+  EXPECT_EQ(GetBenchMode(), BenchMode::kFull);
+  setenv("CAMAL_BENCH_MODE", "garbage", 1);
+  EXPECT_EQ(GetBenchMode(), BenchMode::kFast);
+  unsetenv("CAMAL_BENCH_MODE");
+  EXPECT_EQ(GetBenchMode(), BenchMode::kFast);
+}
+
+TEST(BenchModeTest, ParamsScaleMonotonically) {
+  BenchParams smoke = ParamsForMode(BenchMode::kSmoke);
+  BenchParams fast = ParamsForMode(BenchMode::kFast);
+  BenchParams full = ParamsForMode(BenchMode::kFull);
+  EXPECT_LT(smoke.dataset_scale, fast.dataset_scale);
+  EXPECT_LT(fast.dataset_scale, full.dataset_scale);
+  EXPECT_LT(smoke.window_length, full.window_length);
+  EXPECT_EQ(full.base_filters, 64);
+  EXPECT_EQ(full.ensemble.kernel_sizes.size(), 5u);
+  EXPECT_EQ(full.ensemble.ensemble_size, 5);
+  // Window lengths stay divisible by 4 (pooling baselines).
+  EXPECT_EQ(smoke.window_length % 4, 0);
+  EXPECT_EQ(fast.window_length % 4, 0);
+  EXPECT_EQ(full.window_length % 4, 0);
+}
+
+TEST(ExperimentTest, BaselineRunProducesScores) {
+  data::WindowDataset train = MakePulseDataset(32, 32, 1);
+  data::WindowDataset valid = MakePulseDataset(12, 32, 2);
+  data::WindowDataset test = MakePulseDataset(12, 32, 3);
+  baselines::BaselineScale scale;
+  scale.width = 0.125;
+  auto result = RunBaselineExperiment(baselines::BaselineKind::kBiGru, scale,
+                                      TinyTrain(), train, valid, test, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().train_seconds, 0.0);
+  EXPECT_EQ(result.value().labels_used, 32 * 32);  // strong labels
+  EXPECT_GT(result.value().num_parameters, 0);
+}
+
+TEST(ExperimentTest, WeakBaselineUsesOneLabelPerWindow) {
+  data::WindowDataset train = MakePulseDataset(32, 32, 1);
+  data::WindowDataset valid = MakePulseDataset(12, 32, 2);
+  data::WindowDataset test = MakePulseDataset(12, 32, 3);
+  baselines::BaselineScale scale;
+  scale.width = 0.125;
+  auto result =
+      RunBaselineExperiment(baselines::BaselineKind::kCrnnWeak, scale,
+                            TinyTrain(), train, valid, test, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().labels_used, 32);
+}
+
+TEST(ExperimentTest, RejectsEmptySplits) {
+  data::WindowDataset train = MakePulseDataset(16, 32, 1);
+  data::WindowDataset empty;
+  empty.window_length = 32;
+  baselines::BaselineScale scale;
+  EXPECT_FALSE(RunBaselineExperiment(baselines::BaselineKind::kBiGru, scale,
+                                     TinyTrain(), train, empty, train, 7)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace camal::eval

@@ -1,0 +1,124 @@
+#ifndef CAMAL_TESTS_GRADCHECK_H_
+#define CAMAL_TESTS_GRADCHECK_H_
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace camal::testing {
+
+/// Result of a gradient check over many probed coordinates.
+///
+/// ok(tol) passes when at least 90% of probes agree within `tol` (absolute
+/// OR relative): piecewise-linear layers (ReLU, max-pool) make isolated
+/// central-difference probes land on kinks where the numeric estimate is
+/// legitimately wrong, so a strict max over probes would reject correct
+/// backward passes. A genuine backward bug fails the majority of probes.
+struct GradCheckResult {
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  std::vector<double> probe_errors;  ///< min(abs, rel) per probe
+
+  bool ok(double tol) const {
+    if (probe_errors.empty()) return true;
+    size_t within = 0;
+    for (double e : probe_errors) {
+      if (e < tol) ++within;
+    }
+    return within * 10 >= probe_errors.size() * 9;
+  }
+};
+
+/// Checks a module's input gradient and all parameter gradients against
+/// central differences of the scalar projection loss
+///   L = sum_i w_i * Forward(x)_i
+/// for fixed random projection weights w. The module must be in a
+/// deterministic mode (no dropout randomness between calls).
+inline GradCheckResult CheckModuleGradients(nn::Module* module,
+                                            const nn::Tensor& input,
+                                            uint64_t seed,
+                                            double eps = 1e-3) {
+  Rng rng(seed);
+  nn::Tensor x = input;
+
+  // Fixed projection weights define the scalar loss.
+  nn::Tensor first_out = module->Forward(x);
+  nn::Tensor proj(first_out.shape());
+  for (int64_t i = 0; i < proj.numel(); ++i) {
+    proj.at(i) = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  auto loss_of = [&](const nn::Tensor& in) {
+    nn::Tensor out = module->Forward(in);
+    double total = 0.0;
+    for (int64_t i = 0; i < out.numel(); ++i) {
+      total += static_cast<double>(out.at(i)) * proj.at(i);
+    }
+    return total;
+  };
+
+  // Analytic gradients.
+  module->ZeroGrad();
+  module->Forward(x);
+  nn::Tensor grad_input = module->Backward(proj);
+
+  GradCheckResult result;
+  auto compare = [&](double analytic, double numeric) {
+    const double abs_err = std::fabs(analytic - numeric);
+    const double denom =
+        std::max(1.0, std::max(std::fabs(analytic), std::fabs(numeric)));
+    result.max_abs_err = std::max(result.max_abs_err, abs_err);
+    result.max_rel_err = std::max(result.max_rel_err, abs_err / denom);
+    result.probe_errors.push_back(std::min(abs_err, abs_err / denom));
+  };
+
+  // Input gradient: probe a bounded number of coordinates.
+  const int64_t input_probes = std::min<int64_t>(x.numel(), 24);
+  for (int64_t p = 0; p < input_probes; ++p) {
+    const int64_t i = x.numel() <= 24
+                          ? p
+                          : rng.UniformInt(0, x.numel() - 1);
+    nn::Tensor xp = x, xm = x;
+    xp.at(i) += static_cast<float>(eps);
+    xm.at(i) -= static_cast<float>(eps);
+    const double numeric = (loss_of(xp) - loss_of(xm)) / (2.0 * eps);
+    compare(grad_input.at(i), numeric);
+  }
+
+  // Parameter gradients: probe a few coordinates of every parameter.
+  for (nn::Parameter* param : module->Parameters()) {
+    const int64_t probes = std::min<int64_t>(param->value.numel(), 8);
+    for (int64_t p = 0; p < probes; ++p) {
+      const int64_t i = param->value.numel() <= 8
+                            ? p
+                            : rng.UniformInt(0, param->value.numel() - 1);
+      const float saved = param->value.at(i);
+      param->value.at(i) = saved + static_cast<float>(eps);
+      const double lp = loss_of(x);
+      param->value.at(i) = saved - static_cast<float>(eps);
+      const double lm = loss_of(x);
+      param->value.at(i) = saved;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      compare(param->grad.at(i), numeric);
+    }
+  }
+  return result;
+}
+
+/// Random (N, C, L) input tensor with values in [lo, hi).
+inline nn::Tensor RandomInput(std::vector<int64_t> shape, uint64_t seed,
+                              double lo = -1.0, double hi = 1.0) {
+  Rng rng(seed);
+  nn::Tensor x(std::move(shape));
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x.at(i) = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return x;
+}
+
+}  // namespace camal::testing
+
+#endif  // CAMAL_TESTS_GRADCHECK_H_

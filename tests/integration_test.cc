@@ -1,0 +1,160 @@
+// End-to-end pipeline tests: simulator -> preprocessing -> CamAL ->
+// localization scores, exercising exactly the path the benches use.
+
+#include <gtest/gtest.h>
+
+#include "data/balance.h"
+#include "data/split.h"
+#include "eval/experiment.h"
+#include "simulate/profiles.h"
+
+namespace camal {
+namespace {
+
+// Builds tiny train/valid/test WindowDatasets from a simulated cohort.
+struct Splits {
+  data::WindowDataset train, valid, test;
+};
+
+Splits MakeSplits(const simulate::DatasetProfile& profile, double scale,
+                  const data::ApplianceSpec& spec, int64_t window,
+                  uint64_t seed) {
+  auto houses = simulate::SimulateDataset(profile, scale, seed);
+  Rng rng(seed + 1);
+  auto split = data::SplitHouses(
+      houses, std::max<int64_t>(1, static_cast<int64_t>(houses.size()) / 5),
+      std::max<int64_t>(1, static_cast<int64_t>(houses.size()) / 5), &rng);
+  CAMAL_CHECK(split.ok());
+  data::BuildOptions opt;
+  opt.window_length = window;
+  Splits out;
+  out.train = data::BuildWindowDataset(split.value().train, spec, opt).value();
+  out.valid = data::BuildWindowDataset(split.value().valid, spec, opt).value();
+  out.test = data::BuildWindowDataset(split.value().test, spec, opt).value();
+  out.train = data::BalanceByWeakLabel(out.train, &rng);
+  return out;
+}
+
+core::EnsembleConfig TinyEnsemble() {
+  core::EnsembleConfig config;
+  config.kernel_sizes = {5, 9};
+  config.trials_per_kernel = 1;
+  config.ensemble_size = 2;
+  config.base_filters = 6;
+  config.train.max_epochs = 5;
+  config.train.batch_size = 32;
+  config.train.patience = 2;
+  return config;
+}
+
+TEST(IntegrationTest, CamalOnSimulatedKettleBeatsAllOffBaseline) {
+  const data::ApplianceSpec spec = simulate::SpecFor(
+      simulate::ApplianceType::kKettle);
+  Splits s = MakeSplits(simulate::UkdaleProfile(), 0.6, spec, 64, 42);
+  ASSERT_GT(s.train.size(), 10);
+  ASSERT_GT(s.test.size(), 0);
+
+  auto run = eval::RunCamalExperiment(s.train, s.valid, s.test, TinyEnsemble(),
+                                      core::LocalizerOptions{}, 42);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  const auto& r = run.value();
+  // Detection must beat coin-flipping and localization must find something.
+  EXPECT_GT(r.detection_balanced_accuracy, 0.6);
+  EXPECT_GT(r.scores.f1, 0.05);
+  EXPECT_GT(r.scores.recall, 0.0);
+  EXPECT_GT(r.labels_used, 0);
+  EXPECT_GT(r.train_seconds, 0.0);
+}
+
+TEST(IntegrationTest, PossessionOnlyPipelineTrains) {
+  // §V-H: train from possession labels of non-submetered houses, evaluate
+  // on the submetered subset's ground truth.
+  const data::ApplianceSpec spec = simulate::SpecFor(
+      simulate::ApplianceType::kWashingMachine);
+  auto houses = simulate::SimulateDataset(simulate::IdealProfile(), 0.08, 7);
+
+  std::vector<data::HouseRecord> possession_houses, submetered_houses;
+  for (const auto& h : houses) {
+    if (h.appliances.empty()) {
+      possession_houses.push_back(h);
+    } else {
+      submetered_houses.push_back(h);
+    }
+  }
+  ASSERT_GE(possession_houses.size(), 2u);
+  ASSERT_GE(submetered_houses.size(), 2u);
+
+  data::BuildOptions poss_opt;
+  poss_opt.window_length = 64;
+  poss_opt.possession_labels = true;
+  auto train_all =
+      data::BuildWindowDataset(possession_houses, spec, poss_opt).value();
+  Rng rng(7);
+  train_all = data::BalanceByWeakLabel(train_all, &rng);
+  ASSERT_GT(train_all.PositiveCount(), 0);
+
+  // 80/20 split of the possession windows for train/valid.
+  std::vector<int64_t> idx_train, idx_valid;
+  for (int64_t i = 0; i < train_all.size(); ++i) {
+    (i % 5 == 0 ? idx_valid : idx_train).push_back(i);
+  }
+  data::BuildOptions test_opt;
+  test_opt.window_length = 64;
+  auto test =
+      data::BuildWindowDataset(submetered_houses, spec, test_opt).value();
+
+  auto run = eval::RunCamalExperiment(train_all.Subset(idx_train),
+                                      train_all.Subset(idx_valid), test,
+                                      TinyEnsemble(),
+                                      core::LocalizerOptions{}, 7);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // The pipeline must produce finite scores; quality is asserted loosely
+  // (possession supervision is the hardest regime).
+  EXPECT_GE(run.value().scores.f1, 0.0);
+  EXPECT_LE(run.value().scores.f1, 1.0);
+  EXPECT_GT(run.value().labels_used, 0);
+}
+
+TEST(IntegrationTest, WeakBeatsCrnnWeakOnSeparableCase) {
+  // The headline qualitative claim (Table III): CamAL > CRNN Weak under
+  // identical weak supervision. Asserted on an easy kettle task.
+  const data::ApplianceSpec spec = simulate::SpecFor(
+      simulate::ApplianceType::kKettle);
+  Splits s = MakeSplits(simulate::UkdaleProfile(), 0.6, spec, 64, 11);
+
+  auto camal_run = eval::RunCamalExperiment(
+      s.train, s.valid, s.test, TinyEnsemble(), core::LocalizerOptions{}, 11);
+  ASSERT_TRUE(camal_run.ok());
+
+  baselines::BaselineScale scale;
+  scale.width = 0.125;
+  eval::TrainConfig tc;
+  tc.max_epochs = 5;
+  tc.batch_size = 32;
+  tc.patience = 2;
+  auto crnn_run =
+      eval::RunBaselineExperiment(baselines::BaselineKind::kCrnnWeak, scale,
+                                  tc, s.train, s.valid, s.test, 11);
+  ASSERT_TRUE(crnn_run.ok());
+  EXPECT_GE(camal_run.value().scores.f1, crnn_run.value().scores.f1)
+      << "CamAL F1=" << camal_run.value().scores.f1
+      << " CRNN-Weak F1=" << crnn_run.value().scores.f1;
+}
+
+TEST(IntegrationTest, EndToEndDeterminism) {
+  const data::ApplianceSpec spec = simulate::SpecFor(
+      simulate::ApplianceType::kKettle);
+  Splits s = MakeSplits(simulate::UkdaleProfile(), 0.8, spec, 64, 21);
+  auto a = eval::RunCamalExperiment(s.train, s.valid, s.test, TinyEnsemble(),
+                                    core::LocalizerOptions{}, 13);
+  auto b = eval::RunCamalExperiment(s.train, s.valid, s.test, TinyEnsemble(),
+                                    core::LocalizerOptions{}, 13);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value().scores.f1, b.value().scores.f1);
+  EXPECT_DOUBLE_EQ(a.value().detection_balanced_accuracy,
+                   b.value().detection_balanced_accuracy);
+}
+
+}  // namespace
+}  // namespace camal

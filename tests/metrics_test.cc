@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/classification.h"
+#include "metrics/energy.h"
+
+namespace camal::metrics {
+namespace {
+
+TEST(ClassificationTest, CountsConfusionMatrix) {
+  std::vector<float> pred{1, 1, 0, 0, 1};
+  std::vector<float> truth{1, 0, 0, 1, 1};
+  BinaryCounts c = CountBinary(pred, truth);
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.tn, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.total(), 5);
+}
+
+TEST(ClassificationTest, ThresholdAtHalf) {
+  std::vector<float> pred{0.49f, 0.5f, 0.51f};
+  std::vector<float> truth{0, 1, 1};
+  BinaryCounts c = CountBinary(pred, truth);
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.tn, 1);
+}
+
+TEST(ClassificationTest, PerfectPrediction) {
+  std::vector<float> v{1, 0, 1, 0};
+  BinaryCounts c = CountBinary(v, v);
+  EXPECT_DOUBLE_EQ(F1Score(c), 1.0);
+  EXPECT_DOUBLE_EQ(Precision(c), 1.0);
+  EXPECT_DOUBLE_EQ(Recall(c), 1.0);
+  EXPECT_DOUBLE_EQ(BalancedAccuracy(c), 1.0);
+}
+
+TEST(ClassificationTest, AllWrongGivesZero) {
+  std::vector<float> pred{1, 0};
+  std::vector<float> truth{0, 1};
+  BinaryCounts c = CountBinary(pred, truth);
+  EXPECT_DOUBLE_EQ(F1Score(c), 0.0);
+  EXPECT_DOUBLE_EQ(BalancedAccuracy(c), 0.0);
+}
+
+TEST(ClassificationTest, DegenerateDenominatorsAreZeroNotNan) {
+  BinaryCounts c;  // all zero
+  EXPECT_DOUBLE_EQ(Precision(c), 0.0);
+  EXPECT_DOUBLE_EQ(Recall(c), 0.0);
+  EXPECT_DOUBLE_EQ(F1Score(c), 0.0);
+  EXPECT_DOUBLE_EQ(BalancedAccuracy(c), 0.0);
+}
+
+TEST(ClassificationTest, KnownF1Value) {
+  BinaryCounts c;
+  c.tp = 6;
+  c.fp = 2;
+  c.fn = 2;
+  c.tn = 10;
+  // Pr = Rc = 0.75 -> F1 = 0.75
+  EXPECT_DOUBLE_EQ(F1Score(c), 0.75);
+}
+
+TEST(ClassificationTest, BalancedAccuracyHandlesImbalance) {
+  // Majority-negative data: predicting all negative gives BA = 0.5.
+  std::vector<float> pred(100, 0.0f);
+  std::vector<float> truth(100, 0.0f);
+  truth[0] = truth[1] = 1.0f;
+  BinaryCounts c = CountBinary(pred, truth);
+  EXPECT_DOUBLE_EQ(BalancedAccuracy(c), 0.5);
+}
+
+TEST(ClassificationTest, MergeAddsCounts) {
+  BinaryCounts a{1, 2, 3, 4};
+  BinaryCounts b{10, 20, 30, 40};
+  a.Merge(b);
+  EXPECT_EQ(a.tp, 11);
+  EXPECT_EQ(a.fp, 22);
+  EXPECT_EQ(a.tn, 33);
+  EXPECT_EQ(a.fn, 44);
+}
+
+TEST(EnergyTest, MaeAndRmseKnownValues) {
+  std::vector<float> pred{1, 2, 3};
+  std::vector<float> truth{2, 2, 5};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(pred, truth), 1.0);
+  EXPECT_NEAR(RootMeanSquareError(pred, truth), std::sqrt(5.0 / 3.0), 1e-9);
+}
+
+TEST(EnergyTest, PerfectEstimateGivesZeroErrorAndUnitMr) {
+  std::vector<float> v{100, 0, 800, 800, 0};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(v, v), 0.0);
+  EXPECT_DOUBLE_EQ(RootMeanSquareError(v, v), 0.0);
+  EXPECT_DOUBLE_EQ(MatchingRatio(v, v), 1.0);
+}
+
+TEST(EnergyTest, MatchingRatioDefinition) {
+  std::vector<float> pred{100, 0};
+  std::vector<float> truth{50, 50};
+  // min: 50 + 0 = 50; max: 100 + 50 = 150.
+  EXPECT_NEAR(MatchingRatio(pred, truth), 50.0 / 150.0, 1e-9);
+}
+
+TEST(EnergyTest, MatchingRatioAllZeroIsZero) {
+  std::vector<float> z{0, 0, 0};
+  EXPECT_DOUBLE_EQ(MatchingRatio(z, z), 0.0);
+}
+
+TEST(EnergyTest, NoOverlapGivesZeroMr) {
+  std::vector<float> pred{100, 0};
+  std::vector<float> truth{0, 100};
+  EXPECT_DOUBLE_EQ(MatchingRatio(pred, truth), 0.0);
+}
+
+}  // namespace
+}  // namespace camal::metrics

@@ -1,0 +1,259 @@
+// Property tests: every layer's analytic Backward is validated against
+// central-difference numerical gradients of a random scalar projection loss.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "gradcheck.h"
+#include "nn/activations.h"
+#include "nn/attention.h"
+#include "nn/batchnorm1d.h"
+#include "nn/conv1d.h"
+#include "nn/gru.h"
+#include "nn/layernorm.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "nn/upsample.h"
+
+namespace camal::nn {
+namespace {
+
+using camal::testing::CheckModuleGradients;
+using camal::testing::RandomInput;
+
+constexpr double kTol = 2e-2;
+
+struct LayerCase {
+  std::string name;
+  std::function<std::unique_ptr<Module>(Rng*)> make;
+  std::vector<int64_t> input_shape;
+};
+
+class LayerGradCheck : public ::testing::TestWithParam<LayerCase> {};
+
+TEST_P(LayerGradCheck, AnalyticMatchesNumeric) {
+  const LayerCase& layer_case = GetParam();
+  Rng rng(99);
+  std::unique_ptr<Module> module = layer_case.make(&rng);
+  module->SetTraining(true);
+  Tensor x = RandomInput(layer_case.input_shape, 1234, -0.9, 0.9);
+  auto result = CheckModuleGradients(module.get(), x, 777);
+  EXPECT_TRUE(result.ok(kTol))
+      << layer_case.name << ": max_abs_err=" << result.max_abs_err
+      << " max_rel_err=" << result.max_rel_err;
+}
+
+std::vector<LayerCase> AllLayerCases() {
+  std::vector<LayerCase> cases;
+  cases.push_back({"conv1d_same",
+                   [](Rng* rng) {
+                     Conv1dOptions opt;
+                     opt.in_channels = 2;
+                     opt.out_channels = 3;
+                     opt.kernel_size = 3;
+                     opt.padding = 1;
+                     return std::make_unique<Conv1d>(opt, rng);
+                   },
+                   {2, 2, 9}});
+  cases.push_back({"conv1d_strided_dilated",
+                   [](Rng* rng) {
+                     Conv1dOptions opt;
+                     opt.in_channels = 2;
+                     opt.out_channels = 2;
+                     opt.kernel_size = 3;
+                     opt.stride = 2;
+                     opt.dilation = 2;
+                     opt.padding = 2;
+                     return std::make_unique<Conv1d>(opt, rng);
+                   },
+                   {2, 2, 12}});
+  cases.push_back({"conv1d_no_bias",
+                   [](Rng* rng) {
+                     Conv1dOptions opt;
+                     opt.in_channels = 1;
+                     opt.out_channels = 4;
+                     opt.kernel_size = 5;
+                     opt.padding = 2;
+                     opt.bias = false;
+                     return std::make_unique<Conv1d>(opt, rng);
+                   },
+                   {2, 1, 10}});
+  cases.push_back({"linear",
+                   [](Rng* rng) {
+                     return std::make_unique<Linear>(5, 3, true, rng);
+                   },
+                   {4, 5}});
+  cases.push_back({"relu",
+                   [](Rng*) { return std::make_unique<ReLU>(); },
+                   {2, 3, 7}});
+  cases.push_back({"sigmoid",
+                   [](Rng*) { return std::make_unique<Sigmoid>(); },
+                   {2, 3, 7}});
+  cases.push_back({"tanh",
+                   [](Rng*) { return std::make_unique<Tanh>(); },
+                   {2, 3, 7}});
+  cases.push_back({"gelu",
+                   [](Rng*) { return std::make_unique<Gelu>(); },
+                   {2, 3, 7}});
+  cases.push_back({"maxpool",
+                   [](Rng*) { return std::make_unique<MaxPool1d>(2, 2); },
+                   {2, 2, 8}});
+  cases.push_back({"avgpool",
+                   [](Rng*) { return std::make_unique<AvgPool1d>(3, 3); },
+                   {2, 2, 9}});
+  cases.push_back({"gap",
+                   [](Rng*) { return std::make_unique<GlobalAvgPool1d>(); },
+                   {2, 3, 6}});
+  cases.push_back({"batchnorm_train",
+                   [](Rng*) { return std::make_unique<BatchNorm1d>(3); },
+                   {3, 3, 5}});
+  cases.push_back({"layernorm",
+                   [](Rng*) { return std::make_unique<LayerNorm>(4); },
+                   {2, 4, 5}});
+  cases.push_back({"upsample",
+                   [](Rng*) { return std::make_unique<UpsampleNearest1d>(2); },
+                   {2, 2, 5}});
+  cases.push_back({"resize",
+                   [](Rng*) { return std::make_unique<ResizeNearest1d>(9); },
+                   {2, 2, 5}});
+  cases.push_back({"gru_forward",
+                   [](Rng* rng) {
+                     return std::make_unique<Gru>(2, 3, false, rng);
+                   },
+                   {2, 2, 5}});
+  cases.push_back({"gru_reverse",
+                   [](Rng* rng) {
+                     return std::make_unique<Gru>(2, 3, true, rng);
+                   },
+                   {2, 2, 5}});
+  cases.push_back({"bigru",
+                   [](Rng* rng) {
+                     return std::make_unique<BiGru>(2, 2, rng);
+                   },
+                   {2, 2, 4}});
+  cases.push_back({"mhsa",
+                   [](Rng* rng) {
+                     return std::make_unique<MultiHeadSelfAttention>(4, 2,
+                                                                     rng);
+                   },
+                   {2, 4, 5}});
+  cases.push_back({"sequential_conv_relu",
+                   [](Rng* rng) {
+                     auto seq = std::make_unique<Sequential>();
+                     Conv1dOptions opt;
+                     opt.in_channels = 2;
+                     opt.out_channels = 2;
+                     opt.kernel_size = 3;
+                     opt.padding = 1;
+                     seq->Add(std::make_unique<Conv1d>(opt, rng));
+                     seq->Add(std::make_unique<Tanh>());
+                     return seq;
+                   },
+                   {2, 2, 6}});
+  cases.push_back({"residual_projection",
+                   [](Rng* rng) {
+                     auto body = std::make_unique<Sequential>();
+                     Conv1dOptions opt;
+                     opt.in_channels = 2;
+                     opt.out_channels = 3;
+                     opt.kernel_size = 3;
+                     opt.padding = 1;
+                     body->Add(std::make_unique<Conv1d>(opt, rng));
+                     Conv1dOptions proj;
+                     proj.in_channels = 2;
+                     proj.out_channels = 3;
+                     proj.kernel_size = 1;
+                     auto shortcut = std::make_unique<Conv1d>(proj, rng);
+                     return std::make_unique<Residual>(std::move(body),
+                                                       std::move(shortcut));
+                   },
+                   {2, 2, 6}});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayers, LayerGradCheck, ::testing::ValuesIn(AllLayerCases()),
+    [](const ::testing::TestParamInfo<LayerCase>& info) {
+      return info.param.name;
+    });
+
+// Loss gradient checks (losses are functions, not Modules).
+
+TEST(LossGradCheck, BceWithLogits) {
+  Rng rng(5);
+  Tensor logits = RandomInput({3, 7}, 21);
+  Tensor targets({3, 7});
+  for (int64_t i = 0; i < targets.numel(); ++i) {
+    targets.at(i) = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+  }
+  LossResult res = BceWithLogits(logits, targets);
+  const double eps = 1e-3;
+  for (int64_t i = 0; i < logits.numel(); i += 3) {
+    Tensor lp = logits, lm = logits;
+    lp.at(i) += static_cast<float>(eps);
+    lm.at(i) -= static_cast<float>(eps);
+    const double numeric =
+        (BceWithLogits(lp, targets).value - BceWithLogits(lm, targets).value) /
+        (2 * eps);
+    EXPECT_NEAR(res.grad.at(i), numeric, 1e-3);
+  }
+}
+
+TEST(LossGradCheck, SoftmaxCrossEntropy) {
+  Tensor logits = RandomInput({4, 2}, 31);
+  std::vector<int> labels{0, 1, 1, 0};
+  LossResult res = SoftmaxCrossEntropy(logits, labels);
+  const double eps = 1e-3;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp.at(i) += static_cast<float>(eps);
+    lm.at(i) -= static_cast<float>(eps);
+    const double numeric = (SoftmaxCrossEntropy(lp, labels).value -
+                            SoftmaxCrossEntropy(lm, labels).value) /
+                           (2 * eps);
+    EXPECT_NEAR(res.grad.at(i), numeric, 1e-3);
+  }
+}
+
+TEST(LossGradCheck, MeanSquaredError) {
+  Tensor pred = RandomInput({2, 5}, 41);
+  Tensor target = RandomInput({2, 5}, 43);
+  LossResult res = MeanSquaredError(pred, target);
+  const double eps = 1e-3;
+  for (int64_t i = 0; i < pred.numel(); ++i) {
+    Tensor pp = pred, pm = pred;
+    pp.at(i) += static_cast<float>(eps);
+    pm.at(i) -= static_cast<float>(eps);
+    const double numeric = (MeanSquaredError(pp, target).value -
+                            MeanSquaredError(pm, target).value) /
+                           (2 * eps);
+    EXPECT_NEAR(res.grad.at(i), numeric, 1e-3);
+  }
+}
+
+TEST(LossTest, SoftmaxRowsSumToOne) {
+  Tensor logits = RandomInput({5, 3}, 51, -4, 4);
+  Tensor p = Softmax(logits);
+  for (int64_t i = 0; i < 5; ++i) {
+    double row = 0.0;
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_GE(p.at2(i, j), 0.0f);
+      row += p.at2(i, j);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(LossTest, BceMatchesClosedFormAtZeroLogit) {
+  Tensor logits = Tensor::Zeros({1, 1});
+  Tensor targets = Tensor::Full({1, 1}, 1.0f);
+  LossResult res = BceWithLogits(logits, targets);
+  EXPECT_NEAR(res.value, std::log(2.0), 1e-6);
+}
+
+}  // namespace
+}  // namespace camal::nn

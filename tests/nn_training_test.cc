@@ -1,0 +1,193 @@
+// End-to-end substrate checks: optimizers reduce loss on toy problems,
+// parameter serialization round-trips, checkpoints restore.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "gradcheck.h"
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "nn/serialize.h"
+
+namespace camal::nn {
+namespace {
+
+using camal::testing::RandomInput;
+
+// Fits y = 2x + 1 with a single linear unit.
+double FitLinearRegression(Optimizer* opt, Linear* lin, int steps) {
+  Rng rng(3);
+  double last_loss = 0.0;
+  for (int s = 0; s < steps; ++s) {
+    Tensor x({16, 1});
+    Tensor y({16, 1});
+    for (int64_t i = 0; i < 16; ++i) {
+      const float xv = static_cast<float>(rng.Uniform(-1, 1));
+      x.at2(i, 0) = xv;
+      y.at2(i, 0) = 2.0f * xv + 1.0f;
+    }
+    Tensor pred = lin->Forward(x);
+    LossResult loss = MeanSquaredError(pred, y);
+    opt->ZeroGrad();
+    lin->Backward(loss.grad);
+    opt->Step();
+    last_loss = loss.value;
+  }
+  return last_loss;
+}
+
+TEST(OptimizerTest, SgdFitsLinearRegression) {
+  Rng rng(1);
+  Linear lin(1, 1, true, &rng);
+  Sgd sgd(lin.Parameters(), 0.1f, 0.9f);
+  const double final_loss = FitLinearRegression(&sgd, &lin, 200);
+  EXPECT_LT(final_loss, 1e-3);
+  EXPECT_NEAR(lin.weight().value.at(0), 2.0f, 0.1f);
+  EXPECT_NEAR(lin.bias_param().value.at(0), 1.0f, 0.1f);
+}
+
+TEST(OptimizerTest, AdamFitsLinearRegression) {
+  Rng rng(1);
+  Linear lin(1, 1, true, &rng);
+  Adam adam(lin.Parameters(), 0.05f);
+  const double final_loss = FitLinearRegression(&adam, &lin, 300);
+  EXPECT_LT(final_loss, 1e-3);
+}
+
+TEST(OptimizerTest, WeightDecayShrinksWeights) {
+  Rng rng(1);
+  Linear lin(4, 4, false, &rng);
+  lin.weight().value.Fill(1.0f);
+  Sgd sgd(lin.Parameters(), 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  // Zero gradient: only decay acts.
+  lin.ZeroGrad();
+  sgd.Step();
+  for (int64_t i = 0; i < lin.weight().value.numel(); ++i) {
+    EXPECT_NEAR(lin.weight().value.at(i), 0.95f, 1e-5);
+  }
+}
+
+TEST(OptimizerTest, AdamStepChangesAllParameters) {
+  Rng rng(2);
+  Linear lin(3, 2, true, &rng);
+  auto before = SnapshotParameters(&lin);
+  Tensor x = RandomInput({4, 3}, 7);
+  Tensor pred = lin.Forward(x);
+  LossResult loss = MeanSquaredError(pred, Tensor::Full({4, 2}, 1.0f));
+  Adam adam(lin.Parameters(), 0.01f);
+  adam.ZeroGrad();
+  lin.Backward(loss.grad);
+  adam.Step();
+  auto after = SnapshotParameters(&lin);
+  bool changed = false;
+  for (size_t p = 0; p < before.size(); ++p) {
+    for (int64_t i = 0; i < before[p].numel(); ++i) {
+      if (before[p].at(i) != after[p].at(i)) changed = true;
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(TrainingTest, SmallCnnLearnsToSeparatePulses) {
+  // Binary classification: windows with a rectangular pulse vs without.
+  Rng rng(5);
+  Sequential net;
+  Conv1dOptions opt;
+  opt.in_channels = 1;
+  opt.out_channels = 4;
+  opt.kernel_size = 5;
+  opt.padding = 2;
+  net.Add(std::make_unique<Conv1d>(opt, &rng));
+  net.Add(std::make_unique<ReLU>());
+  net.Add(std::make_unique<GlobalAvgPool1d>());
+  net.Add(std::make_unique<Linear>(4, 2, true, &rng));
+
+  Adam adam(net.Parameters(), 1e-2f);
+  auto make_batch = [&](Tensor* x, std::vector<int>* labels) {
+    *x = Tensor({16, 1, 32});
+    labels->clear();
+    for (int64_t i = 0; i < 16; ++i) {
+      const bool positive = rng.Bernoulli(0.5);
+      for (int64_t t = 0; t < 32; ++t) {
+        x->at3(i, 0, t) = static_cast<float>(rng.Gaussian(0.0, 0.05));
+      }
+      if (positive) {
+        const int64_t start = rng.UniformInt(0, 24);
+        for (int64_t t = start; t < start + 8; ++t) x->at3(i, 0, t) += 1.0f;
+      }
+      labels->push_back(positive ? 1 : 0);
+    }
+  };
+
+  double first_loss = 0.0, tail_loss = 0.0;
+  constexpr int kSteps = 400;
+  constexpr int kTail = 20;
+  for (int step = 0; step < kSteps; ++step) {
+    Tensor x;
+    std::vector<int> labels;
+    make_batch(&x, &labels);
+    Tensor logits = net.Forward(x);
+    LossResult loss = SoftmaxCrossEntropy(logits, labels);
+    if (step == 0) first_loss = loss.value;
+    if (step >= kSteps - kTail) tail_loss += loss.value / kTail;
+    adam.ZeroGrad();
+    net.Backward(loss.grad);
+    adam.Step();
+  }
+  EXPECT_LT(tail_loss, first_loss * 0.7);
+  EXPECT_LT(tail_loss, 0.4);
+}
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  const char* path = "/tmp/camal_params_test.bin";
+  Rng rng(9);
+  Linear a(6, 3, true, &rng);
+  ASSERT_TRUE(SaveParameters(&a, path).ok());
+
+  Rng rng2(1234);  // different init
+  Linear b(6, 3, true, &rng2);
+  ASSERT_TRUE(LoadParameters(&b, path).ok());
+  for (size_t p = 0; p < a.Parameters().size(); ++p) {
+    const Tensor& av = a.Parameters()[p]->value;
+    const Tensor& bv = b.Parameters()[p]->value;
+    for (int64_t i = 0; i < av.numel(); ++i) EXPECT_EQ(av.at(i), bv.at(i));
+  }
+  std::remove(path);
+}
+
+TEST(SerializeTest, LoadRejectsShapeMismatch) {
+  const char* path = "/tmp/camal_params_mismatch.bin";
+  Rng rng(9);
+  Linear a(6, 3, true, &rng);
+  ASSERT_TRUE(SaveParameters(&a, path).ok());
+  Linear wrong(5, 3, true, &rng);
+  Status st = LoadParameters(&wrong, path);
+  EXPECT_FALSE(st.ok());
+  std::remove(path);
+}
+
+TEST(SerializeTest, LoadRejectsMissingFile) {
+  Rng rng(9);
+  Linear a(2, 2, true, &rng);
+  EXPECT_EQ(LoadParameters(&a, "/tmp/does_not_exist_camal.bin").code(),
+            StatusCode::kIoError);
+}
+
+TEST(SerializeTest, SnapshotRestore) {
+  Rng rng(9);
+  Linear lin(4, 2, true, &rng);
+  auto snapshot = SnapshotParameters(&lin);
+  lin.weight().value.Fill(123.0f);
+  RestoreParameters(&lin, snapshot);
+  EXPECT_NE(lin.weight().value.at(0), 123.0f);
+  EXPECT_EQ(lin.weight().value.at(0), snapshot[0].at(0));
+}
+
+}  // namespace
+}  // namespace camal::nn

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simulate/base_load.h"
+#include "simulate/household.h"
+#include "simulate/profiles.h"
+#include "simulate/signature.h"
+
+namespace camal::simulate {
+namespace {
+
+TEST(SignatureTest, SpecsMatchPaperTable1) {
+  EXPECT_EQ(SpecFor(ApplianceType::kDishwasher).on_threshold_w, 300.0f);
+  EXPECT_EQ(SpecFor(ApplianceType::kDishwasher).avg_power_w, 800.0f);
+  EXPECT_EQ(SpecFor(ApplianceType::kKettle).on_threshold_w, 500.0f);
+  EXPECT_EQ(SpecFor(ApplianceType::kKettle).avg_power_w, 2000.0f);
+  EXPECT_EQ(SpecFor(ApplianceType::kMicrowave).on_threshold_w, 200.0f);
+  EXPECT_EQ(SpecFor(ApplianceType::kShower).avg_power_w, 8000.0f);
+  EXPECT_EQ(SpecFor(ApplianceType::kElectricVehicle).on_threshold_w, 1000.0f);
+}
+
+TEST(SignatureTest, NamesAreStable) {
+  EXPECT_STREQ(ApplianceName(ApplianceType::kWashingMachine),
+               "washing_machine");
+  EXPECT_STREQ(ApplianceName(ApplianceType::kElectricVehicle),
+               "electric_vehicle");
+}
+
+class SignatureShapes : public ::testing::TestWithParam<ApplianceType> {};
+
+TEST_P(SignatureShapes, ActivationExceedsOnThresholdSomewhere) {
+  Rng rng(11);
+  const ApplianceType type = GetParam();
+  const data::ApplianceSpec spec = SpecFor(type);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto profile = GenerateActivation(type, 60.0, &rng);
+    ASSERT_FALSE(profile.empty());
+    float peak = 0.0f;
+    for (float v : profile) {
+      EXPECT_GE(v, 0.0f);
+      peak = std::max(peak, v);
+    }
+    EXPECT_GT(peak, spec.on_threshold_w)
+        << "activation never crosses its ON threshold";
+  }
+}
+
+TEST_P(SignatureShapes, DurationScalesWithInterval) {
+  Rng rng1(3), rng2(3);
+  const ApplianceType type = GetParam();
+  auto fine = GenerateActivation(type, 60.0, &rng1);
+  auto coarse = GenerateActivation(type, 600.0, &rng2);
+  EXPECT_GE(fine.size(), coarse.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAppliances, SignatureShapes,
+    ::testing::Values(ApplianceType::kDishwasher, ApplianceType::kKettle,
+                      ApplianceType::kMicrowave,
+                      ApplianceType::kWashingMachine, ApplianceType::kShower,
+                      ApplianceType::kElectricVehicle),
+    [](const ::testing::TestParamInfo<ApplianceType>& info) {
+      return ApplianceName(info.param);
+    });
+
+TEST(SignatureTest, KettleIsShortAndHot) {
+  Rng rng(5);
+  auto profile = GenerateActivation(ApplianceType::kKettle, 60.0, &rng);
+  EXPECT_LE(profile.size(), 6u);  // at most ~5 minutes
+  EXPECT_GT(profile[0], 1500.0f);
+}
+
+TEST(SignatureTest, EvChargeIsLong) {
+  Rng rng(5);
+  auto profile =
+      GenerateActivation(ApplianceType::kElectricVehicle, 1800.0, &rng);
+  EXPECT_GE(profile.size(), 2u);  // at least an hour at 30-min sampling
+}
+
+TEST(SignatureTest, UsageWeightsArePositiveAndDiurnal) {
+  for (ApplianceType type :
+       {ApplianceType::kKettle, ApplianceType::kElectricVehicle}) {
+    for (double h = 0.0; h < 24.0; h += 1.0) {
+      EXPECT_GT(UsageWeightAtHour(type, h), 0.0);
+    }
+  }
+  // Kettle peaks at breakfast relative to 3am.
+  EXPECT_GT(UsageWeightAtHour(ApplianceType::kKettle, 7.5),
+            UsageWeightAtHour(ApplianceType::kKettle, 3.0));
+  // EV peaks at night relative to noon.
+  EXPECT_GT(UsageWeightAtHour(ApplianceType::kElectricVehicle, 23.0),
+            UsageWeightAtHour(ApplianceType::kElectricVehicle, 12.0));
+}
+
+TEST(BaseLoadTest, NonNegativeAndRoughlyCalibrated) {
+  Rng rng(7);
+  BaseLoadConfig config;
+  config.distractor_rate_per_day = 0.0;  // isolate the deterministic parts
+  auto load = GenerateBaseLoad(1440, 60.0, config, &rng);
+  ASSERT_EQ(load.size(), 1440u);
+  double mean = 0.0;
+  for (float v : load) {
+    EXPECT_GE(v, 0.0f);
+    mean += v;
+  }
+  mean /= 1440.0;
+  // standby + fridge duty + some lighting: order of 100 W.
+  EXPECT_GT(mean, 50.0);
+  EXPECT_LT(mean, 400.0);
+}
+
+TEST(BaseLoadTest, DistractorsAddPower) {
+  Rng rng1(7), rng2(7);
+  BaseLoadConfig quiet;
+  quiet.distractor_rate_per_day = 0.0;
+  BaseLoadConfig busy;
+  busy.distractor_rate_per_day = 40.0;
+  auto a = GenerateBaseLoad(1440, 60.0, quiet, &rng1);
+  auto b = GenerateBaseLoad(1440, 60.0, busy, &rng2);
+  double sum_a = 0.0, sum_b = 0.0;
+  for (float v : a) sum_a += v;
+  for (float v : b) sum_b += v;
+  EXPECT_GT(sum_b, sum_a);
+}
+
+TEST(HouseholdTest, AggregateContainsApplianceTrace) {
+  HouseholdConfig config;
+  config.house_id = 42;
+  config.interval_seconds = 60.0;
+  config.days = 3.0;
+  config.appliances.push_back({ApplianceType::kKettle, 4.0, true});
+  Rng rng(13);
+  data::HouseRecord house = SimulateHousehold(config, &rng);
+  EXPECT_EQ(house.house_id, 42);
+  EXPECT_EQ(house.aggregate.size(), static_cast<size_t>(3 * 1440));
+  ASSERT_EQ(house.appliances.size(), 1u);
+  const auto& trace = house.appliances[0];
+  EXPECT_EQ(trace.name, "kettle");
+  // Appliance power is part of the aggregate: aggregate >= trace wherever
+  // no reading is missing.
+  double trace_energy = 0.0;
+  for (size_t t = 0; t < trace.power.size(); ++t) {
+    trace_energy += trace.power[t];
+    if (!data::IsMissing(house.aggregate[t])) {
+      EXPECT_GE(house.aggregate[t] + 1e-3f, trace.power[t]);
+    }
+  }
+  EXPECT_GT(trace_energy, 0.0);
+  EXPECT_TRUE(house.Owns("kettle"));
+  EXPECT_FALSE(house.Owns("shower"));
+}
+
+TEST(HouseholdTest, PossessionOnlyHouseHasNoTrace) {
+  HouseholdConfig config;
+  config.days = 2.0;
+  config.appliances.push_back({ApplianceType::kDishwasher, 1.0, false});
+  Rng rng(3);
+  data::HouseRecord house = SimulateHousehold(config, &rng);
+  EXPECT_TRUE(house.appliances.empty());
+  EXPECT_TRUE(house.Owns("dishwasher"));
+  EXPECT_EQ(house.FindAppliance("dishwasher"), nullptr);
+}
+
+TEST(HouseholdTest, MissingFractionInjectsGaps) {
+  HouseholdConfig config;
+  config.days = 2.0;
+  config.missing_fraction = 0.05;
+  Rng rng(3);
+  data::HouseRecord house = SimulateHousehold(config, &rng);
+  int64_t missing = 0;
+  for (float v : house.aggregate) missing += data::IsMissing(v) ? 1 : 0;
+  const double frac =
+      static_cast<double>(missing) / static_cast<double>(house.aggregate.size());
+  EXPECT_NEAR(frac, 0.05, 0.01);
+}
+
+TEST(HouseholdTest, DeterministicGivenSeed) {
+  HouseholdConfig config;
+  config.days = 1.0;
+  config.appliances.push_back({ApplianceType::kMicrowave, 2.0, true});
+  Rng rng1(77), rng2(77);
+  auto a = SimulateHousehold(config, &rng1);
+  auto b = SimulateHousehold(config, &rng2);
+  ASSERT_EQ(a.aggregate.size(), b.aggregate.size());
+  for (size_t i = 0; i < a.aggregate.size(); ++i) {
+    if (data::IsMissing(a.aggregate[i])) {
+      EXPECT_TRUE(data::IsMissing(b.aggregate[i]));
+    } else {
+      EXPECT_FLOAT_EQ(a.aggregate[i], b.aggregate[i]);
+    }
+  }
+}
+
+TEST(ProfilesTest, TableOneStructure) {
+  EXPECT_EQ(UkdaleProfile().num_submetered_houses, 5);
+  EXPECT_EQ(RefitProfile().num_submetered_houses, 20);
+  EXPECT_EQ(IdealProfile().num_submetered_houses, 39);
+  EXPECT_EQ(IdealProfile().num_possession_only, 216);
+  EXPECT_EQ(EdfEvProfile().interval_seconds, 1800.0);
+  EXPECT_EQ(EdfWeakProfile().num_possession_only, 558);
+  EXPECT_EQ(AllEvaluationProfiles().size(), 4u);
+}
+
+TEST(ProfilesTest, ScaleShrinksCohort) {
+  auto small = SimulateDataset(RefitProfile(), 0.1, 42);
+  EXPECT_GE(small.size(), 2u);
+  EXPECT_LE(small.size(), 20u);
+}
+
+TEST(ProfilesTest, PossessionOnlyHousesLackTraces) {
+  auto houses = SimulateDataset(IdealProfile(), 0.05, 42);
+  int with_trace = 0, possession_only = 0;
+  for (const auto& h : houses) {
+    if (h.appliances.empty()) {
+      ++possession_only;
+    } else {
+      ++with_trace;
+    }
+  }
+  EXPECT_GT(with_trace, 0);
+  EXPECT_GT(possession_only, 0);
+}
+
+TEST(ProfilesTest, DeterministicForSeed) {
+  auto a = SimulateDataset(UkdaleProfile(), 0.5, 9);
+  auto b = SimulateDataset(UkdaleProfile(), 0.5, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].aggregate.size(), b[i].aggregate.size());
+    EXPECT_EQ(a[i].owned_appliances, b[i].owned_appliances);
+  }
+}
+
+}  // namespace
+}  // namespace camal::simulate

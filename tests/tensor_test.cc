@@ -1,0 +1,156 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace camal::nn {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.ndim(), 0);
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, FullAndFill) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  EXPECT_EQ(t.at(3), 2.5f);
+  t.Fill(-1.0f);
+  EXPECT_EQ(t.at(0), -1.0f);
+}
+
+TEST(TensorTest, FromVector) {
+  Tensor t = Tensor::FromVector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.ndim(), 1);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.at(1), 2.0f);
+}
+
+TEST(TensorTest, IndexedAccess3d) {
+  Tensor t({2, 3, 4});
+  t.at3(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t.at(1 * 12 + 2 * 4 + 3), 7.0f);
+}
+
+TEST(TensorTest, IndexedAccess2d) {
+  Tensor t({3, 5});
+  t.at2(2, 4) = 9.0f;
+  EXPECT_EQ(t.at(14), 9.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({2, 3});
+  EXPECT_EQ(r.at2(1, 2), 6.0f);
+  EXPECT_EQ(r.ndim(), 2);
+}
+
+TEST(TensorTest, ShapeString) {
+  Tensor t({2, 64, 510});
+  EXPECT_EQ(t.ShapeString(), "(2, 64, 510)");
+}
+
+TEST(TensorTest, AddSubMulScale) {
+  Tensor a = Tensor::FromVector({1, 2, 3});
+  Tensor b = Tensor::FromVector({4, 5, 6});
+  Tensor sum = Add(a, b);
+  Tensor diff = Sub(b, a);
+  Tensor prod = Mul(a, b);
+  Tensor scaled = Scale(a, 2.0f);
+  EXPECT_EQ(sum.at(2), 9.0f);
+  EXPECT_EQ(diff.at(0), 3.0f);
+  EXPECT_EQ(prod.at(1), 10.0f);
+  EXPECT_EQ(scaled.at(2), 6.0f);
+}
+
+TEST(TensorTest, SumMaxMean) {
+  Tensor t = Tensor::FromVector({1, -2, 4});
+  EXPECT_DOUBLE_EQ(t.Sum(), 3.0);
+  EXPECT_EQ(t.Max(), 4.0f);
+  EXPECT_DOUBLE_EQ(t.Mean(), 1.0);
+}
+
+TEST(TensorTest, MatMulKnownValues) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4}).Reshape({2, 2});
+  Tensor b = Tensor::FromVector({5, 6, 7, 8}).Reshape({2, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.at2(0, 0), 19.0f);
+  EXPECT_EQ(c.at2(0, 1), 22.0f);
+  EXPECT_EQ(c.at2(1, 0), 43.0f);
+  EXPECT_EQ(c.at2(1, 1), 50.0f);
+}
+
+TEST(TensorTest, MatMulTransposeBMatchesExplicit) {
+  // a (2,3) x b^T where b is (4,3) -> (2,4).
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 5, 6}).Reshape({2, 3});
+  Tensor b = Tensor::FromVector({1, 0, 0, 0, 1, 0, 0, 0, 1, 1, 1, 1})
+                 .Reshape({4, 3});
+  Tensor c = MatMulTransposeB(a, b);
+  EXPECT_EQ(c.at2(0, 0), 1.0f);
+  EXPECT_EQ(c.at2(0, 1), 2.0f);
+  EXPECT_EQ(c.at2(0, 2), 3.0f);
+  EXPECT_EQ(c.at2(0, 3), 6.0f);
+  EXPECT_EQ(c.at2(1, 3), 15.0f);
+}
+
+TEST(TensorTest, MatMulTransposeAMatchesExplicit) {
+  // a^T (3,2)^T x b (3,2): a is (3,2), result (2,2).
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 5, 6}).Reshape({3, 2});
+  Tensor b = Tensor::FromVector({1, 1, 1, 1, 1, 1}).Reshape({3, 2});
+  Tensor c = MatMulTransposeA(a, b);
+  EXPECT_EQ(c.at2(0, 0), 9.0f);   // 1+3+5
+  EXPECT_EQ(c.at2(1, 0), 12.0f);  // 2+4+6
+}
+
+TEST(TensorTest, MatMulConsistency) {
+  // (A B)^T identities across the three kernels on random data.
+  Tensor a({3, 4}), b({4, 5});
+  for (int64_t i = 0; i < a.numel(); ++i) a.at(i) = static_cast<float>(i % 7) - 3;
+  for (int64_t i = 0; i < b.numel(); ++i) b.at(i) = static_cast<float>(i % 5) - 2;
+  Tensor c1 = MatMul(a, b);
+  // b_t: (5,4) with b_t[j,k] = b[k,j]
+  Tensor bt({5, 4});
+  for (int64_t k = 0; k < 4; ++k)
+    for (int64_t j = 0; j < 5; ++j) bt.at2(j, k) = b.at2(k, j);
+  Tensor c2 = MatMulTransposeB(a, bt);
+  ASSERT_TRUE(c1.SameShape(c2));
+  for (int64_t i = 0; i < c1.numel(); ++i) EXPECT_FLOAT_EQ(c1.at(i), c2.at(i));
+}
+
+TEST(TensorTest, AddInPlaceAndScaleInPlace) {
+  Tensor a = Tensor::FromVector({1, 2});
+  Tensor b = Tensor::FromVector({3, 4});
+  a.AddInPlace(b);
+  a.ScaleInPlace(0.5f);
+  EXPECT_EQ(a.at(0), 2.0f);
+  EXPECT_EQ(a.at(1), 3.0f);
+}
+
+TEST(TensorTest, ConcatAndSplitChannelsRoundTrip) {
+  Tensor a({2, 3, 4}), b({2, 2, 4});
+  for (int64_t i = 0; i < a.numel(); ++i) a.at(i) = static_cast<float>(i);
+  for (int64_t i = 0; i < b.numel(); ++i) b.at(i) = static_cast<float>(-i);
+  Tensor cat = ConcatChannels({a, b});
+  EXPECT_EQ(cat.dim(1), 5);
+  EXPECT_EQ(cat.at3(1, 0, 0), a.at3(1, 0, 0));
+  EXPECT_EQ(cat.at3(1, 3, 2), b.at3(1, 0, 2));
+  auto parts = SplitChannels(cat, {3, 2});
+  ASSERT_EQ(parts.size(), 2u);
+  for (int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(parts[0].at(i), a.at(i));
+  for (int64_t i = 0; i < b.numel(); ++i) EXPECT_EQ(parts[1].at(i), b.at(i));
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  Tensor a = Tensor::FromVector({1, 2, 3});
+  Tensor b = a;
+  b.at(0) = 99.0f;
+  EXPECT_EQ(a.at(0), 1.0f);
+}
+
+}  // namespace
+}  // namespace camal::nn
