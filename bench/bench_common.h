@@ -2,11 +2,13 @@
 #define CAMAL_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/csv.h"
 #include "common/table_printer.h"
+#include "core/resnet.h"
 #include "data/balance.h"
 #include "data/split.h"
 #include "eval/bench_mode.h"
@@ -85,6 +87,25 @@ inline bool MakeCaseData(const EvalCase& eval_case,
   out->test = std::move(test).value();
   return out->train.size() >= 8 && out->valid.size() > 0 &&
          out->test.size() > 0;
+}
+
+/// Randomly initialized ResNet ensemble for inference/serving benches
+/// (training-free: member weights come straight from \p rng).
+inline core::CamalEnsemble MakeBenchEnsemble(
+    const std::vector<int64_t>& kernel_sizes, int64_t base_filters,
+    Rng* rng) {
+  std::vector<core::EnsembleMember> members;
+  for (int64_t kp : kernel_sizes) {
+    core::ResNetConfig rc;
+    rc.base_filters = base_filters;
+    rc.kernel_size = kp;
+    core::EnsembleMember member;
+    member.model = std::make_unique<core::ResNetClassifier>(rc, rng);
+    member.model->SetTraining(false);
+    member.kernel_size = kp;
+    members.push_back(std::move(member));
+  }
+  return core::CamalEnsemble::FromMembers(std::move(members));
 }
 
 /// Writes a CSV copy of a bench table under bench_results/.

@@ -1,6 +1,8 @@
 // Household scan (DeviceScope-style demo [41]): train one CamAL model per
-// appliance and scan a single household's recording, reporting for each
-// appliance whether it was used and when — from the aggregate signal only.
+// appliance and scan a single household's recording through the batched
+// serving runtime (overlapping windows, majority-vote stitching),
+// reporting for each appliance whether it was used, when, and how much
+// power it drew — from the aggregate signal only.
 
 #include <cstdio>
 #include <string>
@@ -8,6 +10,7 @@
 #include "data/balance.h"
 #include "data/split.h"
 #include "eval/experiment.h"
+#include "serve/batch_runner.h"
 #include "simulate/profiles.h"
 
 int main() {
@@ -35,8 +38,7 @@ int main() {
     opt.window_length = kWindow;
     auto train_r = data::BuildWindowDataset(split.train, spec, opt);
     auto valid_r = data::BuildWindowDataset(split.valid, spec, opt);
-    auto target_r = data::BuildWindowDataset({target_house}, spec, opt);
-    if (!train_r.ok() || !valid_r.ok() || !target_r.ok()) {
+    if (!train_r.ok() || !valid_r.ok()) {
       std::printf("%-16s: no training data in this cohort\n", spec.name.c_str());
       continue;
     }
@@ -60,27 +62,32 @@ int main() {
       continue;
     }
     core::CamalEnsemble ensemble = std::move(ensemble_result).value();
-    core::CamalLocalizer localizer(&ensemble);
-    const data::WindowDataset& target = target_r.value();
-    core::LocalizationResult result = localizer.Localize(target.inputs);
 
-    // Summarize: windows with detections and total estimated usage time.
-    int64_t detected_windows = 0;
+    // Serve the target house through the batched runtime: overlapping
+    // windows, all ensemble members in one pass per batch, per-timestamp
+    // majority vote, §IV-C power estimation.
+    serve::BatchRunnerOptions serve_opt;
+    serve_opt.stream.window_length = kWindow;
+    serve_opt.stream.stride = kWindow / 2;
+    serve_opt.stream.batch_size = 32;
+    serve_opt.appliance_avg_power_w = spec.avg_power_w;
+    serve::BatchRunner runner(&ensemble, serve_opt);
+    serve::ScanResult scan = runner.Scan(target_house.aggregate);
+
     int64_t on_samples = 0;
-    for (int64_t i = 0; i < target.size(); ++i) {
-      if (result.probabilities.at(i) > 0.5f) ++detected_windows;
-      for (int64_t t = 0; t < kWindow; ++t) {
-        on_samples += result.status.at2(i, t) > 0.5f ? 1 : 0;
-      }
+    double energy_wh = 0.0;
+    for (int64_t t = 0; t < scan.status.numel(); ++t) {
+      on_samples += scan.status.at(t) > 0.5f ? 1 : 0;
+      energy_wh += scan.power.at(t) * profile.interval_seconds / 3600.0;
     }
     const double hours = static_cast<double>(on_samples) *
                          profile.interval_seconds / 3600.0;
     const bool owned = target_house.Owns(spec.name);
-    std::printf("%-16s: detected in %3lld/%lld windows, ~%.1f h of use "
-                "(house actually owns it: %s)\n",
-                spec.name.c_str(), static_cast<long long>(detected_windows),
-                static_cast<long long>(target.size()), hours,
-                owned ? "yes" : "no");
+    std::printf("%-16s: ~%.1f h of use, ~%.1f kWh estimated (%lld windows "
+                "at %.0f win/s; house actually owns it: %s)\n",
+                spec.name.c_str(), hours, energy_wh / 1000.0,
+                static_cast<long long>(scan.windows),
+                scan.WindowsPerSecond(), owned ? "yes" : "no");
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/cam.h"
 
 #include "common/check.h"
+#include "common/parallel_for.h"
 
 namespace camal::core {
 
@@ -14,7 +15,7 @@ nn::Tensor ComputeCam(const nn::Tensor& feature_maps,
   const int64_t n = feature_maps.dim(0), k = feature_maps.dim(1),
                 l = feature_maps.dim(2);
   nn::Tensor cam({n, l});
-  for (int64_t ni = 0; ni < n; ++ni) {
+  ParallelFor(0, n, [&](int64_t ni) {
     for (int64_t ki = 0; ki < k; ++ki) {
       const float w = head_weights.at2(class_index, ki);
       if (w == 0.0f) continue;
@@ -22,7 +23,7 @@ nn::Tensor ComputeCam(const nn::Tensor& feature_maps,
       float* out = cam.data() + ni * l;
       for (int64_t t = 0; t < l; ++t) out[t] += w * row[t];
     }
-  }
+  });
   return cam;
 }
 

@@ -174,18 +174,29 @@ Result<CamalEnsemble> CamalEnsemble::Train(
   return CamalEnsemble(std::move(candidates));
 }
 
-nn::Tensor CamalEnsemble::DetectProbability(const nn::Tensor& inputs) {
+nn::Tensor CamalEnsemble::MeanClassOneProbability(const nn::Tensor& inputs,
+                                                  bool use_inference_path) {
   CAMAL_CHECK(!members_.empty());
   const int64_t n = inputs.dim(0);
   nn::Tensor prob({n});
   for (auto& member : members_) {
     member.model->SetTraining(false);
-    nn::Tensor logits = member.model->Forward(inputs);
+    nn::Tensor logits = use_inference_path
+                            ? member.model->ForwardInference(inputs)
+                            : member.model->Forward(inputs);
     nn::Tensor p = nn::Softmax(logits);
     for (int64_t i = 0; i < n; ++i) prob.at(i) += p.at2(i, 1);
   }
   prob.ScaleInPlace(1.0f / static_cast<float>(members_.size()));
   return prob;
+}
+
+nn::Tensor CamalEnsemble::DetectProbability(const nn::Tensor& inputs) {
+  return MeanClassOneProbability(inputs, /*use_inference_path=*/false);
+}
+
+nn::Tensor CamalEnsemble::DetectProbabilityBatched(const nn::Tensor& inputs) {
+  return MeanClassOneProbability(inputs, /*use_inference_path=*/true);
 }
 
 int64_t CamalEnsemble::NumParameters() const {

@@ -83,6 +83,13 @@ class CamalEnsemble {
   /// Member forward passes also cache the feature maps used for CAMs.
   nn::Tensor DetectProbability(const nn::Tensor& inputs);
 
+  /// Same probability through the batched inference runtime: every member
+  /// runs its inference-only forward (im2col+GEMM convolutions, fused
+  /// BatchNorm, no backward caches) over the whole batch in one pass.
+  /// Feature maps are cached for CAM extraction exactly like
+  /// DetectProbability. Agrees with DetectProbability to float rounding.
+  nn::Tensor DetectProbabilityBatched(const nn::Tensor& inputs);
+
   std::vector<EnsembleMember>& members() { return members_; }
   const std::vector<EnsembleMember>& members() const { return members_; }
 
@@ -92,6 +99,10 @@ class CamalEnsemble {
  private:
   explicit CamalEnsemble(std::vector<EnsembleMember> members)
       : members_(std::move(members)) {}
+
+  /// Shared body of DetectProbability / DetectProbabilityBatched.
+  nn::Tensor MeanClassOneProbability(const nn::Tensor& inputs,
+                                     bool use_inference_path);
 
   std::vector<EnsembleMember> members_;
 };

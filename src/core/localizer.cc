@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel_for.h"
 #include "core/cam.h"
 #include "nn/activations.h"
 
@@ -18,8 +19,9 @@ LocalizationResult CamalLocalizer::Localize(const nn::Tensor& inputs) {
   const int64_t n = inputs.dim(0), l = inputs.dim(2);
 
   LocalizationResult result;
-  // Step 1-2: ensemble probability (this also caches member feature maps).
-  result.probabilities = ensemble_->DetectProbability(inputs);
+  // Step 1-2: ensemble probability through the batched inference runtime
+  // (this also caches member feature maps).
+  result.probabilities = ensemble_->DetectProbabilityBatched(inputs);
 
   // Step 3-4: per-member class-1 CAMs, max-normalized, averaged.
   std::vector<nn::Tensor> cams;
@@ -39,9 +41,9 @@ LocalizationResult CamalLocalizer::Localize(const nn::Tensor& inputs) {
   // Without standardization the sigmoid rounding would degenerate to
   // sign(CAM) because raw power is always positive.
   result.status = nn::Tensor({n, l});
-  for (int64_t i = 0; i < n; ++i) {
+  ParallelFor(0, n, [&](int64_t i) {
     if (result.probabilities.at(i) <= options_.detection_threshold) {
-      continue;  // undetected: all timestamps stay 0 (step 2).
+      return;  // undetected: all timestamps stay 0 (step 2).
     }
     // Per-window standardization of the aggregate.
     double mean = 0.0, sq = 0.0;
@@ -74,7 +76,7 @@ LocalizationResult CamalLocalizer::Localize(const nn::Tensor& inputs) {
         result.status.at2(i, t) = s >= 0.5f ? 1.0f : 0.0f;
       }
     }
-  }
+  });
   return result;
 }
 

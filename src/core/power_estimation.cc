@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/parallel_for.h"
 
 namespace camal::core {
 
@@ -16,10 +17,12 @@ nn::Tensor EstimatePower(const nn::Tensor& status,
   CAMAL_CHECK_GE(avg_power_w, 0.0f);
   nn::Tensor power({n, l});
   const float* agg = aggregate_watts.data();
-  for (int64_t i = 0; i < n * l; ++i) {
-    const float initial = status.at(i) >= 0.5f ? avg_power_w : 0.0f;
-    power.at(i) = std::min(initial, std::max(0.0f, agg[i]));
-  }
+  ParallelForChunked(0, n * l, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float initial = status.at(i) >= 0.5f ? avg_power_w : 0.0f;
+      power.at(i) = std::min(initial, std::max(0.0f, agg[i]));
+    }
+  });
   return power;
 }
 
@@ -33,7 +36,7 @@ nn::Tensor EstimatePowerRefined(const nn::Tensor& status,
   nn::Tensor power({n, l});
   const nn::Tensor watts = aggregate_watts.Reshape({n, l});
 
-  for (int64_t i = 0; i < n; ++i) {
+  ParallelFor(0, n, [&](int64_t i) {
     int64_t t = 0;
     while (t < l) {
       if (status.at2(i, t) < 0.5f) {
@@ -68,7 +71,7 @@ nn::Tensor EstimatePowerRefined(const nn::Tensor& status,
         power.at2(i, u) = estimate;
       }
     }
-  }
+  });
   return power;
 }
 

@@ -63,6 +63,12 @@ nn::Tensor ResNetClassifier::Forward(const nn::Tensor& x) {
   return head_seq_->Forward(pooled);
 }
 
+nn::Tensor ResNetClassifier::ForwardInference(const nn::Tensor& x) {
+  feature_maps_ = body_->ForwardInference(x);
+  nn::Tensor pooled = gap_->ForwardInference(feature_maps_);
+  return head_seq_->ForwardInference(pooled);
+}
+
 nn::Tensor ResNetClassifier::Backward(const nn::Tensor& grad_output) {
   nn::Tensor g = head_seq_->Backward(grad_output);
   g = gap_->Backward(g);

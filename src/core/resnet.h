@@ -40,6 +40,11 @@ class ResNetClassifier : public CamBackbone {
   /// (N, C_in, L) -> (N, num_classes) logits.
   nn::Tensor Forward(const nn::Tensor& x) override;
   nn::Tensor Backward(const nn::Tensor& grad_output) override;
+
+  /// Batched inference path: im2col+GEMM convolutions and fused BatchNorm,
+  /// no backward caches. Still updates feature_maps() so CAM extraction
+  /// works after it.
+  nn::Tensor ForwardInference(const nn::Tensor& x) override;
   void CollectParameters(std::vector<nn::Parameter*>* out) override;
   void CollectBuffers(std::vector<nn::Tensor*>* out) override;
   void SetTraining(bool training) override;

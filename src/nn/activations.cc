@@ -14,6 +14,13 @@ Tensor ReLU::Forward(const Tensor& x) {
   return y;
 }
 
+Tensor ReLU::ForwardInference(const Tensor& x) {
+  Tensor y = x;
+  float* d = y.data();
+  for (int64_t i = 0; i < y.numel(); ++i) d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+  return y;
+}
+
 Tensor ReLU::Backward(const Tensor& grad_output) {
   CAMAL_CHECK(grad_output.SameShape(input_));
   Tensor g = grad_output;

@@ -12,6 +12,9 @@ class ReLU : public Module {
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_output) override;
 
+  /// Single-pass clamp without caching the input for Backward.
+  Tensor ForwardInference(const Tensor& x) override;
+
  private:
   Tensor input_;
 };

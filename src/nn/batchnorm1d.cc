@@ -76,6 +76,39 @@ Tensor BatchNorm1d::Forward(const Tensor& x) {
   return y;
 }
 
+void BatchNorm1d::FusedAffine(std::vector<float>* scale,
+                              std::vector<float>* shift) const {
+  scale->resize(static_cast<size_t>(channels_));
+  shift->resize(static_cast<size_t>(channels_));
+  for (int64_t ci = 0; ci < channels_; ++ci) {
+    const float is = 1.0f / std::sqrt(running_var_.at(ci) + eps_);
+    (*scale)[static_cast<size_t>(ci)] = gamma_.value.at(ci) * is;
+    (*shift)[static_cast<size_t>(ci)] =
+        beta_.value.at(ci) - gamma_.value.at(ci) * is * running_mean_.at(ci);
+  }
+}
+
+Tensor BatchNorm1d::ForwardInference(const Tensor& x) {
+  if (training()) return Forward(x);
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  CAMAL_CHECK_EQ(x.dim(1), channels_);
+  const int64_t n = x.dim(0), c = channels_, l = x.dim(2);
+  // y = gamma * (x - mean) * inv_std + beta == scale * x + shift.
+  std::vector<float> scale, shift;
+  FusedAffine(&scale, &shift);
+  Tensor y = Tensor::Uninitialized({n, c, l});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float a = scale[static_cast<size_t>(ci)];
+      const float b = shift[static_cast<size_t>(ci)];
+      const float* row = x.data() + (ni * c + ci) * l;
+      float* out = y.data() + (ni * c + ci) * l;
+      for (int64_t t = 0; t < l; ++t) out[t] = a * row[t] + b;
+    }
+  }
+  return y;
+}
+
 Tensor BatchNorm1d::Backward(const Tensor& grad_output) {
   const int64_t n = x_hat_.dim(0), c = channels_, l = x_hat_.dim(2);
   CAMAL_CHECK(grad_output.SameShape(x_hat_));

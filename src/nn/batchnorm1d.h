@@ -19,6 +19,19 @@ class BatchNorm1d : public Module {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_output) override;
+
+  /// Eval-mode normalization fused into one per-channel scale/shift pass,
+  /// without caching x_hat for Backward. Falls back to Forward in
+  /// training mode (batch statistics must still be updated there).
+  Tensor ForwardInference(const Tensor& x) override;
+
+  /// The eval-mode transform as per-channel scale/shift:
+  ///   y = scale[c] * x + shift[c]
+  /// with scale = gamma / sqrt(running_var + eps) and
+  /// shift = beta - scale * running_mean. This is what lets a preceding
+  /// convolution absorb the whole layer into its GEMM epilogue.
+  void FusedAffine(std::vector<float>* scale, std::vector<float>* shift) const;
+
   void CollectParameters(std::vector<Parameter*>* out) override;
   void CollectBuffers(std::vector<Tensor*>* out) override;
 

@@ -34,6 +34,23 @@ class Conv1d : public Module {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_output) override;
+
+  /// im2col + register-blocked GEMM (AVX2+FMA when the CPU has it),
+  /// parallelized over the batch with per-thread reusable column scratch.
+  /// Skips the input caching Forward does for Backward; the batched
+  /// serving path runs through this.
+  Tensor ForwardInference(const Tensor& x) override;
+
+  /// ForwardInference with a per-output-channel affine + optional ReLU
+  /// fused into the GEMM epilogue:
+  ///   y[co] = relu?(scale[co] * conv(x)[co] + shift[co]).
+  /// scale/shift must have out_channels entries; this is how eval-mode
+  /// Conv -> BatchNorm -> ReLU blocks collapse into a single output pass
+  /// (see Sequential::ForwardInference). The conv bias, when present, is
+  /// folded into the shift.
+  Tensor ForwardInferenceFused(const Tensor& x, const float* channel_scale,
+                               const float* channel_shift, bool fuse_relu);
+
   void CollectParameters(std::vector<Parameter*>* out) override;
 
   const Conv1dOptions& options() const { return options_; }
@@ -44,6 +61,10 @@ class Conv1d : public Module {
   int64_t OutputLength(int64_t input_length) const;
 
  private:
+  /// Shared batched kernel behind ForwardInference / ForwardInferenceFused.
+  Tensor RunBatched(const Tensor& x, const float* row_scale,
+                    const float* row_shift, bool fuse_relu);
+
   Conv1dOptions options_;
   Parameter weight_;  // (C_out, C_in, K)
   Parameter bias_;    // (C_out) when options_.bias

@@ -1,0 +1,65 @@
+#include "nn/gemm.h"
+
+namespace camal::nn {
+namespace internal {
+
+#define CAMAL_GEMM_IMPL GemmEpilogueGeneric
+#define CAMAL_GEMM_CONV_IMPL ConvGemmEpilogueGeneric
+#include "nn/gemm_tile.inc"
+#undef CAMAL_GEMM_CONV_IMPL
+#undef CAMAL_GEMM_IMPL
+
+bool HasAvx2Gemm() {
+#if defined(CAMAL_GEMM_HAVE_AVX2)
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+bool HasAvx512Gemm() {
+#if defined(CAMAL_GEMM_HAVE_AVX512)
+  static const bool supported = __builtin_cpu_supports("avx512f");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+}  // namespace internal
+
+void GemmEpilogue(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n, const float* row_scale,
+                  const float* row_shift, bool relu) {
+  if (m <= 0 || n <= 0) return;
+  if (internal::HasAvx512Gemm()) {
+    internal::GemmEpilogueAvx512(a, b, c, m, k, n, row_scale, row_shift,
+                                 relu);
+  } else if (internal::HasAvx2Gemm()) {
+    internal::GemmEpilogueAvx2(a, b, c, m, k, n, row_scale, row_shift, relu);
+  } else {
+    internal::GemmEpilogueGeneric(a, b, c, m, k, n, row_scale, row_shift,
+                                  relu);
+  }
+}
+
+void ConvGemmEpilogue(const float* w, const float* xpad, float* y, int64_t cout,
+                      int64_t cin, int64_t kernel, int64_t lpad,
+                      const float* row_scale, const float* row_shift,
+                      bool relu) {
+  if (cout <= 0) return;
+  if (internal::HasAvx512Gemm()) {
+    internal::ConvGemmEpilogueAvx512(w, xpad, y, cout, cin, kernel, lpad,
+                                     row_scale, row_shift, relu);
+  } else if (internal::HasAvx2Gemm()) {
+    internal::ConvGemmEpilogueAvx2(w, xpad, y, cout, cin, kernel, lpad,
+                                   row_scale, row_shift, relu);
+  } else {
+    internal::ConvGemmEpilogueGeneric(w, xpad, y, cout, cin, kernel, lpad,
+                                      row_scale, row_shift, relu);
+  }
+}
+
+}  // namespace camal::nn

@@ -1,0 +1,81 @@
+#ifndef CAMAL_NN_GEMM_H_
+#define CAMAL_NN_GEMM_H_
+
+#include <cstdint>
+
+namespace camal::nn {
+
+/// Single-precision GEMM with a fused epilogue, the compute kernel of the
+/// batched inference runtime:
+///
+///   C[i][j] = epilogue(sum_p A[i][p] * B[p][j])
+///   epilogue(v) = relu? max(0, row_scale[i] * v + row_shift[i])
+///                      : row_scale[i] * v + row_shift[i]
+///
+/// All buffers are row-major: A (m, k), B (k, n), C (m, n). C is
+/// overwritten. row_scale / row_shift may be null (identity scale, zero
+/// shift) — a null pair with relu=false is a plain matrix product. The
+/// epilogue is what lets Conv -> BatchNorm -> ReLU blocks collapse into
+/// one pass over the output.
+///
+/// Dispatches at runtime to an AVX2+FMA micro-kernel when the host CPU
+/// supports it (compiled separately; see gemm_avx2.cc), otherwise to a
+/// portable register-blocked kernel.
+void GemmEpilogue(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n, const float* row_scale,
+                  const float* row_shift, bool relu);
+
+/// Stride-1, dilation-1 convolution of one sample as an implicit-im2col
+/// GEMM: w is (cout, cin * kernel) row-major, xpad one sample (cin, lpad)
+/// with the zero padding already materialized by the caller, y is
+/// (cout, lpad - kernel + 1). The column matrix is read directly out of
+/// xpad instead of being materialized, with the same epilogue as
+/// GemmEpilogue. Same runtime CPU dispatch.
+void ConvGemmEpilogue(const float* w, const float* xpad, float* y, int64_t cout,
+                      int64_t cin, int64_t kernel, int64_t lpad,
+                      const float* row_scale, const float* row_shift,
+                      bool relu);
+
+namespace internal {
+
+/// Portable kernel (always available).
+void GemmEpilogueGeneric(const float* a, const float* b, float* c, int64_t m,
+                         int64_t k, int64_t n, const float* row_scale,
+                         const float* row_shift, bool relu);
+
+void ConvGemmEpilogueGeneric(const float* w, const float* xpad, float* y,
+                             int64_t cout, int64_t cin, int64_t kernel,
+                             int64_t lpad, const float* row_scale,
+                             const float* row_shift, bool relu);
+
+void ConvGemmEpilogueAvx2(const float* w, const float* xpad, float* y,
+                          int64_t cout, int64_t cin, int64_t kernel,
+                          int64_t lpad, const float* row_scale,
+                          const float* row_shift, bool relu);
+
+void ConvGemmEpilogueAvx512(const float* w, const float* xpad, float* y,
+                            int64_t cout, int64_t cin, int64_t kernel,
+                            int64_t lpad, const float* row_scale,
+                            const float* row_shift, bool relu);
+
+/// AVX2+FMA kernel; only callable when HasAvx2Gemm() is true.
+void GemmEpilogueAvx2(const float* a, const float* b, float* c, int64_t m,
+                      int64_t k, int64_t n, const float* row_scale,
+                      const float* row_shift, bool relu);
+
+/// AVX-512 kernel; only callable when HasAvx512Gemm() is true.
+void GemmEpilogueAvx512(const float* a, const float* b, float* c, int64_t m,
+                        int64_t k, int64_t n, const float* row_scale,
+                        const float* row_shift, bool relu);
+
+/// True when the AVX2 kernel was compiled in and the CPU supports it.
+bool HasAvx2Gemm();
+
+/// True when the AVX-512 kernel was compiled in and the CPU supports it.
+bool HasAvx512Gemm();
+
+}  // namespace internal
+
+}  // namespace camal::nn
+
+#endif  // CAMAL_NN_GEMM_H_

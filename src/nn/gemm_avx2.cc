@@ -1,0 +1,39 @@
+// AVX2+FMA instance of the GEMM tile kernel. CMake compiles this one
+// translation unit with -mavx2 -mfma on x86-64 (and defines
+// CAMAL_GEMM_HAVE_AVX2 project-wide); GemmEpilogue only dispatches here
+// after __builtin_cpu_supports confirms the host CPU, so the rest of the
+// library stays baseline-portable.
+
+#include "nn/gemm.h"
+
+namespace camal::nn {
+namespace internal {
+
+#if defined(CAMAL_GEMM_HAVE_AVX2)
+
+#define CAMAL_GEMM_IMPL GemmEpilogueAvx2
+#define CAMAL_GEMM_CONV_IMPL ConvGemmEpilogueAvx2
+#include "nn/gemm_tile.inc"
+#undef CAMAL_GEMM_CONV_IMPL
+#undef CAMAL_GEMM_IMPL
+
+#else  // fallback so the symbol always links
+
+void GemmEpilogueAvx2(const float* a, const float* b, float* c, int64_t m,
+                      int64_t k, int64_t n, const float* row_scale,
+                      const float* row_shift, bool relu) {
+  GemmEpilogueGeneric(a, b, c, m, k, n, row_scale, row_shift, relu);
+}
+
+void ConvGemmEpilogueAvx2(const float* w, const float* xpad, float* y,
+                          int64_t cout, int64_t cin, int64_t kernel,
+                          int64_t lpad, const float* row_scale,
+                          const float* row_shift, bool relu) {
+  ConvGemmEpilogueGeneric(w, xpad, y, cout, cin, kernel, lpad, row_scale,
+                          row_shift, relu);
+}
+
+#endif
+
+}  // namespace internal
+}  // namespace camal::nn

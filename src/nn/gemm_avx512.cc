@@ -1,0 +1,39 @@
+// AVX-512 instance of the GEMM tile kernel (see gemm_avx2.cc for the
+// dispatch scheme). With -mavx512f the 16-wide inner loop of the tile
+// becomes one zmm FMA per accumulator row.
+
+#include "nn/gemm.h"
+
+namespace camal::nn {
+namespace internal {
+
+#if defined(CAMAL_GEMM_HAVE_AVX512)
+
+#define CAMAL_GEMM_IMPL GemmEpilogueAvx512
+#define CAMAL_GEMM_CONV_IMPL ConvGemmEpilogueAvx512
+#define CAMAL_GEMM_TILE_NR 32  // 4x32 conv tiles: two zmm per accumulator row
+#include "nn/gemm_tile.inc"
+#undef CAMAL_GEMM_TILE_NR
+#undef CAMAL_GEMM_CONV_IMPL
+#undef CAMAL_GEMM_IMPL
+
+#else  // fallback so the symbol always links
+
+void GemmEpilogueAvx512(const float* a, const float* b, float* c, int64_t m,
+                        int64_t k, int64_t n, const float* row_scale,
+                        const float* row_shift, bool relu) {
+  GemmEpilogueGeneric(a, b, c, m, k, n, row_scale, row_shift, relu);
+}
+
+void ConvGemmEpilogueAvx512(const float* w, const float* xpad, float* y,
+                            int64_t cout, int64_t cin, int64_t kernel,
+                            int64_t lpad, const float* row_scale,
+                            const float* row_shift, bool relu) {
+  ConvGemmEpilogueGeneric(w, xpad, y, cout, cin, kernel, lpad, row_scale,
+                          row_shift, relu);
+}
+
+#endif
+
+}  // namespace internal
+}  // namespace camal::nn

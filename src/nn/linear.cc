@@ -38,6 +38,21 @@ Tensor Linear::Forward(const Tensor& x) {
   return y;
 }
 
+Tensor Linear::ForwardInference(const Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 2);
+  CAMAL_CHECK_EQ(x.dim(1), in_features_);
+  Tensor y = MatMulTransposeB(x, weight_.value);  // (N, F_out)
+  if (has_bias_) {
+    const int64_t n = y.dim(0);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < out_features_; ++j) {
+        y.at2(i, j) += bias_.value.at(j);
+      }
+    }
+  }
+  return y;
+}
+
 Tensor Linear::Backward(const Tensor& grad_output) {
   CAMAL_CHECK_EQ(grad_output.ndim(), 2);
   CAMAL_CHECK_EQ(grad_output.dim(1), out_features_);

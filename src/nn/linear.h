@@ -17,6 +17,10 @@ class Linear : public Module {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_output) override;
+
+  /// Forward without caching the input for Backward.
+  Tensor ForwardInference(const Tensor& x) override;
+
   void CollectParameters(std::vector<Parameter*>* out) override;
 
   int64_t in_features() const { return in_features_; }

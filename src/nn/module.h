@@ -44,6 +44,14 @@ class Module {
   /// dLoss/dInput for the most recent Forward call.
   virtual Tensor Backward(const Tensor& grad_output) = 0;
 
+  /// Inference-only forward: mathematically identical to Forward in eval
+  /// mode, but free to skip the activation caching Backward needs and to
+  /// use batch-oriented kernels (im2col + GEMM convolutions, fused
+  /// BatchNorm affine). Calling Backward after ForwardInference is
+  /// undefined. The default delegates to Forward, so layers without a
+  /// dedicated fast path stay correct.
+  virtual Tensor ForwardInference(const Tensor& x) { return Forward(x); }
+
   /// Appends pointers to this module's parameters (recursively).
   virtual void CollectParameters(std::vector<Parameter*>* out) { (void)out; }
 

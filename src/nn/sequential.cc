@@ -1,10 +1,62 @@
 #include "nn/sequential.h"
 
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/batchnorm1d.h"
+#include "nn/conv1d.h"
+
 namespace camal::nn {
 
 Tensor Sequential::Forward(const Tensor& x) {
   Tensor h = x;
   for (auto& layer : layers_) h = layer->Forward(h);
+  return h;
+}
+
+Tensor Sequential::ForwardInference(const Tensor& x) {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size();) {
+    // ReLU runs in place: h is always a private copy inside this loop, so
+    // the clamp needs no extra tensor (the training path must keep the
+    // pre-activation for Backward; inference does not).
+    if (dynamic_cast<ReLU*>(layers_[i].get()) != nullptr) {
+      float* d = h.data();
+      for (int64_t j = 0; j < h.numel(); ++j) {
+        if (d[j] < 0.0f) d[j] = 0.0f;
+      }
+      ++i;
+      continue;
+    }
+    // Collapse Residual -> ReLU into the shortcut addition.
+    auto* residual = dynamic_cast<Residual*>(layers_[i].get());
+    if (residual != nullptr && i + 1 < layers_.size() &&
+        dynamic_cast<ReLU*>(layers_[i + 1].get()) != nullptr) {
+      h = residual->ForwardInferenceRelu(h);
+      i += 2;
+      continue;
+    }
+    // Collapse Conv -> BatchNorm(eval) [-> ReLU] into one fused pass: the
+    // BatchNorm affine and the ReLU clamp ride in the conv GEMM epilogue
+    // instead of re-streaming the activation tensor twice.
+    auto* conv = dynamic_cast<Conv1d*>(layers_[i].get());
+    if (conv != nullptr && i + 1 < layers_.size()) {
+      auto* bn = dynamic_cast<BatchNorm1d*>(layers_[i + 1].get());
+      if (bn != nullptr && !bn->training()) {
+        const bool fuse_relu =
+            i + 2 < layers_.size() &&
+            dynamic_cast<ReLU*>(layers_[i + 2].get()) != nullptr;
+        std::vector<float> scale, shift;
+        bn->FusedAffine(&scale, &shift);
+        h = conv->ForwardInferenceFused(h, scale.data(), shift.data(),
+                                        fuse_relu);
+        i += fuse_relu ? 3 : 2;
+        continue;
+      }
+    }
+    h = layers_[i]->ForwardInference(h);
+    ++i;
+  }
   return h;
 }
 
@@ -41,6 +93,45 @@ Tensor Residual::Forward(const Tensor& x) {
   CAMAL_CHECK_MSG(main.SameShape(skip),
                   "residual body/shortcut shape mismatch");
   return Add(main, skip);
+}
+
+namespace {
+
+// out += other, optionally clamped at zero, in one pass.
+void AddInPlaceMaybeRelu(Tensor* out, const Tensor& other, bool relu) {
+  CAMAL_CHECK_MSG(out->SameShape(other),
+                  "residual body/shortcut shape mismatch");
+  float* d = out->data();
+  const float* s = other.data();
+  const int64_t n = out->numel();
+  if (relu) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float v = d[i] + s[i];
+      d[i] = v > 0.0f ? v : 0.0f;
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) d[i] += s[i];
+  }
+}
+
+}  // namespace
+
+Tensor Residual::RunInference(const Tensor& x, bool relu) {
+  Tensor main = body_->ForwardInference(x);
+  if (shortcut_) {
+    AddInPlaceMaybeRelu(&main, shortcut_->ForwardInference(x), relu);
+  } else {
+    AddInPlaceMaybeRelu(&main, x, relu);
+  }
+  return main;
+}
+
+Tensor Residual::ForwardInference(const Tensor& x) {
+  return RunInference(x, /*relu=*/false);
+}
+
+Tensor Residual::ForwardInferenceRelu(const Tensor& x) {
+  return RunInference(x, /*relu=*/true);
 }
 
 Tensor Residual::Backward(const Tensor& grad_output) {

@@ -24,6 +24,7 @@ class Sequential : public Module {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_output) override;
+  Tensor ForwardInference(const Tensor& x) override;
   void CollectParameters(std::vector<Parameter*>* out) override;
   void CollectBuffers(std::vector<Tensor*>* out) override;
   void SetTraining(bool training) override;
@@ -44,11 +45,21 @@ class Residual : public Module {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_output) override;
+  Tensor ForwardInference(const Tensor& x) override;
+
+  /// ForwardInference with the trailing ReLU of the residual unit fused
+  /// into the shortcut addition — one pass over the sum instead of two
+  /// (used by Sequential::ForwardInference when a ReLU follows).
+  Tensor ForwardInferenceRelu(const Tensor& x);
+
   void CollectParameters(std::vector<Parameter*>* out) override;
   void CollectBuffers(std::vector<Tensor*>* out) override;
   void SetTraining(bool training) override;
 
  private:
+  /// Shared body of ForwardInference / ForwardInferenceRelu.
+  Tensor RunInference(const Tensor& x, bool relu);
+
   std::unique_ptr<Module> body_;
   std::unique_ptr<Module> shortcut_;  // nullptr => identity
 };

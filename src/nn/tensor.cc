@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "nn/gemm.h"
+
 namespace camal::nn {
 namespace {
 
@@ -21,8 +23,17 @@ Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
   data_.assign(static_cast<size_t>(ShapeNumel(shape_)), 0.0f);
 }
 
+Tensor::Tensor(std::vector<int64_t> shape, UninitTag)
+    : shape_(std::move(shape)) {
+  data_.resize(static_cast<size_t>(ShapeNumel(shape_)));
+}
+
 Tensor Tensor::Zeros(std::vector<int64_t> shape) {
   return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Uninitialized(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape), UninitTag{});
 }
 
 Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
@@ -117,16 +128,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   CAMAL_CHECK_EQ(b.ndim(), 2);
   CAMAL_CHECK_EQ(a.dim(1), b.dim(0));
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  Tensor out({m, n});
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = a.at2(i, p);
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + p * n;
-      float* orow = out.data() + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  Tensor out = Tensor::Uninitialized({m, n});
+  GemmEpilogue(a.data(), b.data(), out.data(), m, k, n,
+               /*row_scale=*/nullptr, /*row_shift=*/nullptr, /*relu=*/false);
   return out;
 }
 
@@ -135,7 +139,7 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   CAMAL_CHECK_EQ(b.ndim(), 2);
   CAMAL_CHECK_EQ(a.dim(1), b.dim(1));
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  Tensor out({m, n});
+  Tensor out = Tensor::Uninitialized({m, n});
   for (int64_t i = 0; i < m; ++i) {
     const float* arow = a.data() + i * k;
     for (int64_t j = 0; j < n; ++j) {

@@ -1,13 +1,62 @@
 #ifndef CAMAL_NN_TENSOR_H_
 #define CAMAL_NN_TENSOR_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <new>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
 
 namespace camal::nn {
+
+/// Allocator for kernel-facing float buffers: 64-byte aligned (full
+/// cache-line / zmm-register alignment for the GEMM kernels) and with a
+/// no-op default-construct, so resize() on a fresh vector leaves memory
+/// uninitialized. Value-construction with arguments (copies, fills)
+/// behaves like std::allocator.
+template <typename T>
+struct AlignedBufferAllocator {
+  using value_type = T;
+  using is_always_equal = std::true_type;
+
+  AlignedBufferAllocator() = default;
+  template <typename U>
+  AlignedBufferAllocator(const AlignedBufferAllocator<U>&) {}  // NOLINT
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedBufferAllocator<U>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{64}));
+  }
+  void deallocate(T* p, size_t) {
+    ::operator delete(p, std::align_val_t{64});
+  }
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) > 0) {
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+  }
+  friend bool operator==(const AlignedBufferAllocator&,
+                         const AlignedBufferAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedBufferAllocator&,
+                         const AlignedBufferAllocator&) {
+    return false;
+  }
+};
+
+/// Aligned, lazily-initialized float buffer — scratch space for kernels.
+using AlignedBuffer = std::vector<float, AlignedBufferAllocator<float>>;
 
 /// Dense row-major float32 tensor.
 ///
@@ -28,6 +77,12 @@ class Tensor {
 
   /// Zero-filled tensor of the given shape.
   static Tensor Zeros(std::vector<int64_t> shape);
+
+  /// Allocates WITHOUT zero-filling. Only for outputs a kernel fully
+  /// overwrites before anything reads them (GEMM epilogues, fused
+  /// normalization passes): skipping the constructor's memset is a real
+  /// win on batch-sized activations.
+  static Tensor Uninitialized(std::vector<int64_t> shape);
 
   /// Constant-filled tensor of the given shape.
   static Tensor Full(std::vector<int64_t> shape, float value);
@@ -101,8 +156,11 @@ class Tensor {
   double Mean() const;
 
  private:
+  struct UninitTag {};
+  Tensor(std::vector<int64_t> shape, UninitTag);
+
   std::vector<int64_t> shape_;
-  std::vector<float> data_;
+  AlignedBuffer data_;
 };
 
 /// Elementwise a + b (shapes must match).
@@ -117,7 +175,8 @@ Tensor Mul(const Tensor& a, const Tensor& b);
 /// a * s.
 Tensor Scale(const Tensor& a, float s);
 
-/// Matrix product of (M, K) x (K, N) -> (M, N).
+/// Matrix product of (M, K) x (K, N) -> (M, N). Uses the register-blocked
+/// (and, when the CPU supports it, AVX2+FMA) kernel from nn/gemm.h.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
 /// Matrix product a x b^T of (M, K) x (N, K) -> (M, N).

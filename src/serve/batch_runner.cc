@@ -1,0 +1,80 @@
+#include "serve/batch_runner.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "core/power_estimation.h"
+#include "data/time_series.h"
+
+namespace camal::serve {
+
+BatchRunner::BatchRunner(core::CamalEnsemble* ensemble,
+                         BatchRunnerOptions options)
+    : ensemble_(ensemble),
+      localizer_(ensemble, options.localizer),
+      options_(options) {
+  CAMAL_CHECK(ensemble != nullptr);
+  CAMAL_CHECK_GE(options_.appliance_avg_power_w, 0.0f);
+}
+
+ScanResult BatchRunner::Scan(const std::vector<float>& aggregate_watts) {
+  const int64_t len = static_cast<int64_t>(aggregate_watts.size());
+  const int64_t l = options_.stream.window_length;
+  ScanResult result;
+  result.detection = nn::Tensor({len});
+  result.status = nn::Tensor({len});
+  result.power = nn::Tensor({len});
+  if (len < l) return result;
+
+  WindowStream stream(&aggregate_watts, options_.stream);
+  std::vector<float> prob_sum(static_cast<size_t>(len), 0.0f);
+  std::vector<int32_t> cover(static_cast<size_t>(len), 0);
+  std::vector<int32_t> on_votes(static_cast<size_t>(len), 0);
+
+  Stopwatch watch;
+  nn::Tensor batch;
+  std::vector<int64_t> offsets;
+  int64_t b = 0;
+  while ((b = stream.NextBatch(&batch, &offsets)) > 0) {
+    core::LocalizationResult loc = localizer_.Localize(batch);
+    for (int64_t i = 0; i < b; ++i) {
+      const int64_t off = offsets[static_cast<size_t>(i)];
+      const float p = loc.probabilities.at(i);
+      for (int64_t t = 0; t < l; ++t) {
+        prob_sum[static_cast<size_t>(off + t)] += p;
+        ++cover[static_cast<size_t>(off + t)];
+        if (loc.status.at2(i, t) > 0.5f) {
+          ++on_votes[static_cast<size_t>(off + t)];
+        }
+      }
+    }
+    result.windows += b;
+  }
+  result.seconds = watch.ElapsedSeconds();
+
+  // Stitch votes into per-timestamp series. Timestamps no window covers
+  // (possible only when len < window) stay zero.
+  for (int64_t t = 0; t < len; ++t) {
+    const int32_t c = cover[static_cast<size_t>(t)];
+    if (c == 0) continue;
+    result.detection.at(t) = prob_sum[static_cast<size_t>(t)] /
+                             static_cast<float>(c);
+    result.status.at(t) = 2 * on_votes[static_cast<size_t>(t)] > c ? 1.0f
+                                                                   : 0.0f;
+  }
+
+  // §IV-C power estimation over the stitched status (missing readings act
+  // as zero aggregate, matching the stream's zero-fill).
+  nn::Tensor watts({1, len});
+  for (int64_t t = 0; t < len; ++t) {
+    const float v = aggregate_watts[static_cast<size_t>(t)];
+    watts.at(t) = data::IsMissing(v) ? 0.0f : v;
+  }
+  result.power =
+      core::EstimatePower(result.status.Reshape({1, len}), watts,
+                          options_.appliance_avg_power_w)
+          .Reshape({len});
+  return result;
+}
+
+}  // namespace camal::serve

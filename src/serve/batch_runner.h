@@ -1,0 +1,60 @@
+#ifndef CAMAL_SERVE_BATCH_RUNNER_H_
+#define CAMAL_SERVE_BATCH_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/localizer.h"
+#include "serve/window_stream.h"
+
+namespace camal::serve {
+
+/// Configuration of a BatchRunner scan.
+struct BatchRunnerOptions {
+  WindowStreamOptions stream;
+  core::LocalizerOptions localizer;
+  /// Appliance average power P_a (Watts) for §IV-C power estimation.
+  float appliance_avg_power_w = 0.0f;
+};
+
+/// Per-timestamp result of scanning one household series.
+struct ScanResult {
+  nn::Tensor detection;  ///< (T) mean detection probability of covering windows.
+  nn::Tensor status;     ///< (T) 0/1 activation by majority vote of windows.
+  nn::Tensor power;      ///< (T) estimated appliance Watts (§IV-C).
+  int64_t windows = 0;   ///< windows processed.
+  double seconds = 0.0;  ///< wall-clock inference time of the scan.
+
+  /// Windows per second of the scan (0 when timing was too fast to resolve).
+  double WindowsPerSecond() const {
+    return seconds > 0.0 ? static_cast<double>(windows) / seconds : 0.0;
+  }
+};
+
+/// End-to-end batched serving for one appliance: slices a household
+/// aggregate into overlapping windows (WindowStream), pushes them through
+/// the CamAL localization pipeline batch by batch via the inference-only
+/// forward path, and stitches per-window detections and activation masks
+/// back into per-timestamp series. Overlapping windows vote: detection is
+/// the mean window probability covering a timestamp, status the majority
+/// of window masks, and power the §IV-C estimate over the voted status.
+class BatchRunner {
+ public:
+  /// \p ensemble is borrowed and must outlive the runner.
+  BatchRunner(core::CamalEnsemble* ensemble, BatchRunnerOptions options);
+
+  /// Scans \p aggregate_watts (unscaled Watts; NaN = missing reading).
+  /// Series shorter than one window return all-zero results.
+  ScanResult Scan(const std::vector<float>& aggregate_watts);
+
+  const BatchRunnerOptions& options() const { return options_; }
+
+ private:
+  core::CamalEnsemble* ensemble_;
+  core::CamalLocalizer localizer_;
+  BatchRunnerOptions options_;
+};
+
+}  // namespace camal::serve
+
+#endif  // CAMAL_SERVE_BATCH_RUNNER_H_

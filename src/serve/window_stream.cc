@@ -1,0 +1,55 @@
+#include "serve/window_stream.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "data/time_series.h"
+
+namespace camal::serve {
+
+WindowStream::WindowStream(const std::vector<float>* series,
+                           WindowStreamOptions options)
+    : series_(series), options_(options) {
+  CAMAL_CHECK(series != nullptr);
+  CAMAL_CHECK_GT(options_.window_length, 0);
+  CAMAL_CHECK_GT(options_.stride, 0);
+  CAMAL_CHECK_GT(options_.batch_size, 0);
+  CAMAL_CHECK_GT(options_.input_scale, 0.0f);
+  const int64_t len = static_cast<int64_t>(series->size());
+  const int64_t l = options_.window_length;
+  for (int64_t off = 0; off + l <= len; off += options_.stride) {
+    offsets_.push_back(off);
+  }
+  // Tail window: align to the series end so trailing samples the stride
+  // grid skipped still get covered.
+  if (len >= l && (offsets_.empty() || offsets_.back() + l < len)) {
+    offsets_.push_back(len - l);
+  }
+}
+
+int64_t WindowStream::NextBatch(nn::Tensor* inputs,
+                                std::vector<int64_t>* batch_offsets) {
+  CAMAL_CHECK(inputs != nullptr);
+  CAMAL_CHECK(batch_offsets != nullptr);
+  batch_offsets->clear();
+  const int64_t remaining = NumWindows() - static_cast<int64_t>(next_);
+  const int64_t b = std::min<int64_t>(options_.batch_size, remaining);
+  if (b <= 0) return 0;
+  const int64_t l = options_.window_length;
+  // Every element is written below; skip the zero-fill.
+  *inputs = nn::Tensor::Uninitialized({b, 1, l});
+  const float inv_scale = 1.0f / options_.input_scale;
+  const float* series = series_->data();
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t off = offsets_[next_++];
+    batch_offsets->push_back(off);
+    float* dst = inputs->data() + i * l;
+    for (int64_t t = 0; t < l; ++t) {
+      const float v = series[off + t];
+      dst[t] = data::IsMissing(v) ? 0.0f : v * inv_scale;
+    }
+  }
+  return b;
+}
+
+}  // namespace camal::serve

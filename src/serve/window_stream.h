@@ -1,0 +1,65 @@
+#ifndef CAMAL_SERVE_WINDOW_STREAM_H_
+#define CAMAL_SERVE_WINDOW_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace camal::serve {
+
+/// Slicing/batching policy of a household scan.
+struct WindowStreamOptions {
+  /// Model input length L (must match the ensemble's training window).
+  int64_t window_length = 128;
+  /// Hop between consecutive windows; stride < window_length overlaps them
+  /// so every timestamp is voted on by several windows.
+  int64_t stride = 64;
+  /// Windows per emitted batch.
+  int64_t batch_size = 32;
+  /// Aggregate Watts are divided by this before entering the model; must
+  /// match data::BuildOptions::input_scale used at training time.
+  float input_scale = 1000.0f;
+};
+
+/// Streams a household's aggregate series as batches of overlapping,
+/// scaled windows — the feeder of the batched inference runtime.
+///
+/// Offsets advance by `stride`; a final tail window aligned to the series
+/// end is added when the regular grid would leave trailing samples
+/// uncovered. Series shorter than one window yield nothing. Missing
+/// readings (NaN) are zero-filled — serving cannot drop windows the way
+/// training does.
+class WindowStream {
+ public:
+  /// \p series is borrowed and must outlive the stream.
+  WindowStream(const std::vector<float>* series, WindowStreamOptions options);
+
+  /// Total windows this stream will emit.
+  int64_t NumWindows() const {
+    return static_cast<int64_t>(offsets_.size());
+  }
+
+  /// All window start offsets, in emission order.
+  const std::vector<int64_t>& offsets() const { return offsets_; }
+
+  /// Fills \p inputs with the next (B, 1, L) batch (B <= batch_size) and
+  /// \p batch_offsets with the B series offsets. Returns B; 0 when
+  /// exhausted.
+  int64_t NextBatch(nn::Tensor* inputs, std::vector<int64_t>* batch_offsets);
+
+  /// Rewinds to the first window.
+  void Reset() { next_ = 0; }
+
+  const WindowStreamOptions& options() const { return options_; }
+
+ private:
+  const std::vector<float>* series_;
+  WindowStreamOptions options_;
+  std::vector<int64_t> offsets_;
+  size_t next_ = 0;
+};
+
+}  // namespace camal::serve
+
+#endif  // CAMAL_SERVE_WINDOW_STREAM_H_

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/ensemble.h"
+#include "core/resnet.h"
+#include "nn/activations.h"
+#include "nn/batchnorm1d.h"
+#include "nn/conv1d.h"
+#include "nn/linear.h"
+#include "nn/tensor.h"
+
+namespace camal {
+namespace {
+
+nn::Tensor RandomTensor(std::vector<int64_t> shape, Rng* rng) {
+  nn::Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.at(i) = static_cast<float>(rng->Uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+double MaxAbsDiff(const nn::Tensor& a, const nn::Tensor& b) {
+  EXPECT_TRUE(a.SameShape(b)) << a.ShapeString() << " vs " << b.ShapeString();
+  double max_diff = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::abs(static_cast<double>(a.at(i)) - b.at(i)));
+  }
+  return max_diff;
+}
+
+TEST(GemmTest, MatchesNaiveProduct) {
+  Rng rng(11);
+  for (auto [m, k, n] : {std::tuple<int64_t, int64_t, int64_t>{1, 1, 1},
+                         {3, 5, 7},
+                         {4, 8, 8},
+                         {9, 17, 23},
+                         {32, 112, 128}}) {
+    nn::Tensor a = RandomTensor({m, k}, &rng);
+    nn::Tensor b = RandomTensor({k, n}, &rng);
+    nn::Tensor fast = nn::MatMul(a, b);
+    nn::Tensor naive({m, n});
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t p = 0; p < k; ++p) {
+        for (int64_t j = 0; j < n; ++j) {
+          naive.at2(i, j) += a.at2(i, p) * b.at2(p, j);
+        }
+      }
+    }
+    EXPECT_LT(MaxAbsDiff(fast, naive), 1e-4)
+        << "m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(Conv1dInferenceTest, AgreesWithForwardAcrossGeometries) {
+  Rng rng(5);
+  struct Geometry {
+    int64_t cin, cout, k, stride, padding, dilation;
+  };
+  for (const Geometry& g : {Geometry{1, 4, 7, 1, 3, 1},
+                            Geometry{3, 8, 5, 1, 2, 1},
+                            Geometry{4, 6, 3, 2, 1, 1},
+                            Geometry{2, 5, 3, 1, 2, 2},
+                            Geometry{8, 16, 1, 1, 0, 1}}) {
+    nn::Conv1dOptions opt;
+    opt.in_channels = g.cin;
+    opt.out_channels = g.cout;
+    opt.kernel_size = g.k;
+    opt.stride = g.stride;
+    opt.padding = g.padding;
+    opt.dilation = g.dilation;
+    nn::Conv1d conv(opt, &rng);
+    nn::Tensor x = RandomTensor({3, g.cin, 40}, &rng);
+    nn::Tensor slow = conv.Forward(x);
+    nn::Tensor fast = conv.ForwardInference(x);
+    EXPECT_LT(MaxAbsDiff(slow, fast), 1e-5)
+        << "cin=" << g.cin << " k=" << g.k << " stride=" << g.stride
+        << " dil=" << g.dilation;
+  }
+}
+
+TEST(Conv1dInferenceTest, NoBiasAndSingleSample) {
+  Rng rng(6);
+  nn::Conv1dOptions opt;
+  opt.in_channels = 2;
+  opt.out_channels = 3;
+  opt.kernel_size = 5;
+  opt.padding = opt.SamePadding();
+  opt.bias = false;
+  nn::Conv1d conv(opt, &rng);
+  nn::Tensor x = RandomTensor({1, 2, 17}, &rng);
+  EXPECT_LT(MaxAbsDiff(conv.Forward(x), conv.ForwardInference(x)), 1e-5);
+}
+
+TEST(BatchNormInferenceTest, EvalModeAgreesWithForward) {
+  Rng rng(7);
+  nn::BatchNorm1d bn(4);
+  // Drive the running statistics away from the identity first.
+  bn.SetTraining(true);
+  for (int step = 0; step < 5; ++step) {
+    bn.Forward(RandomTensor({6, 4, 10}, &rng));
+  }
+  bn.SetTraining(false);
+  nn::Tensor x = RandomTensor({3, 4, 10}, &rng);
+  EXPECT_LT(MaxAbsDiff(bn.Forward(x), bn.ForwardInference(x)), 1e-5);
+}
+
+TEST(BatchNormInferenceTest, TrainingModeFallsBackToForward) {
+  Rng rng(8);
+  nn::BatchNorm1d reference(2);
+  nn::BatchNorm1d inference(2);
+  nn::Tensor x = RandomTensor({4, 2, 8}, &rng);
+  reference.SetTraining(true);
+  inference.SetTraining(true);
+  nn::Tensor a = reference.Forward(x);
+  nn::Tensor b = inference.ForwardInference(x);
+  EXPECT_LT(MaxAbsDiff(a, b), 1e-6);
+  // Running statistics must update on the fallback path too.
+  EXPECT_LT(MaxAbsDiff(reference.running_mean(), inference.running_mean()),
+            1e-6);
+}
+
+TEST(LinearInferenceTest, AgreesWithForward) {
+  Rng rng(9);
+  nn::Linear linear(6, 3, /*bias=*/true, &rng);
+  nn::Tensor x = RandomTensor({5, 6}, &rng);
+  EXPECT_LT(MaxAbsDiff(linear.Forward(x), linear.ForwardInference(x)), 1e-6);
+}
+
+TEST(ResNetInferenceTest, LogitsAgreeWithTrainingForward) {
+  Rng rng(10);
+  core::ResNetConfig config;
+  config.base_filters = 8;
+  config.kernel_size = 7;
+  core::ResNetClassifier model(config, &rng);
+  model.SetTraining(false);
+  nn::Tensor x = RandomTensor({4, 1, 32}, &rng);
+  nn::Tensor slow = model.Forward(x);
+  nn::Tensor slow_features = model.feature_maps();
+  nn::Tensor fast = model.ForwardInference(x);
+  EXPECT_LT(MaxAbsDiff(slow, fast), 1e-4);
+  // CAM extraction depends on the cached feature maps matching too.
+  EXPECT_LT(MaxAbsDiff(slow_features, model.feature_maps()), 1e-4);
+}
+
+TEST(ResNetInferenceTest, BatchedMatchesSingleWindowLoop) {
+  Rng rng(12);
+  core::ResNetConfig config;
+  config.base_filters = 8;
+  core::ResNetClassifier model(config, &rng);
+  model.SetTraining(false);
+  const int64_t n = 6, l = 32;
+  nn::Tensor batch = RandomTensor({n, 1, l}, &rng);
+  nn::Tensor batched = model.ForwardInference(batch);
+  for (int64_t i = 0; i < n; ++i) {
+    nn::Tensor window({1, 1, l});
+    for (int64_t t = 0; t < l; ++t) window.at3(0, 0, t) = batch.at3(i, 0, t);
+    nn::Tensor single = model.Forward(window);
+    for (int64_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(single.at2(0, c), batched.at2(i, c), 1e-4)
+          << "window " << i << " class " << c;
+    }
+  }
+}
+
+TEST(EnsembleInferenceTest, BatchedProbabilityMatchesTrainingPath) {
+  Rng rng(13);
+  std::vector<core::EnsembleMember> members;
+  for (int64_t k : {5, 9}) {
+    core::ResNetConfig config;
+    config.base_filters = 4;
+    config.kernel_size = k;
+    core::EnsembleMember member;
+    member.model = std::make_unique<core::ResNetClassifier>(config, &rng);
+    member.kernel_size = k;
+    members.push_back(std::move(member));
+  }
+  core::CamalEnsemble ensemble =
+      core::CamalEnsemble::FromMembers(std::move(members));
+  nn::Tensor x = RandomTensor({8, 1, 24}, &rng);
+  nn::Tensor reference = ensemble.DetectProbability(x);
+  nn::Tensor batched = ensemble.DetectProbabilityBatched(x);
+  EXPECT_LT(MaxAbsDiff(reference, batched), 1e-4);
+}
+
+}  // namespace
+}  // namespace camal

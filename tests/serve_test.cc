@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "common/rng.h"
+#include "core/ensemble.h"
+#include "core/resnet.h"
+#include "serve/batch_runner.h"
+#include "serve/window_stream.h"
+
+namespace camal {
+namespace {
+
+serve::WindowStreamOptions SmallStream(int64_t window, int64_t stride,
+                                       int64_t batch) {
+  serve::WindowStreamOptions opt;
+  opt.window_length = window;
+  opt.stride = stride;
+  opt.batch_size = batch;
+  return opt;
+}
+
+TEST(WindowStreamTest, CoversEveryTimestamp) {
+  std::vector<float> series(100, 1.0f);
+  serve::WindowStream stream(&series, SmallStream(16, 8, 4));
+  std::vector<int> covered(series.size(), 0);
+  for (int64_t off : stream.offsets()) {
+    ASSERT_GE(off, 0);
+    ASSERT_LE(off + 16, static_cast<int64_t>(series.size()));
+    for (int64_t t = off; t < off + 16; ++t) ++covered[static_cast<size_t>(t)];
+  }
+  for (size_t t = 0; t < series.size(); ++t) {
+    EXPECT_GT(covered[t], 0) << "timestamp " << t << " uncovered";
+  }
+}
+
+TEST(WindowStreamTest, TailWindowAlignsToSeriesEnd) {
+  // 20 samples, window 8, stride 8: grid covers [0,8) and [8,16); the tail
+  // window [12,20) must be added for the last 4 samples.
+  std::vector<float> series(20, 1.0f);
+  serve::WindowStream stream(&series, SmallStream(8, 8, 4));
+  ASSERT_EQ(stream.NumWindows(), 3);
+  EXPECT_EQ(stream.offsets().back(), 12);
+}
+
+TEST(WindowStreamTest, ShortSeriesYieldsNothing) {
+  std::vector<float> series(5, 1.0f);
+  serve::WindowStream stream(&series, SmallStream(8, 4, 2));
+  EXPECT_EQ(stream.NumWindows(), 0);
+  nn::Tensor batch;
+  std::vector<int64_t> offsets;
+  EXPECT_EQ(stream.NextBatch(&batch, &offsets), 0);
+}
+
+TEST(WindowStreamTest, BatchesScaleAndZeroFillMissing) {
+  std::vector<float> series(32, 2000.0f);
+  series[3] = std::nanf("");
+  serve::WindowStreamOptions opt = SmallStream(16, 16, 8);
+  opt.input_scale = 1000.0f;
+  serve::WindowStream stream(&series, opt);
+  nn::Tensor batch;
+  std::vector<int64_t> offsets;
+  ASSERT_EQ(stream.NextBatch(&batch, &offsets), 2);
+  EXPECT_EQ(batch.ShapeString(), "(2, 1, 16)");
+  EXPECT_EQ(offsets[0], 0);
+  EXPECT_EQ(offsets[1], 16);
+  EXPECT_FLOAT_EQ(batch.at3(0, 0, 0), 2.0f);   // 2000 W / 1000
+  EXPECT_FLOAT_EQ(batch.at3(0, 0, 3), 0.0f);   // missing reading
+  EXPECT_EQ(stream.NextBatch(&batch, &offsets), 0);
+  stream.Reset();
+  EXPECT_EQ(stream.NextBatch(&batch, &offsets), 2);
+}
+
+TEST(WindowStreamTest, SmallFinalBatchIsEmitted) {
+  std::vector<float> series(80, 1.0f);
+  serve::WindowStream stream(&series, SmallStream(16, 16, 4));
+  nn::Tensor batch;
+  std::vector<int64_t> offsets;
+  ASSERT_EQ(stream.NumWindows(), 5);
+  EXPECT_EQ(stream.NextBatch(&batch, &offsets), 4);
+  EXPECT_EQ(stream.NextBatch(&batch, &offsets), 1);
+  EXPECT_EQ(stream.NextBatch(&batch, &offsets), 0);
+}
+
+core::CamalEnsemble RandomEnsemble(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<core::EnsembleMember> members;
+  for (int64_t k : {5, 9}) {
+    core::ResNetConfig config;
+    config.base_filters = 4;
+    config.kernel_size = k;
+    core::EnsembleMember member;
+    member.model = std::make_unique<core::ResNetClassifier>(config, &rng);
+    member.kernel_size = k;
+    members.push_back(std::move(member));
+  }
+  return core::CamalEnsemble::FromMembers(std::move(members));
+}
+
+TEST(BatchRunnerTest, ScanShapesAndRanges) {
+  core::CamalEnsemble ensemble = RandomEnsemble(3);
+  serve::BatchRunnerOptions opt;
+  opt.stream = SmallStream(16, 8, 4);
+  opt.appliance_avg_power_w = 700.0f;
+  serve::BatchRunner runner(&ensemble, opt);
+
+  Rng rng(4);
+  std::vector<float> series(120);
+  for (auto& v : series) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
+  serve::ScanResult result = runner.Scan(series);
+
+  ASSERT_EQ(result.detection.numel(), static_cast<int64_t>(series.size()));
+  ASSERT_EQ(result.status.numel(), static_cast<int64_t>(series.size()));
+  ASSERT_EQ(result.power.numel(), static_cast<int64_t>(series.size()));
+  EXPECT_GT(result.windows, 0);
+  for (int64_t t = 0; t < result.detection.numel(); ++t) {
+    EXPECT_GE(result.detection.at(t), 0.0f);
+    EXPECT_LE(result.detection.at(t), 1.0f);
+    EXPECT_TRUE(result.status.at(t) == 0.0f || result.status.at(t) == 1.0f);
+    // §IV-C: estimated power never exceeds P_a or the aggregate.
+    EXPECT_LE(result.power.at(t), 700.0f);
+    EXPECT_LE(result.power.at(t), std::max(0.0f, series[static_cast<size_t>(t)]));
+  }
+}
+
+TEST(BatchRunnerTest, BatchSizeDoesNotChangeResults) {
+  core::CamalEnsemble ensemble = RandomEnsemble(5);
+  Rng rng(6);
+  std::vector<float> series(96);
+  for (auto& v : series) v = static_cast<float>(rng.Uniform(0.0, 2500.0));
+
+  serve::BatchRunnerOptions small;
+  small.stream = SmallStream(16, 8, 1);
+  small.appliance_avg_power_w = 500.0f;
+  serve::BatchRunnerOptions large = small;
+  large.stream.batch_size = 32;
+
+  serve::BatchRunner runner_small(&ensemble, small);
+  serve::BatchRunner runner_large(&ensemble, large);
+  serve::ScanResult a = runner_small.Scan(series);
+  serve::ScanResult b = runner_large.Scan(series);
+  ASSERT_EQ(a.windows, b.windows);
+  for (int64_t t = 0; t < a.detection.numel(); ++t) {
+    EXPECT_NEAR(a.detection.at(t), b.detection.at(t), 1e-4);
+    EXPECT_EQ(a.status.at(t), b.status.at(t));
+    EXPECT_NEAR(a.power.at(t), b.power.at(t), 1e-2);
+  }
+}
+
+TEST(BatchRunnerTest, ShortSeriesReturnsZeros) {
+  core::CamalEnsemble ensemble = RandomEnsemble(7);
+  serve::BatchRunnerOptions opt;
+  opt.stream = SmallStream(32, 16, 4);
+  serve::BatchRunner runner(&ensemble, opt);
+  serve::ScanResult result = runner.Scan(std::vector<float>(10, 100.0f));
+  EXPECT_EQ(result.windows, 0);
+  EXPECT_DOUBLE_EQ(result.detection.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(result.status.Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(result.power.Sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace camal
