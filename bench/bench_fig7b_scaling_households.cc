@@ -7,11 +7,13 @@
 // batched vs single-window.
 
 #include "bench_common.h"
+#include "common/parallel_for.h"
 #include "common/stopwatch.h"
 #include "core/resnet.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "serve/batch_runner.h"
+#include "serve/sharded_scanner.h"
 
 namespace camal {
 namespace {
@@ -196,6 +198,62 @@ void Run() {
               static_cast<long long>(batched_opt.stream.stride));
   serve_table.Print(stdout);
   bench::WriteCsv("fig7b_serving_households", serve_csv);
+
+  // ------------------------------------------------------------------
+  // Multi-core serving: households x shard-count scaling. ShardedScanner
+  // partitions the cohort across outer worker shards (one BatchRunner +
+  // ensemble replica each); the thread budget left over after sharding
+  // serves the conv GEMMs inside each shard. Shard counts are capped by
+  // CAMAL_THREADS — rerun with CAMAL_THREADS=4 (or more) to see the
+  // multi-core speedup.
+  // ------------------------------------------------------------------
+  std::vector<int> shard_counts;
+  for (int s : {1, 2, 4, 8}) {
+    if (s == 1 || s <= NumThreads()) shard_counts.push_back(s);
+  }
+  TablePrinter shard_table({"#Households", "Shards", "Inner threads",
+                            "Seconds", "Windows/sec", "Speedup vs 1"});
+  std::vector<std::vector<std::string>> shard_csv{
+      {"households", "shards", "inner_threads", "seconds",
+       "windows_per_sec", "speedup_vs_1"}};
+  for (int h : household_counts) {
+    Rng series_rng(17);
+    std::vector<std::vector<float>> cohort;
+    cohort.reserve(static_cast<size_t>(h));
+    for (int i = 0; i < h; ++i) {
+      std::vector<float> series(static_cast<size_t>(series_length));
+      for (auto& v : series) {
+        v = static_cast<float>(series_rng.Uniform(0.0, 3000.0));
+      }
+      cohort.push_back(std::move(series));
+    }
+    double base_seconds = 0.0;
+    for (int s : shard_counts) {
+      serve::ShardedScannerOptions shard_opt;
+      shard_opt.runner = batched_opt;
+      shard_opt.max_shards = s;
+      serve::ShardedScanner scanner(&ensemble, shard_opt);
+      scanner.ScanAll(cohort);  // warm replicas, scratch, allocator
+      Stopwatch watch;
+      std::vector<serve::ScanResult> scans = scanner.ScanAll(cohort);
+      const double seconds = watch.ElapsedSeconds();
+      int64_t windows = 0;
+      for (const auto& scan : scans) windows += scan.windows;
+      if (s == shard_counts.front()) base_seconds = seconds;
+      const double wps = seconds > 0.0 ? windows / seconds : 0.0;
+      const double speedup =
+          seconds > 0.0 ? base_seconds / seconds : 0.0;
+      const ShardPlan plan = PlanOuterShards(h, s);
+      shard_table.AddRow({FmtInt(h), FmtInt(s), FmtInt(plan.inner),
+                          Fmt(seconds, 3), Fmt(wps, 1), Fmt(speedup, 2)});
+      shard_csv.push_back({FmtInt(h), FmtInt(s), FmtInt(plan.inner),
+                           Fmt(seconds, 4), Fmt(wps, 2), Fmt(speedup, 3)});
+    }
+  }
+  std::printf("\nSharded serving (ShardedScanner, CAMAL_THREADS=%d)\n",
+              NumThreads());
+  shard_table.Print(stdout);
+  bench::WriteCsv("fig7b_sharded_serving", shard_csv);
 }
 
 }  // namespace

@@ -137,7 +137,7 @@ void Run() {
   std::printf("\nShape check vs paper: CamAL's throughput sits between the\n"
               "light convolutional baselines (TPNILM, Unet-NILM — faster)\n"
               "and the recurrent/transformer baselines (CRNN Weak,\n"
-              "TransNILM — much slower, BPTT-free but serial or quadratic).\n");
+              "TransNILM — much slower, serial or quadratic).\n");
 }
 
 }  // namespace

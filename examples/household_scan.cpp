@@ -1,16 +1,18 @@
 // Household scan (DeviceScope-style demo [41]): train one CamAL model per
-// appliance and scan a single household's recording through the batched
-// serving runtime (overlapping windows, majority-vote stitching),
-// reporting for each appliance whether it was used, when, and how much
-// power it drew — from the aggregate signal only.
+// appliance and scan a whole cohort of household recordings through the
+// sharded serving runtime (overlapping windows, majority-vote stitching,
+// one worker shard per household), reporting for each house and appliance
+// whether it was used, when, and how much power it drew — from the
+// aggregate signal only.
 
 #include <cstdio>
 #include <string>
 
+#include "common/parallel_for.h"
 #include "data/balance.h"
 #include "data/split.h"
 #include "eval/experiment.h"
-#include "serve/batch_runner.h"
+#include "serve/sharded_scanner.h"
 #include "simulate/profiles.h"
 
 int main() {
@@ -21,12 +23,20 @@ int main() {
   const auto profile = simulate::RefitProfile();
   auto houses = simulate::SimulateDataset(profile, 0.3, 3);
   Rng rng(4);
-  auto split = data::SplitHouses(houses, 1, 1, &rng).value();
-  const data::HouseRecord& target_house = split.test.front();
-  std::printf("Scanning house %d (%.1f days of data).\n",
-              target_house.house_id,
-              static_cast<double>(target_house.aggregate.size()) *
-                  profile.interval_seconds / 86400.0);
+  const int64_t n_test =
+      std::min<int64_t>(3, static_cast<int64_t>(houses.size()) - 2);
+  auto split = data::SplitHouses(houses, 1, n_test, &rng).value();
+  std::printf("Scanning %zu houses across %d worker shards "
+              "(CAMAL_THREADS=%d).\n",
+              split.test.size(),
+              PlanOuterShards(static_cast<int64_t>(split.test.size()), 0)
+                  .shards,
+              NumThreads());
+
+  std::vector<const std::vector<float>*> cohort;
+  for (const data::HouseRecord& house : split.test) {
+    cohort.push_back(&house.aggregate);
+  }
 
   constexpr int64_t kWindow = 128;
   for (simulate::ApplianceType type :
@@ -39,7 +49,8 @@ int main() {
     auto train_r = data::BuildWindowDataset(split.train, spec, opt);
     auto valid_r = data::BuildWindowDataset(split.valid, spec, opt);
     if (!train_r.ok() || !valid_r.ok()) {
-      std::printf("%-16s: no training data in this cohort\n", spec.name.c_str());
+      std::printf("%-16s: no training data in this cohort\n",
+                  spec.name.c_str());
       continue;
     }
     data::WindowDataset train = data::BalanceByWeakLabel(train_r.value(), &rng);
@@ -63,31 +74,37 @@ int main() {
     }
     core::CamalEnsemble ensemble = std::move(ensemble_result).value();
 
-    // Serve the target house through the batched runtime: overlapping
-    // windows, all ensemble members in one pass per batch, per-timestamp
-    // majority vote, §IV-C power estimation.
-    serve::BatchRunnerOptions serve_opt;
-    serve_opt.stream.window_length = kWindow;
-    serve_opt.stream.stride = kWindow / 2;
-    serve_opt.stream.batch_size = 32;
-    serve_opt.appliance_avg_power_w = spec.avg_power_w;
-    serve::BatchRunner runner(&ensemble, serve_opt);
-    serve::ScanResult scan = runner.Scan(target_house.aggregate);
+    // Serve every test house through the sharded runtime: households are
+    // partitioned across worker shards (one BatchRunner + ensemble replica
+    // each), and inside each shard batches of overlapping windows run all
+    // ensemble members in one pass, with per-timestamp majority vote and
+    // §IV-C power estimation.
+    serve::ShardedScannerOptions serve_opt;
+    serve_opt.runner.stream.window_length = kWindow;
+    serve_opt.runner.stream.stride = kWindow / 2;
+    serve_opt.runner.stream.batch_size = 32;
+    serve_opt.runner.appliance_avg_power_w = spec.avg_power_w;
+    serve::ShardedScanner scanner(&ensemble, serve_opt);
+    std::vector<serve::ScanResult> scans = scanner.ScanAll(cohort);
 
-    int64_t on_samples = 0;
-    double energy_wh = 0.0;
-    for (int64_t t = 0; t < scan.status.numel(); ++t) {
-      on_samples += scan.status.at(t) > 0.5f ? 1 : 0;
-      energy_wh += scan.power.at(t) * profile.interval_seconds / 3600.0;
+    std::printf("%-16s:\n", spec.name.c_str());
+    for (size_t house_i = 0; house_i < scans.size(); ++house_i) {
+      const serve::ScanResult& scan = scans[house_i];
+      const data::HouseRecord& house = split.test[house_i];
+      int64_t on_samples = 0;
+      double energy_wh = 0.0;
+      for (int64_t t = 0; t < scan.status.numel(); ++t) {
+        on_samples += scan.status.at(t) > 0.5f ? 1 : 0;
+        energy_wh += scan.power.at(t) * profile.interval_seconds / 3600.0;
+      }
+      const double hours = static_cast<double>(on_samples) *
+                           profile.interval_seconds / 3600.0;
+      const bool owned = house.Owns(spec.name);
+      std::printf("  house %-3d: ~%.1f h of use, ~%.1f kWh estimated "
+                  "(%lld windows; house actually owns it: %s)\n",
+                  house.house_id, hours, energy_wh / 1000.0,
+                  static_cast<long long>(scan.windows), owned ? "yes" : "no");
     }
-    const double hours = static_cast<double>(on_samples) *
-                         profile.interval_seconds / 3600.0;
-    const bool owned = target_house.Owns(spec.name);
-    std::printf("%-16s: ~%.1f h of use, ~%.1f kWh estimated (%lld windows "
-                "at %.0f win/s; house actually owns it: %s)\n",
-                spec.name.c_str(), hours, energy_wh / 1000.0,
-                static_cast<long long>(scan.windows),
-                scan.WindowsPerSecond(), owned ? "yes" : "no");
   }
   return 0;
 }

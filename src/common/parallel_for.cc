@@ -4,81 +4,23 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
+
 namespace camal {
 namespace {
 
-// A minimal fixed-size pool that executes [begin, end) chunk tasks. Workers
-// live for the process lifetime; tasks are distributed as contiguous ranges.
-class Pool {
- public:
-  explicit Pool(int workers) : workers_(workers) {
-    threads_.reserve(workers_);
-    for (int w = 0; w < workers_; ++w) {
-      threads_.emplace_back([this] { WorkerLoop(); });
-    }
-  }
-
-  // Runs body over [begin, end) split into one chunk per worker; blocks.
-  void Run(int64_t begin, int64_t end,
-           const std::function<void(int64_t, int64_t)>& body) {
-    const int64_t n = end - begin;
-    const int chunks = static_cast<int>(
-        std::min<int64_t>(workers_ + 1, n));  // +1: caller also works
-    const int64_t chunk = (n + chunks - 1) / chunks;
-    std::atomic<int> remaining{chunks - 1};
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (int c = 1; c < chunks; ++c) {
-        int64_t b = begin + c * chunk;
-        int64_t e = std::min<int64_t>(b + chunk, end);
-        if (b >= e) {
-          remaining.fetch_sub(1, std::memory_order_relaxed);
-          continue;
-        }
-        queue_.push_back([&body, b, e, &remaining, this] {
-          body(b, e);
-          if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            std::lock_guard<std::mutex> done_lock(done_mu_);
-            done_cv_.notify_all();
-          }
-        });
-      }
-      cv_.notify_all();
-    }
-    // The calling thread processes the first chunk itself.
-    body(begin, std::min<int64_t>(begin + chunk, end));
-    std::unique_lock<std::mutex> done_lock(done_mu_);
-    done_cv_.wait(done_lock, [&remaining] {
-      return remaining.load(std::memory_order_acquire) == 0;
-    });
-  }
-
- private:
-  void WorkerLoop() {
-    for (;;) {
-      std::function<void()> task;
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return !queue_.empty(); });
-        task = std::move(queue_.back());
-        queue_.pop_back();
-      }
-      task();
-    }
-  }
-
-  int workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::function<void()>> queue_;
-  std::mutex done_mu_;
-  std::condition_variable done_cv_;
-  std::vector<std::thread> threads_;
-};
+// Thread-local execution state of the two-level pool. `depth` is 0 on
+// threads outside any parallel region, 1 inside an outer shard or a
+// top-level chunk, 2 inside an inner (nested) chunk. `budget` is how many
+// chunks a ParallelFor started from this thread may fan out to; 1 means
+// run inline. At depth 0 the budget is the whole pool (NumThreads()).
+thread_local int tls_depth = 0;
+thread_local int tls_budget = 0;
 
 int ReadThreadsEnv() {
   const char* env = std::getenv("CAMAL_THREADS");
@@ -91,14 +33,152 @@ int ReadThreadsEnv() {
   return static_cast<int>(std::min<unsigned>(hw, 32));
 }
 
+// One blocking parallel-for invocation: a fixed range cut into n_chunks
+// contiguous pieces that workers and the calling thread claim dynamically
+// through the `next` cursor. Lives on the caller's stack for the duration
+// of Pool::Run.
+struct Job {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t chunk = 1;
+  int64_t n_chunks = 0;
+  int depth = 1;         // tls_depth while a chunk of this job runs
+  int inner_budget = 1;  // tls_budget while a chunk of this job runs
+  const std::function<void(int64_t, int64_t)>* body = nullptr;
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> done{0};
+};
+
+// Work-sharing pool, re-entrant by construction: every Run publishes its
+// own Job, the calling thread claims chunks of its job exactly like a
+// worker, and completion is tracked per job. Concurrent top-level Runs are
+// independent (no shared completion state), and a nested Run issued from a
+// worker thread can never deadlock — if no worker is free, the nested
+// caller simply executes every chunk itself.
+class Pool {
+ public:
+  explicit Pool(int workers) : workers_(workers) {
+    // A pool with no workers would make Run()'s hand-off pointless; the
+    // dispatch guards in ParallelForChunked/ParallelForOuter keep
+    // NumThreads() == 1 processes from ever constructing one.
+    CAMAL_CHECK_GE(workers_, 1);
+    threads_.reserve(static_cast<size_t>(workers_));
+    for (int w = 0; w < workers_; ++w) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  // Blocks until every chunk of \p job has executed. Safe to call
+  // concurrently from any thread, including pool workers.
+  void Run(Job* job) {
+    CAMAL_CHECK_GE(job->n_chunks, 1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.push_back(job);
+    }
+    cv_.notify_all();
+    // Claim chunks of our own job until none remain.
+    for (;;) {
+      const int64_t c = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job->n_chunks) break;
+      RunChunk(job, c);
+    }
+    // Wait for chunks claimed by workers (none in the common case where
+    // the caller drained the job itself).
+    if (job->done.load(std::memory_order_acquire) != job->n_chunks) {
+      std::unique_lock<std::mutex> lock(done_mu_);
+      done_cv_.wait(lock, [job] {
+        return job->done.load(std::memory_order_acquire) == job->n_chunks;
+      });
+    }
+    // Unlink the job before it goes out of scope on the caller's stack
+    // (a worker that saw it exhausted may already have removed it).
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+        if (*it == job) {
+          jobs_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  void RunChunk(Job* job, int64_t c) {
+    const int64_t b = job->begin + c * job->chunk;
+    const int64_t e = std::min<int64_t>(b + job->chunk, job->end);
+    const int saved_depth = tls_depth;
+    const int saved_budget = tls_budget;
+    tls_depth = job->depth;
+    tls_budget = job->inner_budget;
+    (*job->body)(b, e);
+    tls_depth = saved_depth;
+    tls_budget = saved_budget;
+    // Read n_chunks before the final fetch_add: once `done` reaches the
+    // total, the caller may return and destroy the job.
+    const int64_t total = job->n_chunks;
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_cv_.notify_all();
+    }
+  }
+
+  void WorkerLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [this] { return !jobs_.empty(); });
+      Job* job = jobs_.front();
+      const int64_t c = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job->n_chunks) {
+        // Exhausted: retire it so the queue advances to the next job.
+        // (Only the front pointer is compared — the owner may have
+        // unlinked it already.)
+        if (!jobs_.empty() && jobs_.front() == job) jobs_.pop_front();
+        continue;
+      }
+      lock.unlock();
+      RunChunk(job, c);
+      lock.lock();
+    }
+  }
+
+  int workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job*> jobs_;  // FIFO: outer jobs drain before inner ones
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+};
+
 Pool* GetPool() {
-  // Leaked intentionally: threads run for the process lifetime (style-guide
-  // pattern for non-trivially-destructible singletons).
+  // Built lazily on the first call that actually fans out, so serial
+  // processes (CAMAL_THREADS=1) never spawn workers. Leaked intentionally:
+  // threads run for the process lifetime (style-guide pattern for
+  // non-trivially-destructible singletons).
   static Pool* pool = new Pool(NumThreads() - 1);
   return pool;
 }
 
-thread_local bool in_parallel_region = false;
+// Chunk budget available to a parallel loop started on this thread.
+int CurrentBudget() {
+  return tls_depth == 0 ? NumThreads() : std::max(1, tls_budget);
+}
+
+void RunJob(int64_t begin, int64_t end, int64_t chunk, int depth,
+            int inner_budget,
+            const std::function<void(int64_t, int64_t)>& body) {
+  Job job;
+  job.begin = begin;
+  job.end = end;
+  job.chunk = chunk;
+  job.n_chunks = (end - begin + chunk - 1) / chunk;
+  job.depth = depth;
+  job.inner_budget = inner_budget;
+  job.body = &body;
+  GetPool()->Run(&job);
+}
 
 }  // namespace
 
@@ -107,21 +187,35 @@ int NumThreads() {
   return threads;
 }
 
+ShardPlan PlanOuterShards(int64_t items, int max_shards) {
+  ShardPlan plan;
+  if (items <= 0) return plan;
+  const int budget = NumThreads();
+  const int cap = max_shards > 0 ? std::min(max_shards, budget) : budget;
+  const int64_t want =
+      std::max<int64_t>(1, std::min<int64_t>(items, cap));
+  plan.chunk = (items + want - 1) / want;
+  // Ceil division can leave fewer chunks than requested shards (items=9,
+  // want=6 -> chunk=2 -> 5 chunks); clamp so shards is exactly the number
+  // of chunks that will run — callers size per-shard state off it.
+  plan.shards = static_cast<int>((items + plan.chunk - 1) / plan.chunk);
+  plan.inner = std::max(1, budget / plan.shards);
+  return plan;
+}
+
 void ParallelForChunked(int64_t begin, int64_t end,
                         const std::function<void(int64_t, int64_t)>& body) {
   if (begin >= end) return;
   const int64_t n = end - begin;
-  if (NumThreads() == 1 || n < 2 || in_parallel_region) {
+  const int budget = CurrentBudget();
+  if (budget <= 1 || n < 2 || tls_depth >= 2) {
     body(begin, end);
     return;
   }
-  in_parallel_region = true;
-  GetPool()->Run(begin, end, [&body](int64_t b, int64_t e) {
-    in_parallel_region = true;
-    body(b, e);
-    in_parallel_region = false;
-  });
-  in_parallel_region = false;
+  const int64_t chunks = std::min<int64_t>(budget, n);
+  const int64_t chunk = (n + chunks - 1) / chunks;
+  // Chunks of this job run one level deeper with no further fan-out.
+  RunJob(begin, end, chunk, tls_depth + 1, /*inner_budget=*/1, body);
 }
 
 void ParallelFor(int64_t begin, int64_t end,
@@ -129,6 +223,26 @@ void ParallelFor(int64_t begin, int64_t end,
   ParallelForChunked(begin, end, [&body](int64_t b, int64_t e) {
     for (int64_t i = b; i < e; ++i) body(i);
   });
+}
+
+void ParallelForOuter(
+    int64_t begin, int64_t end, int max_shards,
+    const std::function<void(int, int64_t, int64_t)>& body) {
+  if (begin >= end) return;
+  const ShardPlan plan = PlanOuterShards(end - begin, max_shards);
+  if (plan.shards <= 1 || tls_depth > 0) {
+    // Single-shard plan, or nested inside another parallel region: run as
+    // one shard on the calling thread with its current inner budget.
+    body(0, begin, end);
+    return;
+  }
+  // One chunk per shard: the chunk index doubles as a stable shard id, so
+  // at most one chunk per shard id executes at any time.
+  const std::function<void(int64_t, int64_t)> chunk_body =
+      [&body, begin, &plan](int64_t b, int64_t e) {
+        body(static_cast<int>((b - begin) / plan.chunk), b, e);
+      };
+  RunJob(begin, end, plan.chunk, /*depth=*/1, plan.inner, chunk_body);
 }
 
 }  // namespace camal

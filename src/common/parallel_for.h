@@ -6,18 +6,41 @@
 
 namespace camal {
 
-/// Returns the worker count used by ParallelFor. Defaults to the hardware
-/// concurrency, clamped to [1, 32]; override with the CAMAL_THREADS
-/// environment variable (CAMAL_THREADS=1 forces serial execution).
+/// Returns the worker count used by the parallel-for pool. Defaults to the
+/// hardware concurrency, clamped to [1, 32]; override with the
+/// CAMAL_THREADS environment variable (CAMAL_THREADS=1 forces serial
+/// execution everywhere).
 int NumThreads();
+
+/// How the process-wide thread budget is split between concurrent outer
+/// shards and the inner loops (conv GEMMs) running inside each shard.
+/// Produced by PlanOuterShards and honored by ParallelForOuter.
+struct ShardPlan {
+  int shards = 1;     ///< concurrent outer shards (<= NumThreads()).
+  int inner = 1;      ///< inner-loop chunk budget per shard (>= 1).
+  int64_t chunk = 0;  ///< outer items per shard (ceil; 0 when no items).
+};
+
+/// Splits NumThreads() between \p items outer shards and the inner loops
+/// nested inside them: shards = min(items, max_shards or NumThreads()),
+/// inner = NumThreads() / shards (at least 1). With many items the whole
+/// budget goes to shards and inner loops run inline; with few items the
+/// leftover threads serve each shard's inner GEMMs.
+ShardPlan PlanOuterShards(int64_t items, int max_shards);
 
 /// Runs body(i) for i in [begin, end) across the process-wide thread pool.
 ///
-/// Iterations are split into contiguous chunks, one per worker. The call
-/// blocks until all iterations finish. `body` must be safe to invoke
-/// concurrently on disjoint indices. Serial when (end - begin) is small or
-/// NumThreads() == 1. Nested ParallelFor calls execute the inner loop
-/// serially (the pool is not re-entrant).
+/// Iterations are split into contiguous chunks that the pool's workers and
+/// the calling thread claim dynamically. The call blocks until all
+/// iterations finish. `body` must be safe to invoke concurrently on
+/// disjoint indices. Serial when (end - begin) is small or the calling
+/// thread's budget is one thread.
+///
+/// The pool is re-entrant: concurrent top-level calls from different
+/// threads are safe, and a call nested inside a parallel region runs
+/// inline on the calling thread unless that region granted it an inner
+/// budget (see ParallelForOuter) — it never deadlocks and never
+/// oversubscribes the thread budget.
 void ParallelFor(int64_t begin, int64_t end,
                  const std::function<void(int64_t)>& body);
 
@@ -26,6 +49,22 @@ void ParallelFor(int64_t begin, int64_t end,
 void ParallelForChunked(
     int64_t begin, int64_t end,
     const std::function<void(int64_t, int64_t)>& body);
+
+/// Outer-level sharded loop for serving: cuts [begin, end) into
+/// PlanOuterShards(end - begin, max_shards).shards contiguous shards and
+/// runs body(shard, shard_begin, shard_end) with at most `shards` shards
+/// executing concurrently. `shard` is a stable index in [0, shards) — at
+/// most one chunk per shard index runs at any time, so it can select
+/// per-shard state (model replicas, scratch buffers).
+///
+/// Inner ParallelFor/ParallelForChunked calls made from inside `body`
+/// receive the plan's per-shard inner budget: they fan out to
+/// NumThreads() / shards chunks when threads outnumber shards, and run
+/// inline otherwise. Called from inside another parallel region (or with
+/// a single-shard plan) the loop runs inline as one shard.
+void ParallelForOuter(
+    int64_t begin, int64_t end, int max_shards,
+    const std::function<void(int, int64_t, int64_t)>& body);
 
 }  // namespace camal
 

@@ -35,7 +35,7 @@ class TablePrinter {
 /// Formats a double with \p decimals decimal places.
 std::string Fmt(double value, int decimals = 3);
 
-/// Formats an integer with thousands separators (e.g. 12'418'000 -> "12418000").
+/// Formats an integer as plain digits (e.g. 12'418'000 -> "12418000").
 std::string FmtInt(int64_t value);
 
 }  // namespace camal

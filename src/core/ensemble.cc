@@ -77,8 +77,8 @@ double TrainClassifier(CamBackbone* model,
     rng->Shuffle(&order);
     for (size_t begin = 0; begin < order.size();
          begin += static_cast<size_t>(config.batch_size)) {
-      const size_t end =
-          std::min(order.size(), begin + static_cast<size_t>(config.batch_size));
+      const size_t end = std::min(
+          order.size(), begin + static_cast<size_t>(config.batch_size));
       nn::Tensor inputs;
       std::vector<int> labels;
       MakeBatch(train_sub, order, begin, end, &inputs, &labels);
@@ -172,6 +172,43 @@ Result<CamalEnsemble> CamalEnsemble::Train(
       candidates.size(), static_cast<size_t>(config.ensemble_size));
   candidates.resize(keep);
   return CamalEnsemble(std::move(candidates));
+}
+
+CamalEnsemble CamalEnsemble::Clone() {
+  std::vector<EnsembleMember> members;
+  members.reserve(members_.size());
+  for (auto& m : members_) {
+    Rng rng(0);  // weights are overwritten below
+    EnsembleMember copy;
+    copy.kernel_size = m.kernel_size;
+    copy.validation_loss = m.validation_loss;
+    // Copy the member's full config (depth, channels, classes — not just
+    // the manifest fields) so replicas match structurally.
+    if (m.model->kind() == BackboneKind::kInception) {
+      const auto* src = static_cast<const InceptionClassifier*>(m.model.get());
+      copy.model = std::make_unique<InceptionClassifier>(src->config(), &rng);
+    } else {
+      const auto* src = static_cast<const ResNetClassifier*>(m.model.get());
+      copy.model = std::make_unique<ResNetClassifier>(src->config(), &rng);
+    }
+    const auto src_params = m.model->Parameters();
+    const auto dst_params = copy.model->Parameters();
+    CAMAL_CHECK_EQ(src_params.size(), dst_params.size());
+    for (size_t i = 0; i < src_params.size(); ++i) {
+      CAMAL_CHECK(dst_params[i]->value.SameShape(src_params[i]->value));
+      dst_params[i]->value = src_params[i]->value;
+    }
+    const auto src_buffers = m.model->Buffers();
+    const auto dst_buffers = copy.model->Buffers();
+    CAMAL_CHECK_EQ(src_buffers.size(), dst_buffers.size());
+    for (size_t i = 0; i < src_buffers.size(); ++i) {
+      CAMAL_CHECK(dst_buffers[i]->SameShape(*src_buffers[i]));
+      *dst_buffers[i] = *src_buffers[i];
+    }
+    copy.model->SetTraining(false);
+    members.push_back(std::move(copy));
+  }
+  return CamalEnsemble(std::move(members));
 }
 
 nn::Tensor CamalEnsemble::MeanClassOneProbability(const nn::Tensor& inputs,

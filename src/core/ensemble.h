@@ -78,6 +78,13 @@ class CamalEnsemble {
   CamalEnsemble(CamalEnsemble&&) = default;
   CamalEnsemble& operator=(CamalEnsemble&&) = default;
 
+  /// Deep copy: fresh backbone instances with identical weights and
+  /// buffers (BatchNorm running statistics), in eval mode. Members cache
+  /// per-forward state (the feature maps CAM extraction reads), so
+  /// concurrent scans need one replica per thread — this is what
+  /// serve::ShardedScanner clones for each shard.
+  CamalEnsemble Clone();
+
   /// Ensemble detection probability (step 1 of §IV-B): the mean of member
   /// class-1 softmax probabilities, shape (N) for inputs (N, C, L).
   /// Member forward passes also cache the feature maps used for CAMs.

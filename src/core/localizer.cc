@@ -23,16 +23,18 @@ LocalizationResult CamalLocalizer::Localize(const nn::Tensor& inputs) {
   // (this also caches member feature maps).
   result.probabilities = ensemble_->DetectProbabilityBatched(inputs);
 
-  // Step 3-4: per-member class-1 CAMs, max-normalized, averaged.
-  std::vector<nn::Tensor> cams;
-  cams.reserve(ensemble_->members().size());
+  // Step 3-4: per-member class-1 CAMs, max-normalized, averaged. The CAM
+  // tensors are member scratch reused across calls: batches of one scan
+  // share a shape, so steady state allocates nothing here.
+  cam_scratch_.resize(ensemble_->members().size());
+  size_t m = 0;
   for (auto& member : ensemble_->members()) {
-    nn::Tensor cam = ComputeCam(member.model->feature_maps(),
-                                member.model->head_weights(),
-                                /*class_index=*/1);
-    cams.push_back(NormalizeCamByMax(cam));
+    nn::Tensor* cam = &cam_scratch_[m++];
+    ComputeCamInto(member.model->feature_maps(),
+                   member.model->head_weights(), /*class_index=*/1, cam);
+    NormalizeCamByMaxInPlace(cam);
   }
-  result.ensemble_cam = AverageCams(cams);
+  result.ensemble_cam = AverageCams(cam_scratch_);
 
   // Steps 5-6: attention-sigmoid and rounding, gated by detection. The
   // attention mask multiplies the CAM with the *standardized* window (the

@@ -60,6 +60,12 @@ class CamalLocalizer {
  private:
   CamalEnsemble* ensemble_;
   LocalizerOptions options_;
+  /// Per-member CAM scratch reused across Localize calls (a household scan
+  /// localizes hundreds of equally-shaped batches; reallocating every CAM
+  /// per batch dominated small-batch scans). One localizer instance is
+  /// therefore single-threaded state — sharded serving gives each shard
+  /// its own localizer over its own ensemble replica.
+  std::vector<nn::Tensor> cam_scratch_;
 };
 
 }  // namespace camal::core

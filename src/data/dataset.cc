@@ -100,7 +100,7 @@ Result<WindowDataset> BuildWindowDataset(
     bool any_on = false;
     for (int64_t t = 0; t < l; ++t) {
       float agg = s.house->aggregate[static_cast<size_t>(s.offset + t)];
-      if (IsMissing(agg)) agg = 0.0f;  // only reachable with drop_incomplete=false
+      if (IsMissing(agg)) agg = 0.0f;  // reachable with drop_incomplete=false
       ds.inputs.at3(i, 0, t) = agg * inv_scale;
       float power = 0.0f;
       float on = 0.0f;

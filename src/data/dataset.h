@@ -15,7 +15,7 @@ namespace camal::data {
 struct ApplianceSpec {
   std::string name;
   float on_threshold_w = 0.0f;  ///< "ON Power": status threshold in Watts.
-  float avg_power_w = 0.0f;     ///< "Avg. Power" P_a used for energy estimation.
+  float avg_power_w = 0.0f;     ///< "Avg. Power" P_a for energy estimation.
 };
 
 /// Windowed training/evaluation set for one appliance.

@@ -19,7 +19,8 @@ Result<HouseSplit> SplitHouses(const std::vector<HouseRecord>& houses,
   rng->Shuffle(&order);
   HouseSplit split;
   for (int64_t i = 0; i < n; ++i) {
-    const HouseRecord& h = houses[static_cast<size_t>(order[static_cast<size_t>(i)])];
+    const HouseRecord& h =
+        houses[static_cast<size_t>(order[static_cast<size_t>(i)])];
     if (i < n_valid) {
       split.valid.push_back(h);
     } else if (i < n_valid + n_test) {

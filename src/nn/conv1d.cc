@@ -32,7 +32,8 @@ Conv1d::Conv1d(const Conv1dOptions& options, Rng* rng) : options_(options) {
 }
 
 int64_t Conv1d::OutputLength(int64_t input_length) const {
-  const int64_t effective_k = options_.dilation * (options_.kernel_size - 1) + 1;
+  const int64_t effective_k =
+      options_.dilation * (options_.kernel_size - 1) + 1;
   return (input_length + 2 * options_.padding - effective_k) /
              options_.stride + 1;
 }
@@ -228,7 +229,9 @@ Tensor Conv1d::Backward(const Tensor& grad_output) {
           int64_t t0 = 0;
           if (in_off < 0) t0 = (-in_off + stride - 1) / stride;
           int64_t t1 = 0;
-          if (in_off < lin) t1 = std::min<int64_t>(lout, (lin - 1 - in_off) / stride + 1);
+          if (in_off < lin) {
+            t1 = std::min<int64_t>(lout, (lin - 1 - in_off) / stride + 1);
+          }
           float acc = 0.0f;
           for (int64_t t = t0; t < t1; ++t) {
             acc += go_row[t] * in_row[t * stride + in_off];
@@ -261,7 +264,9 @@ Tensor Conv1d::Backward(const Tensor& grad_output) {
         int64_t t0 = 0;
         if (in_off < 0) t0 = (-in_off + stride - 1) / stride;
         int64_t t1 = 0;
-        if (in_off < lin) t1 = std::min<int64_t>(lout, (lin - 1 - in_off) / stride + 1);
+        if (in_off < lin) {
+          t1 = std::min<int64_t>(lout, (lin - 1 - in_off) / stride + 1);
+        }
         for (int64_t t = t0; t < t1; ++t) {
           gi_row[t * stride + in_off] += w * go_row[t];
         }

@@ -110,7 +110,9 @@ Tensor Gru::Backward(const Tensor& grad_output) {
     const int64_t t = reverse_ ? l - 1 - step : step;
     // Add the gradient from the output at this timestep.
     for (int64_t ni = 0; ni < n; ++ni) {
-      for (int64_t j = 0; j < h; ++j) dh.at2(ni, j) += grad_output.at3(ni, j, t);
+      for (int64_t j = 0; j < h; ++j) {
+        dh.at2(ni, j) += grad_output.at3(ni, j, t);
+      }
     }
     const Tensor& hprev = h_[step];
     const Tensor& rt = r_[step];

@@ -41,7 +41,7 @@ class Gru : public Module {
   // Cached forward state (time-ordered in processing order).
   Tensor input_;                 // (N, C, L)
   std::vector<Tensor> h_;       // L+1 entries of (N, H); h_[0] is zeros
-  std::vector<Tensor> r_, z_, n_, q_;  // per-step gate values, q = W_hn h + b_hn
+  std::vector<Tensor> r_, z_, n_, q_;  // per-step gates; q = W_hn h + b_hn
 };
 
 /// Bidirectional GRU: concatenates a forward and a reverse Gru along the

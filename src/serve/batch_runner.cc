@@ -24,27 +24,42 @@ ScanResult BatchRunner::Scan(const std::vector<float>& aggregate_watts) {
   result.detection = nn::Tensor({len});
   result.status = nn::Tensor({len});
   result.power = nn::Tensor({len});
-  if (len < l) return result;
+  if (len == 0) return result;
 
-  WindowStream stream(&aggregate_watts, options_.stream);
-  std::vector<float> prob_sum(static_cast<size_t>(len), 0.0f);
-  std::vector<int32_t> cover(static_cast<size_t>(len), 0);
-  std::vector<int32_t> on_votes(static_cast<size_t>(len), 0);
+  // A series shorter than one window is left-padded with zeros to a single
+  // window (zero is the stream's missing-reading fill) so short households
+  // still get real model predictions instead of all-zero output. The pad
+  // occupies [0, pad) of the scanned series; stitched outputs are shifted
+  // back by `pad` below.
+  const std::vector<float>* scan_series = &aggregate_watts;
+  std::vector<float> padded;
+  int64_t pad = 0;
+  if (len < l) {
+    pad = l - len;
+    padded.assign(static_cast<size_t>(l), 0.0f);
+    std::copy(aggregate_watts.begin(), aggregate_watts.end(),
+              padded.begin() + static_cast<size_t>(pad));
+    scan_series = &padded;
+  }
+  const int64_t scan_len = len + pad;
+
+  WindowStream stream(scan_series, options_.stream);
+  prob_sum_.assign(static_cast<size_t>(scan_len), 0.0f);
+  cover_.assign(static_cast<size_t>(scan_len), 0);
+  on_votes_.assign(static_cast<size_t>(scan_len), 0);
 
   Stopwatch watch;
-  nn::Tensor batch;
-  std::vector<int64_t> offsets;
   int64_t b = 0;
-  while ((b = stream.NextBatch(&batch, &offsets)) > 0) {
-    core::LocalizationResult loc = localizer_.Localize(batch);
+  while ((b = stream.NextBatch(&batch_, &batch_offsets_)) > 0) {
+    core::LocalizationResult loc = localizer_.Localize(batch_);
     for (int64_t i = 0; i < b; ++i) {
-      const int64_t off = offsets[static_cast<size_t>(i)];
+      const int64_t off = batch_offsets_[static_cast<size_t>(i)];
       const float p = loc.probabilities.at(i);
       for (int64_t t = 0; t < l; ++t) {
-        prob_sum[static_cast<size_t>(off + t)] += p;
-        ++cover[static_cast<size_t>(off + t)];
+        prob_sum_[static_cast<size_t>(off + t)] += p;
+        ++cover_[static_cast<size_t>(off + t)];
         if (loc.status.at2(i, t) > 0.5f) {
-          ++on_votes[static_cast<size_t>(off + t)];
+          ++on_votes_[static_cast<size_t>(off + t)];
         }
       }
     }
@@ -52,15 +67,13 @@ ScanResult BatchRunner::Scan(const std::vector<float>& aggregate_watts) {
   }
   result.seconds = watch.ElapsedSeconds();
 
-  // Stitch votes into per-timestamp series. Timestamps no window covers
-  // (possible only when len < window) stay zero.
+  // Stitch votes into per-timestamp series, dropping the synthetic pad.
   for (int64_t t = 0; t < len; ++t) {
-    const int32_t c = cover[static_cast<size_t>(t)];
+    const size_t s = static_cast<size_t>(t + pad);
+    const int32_t c = cover_[s];
     if (c == 0) continue;
-    result.detection.at(t) = prob_sum[static_cast<size_t>(t)] /
-                             static_cast<float>(c);
-    result.status.at(t) = 2 * on_votes[static_cast<size_t>(t)] > c ? 1.0f
-                                                                   : 0.0f;
+    result.detection.at(t) = prob_sum_[s] / static_cast<float>(c);
+    result.status.at(t) = 2 * on_votes_[s] > c ? 1.0f : 0.0f;
   }
 
   // §IV-C power estimation over the stitched status (missing readings act

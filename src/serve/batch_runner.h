@@ -19,7 +19,7 @@ struct BatchRunnerOptions {
 
 /// Per-timestamp result of scanning one household series.
 struct ScanResult {
-  nn::Tensor detection;  ///< (T) mean detection probability of covering windows.
+  nn::Tensor detection;  ///< (T) mean detection prob of covering windows.
   nn::Tensor status;     ///< (T) 0/1 activation by majority vote of windows.
   nn::Tensor power;      ///< (T) estimated appliance Watts (§IV-C).
   int64_t windows = 0;   ///< windows processed.
@@ -44,7 +44,11 @@ class BatchRunner {
   BatchRunner(core::CamalEnsemble* ensemble, BatchRunnerOptions options);
 
   /// Scans \p aggregate_watts (unscaled Watts; NaN = missing reading).
-  /// Series shorter than one window return all-zero results.
+  /// Series shorter than one window are left-padded with zeros (the
+  /// stream's missing-value fill) to a single window and scanned, so even
+  /// short households get real predictions; empty series return all-zero
+  /// results. Not thread-safe: a runner owns reusable scan scratch, so
+  /// concurrent scans need one runner each (see ShardedScanner).
   ScanResult Scan(const std::vector<float>& aggregate_watts);
 
   const BatchRunnerOptions& options() const { return options_; }
@@ -53,6 +57,13 @@ class BatchRunner {
   core::CamalEnsemble* ensemble_;
   core::CamalLocalizer localizer_;
   BatchRunnerOptions options_;
+  // Scan scratch reused across calls (one scan stitches hundreds of
+  // batches; per-batch allocation churn showed up in serving profiles).
+  std::vector<float> prob_sum_;
+  std::vector<int32_t> cover_;
+  std::vector<int32_t> on_votes_;
+  std::vector<int64_t> batch_offsets_;
+  nn::Tensor batch_;
 };
 
 }  // namespace camal::serve

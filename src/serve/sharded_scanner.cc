@@ -1,0 +1,64 @@
+#include "serve/sharded_scanner.h"
+
+#include "common/parallel_for.h"
+
+namespace camal::serve {
+
+ShardedScanner::ShardedScanner(core::CamalEnsemble* ensemble,
+                               ShardedScannerOptions options)
+    : ensemble_(ensemble), options_(options) {
+  CAMAL_CHECK(ensemble != nullptr);
+  CAMAL_CHECK_GE(options_.max_shards, 0);
+}
+
+ShardedScanner::~ShardedScanner() = default;
+
+void ShardedScanner::EnsureShards(int shards) {
+  while (static_cast<int>(runners_.size()) < shards) {
+    core::CamalEnsemble* shard_ensemble;
+    if (runners_.empty()) {
+      shard_ensemble = ensemble_;  // shard 0 borrows the original
+    } else {
+      replicas_.push_back(
+          std::make_unique<core::CamalEnsemble>(ensemble_->Clone()));
+      shard_ensemble = replicas_.back().get();
+    }
+    runners_.push_back(
+        std::make_unique<BatchRunner>(shard_ensemble, options_.runner));
+  }
+}
+
+std::vector<ScanResult> ShardedScanner::ScanAll(
+    const std::vector<const std::vector<float>*>& households) {
+  const int64_t n = static_cast<int64_t>(households.size());
+  std::vector<ScanResult> results(static_cast<size_t>(n));
+  if (n == 0) return results;
+  for (const auto* series : households) CAMAL_CHECK(series != nullptr);
+
+  const ShardPlan plan = PlanOuterShards(n, options_.max_shards);
+  EnsureShards(plan.shards);  // replicate before entering the pool
+
+  // Each shard id runs at most one chunk at a time (ParallelForOuter
+  // contract), so runners_[shard] is exclusively ours while the body
+  // runs. Writing results[i] by input index makes the merge order
+  // deterministic regardless of which shard finishes first.
+  ParallelForOuter(0, n, options_.max_shards,
+                   [&](int shard, int64_t begin, int64_t end) {
+                     BatchRunner* runner = runners_[shard].get();
+                     for (int64_t i = begin; i < end; ++i) {
+                       results[static_cast<size_t>(i)] =
+                           runner->Scan(*households[static_cast<size_t>(i)]);
+                     }
+                   });
+  return results;
+}
+
+std::vector<ScanResult> ShardedScanner::ScanAll(
+    const std::vector<std::vector<float>>& households) {
+  std::vector<const std::vector<float>*> pointers;
+  pointers.reserve(households.size());
+  for (const auto& series : households) pointers.push_back(&series);
+  return ScanAll(pointers);
+}
+
+}  // namespace camal::serve

@@ -1,0 +1,69 @@
+#ifndef CAMAL_SERVE_SHARDED_SCANNER_H_
+#define CAMAL_SERVE_SHARDED_SCANNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "serve/batch_runner.h"
+
+namespace camal::serve {
+
+/// Configuration of a sharded multi-household scan.
+struct ShardedScannerOptions {
+  /// Per-household scan configuration, shared by every shard.
+  BatchRunnerOptions runner;
+  /// Cap on concurrent household shards; 0 means NumThreads(). The thread
+  /// budget left over after sharding (NumThreads() / shards) serves the
+  /// conv GEMMs inside each shard — see PlanOuterShards.
+  int max_shards = 0;
+};
+
+/// Multi-core serving for a cohort of households (the Fig. 7b scaling
+/// axis): partitions the household series across outer worker shards, each
+/// running an independent BatchRunner scan, and merges the ScanResults
+/// back in input order.
+///
+/// Ensemble members cache per-forward state (the feature maps CAM
+/// extraction reads) and each BatchRunner owns reusable scan scratch, so
+/// every shard gets its own BatchRunner over its own CamalEnsemble::Clone
+/// replica (shard 0 borrows the original). Replicas are created lazily on
+/// the first ScanAll that needs them and reused afterwards. Results are
+/// deterministic: results[i] always comes from the same per-shard
+/// sequential scan of households[i], independent of thread count, so the
+/// merged output is identical to sequential BatchRunner scans.
+///
+/// ScanAll itself must not be called concurrently on one scanner (shards
+/// are the concurrency); use one scanner per calling thread instead.
+class ShardedScanner {
+ public:
+  /// \p ensemble is borrowed and must outlive the scanner.
+  ShardedScanner(core::CamalEnsemble* ensemble,
+                 ShardedScannerOptions options);
+  ~ShardedScanner();
+
+  /// Scans every household; results[i] corresponds to households[i].
+  std::vector<ScanResult> ScanAll(
+      const std::vector<std::vector<float>>& households);
+
+  /// Pointer variant for cohorts whose series live elsewhere (borrowed;
+  /// every pointer must be non-null).
+  std::vector<ScanResult> ScanAll(
+      const std::vector<const std::vector<float>*>& households);
+
+  const ShardedScannerOptions& options() const { return options_; }
+
+ private:
+  /// Ensures runner/replica slots [0, shards) exist.
+  void EnsureShards(int shards);
+
+  core::CamalEnsemble* ensemble_;
+  ShardedScannerOptions options_;
+  /// Ensemble replicas for shards >= 1 (unique_ptr: BatchRunner keeps a
+  /// pointer to its ensemble, so replica addresses must be stable).
+  std::vector<std::unique_ptr<core::CamalEnsemble>> replicas_;
+  std::vector<std::unique_ptr<BatchRunner>> runners_;
+};
+
+}  // namespace camal::serve
+
+#endif  // CAMAL_SERVE_SHARDED_SCANNER_H_

@@ -36,8 +36,14 @@ int64_t WindowStream::NextBatch(nn::Tensor* inputs,
   const int64_t b = std::min<int64_t>(options_.batch_size, remaining);
   if (b <= 0) return 0;
   const int64_t l = options_.window_length;
-  // Every element is written below; skip the zero-fill.
-  *inputs = nn::Tensor::Uninitialized({b, 1, l});
+  // Reuse the caller's tensor when the shape already matches — all batches
+  // but the final short one are (batch_size, 1, L), so a scan loop touches
+  // the allocator once. Every element is written below; skip the
+  // zero-fill when fresh storage is needed.
+  if (inputs->ndim() != 3 || inputs->dim(0) != b || inputs->dim(1) != 1 ||
+      inputs->dim(2) != l) {
+    *inputs = nn::Tensor::Uninitialized({b, 1, l});
+  }
   const float inv_scale = 1.0f / options_.input_scale;
   const float* series = series_->data();
   for (int64_t i = 0; i < b; ++i) {

@@ -45,7 +45,9 @@ class WindowStream {
 
   /// Fills \p inputs with the next (B, 1, L) batch (B <= batch_size) and
   /// \p batch_offsets with the B series offsets. Returns B; 0 when
-  /// exhausted.
+  /// exhausted. \p inputs is reused in place when it already has the
+  /// batch's shape (only the final short batch reallocates), so callers
+  /// should pass the same tensor every iteration.
   int64_t NextBatch(nn::Tensor* inputs, std::vector<int64_t>* batch_offsets);
 
   /// Rewinds to the first window.

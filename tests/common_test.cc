@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <set>
+#include <thread>
 
 #include "common/csv.h"
 #include "common/parallel_for.h"
@@ -12,6 +15,14 @@
 
 namespace camal {
 namespace {
+
+// Force a multi-thread pool even on single-core machines so the pool's
+// concurrency paths are exercised; an explicit CAMAL_THREADS (e.g. from
+// CI) wins. Runs at static-init time, before the first NumThreads() call.
+const bool kThreadsForced = [] {
+  setenv("CAMAL_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
 
 TEST(StatusTest, DefaultIsOk) {
   Status st;
@@ -148,6 +159,111 @@ TEST(ParallelForTest, NestedCallsStaySerial) {
     ParallelFor(0, 100, [&](int64_t) { total.fetch_add(1); });
   });
   EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ParallelForTest, ConcurrentTopLevelCallsAreSafe) {
+  // Four independent threads each issue repeated top-level ParallelFor
+  // calls against the shared pool; every call must see exactly its own
+  // iterations (per-job completion tracking, no cross-talk).
+  constexpr int kCallers = 4;
+  constexpr int kReps = 20;
+  constexpr int64_t kIters = 500;
+  std::vector<std::atomic<int64_t>> totals(kCallers);
+  for (auto& t : totals) t.store(0);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&totals, c] {
+      for (int rep = 0; rep < kReps; ++rep) {
+        ParallelFor(0, kIters,
+                    [&totals, c](int64_t) { totals[c].fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const auto& t : totals) EXPECT_EQ(t.load(), kReps * kIters);
+}
+
+TEST(ParallelForTest, PlanOuterShardsSplitsBudget) {
+  const int threads = NumThreads();
+  const ShardPlan many = PlanOuterShards(1000, 0);
+  EXPECT_EQ(many.shards, threads);  // plenty of items: all budget outer
+  EXPECT_EQ(many.inner, 1);
+  const ShardPlan capped = PlanOuterShards(1000, 2);
+  EXPECT_EQ(capped.shards, std::min(2, threads));
+  EXPECT_EQ(capped.inner, std::max(1, threads / capped.shards));
+  const ShardPlan single = PlanOuterShards(1, 0);
+  EXPECT_EQ(single.shards, 1);  // one item: whole budget goes inner
+  EXPECT_EQ(single.inner, threads);
+  const ShardPlan empty = PlanOuterShards(0, 0);
+  EXPECT_EQ(empty.shards, 1);
+  EXPECT_EQ(empty.chunk, 0);
+}
+
+TEST(ParallelForTest, PlanOuterShardsMatchesRunnableChunks) {
+  // Ceil division can produce fewer chunks than the requested shard count
+  // (items=9, cap=6 -> chunk=2 -> 5 chunks); the plan must report the
+  // shard count that actually runs, since callers size per-shard state
+  // (model replicas) off it.
+  for (int64_t items = 1; items <= 40; ++items) {
+    for (int cap : {0, 2, 3, 6}) {
+      const ShardPlan plan = PlanOuterShards(items, cap);
+      ASSERT_GT(plan.chunk, 0);
+      EXPECT_EQ(plan.shards, (items + plan.chunk - 1) / plan.chunk)
+          << "items=" << items << " cap=" << cap;
+    }
+  }
+}
+
+TEST(ParallelForTest, OuterShardsCoverRangeWithStableShardIds) {
+  const ShardPlan plan = PlanOuterShards(23, 0);
+  std::vector<std::atomic<int>> hits(23);
+  for (auto& h : hits) h.store(0);
+  std::vector<std::atomic<int>> active(static_cast<size_t>(plan.shards));
+  for (auto& a : active) a.store(0);
+  std::atomic<bool> overlap{false};
+  ParallelForOuter(0, 23, 0, [&](int shard, int64_t b, int64_t e) {
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, plan.shards);
+    // At most one chunk per shard id may run at any time — that is what
+    // lets shards own per-shard state (model replicas).
+    if (active[static_cast<size_t>(shard)].fetch_add(1) != 0) {
+      overlap.store(true);
+    }
+    for (int64_t i = b; i < e; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    }
+    active[static_cast<size_t>(shard)].fetch_sub(1);
+  });
+  EXPECT_FALSE(overlap.load());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, InnerLoopsInsideOuterShardsStayCorrect) {
+  std::atomic<int64_t> total{0};
+  ParallelForOuter(0, 6, 2, [&](int, int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      ParallelFor(0, 250, [&](int64_t) { total.fetch_add(1); });
+    }
+  });
+  EXPECT_EQ(total.load(), 6 * 250);
+}
+
+TEST(ParallelForTest, NestedOuterRunsInlineAsOneShard) {
+  std::atomic<int> calls{0};
+  std::atomic<int64_t> covered{0};
+  ParallelForOuter(0, 4, 0, [&](int, int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      ParallelForOuter(0, 8, 0, [&](int shard, int64_t ib, int64_t ie) {
+        EXPECT_EQ(shard, 0);  // nested: one inline shard, whole range
+        EXPECT_EQ(ib, 0);
+        EXPECT_EQ(ie, 8);
+        calls.fetch_add(1);
+        covered.fetch_add(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(calls.load(), 4);
+  EXPECT_EQ(covered.load(), 4 * 8);
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

@@ -224,7 +224,8 @@ TEST(InceptionTest, TrainsInsideEnsemble) {
           train.inputs);
   int correct = 0;
   for (int64_t i = 0; i < n; ++i) {
-    if ((prob.at(i) > 0.5f) == (train.weak_labels[static_cast<size_t>(i)] == 1)) {
+    const int label = train.weak_labels[static_cast<size_t>(i)];
+    if ((prob.at(i) > 0.5f) == (label == 1)) {
       ++correct;
     }
   }

@@ -43,7 +43,9 @@ TEST(Conv1dTest, IdentityKernelReproducesInput) {
   Tensor x({1, 1, 5});
   for (int64_t i = 0; i < 5; ++i) x.at3(0, 0, i) = static_cast<float>(i);
   Tensor y = conv.Forward(x);
-  for (int64_t i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(y.at3(0, 0, i), x.at3(0, 0, i));
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(y.at3(0, 0, i), x.at3(0, 0, i));
+  }
 }
 
 TEST(Conv1dTest, KnownConvolutionValues) {
@@ -312,7 +314,9 @@ TEST(GruTest, OutputShapeAndBoundedness) {
   Rng rng(3);
   Gru gru(2, 4, /*reverse=*/false, &rng);
   Tensor x({3, 2, 7});
-  for (int64_t i = 0; i < x.numel(); ++i) x.at(i) = static_cast<float>(i % 5) - 2;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x.at(i) = static_cast<float>(i % 5) - 2;
+  }
   Tensor y = gru.Forward(x);
   EXPECT_EQ(y.dim(0), 3);
   EXPECT_EQ(y.dim(1), 4);
@@ -362,7 +366,9 @@ TEST(ModuleTest, ZeroGradClearsGradients) {
   lin.Backward(Tensor::Full({2, 2}, 1.0f));
   lin.ZeroGrad();
   for (auto* p : lin.Parameters()) {
-    for (int64_t i = 0; i < p->grad.numel(); ++i) EXPECT_EQ(p->grad.at(i), 0.0f);
+    for (int64_t i = 0; i < p->grad.numel(); ++i) {
+      EXPECT_EQ(p->grad.at(i), 0.0f);
+    }
   }
 }
 

@@ -1,17 +1,29 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <set>
 
+#include "common/parallel_for.h"
 #include "common/rng.h"
 #include "core/ensemble.h"
+#include "core/inception.h"
 #include "core/resnet.h"
 #include "serve/batch_runner.h"
+#include "serve/sharded_scanner.h"
 #include "serve/window_stream.h"
 
 namespace camal {
 namespace {
+
+// Force a multi-thread pool even on single-core machines so sharded scans
+// really run concurrently; an explicit CAMAL_THREADS (e.g. from CI) wins.
+const bool kThreadsForced = [] {
+  setenv("CAMAL_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
 
 serve::WindowStreamOptions SmallStream(int64_t window, int64_t stride,
                                        int64_t batch) {
@@ -43,6 +55,41 @@ TEST(WindowStreamTest, TailWindowAlignsToSeriesEnd) {
   serve::WindowStream stream(&series, SmallStream(8, 8, 4));
   ASSERT_EQ(stream.NumWindows(), 3);
   EXPECT_EQ(stream.offsets().back(), 12);
+}
+
+TEST(WindowStreamTest, TailWindowExactFitIsNotDuplicated) {
+  // 32 samples, window 16, stride 8: offsets {0, 8, 16}; the last grid
+  // window already ends at the series end (offsets.back() + L == len), so
+  // no extra tail window may be added.
+  std::vector<float> series(32, 1.0f);
+  serve::WindowStream stream(&series, SmallStream(16, 8, 4));
+  ASSERT_EQ(stream.NumWindows(), 3);
+  EXPECT_EQ(stream.offsets().back() + 16,
+            static_cast<int64_t>(series.size()));
+}
+
+TEST(WindowStreamTest, AllMissingWindowsAreZeroFilled) {
+  std::vector<float> series(24, std::nanf(""));
+  serve::WindowStream stream(&series, SmallStream(16, 8, 4));
+  nn::Tensor batch;
+  std::vector<int64_t> offsets;
+  ASSERT_EQ(stream.NextBatch(&batch, &offsets), 2);
+  for (int64_t i = 0; i < batch.numel(); ++i) {
+    EXPECT_EQ(batch.at(i), 0.0f) << "element " << i;
+  }
+}
+
+TEST(WindowStreamTest, NextBatchReusesCallerTensor) {
+  std::vector<float> series(80, 1.0f);  // 5 windows of 16 at stride 16
+  serve::WindowStream stream(&series, SmallStream(16, 16, 2));
+  nn::Tensor batch;
+  std::vector<int64_t> offsets;
+  ASSERT_EQ(stream.NextBatch(&batch, &offsets), 2);
+  const float* storage = batch.data();
+  ASSERT_EQ(stream.NextBatch(&batch, &offsets), 2);
+  EXPECT_EQ(batch.data(), storage);  // same shape: storage reused in place
+  ASSERT_EQ(stream.NextBatch(&batch, &offsets), 1);
+  EXPECT_EQ(batch.ShapeString(), "(1, 1, 16)");  // short batch reshapes
 }
 
 TEST(WindowStreamTest, ShortSeriesYieldsNothing) {
@@ -121,7 +168,8 @@ TEST(BatchRunnerTest, ScanShapesAndRanges) {
     EXPECT_TRUE(result.status.at(t) == 0.0f || result.status.at(t) == 1.0f);
     // §IV-C: estimated power never exceeds P_a or the aggregate.
     EXPECT_LE(result.power.at(t), 700.0f);
-    EXPECT_LE(result.power.at(t), std::max(0.0f, series[static_cast<size_t>(t)]));
+    EXPECT_LE(result.power.at(t),
+              std::max(0.0f, series[static_cast<size_t>(t)]));
   }
 }
 
@@ -149,16 +197,166 @@ TEST(BatchRunnerTest, BatchSizeDoesNotChangeResults) {
   }
 }
 
-TEST(BatchRunnerTest, ShortSeriesReturnsZeros) {
+TEST(BatchRunnerTest, EmptySeriesReturnsZeros) {
   core::CamalEnsemble ensemble = RandomEnsemble(7);
   serve::BatchRunnerOptions opt;
   opt.stream = SmallStream(32, 16, 4);
   serve::BatchRunner runner(&ensemble, opt);
-  serve::ScanResult result = runner.Scan(std::vector<float>(10, 100.0f));
+  serve::ScanResult result = runner.Scan(std::vector<float>());
   EXPECT_EQ(result.windows, 0);
-  EXPECT_DOUBLE_EQ(result.detection.Sum(), 0.0);
-  EXPECT_DOUBLE_EQ(result.status.Sum(), 0.0);
-  EXPECT_DOUBLE_EQ(result.power.Sum(), 0.0);
+  EXPECT_EQ(result.detection.numel(), 0);
+  EXPECT_EQ(result.status.numel(), 0);
+  EXPECT_EQ(result.power.numel(), 0);
+}
+
+TEST(BatchRunnerTest, ShortSeriesIsLeftPaddedAndScanned) {
+  // Regression: series shorter than one window used to return all-zero
+  // detection/status/power without ever consulting the model. They are now
+  // left-padded with zeros to a single window and scanned for real.
+  core::CamalEnsemble ensemble = RandomEnsemble(7);
+  serve::BatchRunnerOptions opt;
+  opt.stream = SmallStream(32, 16, 4);
+  opt.appliance_avg_power_w = 700.0f;
+  serve::BatchRunner runner(&ensemble, opt);
+
+  Rng rng(9);
+  std::vector<float> series(10);
+  for (auto& v : series) v = static_cast<float>(rng.Uniform(500.0, 3000.0));
+  serve::ScanResult result = runner.Scan(series);
+  ASSERT_EQ(result.detection.numel(), 10);
+  EXPECT_EQ(result.windows, 1);  // exactly one left-padded window
+  // The ensemble's softmax probability is strictly positive, so a scan
+  // that actually consulted the model cannot report zero detection.
+  EXPECT_GT(result.detection.at(0), 0.0f);
+
+  // The same window, padded by hand, must produce identical predictions
+  // on the real samples (the pad occupies the first 22 positions).
+  std::vector<float> padded(32, 0.0f);
+  std::copy(series.begin(), series.end(), padded.begin() + 22);
+  serve::ScanResult reference = runner.Scan(padded);
+  ASSERT_EQ(reference.windows, 1);
+  for (int64_t t = 0; t < 10; ++t) {
+    EXPECT_EQ(result.detection.at(t), reference.detection.at(t + 22));
+    EXPECT_EQ(result.status.at(t), reference.status.at(t + 22));
+    EXPECT_EQ(result.power.at(t), reference.power.at(t + 22));
+  }
+}
+
+std::vector<std::vector<float>> SyntheticCohort(int households,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> cohort;
+  cohort.reserve(static_cast<size_t>(households));
+  for (int h = 0; h < households; ++h) {
+    // Mixed lengths, including one shorter than the 16-sample window so
+    // the padding path runs inside a shard too.
+    const int64_t len = h == 4 ? 9 : 80 + 13 * h;
+    std::vector<float> series(static_cast<size_t>(len));
+    for (auto& v : series) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
+    cohort.push_back(std::move(series));
+  }
+  return cohort;
+}
+
+TEST(ShardedScannerTest, MatchesSequentialScansBitwise) {
+  core::CamalEnsemble ensemble = RandomEnsemble(11);
+  serve::BatchRunnerOptions opt;
+  opt.stream = SmallStream(16, 8, 4);
+  opt.appliance_avg_power_w = 600.0f;
+  const std::vector<std::vector<float>> cohort = SyntheticCohort(9, 12);
+
+  serve::ShardedScannerOptions sharded_opt;
+  sharded_opt.runner = opt;
+  serve::ShardedScanner scanner(&ensemble, sharded_opt);
+  std::vector<serve::ScanResult> sharded = scanner.ScanAll(cohort);
+
+  serve::BatchRunner sequential(&ensemble, opt);
+  ASSERT_EQ(sharded.size(), cohort.size());
+  for (size_t h = 0; h < cohort.size(); ++h) {
+    serve::ScanResult expected = sequential.Scan(cohort[h]);
+    ASSERT_EQ(sharded[h].windows, expected.windows) << "household " << h;
+    ASSERT_EQ(sharded[h].detection.numel(), expected.detection.numel());
+    for (int64_t t = 0; t < expected.detection.numel(); ++t) {
+      // Bitwise equality: shards run the same per-household code over
+      // exact weight replicas, so thread count must not change a single
+      // ULP of the stitched outputs.
+      EXPECT_EQ(sharded[h].detection.at(t), expected.detection.at(t));
+      EXPECT_EQ(sharded[h].status.at(t), expected.status.at(t));
+      EXPECT_EQ(sharded[h].power.at(t), expected.power.at(t));
+    }
+  }
+}
+
+TEST(ShardedScannerTest, ShardCapDoesNotChangeResults) {
+  // Serial (max_shards=1, inline, no pool) vs unrestricted sharding must
+  // merge to bitwise-identical outputs — the single-thread vs multi-thread
+  // equivalence of the stitching pipeline.
+  core::CamalEnsemble ensemble = RandomEnsemble(13);
+  serve::BatchRunnerOptions opt;
+  opt.stream = SmallStream(16, 8, 8);
+  opt.appliance_avg_power_w = 450.0f;
+  const std::vector<std::vector<float>> cohort = SyntheticCohort(8, 21);
+
+  serve::ShardedScannerOptions serial_opt;
+  serial_opt.runner = opt;
+  serial_opt.max_shards = 1;
+  serve::ShardedScanner serial(&ensemble, serial_opt);
+  serve::ShardedScannerOptions wide_opt;
+  wide_opt.runner = opt;
+  serve::ShardedScanner wide(&ensemble, wide_opt);
+
+  std::vector<serve::ScanResult> a = serial.ScanAll(cohort);
+  std::vector<serve::ScanResult> b = wide.ScanAll(cohort);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t h = 0; h < a.size(); ++h) {
+    ASSERT_EQ(a[h].windows, b[h].windows);
+    for (int64_t t = 0; t < a[h].detection.numel(); ++t) {
+      EXPECT_EQ(a[h].detection.at(t), b[h].detection.at(t));
+      EXPECT_EQ(a[h].status.at(t), b[h].status.at(t));
+      EXPECT_EQ(a[h].power.at(t), b[h].power.at(t));
+    }
+  }
+}
+
+TEST(ShardedScannerTest, ClonesNonDefaultBackboneConfigs) {
+  // Regression: shard replicas are rebuilt from the member's full config.
+  // An Inception member with non-default depth used to make Clone abort
+  // on a parameter-count mismatch inside EnsureShards.
+  Rng rng(17);
+  core::InceptionConfig config;
+  config.kernel_size = 5;
+  config.base_filters = 4;
+  config.depth = 2;  // non-default (default is 3)
+  std::vector<core::EnsembleMember> members;
+  core::EnsembleMember member;
+  member.model = std::make_unique<core::InceptionClassifier>(config, &rng);
+  member.kernel_size = config.kernel_size;
+  members.push_back(std::move(member));
+  core::CamalEnsemble ensemble =
+      core::CamalEnsemble::FromMembers(std::move(members));
+
+  serve::ShardedScannerOptions opt;
+  opt.runner.stream = SmallStream(16, 8, 4);
+  opt.runner.appliance_avg_power_w = 500.0f;
+  serve::ShardedScanner scanner(&ensemble, opt);
+  const std::vector<std::vector<float>> cohort = SyntheticCohort(8, 23);
+  std::vector<serve::ScanResult> scans = scanner.ScanAll(cohort);
+
+  serve::BatchRunner sequential(&ensemble, opt.runner);
+  for (size_t h = 0; h < cohort.size(); ++h) {
+    serve::ScanResult expected = sequential.Scan(cohort[h]);
+    for (int64_t t = 0; t < expected.detection.numel(); ++t) {
+      EXPECT_EQ(scans[h].detection.at(t), expected.detection.at(t));
+    }
+  }
+}
+
+TEST(ShardedScannerTest, EmptyCohortYieldsNoResults) {
+  core::CamalEnsemble ensemble = RandomEnsemble(15);
+  serve::ShardedScannerOptions opt;
+  opt.runner.stream = SmallStream(16, 8, 4);
+  serve::ShardedScanner scanner(&ensemble, opt);
+  EXPECT_TRUE(scanner.ScanAll(std::vector<std::vector<float>>()).empty());
 }
 
 }  // namespace

@@ -170,8 +170,8 @@ TEST(HouseholdTest, MissingFractionInjectsGaps) {
   data::HouseRecord house = SimulateHousehold(config, &rng);
   int64_t missing = 0;
   for (float v : house.aggregate) missing += data::IsMissing(v) ? 1 : 0;
-  const double frac =
-      static_cast<double>(missing) / static_cast<double>(house.aggregate.size());
+  const double frac = static_cast<double>(missing) /
+                      static_cast<double>(house.aggregate.size());
   EXPECT_NEAR(frac, 0.05, 0.01);
 }
 

@@ -110,8 +110,12 @@ TEST(TensorTest, MatMulTransposeAMatchesExplicit) {
 TEST(TensorTest, MatMulConsistency) {
   // (A B)^T identities across the three kernels on random data.
   Tensor a({3, 4}), b({4, 5});
-  for (int64_t i = 0; i < a.numel(); ++i) a.at(i) = static_cast<float>(i % 7) - 3;
-  for (int64_t i = 0; i < b.numel(); ++i) b.at(i) = static_cast<float>(i % 5) - 2;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    a.at(i) = static_cast<float>(i % 7) - 3;
+  }
+  for (int64_t i = 0; i < b.numel(); ++i) {
+    b.at(i) = static_cast<float>(i % 5) - 2;
+  }
   Tensor c1 = MatMul(a, b);
   // b_t: (5,4) with b_t[j,k] = b[k,j]
   Tensor bt({5, 4});
