@@ -120,6 +120,21 @@ inline void WriteCsv(const std::string& bench_name,
   }
 }
 
+/// Writes a raw text artifact (e.g. machine-readable JSON for perf
+/// tracking) under bench_results/.
+inline void WriteTextFile(const std::string& filename,
+                          const std::string& content) {
+  (void)std::system("mkdir -p bench_results");
+  const std::string path = "bench_results/" + filename;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(content.data(), 1, content.size(), file);
+  std::fclose(file);
+}
+
 /// Standard bench banner with the active mode.
 inline void PrintHeader(const char* title, const char* paper_ref) {
   const eval::BenchParams params = eval::CurrentBenchParams();

@@ -6,14 +6,15 @@
 // (detection + localization + power estimation) per household count,
 // batched vs single-window.
 
+#include <future>
+
 #include "bench_common.h"
 #include "common/parallel_for.h"
 #include "common/stopwatch.h"
 #include "core/resnet.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
-#include "serve/batch_runner.h"
-#include "serve/sharded_scanner.h"
+#include "serve/service.h"
 
 namespace camal {
 namespace {
@@ -200,21 +201,21 @@ void Run() {
   bench::WriteCsv("fig7b_serving_households", serve_csv);
 
   // ------------------------------------------------------------------
-  // Multi-core serving: households x shard-count scaling. ShardedScanner
-  // partitions the cohort across outer worker shards (one BatchRunner +
-  // ensemble replica each); the thread budget left over after sharding
-  // serves the conv GEMMs inside each shard. Shard counts are capped by
-  // CAMAL_THREADS — rerun with CAMAL_THREADS=4 (or more) to see the
-  // multi-core speedup.
+  // Multi-core serving: households x worker-count scaling through the
+  // async front-end. serve::Service feeds a worker pool (one BatchRunner +
+  // ensemble replica per worker) from its admission queue; the thread
+  // budget left over after the worker fan-out serves the conv GEMMs
+  // inside each worker. Worker counts are capped by CAMAL_THREADS — rerun
+  // with CAMAL_THREADS=4 (or more) to see the multi-core speedup.
   // ------------------------------------------------------------------
-  std::vector<int> shard_counts;
+  std::vector<int> worker_counts;
   for (int s : {1, 2, 4, 8}) {
-    if (s == 1 || s <= NumThreads()) shard_counts.push_back(s);
+    if (s == 1 || s <= NumThreads()) worker_counts.push_back(s);
   }
-  TablePrinter shard_table({"#Households", "Shards", "Inner threads",
-                            "Seconds", "Windows/sec", "Speedup vs 1"});
-  std::vector<std::vector<std::string>> shard_csv{
-      {"households", "shards", "inner_threads", "seconds",
+  TablePrinter serve_scale_table({"#Households", "Workers", "Inner threads",
+                                  "Seconds", "Windows/sec", "Speedup vs 1"});
+  std::vector<std::vector<std::string>> serve_scale_csv{
+      {"households", "workers", "inner_threads", "seconds",
        "windows_per_sec", "speedup_vs_1"}};
   for (int h : household_counts) {
     Rng series_rng(17);
@@ -228,32 +229,51 @@ void Run() {
       cohort.push_back(std::move(series));
     }
     double base_seconds = 0.0;
-    for (int s : shard_counts) {
-      serve::ShardedScannerOptions shard_opt;
-      shard_opt.runner = batched_opt;
-      shard_opt.max_shards = s;
-      serve::ShardedScanner scanner(&ensemble, shard_opt);
-      scanner.ScanAll(cohort);  // warm replicas, scratch, allocator
+    for (int s : worker_counts) {
+      serve::ServiceOptions service_opt;
+      service_opt.workers = s;
+      service_opt.queue_capacity = 0;  // whole cohort at once
+      serve::Service service(service_opt);
+      CAMAL_CHECK(
+          service.RegisterAppliance("noise", &ensemble, batched_opt).ok());
+      CAMAL_CHECK(service.Start().ok());
+      auto scan_cohort = [&] {
+        std::vector<std::future<Result<serve::ScanResult>>> futures;
+        futures.reserve(cohort.size());
+        for (size_t i = 0; i < cohort.size(); ++i) {
+          serve::ScanRequest request;
+          request.household_id = FmtInt(static_cast<int64_t>(i));
+          request.appliance = "noise";
+          request.series = &cohort[i];
+          futures.push_back(service.Submit(std::move(request)));
+        }
+        int64_t windows = 0;
+        for (auto& future : futures) {
+          windows += future.get().value().windows;
+        }
+        return windows;
+      };
+      scan_cohort();  // warm replicas, scratch, allocator
       Stopwatch watch;
-      std::vector<serve::ScanResult> scans = scanner.ScanAll(cohort);
+      const int64_t windows = scan_cohort();
       const double seconds = watch.ElapsedSeconds();
-      int64_t windows = 0;
-      for (const auto& scan : scans) windows += scan.windows;
-      if (s == shard_counts.front()) base_seconds = seconds;
+      if (s == worker_counts.front()) base_seconds = seconds;
       const double wps = seconds > 0.0 ? windows / seconds : 0.0;
       const double speedup =
           seconds > 0.0 ? base_seconds / seconds : 0.0;
-      const ShardPlan plan = PlanOuterShards(h, s);
-      shard_table.AddRow({FmtInt(h), FmtInt(s), FmtInt(plan.inner),
-                          Fmt(seconds, 3), Fmt(wps, 1), Fmt(speedup, 2)});
-      shard_csv.push_back({FmtInt(h), FmtInt(s), FmtInt(plan.inner),
-                           Fmt(seconds, 4), Fmt(wps, 2), Fmt(speedup, 3)});
+      const int inner = service.inner_budget();
+      serve_scale_table.AddRow({FmtInt(h), FmtInt(s), FmtInt(inner),
+                                Fmt(seconds, 3), Fmt(wps, 1),
+                                Fmt(speedup, 2)});
+      serve_scale_csv.push_back({FmtInt(h), FmtInt(s), FmtInt(inner),
+                                 Fmt(seconds, 4), Fmt(wps, 2),
+                                 Fmt(speedup, 3)});
     }
   }
-  std::printf("\nSharded serving (ShardedScanner, CAMAL_THREADS=%d)\n",
+  std::printf("\nAsync sharded serving (serve::Service, CAMAL_THREADS=%d)\n",
               NumThreads());
-  shard_table.Print(stdout);
-  bench::WriteCsv("fig7b_sharded_serving", shard_csv);
+  serve_scale_table.Print(stdout);
+  bench::WriteCsv("fig7b_sharded_serving", serve_scale_csv);
 }
 
 }  // namespace

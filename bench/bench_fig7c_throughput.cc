@@ -50,6 +50,16 @@ void Run() {
   TablePrinter table({"Method", "Input length", "Windows/sec"});
   std::vector<std::vector<std::string>> csv_rows{
       {"method", "length", "windows_per_sec"}};
+  // Machine-readable mirror of the CamAL rows (BENCH_fig7c.json) so CI
+  // can track the serving-throughput trajectory across PRs.
+  std::string json_rows;
+  auto add_json_row = [&json_rows](const std::string& method, int64_t length,
+                                   double windows_per_sec) {
+    if (!json_rows.empty()) json_rows += ",";
+    json_rows += "\n    {\"method\": \"" + method +
+                 "\", \"length\": " + FmtInt(length) +
+                 ", \"windows_per_sec\": " + Fmt(windows_per_sec, 2) + "}";
+  };
 
   bool agreement_ok = true;
   double worst_ratio = std::numeric_limits<double>::infinity();
@@ -110,6 +120,8 @@ void Run() {
     csv_rows.push_back({"CamAL-single", FmtInt(len), Fmt(single_tput, 2)});
     csv_rows.push_back({"CamAL-batched", FmtInt(len), Fmt(batched_tput, 2)});
     csv_rows.push_back({"CamAL-batched-speedup", FmtInt(len), Fmt(ratio, 2)});
+    add_json_row("CamAL-single", len, single_tput);
+    add_json_row("CamAL-batched", len, batched_tput);
 
     for (baselines::BaselineKind kind : baselines::AllBaselines()) {
       if (kind == baselines::BaselineKind::kCrnnStrong) continue;  // same net
@@ -126,6 +138,14 @@ void Run() {
   }
   table.Print(stdout);
   bench::WriteCsv("fig7c_throughput", csv_rows);
+  bench::WriteTextFile(
+      "BENCH_fig7c.json",
+      std::string("{\n  \"bench\": \"fig7c_throughput\",\n") +
+          "  \"mode\": \"" + eval::BenchModeName(params.mode) + "\",\n" +
+          "  \"batch_size\": " + FmtInt(kBatch) + ",\n" +
+          "  \"worst_batched_speedup\": " + Fmt(worst_ratio, 3) + ",\n" +
+          "  \"agreement_ok\": " + (agreement_ok ? "true" : "false") +
+          ",\n  \"rows\": [" + json_rows + "\n  ]\n}\n");
   std::printf("\nBatched runtime vs single-window loop at batch %lld: "
               "worst speedup %.2fx (target >= 3x), outputs %s (1e-4).\n",
               static_cast<long long>(kBatch), worst_ratio,

@@ -11,17 +11,26 @@
 //   camal_cli localize <model_dir> <house.csv> --appliance NAME [--window L]
 //       Load a saved ensemble and print per-window detections and the
 //       localized activation timeline for one household.
+//   camal_cli serve <model_dir> <data_dir> --appliance NAME [--window L]
+//       [--workers N] [--queue N] [--avg-power W]
+//       Load a saved ensemble, start the asynchronous serve::Service, scan
+//       every house_*.csv through the request queue, and print
+//       per-request latency.
 
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "common/parallel_for.h"
 #include "data/balance.h"
 #include "data/csv_loader.h"
 #include "data/split.h"
 #include "core/localizer.h"
 #include "core/model_io.h"
+#include "serve/service.h"
 #include "simulate/profiles.h"
 
 namespace {
@@ -211,12 +220,110 @@ int CmdLocalize(const Args& args) {
   return 0;
 }
 
+int CmdServe(const Args& args) {
+  if (args.positional.size() < 2 || args.Flag("appliance", "").empty()) {
+    std::fprintf(stderr,
+                 "usage: camal_cli serve <model_dir> <data_dir> --appliance "
+                 "NAME [--window 128] [--workers 0] [--queue 0] "
+                 "[--avg-power 800]\n");
+    return 1;
+  }
+  auto ensemble_result = core::LoadEnsemble(args.positional[0]);
+  if (!ensemble_result.ok()) return Fail(ensemble_result.status());
+  core::CamalEnsemble ensemble = std::move(ensemble_result).value();
+  auto houses_result = data::LoadDatasetDir(args.positional[1]);
+  if (!houses_result.ok()) return Fail(houses_result.status());
+  const auto houses = std::move(houses_result).value();
+  const std::string appliance = args.Flag("appliance", "");
+
+  float avg_power_w = 800.0f;
+  for (auto type : {simulate::ApplianceType::kDishwasher,
+                    simulate::ApplianceType::kKettle,
+                    simulate::ApplianceType::kMicrowave,
+                    simulate::ApplianceType::kWashingMachine,
+                    simulate::ApplianceType::kShower,
+                    simulate::ApplianceType::kElectricVehicle}) {
+    if (simulate::ApplianceName(type) == appliance) {
+      avg_power_w = simulate::SpecFor(type).avg_power_w;
+    }
+  }
+  avg_power_w = static_cast<float>(
+      args.FlagDouble("avg-power", static_cast<double>(avg_power_w)));
+
+  serve::ServiceOptions service_opt;
+  service_opt.workers = static_cast<int>(args.FlagInt("workers", 0));
+  // This command submits the whole directory in one burst, so the queue
+  // is unbounded by default — every house gets scanned. Pass --queue N to
+  // bound admission and see the backpressure contract instead (overflow
+  // requests are rejected with FailedPrecondition and reported below).
+  service_opt.queue_capacity = args.FlagInt("queue", 0);
+  serve::Service service(service_opt);
+  serve::BatchRunnerOptions runner;
+  runner.stream.window_length = args.FlagInt("window", 128);
+  runner.stream.stride = runner.stream.window_length / 2;
+  runner.appliance_avg_power_w = avg_power_w;
+  Status st = service.RegisterAppliance(appliance, &ensemble, runner);
+  if (!st.ok()) return Fail(st);
+  st = service.Start();
+  if (!st.ok()) return Fail(st);
+  const std::string capacity =
+      service_opt.queue_capacity > 0
+          ? std::to_string(service_opt.queue_capacity)
+          : "unbounded";
+  std::printf("serving '%s' on %d workers (queue capacity %s), "
+              "%zu households\n",
+              appliance.c_str(), service.workers(), capacity.c_str(),
+              houses.size());
+
+  // The async path end to end: submit every household, then harvest the
+  // futures in admission order and report per-request latency.
+  std::vector<std::future<Result<serve::ScanResult>>> futures;
+  futures.reserve(houses.size());
+  for (const data::HouseRecord& house : houses) {
+    serve::ScanRequest request;
+    request.household_id = "house_" + std::to_string(house.house_id);
+    request.appliance = appliance;
+    request.series = &house.aggregate;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  double total_latency_s = 0.0;
+  int64_t served = 0;
+  for (size_t h = 0; h < houses.size(); ++h) {
+    Result<serve::ScanResult> result = futures[h].get();
+    if (!result.ok()) {
+      std::printf("house %-3d: rejected: %s\n", houses[h].house_id,
+                  result.status().ToString().c_str());
+      continue;
+    }
+    const serve::ScanResult& scan = result.value();
+    int64_t on_samples = 0;
+    for (int64_t t = 0; t < scan.status.numel(); ++t) {
+      on_samples += scan.status.at(t) > 0.5f ? 1 : 0;
+    }
+    std::printf("house %-3d: %6lld windows, %6lld samples ON, "
+                "latency %8.1f ms (%.0f windows/s)\n",
+                houses[h].house_id, static_cast<long long>(scan.windows),
+                static_cast<long long>(on_samples),
+                scan.latency_seconds * 1e3, scan.WindowsPerSecond());
+    total_latency_s += scan.latency_seconds;
+    ++served;
+  }
+  const serve::ServiceStats stats = service.stats();
+  std::printf("served %lld/%zu requests, mean latency %.1f ms "
+              "(%lld rejected)\n",
+              static_cast<long long>(served), houses.size(),
+              served > 0 ? total_latency_s * 1e3 / served : 0.0,
+              static_cast<long long>(stats.rejected));
+  service.Shutdown();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: camal_cli <simulate|train|localize> ...\n");
+                 "usage: camal_cli <simulate|train|localize|serve> ...\n");
     return 1;
   }
   const Args args = ParseArgs(argc, argv);
@@ -224,6 +331,7 @@ int main(int argc, char** argv) {
   if (command == "simulate") return CmdSimulate(args);
   if (command == "train") return CmdTrain(args);
   if (command == "localize") return CmdLocalize(args);
+  if (command == "serve") return CmdServe(args);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 1;
 }

@@ -1,18 +1,21 @@
 // Household scan (DeviceScope-style demo [41]): train one CamAL model per
-// appliance and scan a whole cohort of household recordings through the
-// sharded serving runtime (overlapping windows, majority-vote stitching,
-// one worker shard per household), reporting for each house and appliance
-// whether it was used, when, and how much power it drew — from the
-// aggregate signal only.
+// appliance, register them all with the asynchronous serving front-end
+// (serve::Service), and scan a cohort of household recordings through it —
+// every (house, appliance) pair is one ScanRequest, admitted through the
+// bounded queue and served by the worker pool concurrently. The report
+// says, per house and appliance, whether it was used, when, and how much
+// power it drew — from the aggregate signal only.
 
 #include <cstdio>
+#include <future>
 #include <string>
+#include <vector>
 
 #include "common/parallel_for.h"
 #include "data/balance.h"
 #include "data/split.h"
 #include "eval/experiment.h"
-#include "serve/sharded_scanner.h"
+#include "serve/service.h"
 #include "simulate/profiles.h"
 
 int main() {
@@ -26,19 +29,16 @@ int main() {
   const int64_t n_test =
       std::min<int64_t>(3, static_cast<int64_t>(houses.size()) - 2);
   auto split = data::SplitHouses(houses, 1, n_test, &rng).value();
-  std::printf("Scanning %zu houses across %d worker shards "
-              "(CAMAL_THREADS=%d).\n",
-              split.test.size(),
-              PlanOuterShards(static_cast<int64_t>(split.test.size()), 0)
-                  .shards,
-              NumThreads());
-
-  std::vector<const std::vector<float>*> cohort;
-  for (const data::HouseRecord& house : split.test) {
-    cohort.push_back(&house.aggregate);
-  }
 
   constexpr int64_t kWindow = 128;
+
+  // Train one ensemble per appliance up front; the service borrows them,
+  // so they must outlive it.
+  struct TrainedAppliance {
+    data::ApplianceSpec spec;
+    core::CamalEnsemble ensemble;
+  };
+  std::vector<TrainedAppliance> trained;
   for (simulate::ApplianceType type :
        {simulate::ApplianceType::kDishwasher, simulate::ApplianceType::kKettle,
         simulate::ApplianceType::kMicrowave,
@@ -53,12 +53,12 @@ int main() {
                   spec.name.c_str());
       continue;
     }
-    data::WindowDataset train = data::BalanceByWeakLabel(train_r.value(), &rng);
     if (!data::IsBalanceable(train_r.value())) {
       std::printf("%-16s: weak labels are single-class; skipping\n",
                   spec.name.c_str());
       continue;
     }
+    data::WindowDataset train = data::BalanceByWeakLabel(train_r.value(), &rng);
 
     core::EnsembleConfig config;
     config.kernel_sizes = {5, 9, 15};
@@ -72,39 +72,95 @@ int main() {
       std::printf("%-16s: training failed\n", spec.name.c_str());
       continue;
     }
-    core::CamalEnsemble ensemble = std::move(ensemble_result).value();
+    trained.push_back({spec, std::move(ensemble_result).value()});
+  }
+  if (trained.empty()) {
+    std::printf("no appliance could be trained on this cohort\n");
+    return 0;
+  }
 
-    // Serve every test house through the sharded runtime: households are
-    // partitioned across worker shards (one BatchRunner + ensemble replica
-    // each), and inside each shard batches of overlapping windows run all
-    // ensemble members in one pass, with per-timestamp majority vote and
-    // §IV-C power estimation.
-    serve::ShardedScannerOptions serve_opt;
-    serve_opt.runner.stream.window_length = kWindow;
-    serve_opt.runner.stream.stride = kWindow / 2;
-    serve_opt.runner.stream.batch_size = 32;
-    serve_opt.runner.appliance_avg_power_w = spec.avg_power_w;
-    serve::ShardedScanner scanner(&ensemble, serve_opt);
-    std::vector<serve::ScanResult> scans = scanner.ScanAll(cohort);
-
-    std::printf("%-16s:\n", spec.name.c_str());
-    for (size_t house_i = 0; house_i < scans.size(); ++house_i) {
-      const serve::ScanResult& scan = scans[house_i];
-      const data::HouseRecord& house = split.test[house_i];
-      int64_t on_samples = 0;
-      double energy_wh = 0.0;
-      for (int64_t t = 0; t < scan.status.numel(); ++t) {
-        on_samples += scan.status.at(t) > 0.5f ? 1 : 0;
-        energy_wh += scan.power.at(t) * profile.interval_seconds / 3600.0;
-      }
-      const double hours = static_cast<double>(on_samples) *
-                           profile.interval_seconds / 3600.0;
-      const bool owned = house.Owns(spec.name);
-      std::printf("  house %-3d: ~%.1f h of use, ~%.1f kWh estimated "
-                  "(%lld windows; house actually owns it: %s)\n",
-                  house.house_id, hours, energy_wh / 1000.0,
-                  static_cast<long long>(scan.windows), owned ? "yes" : "no");
+  // One service for every appliance: each worker owns a BatchRunner per
+  // appliance over its own ensemble replica, and requests are admitted as
+  // they arrive instead of whole-cohort batches.
+  serve::Service service;  // workers = CAMAL_THREADS, queue capacity 256
+  for (TrainedAppliance& appliance : trained) {
+    serve::BatchRunnerOptions runner;
+    runner.stream.window_length = kWindow;
+    runner.stream.stride = kWindow / 2;
+    runner.stream.batch_size = 32;
+    runner.appliance_avg_power_w = appliance.spec.avg_power_w;
+    // Registration borrows the ensemble; the service clones per-worker
+    // replicas at Start.
+    Status st = service.RegisterAppliance(appliance.spec.name,
+                                          &appliance.ensemble, runner);
+    if (!st.ok()) {
+      std::fprintf(stderr, "register %s: %s\n", appliance.spec.name.c_str(),
+                   st.ToString().c_str());
+      return 1;
     }
   }
+  Status started = service.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("Scanning %zu houses x %zu appliances across %d workers "
+              "(CAMAL_THREADS=%d).\n",
+              split.test.size(), trained.size(), service.workers(),
+              NumThreads());
+
+  // Submit every (house, appliance) pair asynchronously, then harvest.
+  struct Pending {
+    size_t appliance;
+    size_t house;
+    std::future<Result<serve::ScanResult>> future;
+  };
+  std::vector<Pending> pending;
+  for (size_t a = 0; a < trained.size(); ++a) {
+    for (size_t h = 0; h < split.test.size(); ++h) {
+      serve::ScanRequest request;
+      request.household_id = "house_" + std::to_string(h);
+      request.appliance = trained[a].spec.name;
+      request.series = &split.test[h].aggregate;
+      pending.push_back({a, h, service.Submit(std::move(request))});
+    }
+  }
+
+  size_t printed_appliance = trained.size();
+  for (Pending& p : pending) {
+    if (p.appliance != printed_appliance) {
+      std::printf("%-16s:\n", trained[p.appliance].spec.name.c_str());
+      printed_appliance = p.appliance;
+    }
+    Result<serve::ScanResult> result = p.future.get();
+    if (!result.ok()) {
+      std::printf("  house %-3d: request failed: %s\n",
+                  split.test[p.house].house_id,
+                  result.status().ToString().c_str());
+      continue;
+    }
+    const serve::ScanResult& scan = result.value();
+    const data::HouseRecord& house = split.test[p.house];
+    int64_t on_samples = 0;
+    double energy_wh = 0.0;
+    for (int64_t t = 0; t < scan.status.numel(); ++t) {
+      on_samples += scan.status.at(t) > 0.5f ? 1 : 0;
+      energy_wh += scan.power.at(t) * profile.interval_seconds / 3600.0;
+    }
+    const double hours = static_cast<double>(on_samples) *
+                         profile.interval_seconds / 3600.0;
+    const bool owned = house.Owns(trained[p.appliance].spec.name);
+    std::printf("  house %-3d: ~%.1f h of use, ~%.1f kWh estimated "
+                "(%lld windows, %.0f ms latency; actually owns it: %s)\n",
+                house.house_id, hours, energy_wh / 1000.0,
+                static_cast<long long>(scan.windows),
+                scan.latency_seconds * 1e3, owned ? "yes" : "no");
+  }
+  const serve::ServiceStats stats = service.stats();
+  std::printf("service: %lld accepted, %lld completed, %lld rejected\n",
+              static_cast<long long>(stats.accepted),
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.rejected));
+  service.Shutdown();
   return 0;
 }

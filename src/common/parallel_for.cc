@@ -203,6 +203,21 @@ ShardPlan PlanOuterShards(int64_t items, int max_shards) {
   return plan;
 }
 
+ParallelBudgetScope::ParallelBudgetScope(int budget)
+    : saved_depth_(tls_depth), saved_budget_(tls_budget) {
+  // Nesting a scope inside a parallel region (or another scope) would
+  // let a shard's body re-widen a budget the planner already narrowed.
+  CAMAL_CHECK_EQ(tls_depth, 0);
+  CAMAL_CHECK_GE(budget, 1);
+  tls_depth = 1;
+  tls_budget = budget;
+}
+
+ParallelBudgetScope::~ParallelBudgetScope() {
+  tls_depth = saved_depth_;
+  tls_budget = saved_budget_;
+}
+
 void ParallelForChunked(int64_t begin, int64_t end,
                         const std::function<void(int64_t, int64_t)>& body) {
   if (begin >= end) return;

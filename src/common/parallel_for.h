@@ -50,6 +50,28 @@ void ParallelForChunked(
     int64_t begin, int64_t end,
     const std::function<void(int64_t, int64_t)>& body);
 
+/// Pins the calling thread's nested-parallelism budget for the lifetime of
+/// the scope: ParallelFor/ParallelForChunked calls made from this thread
+/// fan out to at most \p budget chunks (1 = run inline), exactly as if the
+/// thread were executing an outer shard that granted it that inner budget.
+///
+/// For long-lived threads that are NOT pool workers — serve::Service's
+/// request workers — which would otherwise count as top-level callers and
+/// fan every nested conv GEMM out to the whole pool, oversubscribing it
+/// W-fold when W workers scan concurrently. Scopes must not be nested.
+class ParallelBudgetScope {
+ public:
+  explicit ParallelBudgetScope(int budget);
+  ~ParallelBudgetScope();
+
+  ParallelBudgetScope(const ParallelBudgetScope&) = delete;
+  ParallelBudgetScope& operator=(const ParallelBudgetScope&) = delete;
+
+ private:
+  int saved_depth_;
+  int saved_budget_;
+};
+
 /// Outer-level sharded loop for serving: cuts [begin, end) into
 /// PlanOuterShards(end - begin, max_shards).shards contiguous shards and
 /// runs body(shard, shard_begin, shard_end) with at most `shards` shards

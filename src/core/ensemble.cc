@@ -211,6 +211,17 @@ CamalEnsemble CamalEnsemble::Clone() {
   return CamalEnsemble(std::move(members));
 }
 
+std::vector<std::unique_ptr<CamalEnsemble>> CamalEnsemble::CloneReplicas(
+    int count) {
+  CAMAL_CHECK_GE(count, 0);
+  std::vector<std::unique_ptr<CamalEnsemble>> replicas;
+  replicas.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    replicas.push_back(std::make_unique<CamalEnsemble>(Clone()));
+  }
+  return replicas;
+}
+
 nn::Tensor CamalEnsemble::MeanClassOneProbability(const nn::Tensor& inputs,
                                                   bool use_inference_path) {
   CAMAL_CHECK(!members_.empty());

@@ -82,8 +82,15 @@ class CamalEnsemble {
   /// buffers (BatchNorm running statistics), in eval mode. Members cache
   /// per-forward state (the feature maps CAM extraction reads), so
   /// concurrent scans need one replica per thread — this is what
-  /// serve::ShardedScanner clones for each shard.
+  /// serve::Service clones for each request worker.
   CamalEnsemble Clone();
+
+  /// Replica plumbing for multi-worker serving: \p count independent deep
+  /// copies (heap-allocated so their addresses stay stable while
+  /// BatchRunners hold pointers to them). Must be called from one thread
+  /// while no forward pass runs on this ensemble — Clone reads weights,
+  /// buffers, and per-member state that forwards mutate.
+  std::vector<std::unique_ptr<CamalEnsemble>> CloneReplicas(int count);
 
   /// Ensemble detection probability (step 1 of §IV-B): the mean of member
   /// class-1 softmax probabilities, shape (N) for inputs (N, C, L).

@@ -24,6 +24,10 @@ struct ScanResult {
   nn::Tensor power;      ///< (T) estimated appliance Watts (§IV-C).
   int64_t windows = 0;   ///< windows processed.
   double seconds = 0.0;  ///< wall-clock inference time of the scan.
+  /// End-to-end request latency when served through serve::Service:
+  /// admission-queue wait plus the scan itself. 0 for direct
+  /// BatchRunner::Scan calls, which never queue.
+  double latency_seconds = 0.0;
 
   /// Windows per second of the scan (0 when timing was too fast to resolve).
   double WindowsPerSecond() const {

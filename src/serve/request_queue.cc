@@ -1,0 +1,54 @@
+#include "serve/request_queue.h"
+
+namespace camal::serve {
+
+RequestQueue::RequestQueue(int64_t capacity) : capacity_(capacity) {}
+
+Status RequestQueue::Push(QueuedScan* task) {
+  CAMAL_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return Status::FailedPrecondition("request queue is shut down");
+    }
+    if (capacity_ > 0 &&
+        static_cast<int64_t>(tasks_.size()) >= capacity_) {
+      return Status::FailedPrecondition(
+          "request queue is full (backpressure, capacity " +
+          std::to_string(capacity_) + ")");
+    }
+    tasks_.push_back(std::move(*task));
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+bool RequestQueue::Pop(QueuedScan* out) {
+  CAMAL_CHECK(out != nullptr);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !tasks_.empty(); });
+  if (tasks_.empty()) return false;  // closed and drained
+  *out = std::move(tasks_.front());
+  tasks_.pop_front();
+  return true;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+int64_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(tasks_.size());
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace camal::serve

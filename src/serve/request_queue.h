@@ -1,0 +1,79 @@
+#ifndef CAMAL_SERVE_REQUEST_QUEUE_H_
+#define CAMAL_SERVE_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/batch_runner.h"
+
+namespace camal::serve {
+
+/// One asynchronous scan request submitted to serve::Service.
+struct ScanRequest {
+  /// Caller-chosen identifier echoed through logs and benches; the service
+  /// itself does not interpret it.
+  std::string household_id;
+  /// Name of a registered appliance (Service::RegisterAppliance).
+  std::string appliance;
+  /// Aggregate series in unscaled Watts (NaN = missing reading). Borrowed:
+  /// must stay alive until the request's future resolves.
+  const std::vector<float>* series = nullptr;
+};
+
+/// A validated request waiting in the admission queue, paired with the
+/// promise its worker fulfills and the admission timestamp that
+/// ScanResult::latency_seconds is measured from.
+struct QueuedScan {
+  ScanRequest request;
+  std::promise<Result<ScanResult>> promise;
+  std::chrono::steady_clock::time_point admitted;
+};
+
+/// Bounded MPMC admission queue of the serving front-end: producers are
+/// Service::Submit callers, consumers are the service's worker threads.
+///
+/// Push never blocks — when the queue is at capacity (backpressure) or
+/// closed, it returns kFailedPrecondition and leaves the caller's task
+/// untouched, so the caller still owns the promise and can fail it.
+/// Pop blocks until a task arrives or the queue is closed *and* drained:
+/// Close stops admission immediately but lets consumers finish every task
+/// admitted before it (graceful shutdown).
+class RequestQueue {
+ public:
+  /// \p capacity bounds the number of waiting tasks; <= 0 means unbounded
+  /// (used by batch clients like ShardedScanner that pre-size their work).
+  explicit RequestQueue(int64_t capacity);
+
+  /// Moves \p *task into the queue. On failure (full or closed) \p *task
+  /// is left intact and a kFailedPrecondition status is returned.
+  Status Push(QueuedScan* task);
+
+  /// Blocks until a task is available (returns true) or the queue is
+  /// closed and fully drained (returns false).
+  bool Pop(QueuedScan* out);
+
+  /// Stops admission; queued tasks remain poppable. Idempotent.
+  void Close();
+
+  int64_t size() const;
+  int64_t capacity() const { return capacity_; }
+  bool closed() const;
+
+ private:
+  const int64_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<QueuedScan> tasks_;
+  bool closed_ = false;
+};
+
+}  // namespace camal::serve
+
+#endif  // CAMAL_SERVE_REQUEST_QUEUE_H_

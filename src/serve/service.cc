@@ -1,0 +1,178 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/parallel_for.h"
+
+namespace camal::serve {
+
+Service::Service(ServiceOptions options)
+    : options_(options), queue_(options.queue_capacity) {
+  CAMAL_CHECK_GE(options_.workers, 0);
+}
+
+Service::~Service() { Shutdown(); }
+
+Status Service::RegisterAppliance(std::string name,
+                                  core::CamalEnsemble* ensemble,
+                                  BatchRunnerOptions runner) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (state_.load() != State::kIdle) {
+    return Status::FailedPrecondition(
+        "appliances must be registered before Start");
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("appliance name must not be empty");
+  }
+  if (ensemble == nullptr) {
+    return Status::InvalidArgument("appliance ensemble must not be null");
+  }
+  if (ensemble->members().empty()) {
+    return Status::InvalidArgument("appliance ensemble has no members");
+  }
+  Appliance appliance;
+  appliance.ensemble = ensemble;
+  appliance.runner = runner;
+  if (!appliances_.emplace(std::move(name), appliance).second) {
+    return Status::InvalidArgument("appliance is already registered");
+  }
+  return Status::OK();
+}
+
+Status Service::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (state_.load() != State::kIdle) {
+    return Status::FailedPrecondition("service already started");
+  }
+  if (appliances_.empty()) {
+    return Status::FailedPrecondition(
+        "at least one appliance must be registered before Start");
+  }
+  const int workers =
+      options_.workers > 0 ? options_.workers : NumThreads();
+  // Same budget split as PlanOuterShards: whatever the worker fan-out does
+  // not consume serves the conv GEMMs inside each worker's scans.
+  inner_budget_ = std::max(1, NumThreads() / workers);
+
+  // Replicate on this thread, before any request runs: Clone reads state
+  // that forward passes mutate, so it must not race with scans. Worker 0
+  // borrows the originals; workers 1..W-1 each own a replica set.
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (auto& [name, appliance] : appliances_) {
+    std::vector<std::unique_ptr<core::CamalEnsemble>> replicas =
+        appliance.ensemble->CloneReplicas(workers - 1);
+    for (int w = 0; w < workers; ++w) {
+      core::CamalEnsemble* replica_ensemble = appliance.ensemble;
+      if (w > 0) {
+        workers_[static_cast<size_t>(w)]->replicas.push_back(
+            std::move(replicas[static_cast<size_t>(w - 1)]));
+        replica_ensemble =
+            workers_[static_cast<size_t>(w)]->replicas.back().get();
+      }
+      workers_[static_cast<size_t>(w)]->runners.emplace(
+          name,
+          std::make_unique<BatchRunner>(replica_ensemble, appliance.runner));
+    }
+  }
+  // Publish the running state before the workers exist: WorkerLoop only
+  // touches the queue and its own Worker, so late thread starts are safe.
+  state_.store(State::kRunning);
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] { WorkerLoop(w); });
+  }
+  return Status::OK();
+}
+
+void Service::WorkerLoop(Worker* worker) {
+  // Pin this thread's nested-parallelism budget so W workers scanning
+  // concurrently fan their conv GEMMs out to NumThreads()/W chunks each
+  // instead of W times the whole pool.
+  ParallelBudgetScope budget(inner_budget_);
+  QueuedScan task;
+  while (queue_.Pop(&task)) {
+    BatchRunner* runner = worker->runners.at(task.request.appliance).get();
+    ScanResult result = runner->Scan(*task.request.series);
+    result.latency_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      task.admitted)
+            .count();
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    task.promise.set_value(std::move(result));
+  }
+}
+
+std::future<Result<ScanResult>> Service::Reject(Status status) {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  std::promise<Result<ScanResult>> promise;
+  std::future<Result<ScanResult>> future = promise.get_future();
+  promise.set_value(Result<ScanResult>(std::move(status)));
+  return future;
+}
+
+std::future<Result<ScanResult>> Service::Submit(ScanRequest request) {
+  // Validate before touching the queue: malformed input must surface as a
+  // Status, never reach a worker, and never abort.
+  if (state_.load() != State::kRunning) {
+    return Reject(Status::FailedPrecondition(
+        state_.load() == State::kIdle ? "service is not started"
+                                      : "service is shut down"));
+  }
+  if (request.appliance.empty()) {
+    return Reject(
+        Status::InvalidArgument("request has an empty appliance name"));
+  }
+  if (request.series == nullptr) {
+    return Reject(Status::InvalidArgument("request series is null"));
+  }
+  // appliances_ is frozen once state_ is kRunning, so lock-free reads are
+  // safe here.
+  if (appliances_.find(request.appliance) == appliances_.end()) {
+    return Reject(Status::NotFound("appliance '" + request.appliance +
+                                   "' is not registered"));
+  }
+
+  QueuedScan task;
+  task.request = std::move(request);
+  task.admitted = std::chrono::steady_clock::now();
+  std::future<Result<ScanResult>> future = task.promise.get_future();
+  Status admitted = queue_.Push(&task);
+  if (!admitted.ok()) {
+    // Push left the task (and its promise) with us; fail it in place. Not
+    // routed through Reject: the future is already bound to this promise.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    task.promise.set_value(Result<ScanResult>(std::move(admitted)));
+    return future;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+void Service::Shutdown() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (state_.load() != State::kRunning) {
+    // Never started (or already stopped): just refuse future use.
+    state_.store(State::kStopped);
+    return;
+  }
+  state_.store(State::kStopped);
+  // Closing the queue wakes every worker; they drain the admitted backlog
+  // first (Pop only returns false once closed AND empty), then exit.
+  queue_.Close();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace camal::serve

@@ -1,0 +1,145 @@
+#ifndef CAMAL_SERVE_SERVICE_H_
+#define CAMAL_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/request_queue.h"
+
+namespace camal::serve {
+
+/// Configuration of a serve::Service worker pool.
+struct ServiceOptions {
+  /// Request worker threads; 0 means NumThreads(). Each worker owns one
+  /// BatchRunner per registered appliance over its own ensemble replica
+  /// (worker 0 borrows the originals), so memory scales with
+  /// workers x appliances.
+  int workers = 0;
+  /// Admission-queue bound: a Submit that finds this many requests already
+  /// waiting is rejected with kFailedPrecondition (backpressure). <= 0
+  /// means unbounded — only sensible for batch clients that pre-size their
+  /// work, like ShardedScanner.
+  int64_t queue_capacity = 256;
+};
+
+/// Monotonic request counters (totals since Start).
+struct ServiceStats {
+  int64_t accepted = 0;   ///< requests admitted to the queue.
+  int64_t rejected = 0;   ///< requests refused (validation or backpressure).
+  int64_t completed = 0;  ///< requests whose future holds a ScanResult.
+};
+
+/// Asynchronous multi-appliance serving facade — the request front-end of
+/// the CamAL runtime.
+///
+/// Lifecycle: construct, RegisterAppliance one or more named ensembles,
+/// Start, then Submit ScanRequests from any number of threads; each
+/// returns a std::future<Result<ScanResult>>. Internally a bounded
+/// RequestQueue feeds `workers` threads, each owning a private BatchRunner
+/// per appliance over its own CamalEnsemble::Clone replica (members cache
+/// per-forward feature maps, so runners are never shared). Results are
+/// bitwise-identical to a sequential BatchRunner::Scan with the same
+/// options, regardless of which worker served the request.
+///
+/// Error contract: malformed requests never abort the process. Submit
+/// resolves the returned future immediately with kInvalidArgument (empty
+/// appliance name, null series), kNotFound (unregistered appliance), or
+/// kFailedPrecondition (not started, shut down, or queue full). Workers
+/// only ever see validated requests.
+///
+/// Shutdown is graceful: admission stops at once, every request already
+/// admitted is still served, then workers join. The destructor calls
+/// Shutdown. Requests borrow their series, which must stay alive until
+/// the request's future resolves.
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Registers \p ensemble (borrowed; must outlive the service) under
+  /// \p name with per-request scan options. Only before Start:
+  /// registration after Start returns kFailedPrecondition; an empty name,
+  /// duplicate name, or null ensemble returns kInvalidArgument. Worker 0
+  /// serves requests on \p ensemble itself (not a clone), so while any
+  /// request may be in flight the caller must not run forwards on it —
+  /// member forward passes cache per-call state.
+  Status RegisterAppliance(std::string name, core::CamalEnsemble* ensemble,
+                           BatchRunnerOptions runner);
+
+  /// Clones per-worker replicas and launches the worker pool. Returns
+  /// kFailedPrecondition when no appliance is registered, or when the
+  /// service already started (including after Shutdown — a Service is
+  /// single-use).
+  Status Start();
+
+  /// Validates and enqueues \p request. Always returns a future: on
+  /// rejection it is already resolved with the non-OK Status (see the
+  /// class contract for codes). Thread-safe.
+  std::future<Result<ScanResult>> Submit(ScanRequest request);
+
+  /// Stops admission, serves every admitted request, joins the workers.
+  /// Idempotent; safe to race with Submit (late submissions are rejected).
+  void Shutdown();
+
+  /// True between a successful Start and Shutdown.
+  bool running() const { return state_.load() == State::kRunning; }
+
+  /// Worker threads the pool runs (0 before Start).
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Requests currently waiting for a worker (excludes in-flight scans) —
+  /// the backpressure signal an operator would alert on.
+  int64_t queue_depth() const { return queue_.size(); }
+
+  /// Nested conv-GEMM chunk budget each worker runs with
+  /// (NumThreads() / workers, at least 1). Meaningful after Start.
+  int inner_budget() const { return inner_budget_; }
+
+  ServiceStats stats() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  enum class State { kIdle, kRunning, kStopped };
+
+  struct Appliance {
+    core::CamalEnsemble* ensemble = nullptr;
+    BatchRunnerOptions runner;
+  };
+
+  /// One request worker: a thread plus its private per-appliance runners
+  /// (and the replicas backing them, for workers >= 1).
+  struct Worker {
+    std::vector<std::unique_ptr<core::CamalEnsemble>> replicas;
+    std::map<std::string, std::unique_ptr<BatchRunner>> runners;
+    std::thread thread;
+  };
+
+  void WorkerLoop(Worker* worker);
+
+  /// Ready future carrying \p status; counts the rejection.
+  std::future<Result<ScanResult>> Reject(Status status);
+
+  ServiceOptions options_;
+  std::map<std::string, Appliance> appliances_;  // frozen at Start
+  RequestQueue queue_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  int inner_budget_ = 1;  ///< nested-GEMM budget per worker (see Start).
+  std::atomic<State> state_{State::kIdle};
+  std::mutex lifecycle_mu_;  ///< serializes Register/Start/Shutdown.
+  mutable std::atomic<int64_t> accepted_{0};
+  mutable std::atomic<int64_t> rejected_{0};
+  mutable std::atomic<int64_t> completed_{0};
+};
+
+}  // namespace camal::serve
+
+#endif  // CAMAL_SERVE_SERVICE_H_

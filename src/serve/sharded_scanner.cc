@@ -1,8 +1,19 @@
 #include "serve/sharded_scanner.h"
 
+#include <algorithm>
+#include <string>
+#include <utility>
+
 #include "common/parallel_for.h"
 
 namespace camal::serve {
+namespace {
+
+/// Name the internal single-appliance service registers its ensemble
+/// under; never visible to callers.
+constexpr char kApplianceName[] = "appliance";
+
+}  // namespace
 
 ShardedScanner::ShardedScanner(core::CamalEnsemble* ensemble,
                                ShardedScannerOptions options)
@@ -13,43 +24,66 @@ ShardedScanner::ShardedScanner(core::CamalEnsemble* ensemble,
 
 ShardedScanner::~ShardedScanner() = default;
 
-void ShardedScanner::EnsureShards(int shards) {
-  while (static_cast<int>(runners_.size()) < shards) {
-    core::CamalEnsemble* shard_ensemble;
-    if (runners_.empty()) {
-      shard_ensemble = ensemble_;  // shard 0 borrows the original
-    } else {
-      replicas_.push_back(
-          std::make_unique<core::CamalEnsemble>(ensemble_->Clone()));
-      shard_ensemble = replicas_.back().get();
-    }
-    runners_.push_back(
-        std::make_unique<BatchRunner>(shard_ensemble, options_.runner));
+Service* ShardedScanner::EnsureService(int64_t cohort_size) {
+  // Size the pool like the pre-Service scanner sized its shards: one
+  // worker per household up to the max_shards / NumThreads() cap. A later,
+  // larger cohort that would plan more workers rebuilds the service (a
+  // Service's pool is fixed at Start) — replicas are re-cloned exactly as
+  // the old per-call EnsureShards grew them, and results are identical
+  // for any worker count, so the swap is invisible to callers.
+  const int workers =
+      PlanOuterShards(std::max<int64_t>(cohort_size, 1), options_.max_shards)
+          .shards;
+  if (service_ == nullptr || service_->workers() < workers) {
+    ServiceOptions service_options;
+    service_options.workers = workers;
+    service_options.queue_capacity = 0;  // whole cohorts, no backpressure
+    auto service = std::make_unique<Service>(service_options);
+    CAMAL_CHECK(service
+                    ->RegisterAppliance(kApplianceName, ensemble_,
+                                        options_.runner)
+                    .ok());
+    CAMAL_CHECK(service->Start().ok());
+    // The old (smaller) service drains and joins in its destructor. Safe
+    // because ScanAll is not concurrent on one scanner: no request can be
+    // in flight on it here, and nothing else runs forwards on the shared
+    // worker-0 ensemble while the new service's Start clones it.
+    service_ = std::move(service);
   }
+  return service_.get();
 }
 
-std::vector<ScanResult> ShardedScanner::ScanAll(
+Result<std::vector<ScanResult>> ShardedScanner::ScanAll(
     const std::vector<const std::vector<float>*>& households) {
-  const int64_t n = static_cast<int64_t>(households.size());
-  std::vector<ScanResult> results(static_cast<size_t>(n));
+  const size_t n = households.size();
+  std::vector<ScanResult> results(n);
   if (n == 0) return results;
-  for (const auto* series : households) CAMAL_CHECK(series != nullptr);
+  // Reject malformed cohorts before spinning up any worker: a null entry
+  // is a caller bug surfaced as a Status, not UB inside a worker thread.
+  for (size_t i = 0; i < n; ++i) {
+    if (households[i] == nullptr) {
+      return Status::InvalidArgument("household series " + std::to_string(i) +
+                                     " is null");
+    }
+  }
 
-  const ShardPlan plan = PlanOuterShards(n, options_.max_shards);
-  EnsureShards(plan.shards);  // replicate before entering the pool
-
-  // Each shard id runs at most one chunk at a time (ParallelForOuter
-  // contract), so runners_[shard] is exclusively ours while the body
-  // runs. Writing results[i] by input index makes the merge order
-  // deterministic regardless of which shard finishes first.
-  ParallelForOuter(0, n, options_.max_shards,
-                   [&](int shard, int64_t begin, int64_t end) {
-                     BatchRunner* runner = runners_[shard].get();
-                     for (int64_t i = begin; i < end; ++i) {
-                       results[static_cast<size_t>(i)] =
-                           runner->Scan(*households[static_cast<size_t>(i)]);
-                     }
-                   });
+  Service* service = EnsureService(static_cast<int64_t>(n));
+  std::vector<std::future<Result<ScanResult>>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ScanRequest request;
+    request.household_id = std::to_string(i);
+    request.appliance = kApplianceName;
+    request.series = households[i];
+    futures.push_back(service->Submit(std::move(request)));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Result<ScanResult> result = futures[i].get();
+    // Requests are pre-validated and the queue is unbounded, so a failure
+    // here is a service-lifecycle bug; propagate instead of aborting.
+    CAMAL_RETURN_NOT_OK(result.status());
+    results[i] = std::move(result).value();
+  }
   return results;
 }
 
@@ -58,7 +92,8 @@ std::vector<ScanResult> ShardedScanner::ScanAll(
   std::vector<const std::vector<float>*> pointers;
   pointers.reserve(households.size());
   for (const auto& series : households) pointers.push_back(&series);
-  return ScanAll(pointers);
+  // Pointers are never null here, so the value() cannot abort.
+  return std::move(ScanAll(pointers)).value();
 }
 
 }  // namespace camal::serve

@@ -4,36 +4,36 @@
 #include <memory>
 #include <vector>
 
-#include "serve/batch_runner.h"
+#include "serve/service.h"
 
 namespace camal::serve {
 
 /// Configuration of a sharded multi-household scan.
 struct ShardedScannerOptions {
-  /// Per-household scan configuration, shared by every shard.
+  /// Per-household scan configuration, shared by every worker.
   BatchRunnerOptions runner;
-  /// Cap on concurrent household shards; 0 means NumThreads(). The thread
-  /// budget left over after sharding (NumThreads() / shards) serves the
-  /// conv GEMMs inside each shard — see PlanOuterShards.
+  /// Cap on concurrent scan workers; 0 means NumThreads(). The thread
+  /// budget left over after the worker fan-out (NumThreads() / workers)
+  /// serves the conv GEMMs inside each worker — see PlanOuterShards.
   int max_shards = 0;
 };
 
-/// Multi-core serving for a cohort of households (the Fig. 7b scaling
-/// axis): partitions the household series across outer worker shards, each
-/// running an independent BatchRunner scan, and merges the ScanResults
-/// back in input order.
+/// Synchronous whole-cohort scanning, as a thin wrapper over the
+/// asynchronous serve::Service — there is exactly one scan path: ScanAll
+/// submits every household to an internal single-appliance service and
+/// blocks on the returned futures, so results[i] always corresponds to
+/// households[i].
 ///
-/// Ensemble members cache per-forward state (the feature maps CAM
-/// extraction reads) and each BatchRunner owns reusable scan scratch, so
-/// every shard gets its own BatchRunner over its own CamalEnsemble::Clone
-/// replica (shard 0 borrows the original). Replicas are created lazily on
-/// the first ScanAll that needs them and reused afterwards. Results are
-/// deterministic: results[i] always comes from the same per-shard
-/// sequential scan of households[i], independent of thread count, so the
-/// merged output is identical to sequential BatchRunner scans.
+/// The service gives each worker its own BatchRunner over its own
+/// CamalEnsemble::Clone replica (ensemble members cache per-forward
+/// feature maps), so results are bitwise-identical to sequential
+/// BatchRunner scans regardless of worker count or scheduling. The worker
+/// pool is sized per cohort (households capped by max_shards) and reused;
+/// a later cohort that plans more workers transparently rebuilds it.
 ///
-/// ScanAll itself must not be called concurrently on one scanner (shards
-/// are the concurrency); use one scanner per calling thread instead.
+/// ScanAll itself must not be called concurrently on one scanner (the
+/// pool rebuild swaps the internal service); use one scanner per calling
+/// thread, or serve::Service directly, for concurrent cohorts.
 class ShardedScanner {
  public:
   /// \p ensemble is borrowed and must outlive the scanner.
@@ -45,23 +45,23 @@ class ShardedScanner {
   std::vector<ScanResult> ScanAll(
       const std::vector<std::vector<float>>& households);
 
-  /// Pointer variant for cohorts whose series live elsewhere (borrowed;
-  /// every pointer must be non-null).
-  std::vector<ScanResult> ScanAll(
+  /// Pointer variant for cohorts whose series live elsewhere (borrowed).
+  /// A null entry returns kInvalidArgument naming the offending index —
+  /// surfaced as a Status through the service's validation, never UB or
+  /// an abort.
+  Result<std::vector<ScanResult>> ScanAll(
       const std::vector<const std::vector<float>*>& households);
 
   const ShardedScannerOptions& options() const { return options_; }
 
  private:
-  /// Ensures runner/replica slots [0, shards) exist.
-  void EnsureShards(int shards);
+  /// Builds (or grows) and starts the internal service, sizing its worker
+  /// pool for a cohort of \p cohort_size households.
+  Service* EnsureService(int64_t cohort_size);
 
   core::CamalEnsemble* ensemble_;
   ShardedScannerOptions options_;
-  /// Ensemble replicas for shards >= 1 (unique_ptr: BatchRunner keeps a
-  /// pointer to its ensemble, so replica addresses must be stable).
-  std::vector<std::unique_ptr<core::CamalEnsemble>> replicas_;
-  std::vector<std::unique_ptr<BatchRunner>> runners_;
+  std::unique_ptr<Service> service_;
 };
 
 }  // namespace camal::serve
