@@ -225,7 +225,7 @@ int CmdServe(const Args& args) {
     std::fprintf(stderr,
                  "usage: camal_cli serve <model_dir> <data_dir> --appliance "
                  "NAME [--window 128] [--workers 0] [--queue 0] "
-                 "[--avg-power 800]\n");
+                 "[--coalesce 8] [--avg-power 800]\n");
     return 1;
   }
   auto ensemble_result = core::LoadEnsemble(args.positional[0]);
@@ -257,6 +257,10 @@ int CmdServe(const Args& args) {
   // bound admission and see the backpressure contract instead (overflow
   // requests are rejected with FailedPrecondition and reported below).
   service_opt.queue_capacity = args.FlagInt("queue", 0);
+  // Cross-request coalescing: a worker drains up to N-1 queued requests
+  // into one shared-GEMM scan. Results are bitwise-identical either way;
+  // --coalesce 1 disables (per-request scans).
+  service_opt.coalesce_budget = static_cast<int>(args.FlagInt("coalesce", 8));
   serve::Service service(service_opt);
   serve::BatchRunnerOptions runner;
   runner.stream.window_length = args.FlagInt("window", 128);
@@ -310,10 +314,19 @@ int CmdServe(const Args& args) {
   }
   const serve::ServiceStats stats = service.stats();
   std::printf("served %lld/%zu requests, mean latency %.1f ms "
-              "(%lld rejected)\n",
+              "(%lld rejected invalid, %lld rejected by backpressure)\n",
               static_cast<long long>(served), houses.size(),
               served > 0 ? total_latency_s * 1e3 / served : 0.0,
-              static_cast<long long>(stats.rejected));
+              static_cast<long long>(stats.rejected_invalid),
+              static_cast<long long>(stats.rejected_backpressure));
+  if (stats.coalesced_groups > 0) {
+    std::printf("coalescing: %lld requests served in %lld shared scans "
+                "(mean occupancy %.1f)\n",
+                static_cast<long long>(stats.coalesced_requests),
+                static_cast<long long>(stats.coalesced_groups),
+                static_cast<double>(stats.coalesced_requests) /
+                    static_cast<double>(stats.coalesced_groups));
+  }
   service.Shutdown();
   return 0;
 }

@@ -157,10 +157,13 @@ int main() {
                 scan.latency_seconds * 1e3, owned ? "yes" : "no");
   }
   const serve::ServiceStats stats = service.stats();
-  std::printf("service: %lld accepted, %lld completed, %lld rejected\n",
+  std::printf("service: %lld accepted, %lld completed, %lld rejected "
+              "(%lld invalid, %lld backpressure)\n",
               static_cast<long long>(stats.accepted),
               static_cast<long long>(stats.completed),
-              static_cast<long long>(stats.rejected));
+              static_cast<long long>(stats.rejected_total()),
+              static_cast<long long>(stats.rejected_invalid),
+              static_cast<long long>(stats.rejected_backpressure));
   service.Shutdown();
   return 0;
 }

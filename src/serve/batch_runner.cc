@@ -17,77 +17,146 @@ BatchRunner::BatchRunner(core::CamalEnsemble* ensemble,
   CAMAL_CHECK_GE(options_.appliance_avg_power_w, 0.0f);
 }
 
-ScanResult BatchRunner::Scan(const std::vector<float>& aggregate_watts) {
-  const int64_t len = static_cast<int64_t>(aggregate_watts.size());
+const std::vector<float>* BatchRunner::PrepareSeries(
+    const std::vector<float>& series, SeriesState* state, ScanResult* result) {
+  const int64_t len = static_cast<int64_t>(series.size());
   const int64_t l = options_.stream.window_length;
-  ScanResult result;
-  result.detection = nn::Tensor({len});
-  result.status = nn::Tensor({len});
-  result.power = nn::Tensor({len});
-  if (len == 0) return result;
+  state->len = len;
+  state->pad = 0;
+  result->detection = nn::Tensor({len});
+  result->status = nn::Tensor({len});
+  result->power = nn::Tensor({len});
+  if (len == 0) return nullptr;
 
   // A series shorter than one window is left-padded with zeros to a single
   // window (zero is the stream's missing-reading fill) so short households
   // still get real model predictions instead of all-zero output. The pad
   // occupies [0, pad) of the scanned series; stitched outputs are shifted
-  // back by `pad` below.
-  const std::vector<float>* scan_series = &aggregate_watts;
-  std::vector<float> padded;
-  int64_t pad = 0;
+  // back by `pad` in FinalizeSeries.
+  const std::vector<float>* scan_series = &series;
   if (len < l) {
-    pad = l - len;
-    padded.assign(static_cast<size_t>(l), 0.0f);
-    std::copy(aggregate_watts.begin(), aggregate_watts.end(),
-              padded.begin() + static_cast<size_t>(pad));
-    scan_series = &padded;
+    state->pad = l - len;
+    state->padded.assign(static_cast<size_t>(l), 0.0f);
+    std::copy(series.begin(), series.end(),
+              state->padded.begin() + static_cast<size_t>(state->pad));
+    scan_series = &state->padded;
   }
-  const int64_t scan_len = len + pad;
+  const size_t scan_len = static_cast<size_t>(len + state->pad);
+  state->prob_sum.assign(scan_len, 0.0f);
+  state->cover.assign(scan_len, 0);
+  state->on_votes.assign(scan_len, 0);
+  return scan_series;
+}
 
-  WindowStream stream(scan_series, options_.stream);
-  prob_sum_.assign(static_cast<size_t>(scan_len), 0.0f);
-  cover_.assign(static_cast<size_t>(scan_len), 0);
-  on_votes_.assign(static_cast<size_t>(scan_len), 0);
-
-  Stopwatch watch;
-  int64_t b = 0;
-  while ((b = stream.NextBatch(&batch_, &batch_offsets_)) > 0) {
-    core::LocalizationResult loc = localizer_.Localize(batch_);
-    for (int64_t i = 0; i < b; ++i) {
-      const int64_t off = batch_offsets_[static_cast<size_t>(i)];
-      const float p = loc.probabilities.at(i);
-      for (int64_t t = 0; t < l; ++t) {
-        prob_sum_[static_cast<size_t>(off + t)] += p;
-        ++cover_[static_cast<size_t>(off + t)];
-        if (loc.status.at2(i, t) > 0.5f) {
-          ++on_votes_[static_cast<size_t>(off + t)];
-        }
-      }
+void BatchRunner::StitchBatch(const core::LocalizationResult& loc,
+                              const std::vector<WindowRef>& refs,
+                              int64_t batch,
+                              const std::vector<int32_t>& feed_to_state,
+                              std::vector<ScanResult>* results) {
+  const int64_t l = options_.stream.window_length;
+  for (int64_t i = 0; i < batch; ++i) {
+    const WindowRef ref = refs[static_cast<size_t>(i)];
+    const size_t si =
+        static_cast<size_t>(feed_to_state[static_cast<size_t>(ref.series)]);
+    SeriesState& state = states_[si];
+    const float p = loc.probabilities.at(i);
+    for (int64_t t = 0; t < l; ++t) {
+      const size_t s = static_cast<size_t>(ref.offset + t);
+      state.prob_sum[s] += p;
+      ++state.cover[s];
+      if (loc.status.at2(i, t) > 0.5f) ++state.on_votes[s];
     }
-    result.windows += b;
+    ++(*results)[si].windows;
   }
-  result.seconds = watch.ElapsedSeconds();
+}
+
+void BatchRunner::FinalizeSeries(const std::vector<float>& aggregate_watts,
+                                 const SeriesState& state,
+                                 ScanResult* result) {
+  const int64_t len = state.len;
+  if (len == 0) return;
 
   // Stitch votes into per-timestamp series, dropping the synthetic pad.
   for (int64_t t = 0; t < len; ++t) {
-    const size_t s = static_cast<size_t>(t + pad);
-    const int32_t c = cover_[s];
+    const size_t s = static_cast<size_t>(t + state.pad);
+    const int32_t c = state.cover[s];
     if (c == 0) continue;
-    result.detection.at(t) = prob_sum_[s] / static_cast<float>(c);
-    result.status.at(t) = 2 * on_votes_[s] > c ? 1.0f : 0.0f;
+    result->detection.at(t) = state.prob_sum[s] / static_cast<float>(c);
+    result->status.at(t) = 2 * state.on_votes[s] > c ? 1.0f : 0.0f;
   }
 
-  // §IV-C power estimation over the stitched status (missing readings act
-  // as zero aggregate, matching the stream's zero-fill).
+  // §IV-C power estimation over the stitched status. Missing readings
+  // carry no observed aggregate: they enter EstimatePower zero-filled and
+  // the estimate is forced to 0 afterwards, so a voted-ON status at a NaN
+  // timestamp can never report P_a-scale phantom power, whatever clamp
+  // the estimator applies.
   nn::Tensor watts({1, len});
   for (int64_t t = 0; t < len; ++t) {
     const float v = aggregate_watts[static_cast<size_t>(t)];
     watts.at(t) = data::IsMissing(v) ? 0.0f : v;
   }
-  result.power =
-      core::EstimatePower(result.status.Reshape({1, len}), watts,
+  result->power =
+      core::EstimatePower(result->status.Reshape({1, len}), watts,
                           options_.appliance_avg_power_w)
           .Reshape({len});
-  return result;
+  for (int64_t t = 0; t < len; ++t) {
+    if (data::IsMissing(aggregate_watts[static_cast<size_t>(t)])) {
+      result->power.at(t) = 0.0f;
+    }
+  }
+}
+
+std::vector<ScanResult> BatchRunner::ScanMany(
+    const std::vector<const std::vector<float>*>& series) {
+  const size_t n = series.size();
+  std::vector<ScanResult> results(n);
+  // resize keeps existing elements, so their vote buffers' capacity is
+  // reused across scans.
+  states_.resize(std::max(states_.size(), n));
+
+  // Phase 1 setup: per-series stitch state, plus the feed list of
+  // non-empty (possibly padded) series for the shared window stream.
+  std::vector<const std::vector<float>*> feed;
+  std::vector<int32_t> feed_to_state;
+  feed.reserve(n);
+  feed_to_state.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    CAMAL_CHECK(series[i] != nullptr);
+    const std::vector<float>* scan_series =
+        PrepareSeries(*series[i], &states_[i], &results[i]);
+    if (scan_series == nullptr) continue;  // empty: all-zero result
+    feed.push_back(scan_series);
+    feed_to_state.push_back(static_cast<int32_t>(i));
+  }
+  if (feed.empty()) return results;
+
+  // Feed phase: every series' windows through shared GEMM batches —
+  // batches fill across series boundaries, so the last windows of one
+  // household share a forward pass with the first of the next.
+  MultiWindowStream stream(std::move(feed), options_.stream);
+  Stopwatch watch;
+  int64_t b = 0;
+  while ((b = stream.NextBatch(&batch_, &batch_refs_)) > 0) {
+    core::LocalizationResult loc = localizer_.Localize(batch_);
+    StitchBatch(loc, batch_refs_, b, feed_to_state, &results);
+  }
+  const double seconds = watch.ElapsedSeconds();
+
+  // Stitch phase: each series finalizes independently. The pass was
+  // shared, so each result reports its wall time (see ScanResult docs).
+  for (size_t i = 0; i < n; ++i) {
+    results[i].seconds = seconds;
+    FinalizeSeries(*series[i], states_[i], &results[i]);
+  }
+  return results;
+}
+
+ScanResult BatchRunner::Scan(const std::vector<float>& aggregate_watts) {
+  // A lone scan is the one-series coalesced scan: MultiWindowStream over a
+  // single series batches exactly like WindowStream, so this is the same
+  // computation Scan always did.
+  std::vector<ScanResult> results = ScanMany({&aggregate_watts});
+  return std::move(results.front());
 }
 
 }  // namespace camal::serve

@@ -23,7 +23,10 @@ struct ScanResult {
   nn::Tensor status;     ///< (T) 0/1 activation by majority vote of windows.
   nn::Tensor power;      ///< (T) estimated appliance Watts (§IV-C).
   int64_t windows = 0;   ///< windows processed.
-  double seconds = 0.0;  ///< wall-clock inference time of the scan.
+  /// Wall-clock inference time of the scan. For a series served inside a
+  /// coalesced ScanMany group this is the shared pass's time (the group
+  /// was inferred together, so its members are not separable).
+  double seconds = 0.0;
   /// End-to-end request latency when served through serve::Service:
   /// admission-queue wait plus the scan itself. 0 for direct
   /// BatchRunner::Scan calls, which never queue.
@@ -41,7 +44,16 @@ struct ScanResult {
 /// forward path, and stitches per-window detections and activation masks
 /// back into per-timestamp series. Overlapping windows vote: detection is
 /// the mean window probability covering a timestamp, status the majority
-/// of window masks, and power the §IV-C estimate over the voted status.
+/// of window masks, and power the §IV-C estimate over the voted status
+/// (forced to 0 at missing readings, which have no observed aggregate).
+///
+/// The scan is two phases. Feed: windows stream through the model in
+/// shared GEMM batches (MultiWindowStream). Stitch: each window's votes
+/// accumulate into its own series' per-timestamp buffers, which finalize
+/// independently. Because per-window forward results do not depend on
+/// which other windows share a batch, ScanMany can coalesce windows from
+/// several series into one forward pass and still return, for every
+/// series, bitwise-identical results to a lone Scan of it.
 class BatchRunner {
  public:
   /// \p ensemble is borrowed and must outlive the runner.
@@ -55,18 +67,56 @@ class BatchRunner {
   /// concurrent scans need one runner each (see ShardedScanner).
   ScanResult Scan(const std::vector<float>& aggregate_watts);
 
+  /// Coalesced scan of several series through shared GEMM batches: one
+  /// feed phase carries every series' windows (batches fill across series
+  /// boundaries, so small households no longer mean underfilled batches),
+  /// then each series stitches and finalizes on its own. results[i] is
+  /// bitwise-identical to Scan(*series[i]); entries must not be null but
+  /// may repeat or be empty. Not thread-safe, like Scan.
+  std::vector<ScanResult> ScanMany(
+      const std::vector<const std::vector<float>*>& series);
+
   const BatchRunnerOptions& options() const { return options_; }
 
  private:
+  /// Per-series stitch state of one scan (phase 2 accumulators).
+  struct SeriesState {
+    int64_t len = 0;  ///< original series length.
+    int64_t pad = 0;  ///< synthetic left-pad of a short series.
+    /// Left-padded copy of a short series; unused when len >= window.
+    std::vector<float> padded;
+    std::vector<float> prob_sum;     ///< per-timestamp probability sum.
+    std::vector<int32_t> cover;      ///< windows covering each timestamp.
+    std::vector<int32_t> on_votes;   ///< ON votes per timestamp.
+  };
+
+  /// Prepares states_[i] for \p series: result tensors, short-series pad,
+  /// zeroed vote buffers. Returns the buffer the feed phase should window
+  /// (the padded copy for short series), or nullptr when the series is
+  /// empty and contributes no windows.
+  const std::vector<float>* PrepareSeries(const std::vector<float>& series,
+                                          SeriesState* state,
+                                          ScanResult* result);
+
+  /// Folds one localized batch into the owning series' vote buffers.
+  /// \p feed_to_state maps MultiWindowStream series indices to states_.
+  void StitchBatch(const core::LocalizationResult& loc,
+                   const std::vector<WindowRef>& refs, int64_t batch,
+                   const std::vector<int32_t>& feed_to_state,
+                   std::vector<ScanResult>* results);
+
+  /// Turns accumulated votes into the per-timestamp detection/status/power
+  /// series of \p result, dropping any synthetic pad.
+  void FinalizeSeries(const std::vector<float>& aggregate_watts,
+                      const SeriesState& state, ScanResult* result);
+
   core::CamalEnsemble* ensemble_;
   core::CamalLocalizer localizer_;
   BatchRunnerOptions options_;
   // Scan scratch reused across calls (one scan stitches hundreds of
   // batches; per-batch allocation churn showed up in serving profiles).
-  std::vector<float> prob_sum_;
-  std::vector<int32_t> cover_;
-  std::vector<int32_t> on_votes_;
-  std::vector<int64_t> batch_offsets_;
+  std::vector<SeriesState> states_;
+  std::vector<WindowRef> batch_refs_;
   nn::Tensor batch_;
 };
 

@@ -4,8 +4,9 @@ namespace camal::serve {
 
 RequestQueue::RequestQueue(int64_t capacity) : capacity_(capacity) {}
 
-Status RequestQueue::Push(QueuedScan* task) {
+Status RequestQueue::Push(QueuedScan* task, bool* rejected_full) {
   CAMAL_CHECK(task != nullptr);
+  if (rejected_full != nullptr) *rejected_full = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) {
@@ -13,6 +14,7 @@ Status RequestQueue::Push(QueuedScan* task) {
     }
     if (capacity_ > 0 &&
         static_cast<int64_t>(tasks_.size()) >= capacity_) {
+      if (rejected_full != nullptr) *rejected_full = true;
       return Status::FailedPrecondition(
           "request queue is full (backpressure, capacity " +
           std::to_string(capacity_) + ")");
@@ -30,6 +32,44 @@ bool RequestQueue::Pop(QueuedScan* out) {
   if (tasks_.empty()) return false;  // closed and drained
   *out = std::move(tasks_.front());
   tasks_.pop_front();
+  return true;
+}
+
+bool RequestQueue::PopGroup(QueuedScan* first, std::vector<QueuedScan>* extras,
+                            int64_t extra_budget) {
+  CAMAL_CHECK(first != nullptr);
+  CAMAL_CHECK(extras != nullptr);
+  extras->clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !tasks_.empty(); });
+  if (tasks_.empty()) return false;  // closed and drained
+  *first = std::move(tasks_.front());
+  tasks_.pop_front();
+  if (extra_budget <= 0 || tasks_.empty()) return true;
+
+  // Peel off up to extra_budget tasks for the head task's appliance,
+  // compacting the rest in place so every other appliance keeps its
+  // admission order. Tasks before the first match never move: a backlog
+  // holding nothing for this appliance costs only the comparisons, and a
+  // match costs O(tasks behind it) moves under the lock — the elements
+  // are a few pointers and strings each.
+  const std::string& appliance = first->request.appliance;
+  const size_t n = tasks_.size();
+  size_t read = 0;
+  while (read < n && tasks_[read].request.appliance != appliance) ++read;
+  if (read == n) return true;  // nothing to coalesce with
+  int64_t budget = extra_budget;
+  size_t write = read;
+  for (; read < n; ++read) {
+    QueuedScan& task = tasks_[read];
+    if (budget > 0 && task.request.appliance == appliance) {
+      extras->push_back(std::move(task));
+      --budget;
+    } else {
+      tasks_[write++] = std::move(task);
+    }
+  }
+  tasks_.resize(write);
   return true;
 }
 

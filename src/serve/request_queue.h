@@ -52,12 +52,25 @@ class RequestQueue {
   explicit RequestQueue(int64_t capacity);
 
   /// Moves \p *task into the queue. On failure (full or closed) \p *task
-  /// is left intact and a kFailedPrecondition status is returned.
-  Status Push(QueuedScan* task);
+  /// is left intact and a kFailedPrecondition status is returned; when
+  /// \p rejected_full is non-null it is set to whether the failure was the
+  /// capacity bound (backpressure) rather than shutdown — the distinction
+  /// ServiceStats telemetry reports.
+  Status Push(QueuedScan* task, bool* rejected_full = nullptr);
 
   /// Blocks until a task is available (returns true) or the queue is
   /// closed and fully drained (returns false).
   bool Pop(QueuedScan* out);
+
+  /// Batch pop with appliance affinity, the queue side of cross-request
+  /// window coalescing: blocks for the head task like Pop, then — without
+  /// blocking — drains up to \p extra_budget more waiting tasks for the
+  /// SAME appliance into \p extras (cleared first), skipping over other
+  /// appliances, whose relative order is preserved. Drained tasks come
+  /// out in admission order. extra_budget <= 0 makes this exactly Pop.
+  /// Returns false only when closed and fully drained.
+  bool PopGroup(QueuedScan* first, std::vector<QueuedScan>* extras,
+                int64_t extra_budget);
 
   /// Stops admission; queued tasks remain poppable. Idempotent.
   void Close();

@@ -1,6 +1,7 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <exception>
 #include <utility>
 
 #include "common/parallel_for.h"
@@ -8,7 +9,7 @@
 namespace camal::serve {
 
 Service::Service(ServiceOptions options)
-    : options_(options), queue_(options.queue_capacity) {
+    : options_(std::move(options)), queue_(options_.queue_capacity) {
   CAMAL_CHECK_GE(options_.workers, 0);
 }
 
@@ -92,21 +93,77 @@ void Service::WorkerLoop(Worker* worker) {
   // concurrently fan their conv GEMMs out to NumThreads()/W chunks each
   // instead of W times the whole pool.
   ParallelBudgetScope budget(inner_budget_);
-  QueuedScan task;
-  while (queue_.Pop(&task)) {
-    BatchRunner* runner = worker->runners.at(task.request.appliance).get();
-    ScanResult result = runner->Scan(*task.request.series);
-    result.latency_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      task.admitted)
-            .count();
+  const int64_t extra_budget =
+      static_cast<int64_t>(options_.coalesce_budget) - 1;
+  QueuedScan first;
+  std::vector<QueuedScan> extras;
+  while (queue_.PopGroup(&first, &extras, extra_budget)) {
+    BatchRunner* runner = worker->runners.at(first.request.appliance).get();
+    ServeGroup(runner, &first, &extras);
+  }
+}
+
+void Service::ServeGroup(BatchRunner* runner, QueuedScan* first,
+                         std::vector<QueuedScan>* extras) {
+  // The group: head task plus the same-appliance extras PopGroup drained,
+  // in admission order.
+  std::vector<QueuedScan*> tasks;
+  tasks.reserve(1 + extras->size());
+  tasks.push_back(first);
+  for (QueuedScan& extra : *extras) tasks.push_back(&extra);
+
+  // Scan inside try; fulfill promises outside, so each promise is resolved
+  // exactly once whatever happens. Before this guard a throwing scan left
+  // every promise of the group unfulfilled — the submitters blocked
+  // forever on their futures — and unwound the worker thread for good.
+  std::vector<ScanResult> results;
+  Status failure = Status::OK();
+  try {
+    if (options_.pre_scan_hook) {
+      for (const QueuedScan* task : tasks) {
+        options_.pre_scan_hook(task->request);
+      }
+    }
+    if (tasks.size() == 1) {
+      results.push_back(runner->Scan(*first->request.series));
+    } else {
+      std::vector<const std::vector<float>*> series;
+      series.reserve(tasks.size());
+      for (const QueuedScan* task : tasks) {
+        series.push_back(task->request.series);
+      }
+      // One shared feed phase for the whole group; per-request stitches
+      // stay independent, so results match per-request scans bitwise.
+      results = runner->ScanMany(series);
+      coalesced_groups_.fetch_add(1, std::memory_order_relaxed);
+      coalesced_requests_.fetch_add(static_cast<int64_t>(tasks.size()),
+                                    std::memory_order_relaxed);
+    }
+  } catch (const std::exception& e) {
+    failure = Status::Internal(std::string("scan failed: ") + e.what());
+  } catch (...) {
+    failure = Status::Internal("scan failed: unknown exception");
+  }
+
+  if (!failure.ok()) {
+    failed_.fetch_add(static_cast<int64_t>(tasks.size()),
+                      std::memory_order_relaxed);
+    for (QueuedScan* task : tasks) {
+      task->promise.set_value(Result<ScanResult>(failure));
+    }
+    return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    results[i].latency_seconds =
+        std::chrono::duration<double>(now - tasks[i]->admitted).count();
     completed_.fetch_add(1, std::memory_order_relaxed);
-    task.promise.set_value(std::move(result));
+    tasks[i]->promise.set_value(std::move(results[i]));
   }
 }
 
 std::future<Result<ScanResult>> Service::Reject(Status status) {
-  rejected_.fetch_add(1, std::memory_order_relaxed);
+  rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
   std::promise<Result<ScanResult>> promise;
   std::future<Result<ScanResult>> future = promise.get_future();
   promise.set_value(Result<ScanResult>(std::move(status)));
@@ -139,11 +196,14 @@ std::future<Result<ScanResult>> Service::Submit(ScanRequest request) {
   task.request = std::move(request);
   task.admitted = std::chrono::steady_clock::now();
   std::future<Result<ScanResult>> future = task.promise.get_future();
-  Status admitted = queue_.Push(&task);
+  bool rejected_full = false;
+  Status admitted = queue_.Push(&task, &rejected_full);
   if (!admitted.ok()) {
     // Push left the task (and its promise) with us; fail it in place. Not
-    // routed through Reject: the future is already bound to this promise.
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    // routed through Reject: the future is already bound to this promise,
+    // and a full queue is backpressure, not an invalid request.
+    auto& counter = rejected_full ? rejected_backpressure_ : rejected_invalid_;
+    counter.fetch_add(1, std::memory_order_relaxed);
     task.promise.set_value(Result<ScanResult>(std::move(admitted)));
     return future;
   }
@@ -170,8 +230,14 @@ void Service::Shutdown() {
 ServiceStats Service::stats() const {
   ServiceStats stats;
   stats.accepted = accepted_.load(std::memory_order_relaxed);
-  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  stats.rejected_backpressure =
+      rejected_backpressure_.load(std::memory_order_relaxed);
   stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.coalesced_groups = coalesced_groups_.load(std::memory_order_relaxed);
+  stats.coalesced_requests =
+      coalesced_requests_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -2,6 +2,7 @@
 #define CAMAL_SERVE_SERVICE_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -25,13 +26,46 @@ struct ServiceOptions {
   /// means unbounded — only sensible for batch clients that pre-size their
   /// work, like ShardedScanner.
   int64_t queue_capacity = 256;
+  /// Cross-request window coalescing: a worker that dequeues a request
+  /// also drains up to coalesce_budget - 1 more waiting requests for the
+  /// same appliance and serves the whole group through one shared-GEMM
+  /// scan (BatchRunner::ScanMany), stitching and fulfilling each request's
+  /// future independently. Results are bitwise-identical to uncoalesced
+  /// scans; what changes is batch occupancy — a deep queue of small
+  /// households fills GEMM batches that per-request scans would run nearly
+  /// empty (Fig. 7c: ~7x at batch 32). <= 1 disables. Trade-off: a
+  /// drained request rides its group instead of a possibly idle other
+  /// worker, so latency-critical shallow-queue deployments may prefer 1.
+  int coalesce_budget = 8;
+  /// Test seam (fault injection): runs on the worker thread immediately
+  /// before each request is scanned. An exception thrown here — or
+  /// anywhere in the scan — resolves the affected requests' futures with
+  /// kInternal instead of leaving them hung and killing the worker.
+  std::function<void(const ScanRequest&)> pre_scan_hook;
 };
 
 /// Monotonic request counters (totals since Start).
 struct ServiceStats {
-  int64_t accepted = 0;   ///< requests admitted to the queue.
-  int64_t rejected = 0;   ///< requests refused (validation or backpressure).
+  int64_t accepted = 0;  ///< requests admitted to the queue.
+  /// Requests refused by validation (malformed request, unknown appliance)
+  /// or lifecycle (not started / shut down).
+  int64_t rejected_invalid = 0;
+  /// Requests refused because the bounded admission queue was full — the
+  /// overload signal an operator alerts on, which lumping it with
+  /// malformed requests used to hide.
+  int64_t rejected_backpressure = 0;
   int64_t completed = 0;  ///< requests whose future holds a ScanResult.
+  int64_t failed = 0;     ///< scans that threw; futures hold kInternal.
+  /// Coalescing telemetry: groups of >= 2 requests served through one
+  /// shared scan, and the requests inside them. Mean batch occupancy of
+  /// coalesced scans = coalesced_requests / coalesced_groups.
+  int64_t coalesced_groups = 0;
+  int64_t coalesced_requests = 0;
+
+  /// All rejections, whatever the reason.
+  int64_t rejected_total() const {
+    return rejected_invalid + rejected_backpressure;
+  }
 };
 
 /// Asynchronous multi-appliance serving facade — the request front-end of
@@ -42,15 +76,19 @@ struct ServiceStats {
 /// returns a std::future<Result<ScanResult>>. Internally a bounded
 /// RequestQueue feeds `workers` threads, each owning a private BatchRunner
 /// per appliance over its own CamalEnsemble::Clone replica (members cache
-/// per-forward feature maps, so runners are never shared). Results are
+/// per-forward feature maps, so runners are never shared). When the queue
+/// runs deep, a worker coalesces same-appliance requests into one
+/// shared-GEMM scan (see ServiceOptions::coalesce_budget). Results are
 /// bitwise-identical to a sequential BatchRunner::Scan with the same
-/// options, regardless of which worker served the request.
+/// options, regardless of which worker served the request or which
+/// requests shared its batches.
 ///
 /// Error contract: malformed requests never abort the process. Submit
 /// resolves the returned future immediately with kInvalidArgument (empty
 /// appliance name, null series), kNotFound (unregistered appliance), or
 /// kFailedPrecondition (not started, shut down, or queue full). Workers
-/// only ever see validated requests.
+/// only ever see validated requests; a scan that throws resolves the
+/// affected futures with kInternal and the worker lives on.
 ///
 /// Shutdown is graceful: admission stops at once, every request already
 /// admitted is still served, then workers join. The destructor calls
@@ -125,7 +163,14 @@ class Service {
 
   void WorkerLoop(Worker* worker);
 
-  /// Ready future carrying \p status; counts the rejection.
+  /// Serves one dequeued group (head task plus same-appliance extras) on
+  /// \p runner: a lone task through Scan, a group through one coalesced
+  /// ScanMany pass. Every task's promise is resolved exactly once — with
+  /// its ScanResult, or with kInternal if the scan threw.
+  void ServeGroup(BatchRunner* runner, QueuedScan* first,
+                  std::vector<QueuedScan>* extras);
+
+  /// Ready future carrying \p status; counts an invalid-request rejection.
   std::future<Result<ScanResult>> Reject(Status status);
 
   ServiceOptions options_;
@@ -136,8 +181,12 @@ class Service {
   std::atomic<State> state_{State::kIdle};
   std::mutex lifecycle_mu_;  ///< serializes Register/Start/Shutdown.
   mutable std::atomic<int64_t> accepted_{0};
-  mutable std::atomic<int64_t> rejected_{0};
+  mutable std::atomic<int64_t> rejected_invalid_{0};
+  mutable std::atomic<int64_t> rejected_backpressure_{0};
   mutable std::atomic<int64_t> completed_{0};
+  mutable std::atomic<int64_t> failed_{0};
+  mutable std::atomic<int64_t> coalesced_groups_{0};
+  mutable std::atomic<int64_t> coalesced_requests_{0};
 };
 
 }  // namespace camal::serve

@@ -38,6 +38,10 @@ Service* ShardedScanner::EnsureService(int64_t cohort_size) {
     ServiceOptions service_options;
     service_options.workers = workers;
     service_options.queue_capacity = 0;  // whole cohorts, no backpressure
+    // No cross-request coalescing here: the pool is sized one worker per
+    // household (up to the cap), so letting one worker drain its siblings'
+    // households would serialize the very scans the shards parallelize.
+    service_options.coalesce_budget = 1;
     auto service = std::make_unique<Service>(service_options);
     CAMAL_CHECK(service
                     ->RegisterAppliance(kApplianceName, ensemble_,

@@ -1,30 +1,69 @@
 #include "serve/window_stream.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 #include "data/time_series.h"
 
 namespace camal::serve {
+namespace {
+
+void CheckOptions(const WindowStreamOptions& options) {
+  CAMAL_CHECK_GT(options.window_length, 0);
+  CAMAL_CHECK_GT(options.stride, 0);
+  CAMAL_CHECK_GT(options.batch_size, 0);
+  CAMAL_CHECK_GT(options.input_scale, 0.0f);
+}
+
+/// Copies the window at \p off into \p dst, zero-filling missing readings
+/// and dividing by the input scale — the one row-fill used by both the
+/// single- and multi-series streams, so a window's model input is
+/// bit-for-bit identical however it is batched.
+void FillWindowRow(const float* series, int64_t off, int64_t l,
+                   float inv_scale, float* dst) {
+  for (int64_t t = 0; t < l; ++t) {
+    const float v = series[off + t];
+    dst[t] = data::IsMissing(v) ? 0.0f : v * inv_scale;
+  }
+}
+
+/// Reuses the caller's tensor when its shape already matches (b, 1, l);
+/// otherwise swaps in fresh uninitialized storage (every element is
+/// written by the fill loops).
+void EnsureBatchShape(nn::Tensor* inputs, int64_t b, int64_t l) {
+  if (inputs->ndim() != 3 || inputs->dim(0) != b || inputs->dim(1) != 1 ||
+      inputs->dim(2) != l) {
+    *inputs = nn::Tensor::Uninitialized({b, 1, l});
+  }
+}
+
+}  // namespace
+
+std::vector<int64_t> ComputeWindowOffsets(
+    int64_t len, const WindowStreamOptions& options) {
+  const int64_t l = options.window_length;
+  std::vector<int64_t> offsets;
+  for (int64_t off = 0; off + l <= len; off += options.stride) {
+    offsets.push_back(off);
+  }
+  // Tail window: align to the series end so trailing samples the stride
+  // grid skipped still get covered. When the last grid window already
+  // ends at the series end ((len - l) % stride == 0) no tail is added —
+  // a duplicate offset would double that window's stitch votes.
+  if (len >= l && (offsets.empty() || offsets.back() + l < len)) {
+    offsets.push_back(len - l);
+  }
+  return offsets;
+}
 
 WindowStream::WindowStream(const std::vector<float>* series,
                            WindowStreamOptions options)
     : series_(series), options_(options) {
   CAMAL_CHECK(series != nullptr);
-  CAMAL_CHECK_GT(options_.window_length, 0);
-  CAMAL_CHECK_GT(options_.stride, 0);
-  CAMAL_CHECK_GT(options_.batch_size, 0);
-  CAMAL_CHECK_GT(options_.input_scale, 0.0f);
-  const int64_t len = static_cast<int64_t>(series->size());
-  const int64_t l = options_.window_length;
-  for (int64_t off = 0; off + l <= len; off += options_.stride) {
-    offsets_.push_back(off);
-  }
-  // Tail window: align to the series end so trailing samples the stride
-  // grid skipped still get covered.
-  if (len >= l && (offsets_.empty() || offsets_.back() + l < len)) {
-    offsets_.push_back(len - l);
-  }
+  CheckOptions(options_);
+  offsets_ =
+      ComputeWindowOffsets(static_cast<int64_t>(series->size()), options_);
 }
 
 int64_t WindowStream::NextBatch(nn::Tensor* inputs,
@@ -36,24 +75,49 @@ int64_t WindowStream::NextBatch(nn::Tensor* inputs,
   const int64_t b = std::min<int64_t>(options_.batch_size, remaining);
   if (b <= 0) return 0;
   const int64_t l = options_.window_length;
-  // Reuse the caller's tensor when the shape already matches — all batches
-  // but the final short one are (batch_size, 1, L), so a scan loop touches
-  // the allocator once. Every element is written below; skip the
-  // zero-fill when fresh storage is needed.
-  if (inputs->ndim() != 3 || inputs->dim(0) != b || inputs->dim(1) != 1 ||
-      inputs->dim(2) != l) {
-    *inputs = nn::Tensor::Uninitialized({b, 1, l});
-  }
+  EnsureBatchShape(inputs, b, l);
   const float inv_scale = 1.0f / options_.input_scale;
   const float* series = series_->data();
   for (int64_t i = 0; i < b; ++i) {
     const int64_t off = offsets_[next_++];
     batch_offsets->push_back(off);
-    float* dst = inputs->data() + i * l;
-    for (int64_t t = 0; t < l; ++t) {
-      const float v = series[off + t];
-      dst[t] = data::IsMissing(v) ? 0.0f : v * inv_scale;
+    FillWindowRow(series, off, l, inv_scale, inputs->data() + i * l);
+  }
+  return b;
+}
+
+MultiWindowStream::MultiWindowStream(
+    std::vector<const std::vector<float>*> series, WindowStreamOptions options)
+    : series_(std::move(series)), options_(options) {
+  CheckOptions(options_);
+  windows_per_series_.reserve(series_.size());
+  for (size_t s = 0; s < series_.size(); ++s) {
+    CAMAL_CHECK(series_[s] != nullptr);
+    const std::vector<int64_t> offsets = ComputeWindowOffsets(
+        static_cast<int64_t>(series_[s]->size()), options_);
+    windows_per_series_.push_back(static_cast<int64_t>(offsets.size()));
+    for (int64_t off : offsets) {
+      refs_.push_back(WindowRef{static_cast<int32_t>(s), off});
     }
+  }
+}
+
+int64_t MultiWindowStream::NextBatch(nn::Tensor* inputs,
+                                     std::vector<WindowRef>* refs) {
+  CAMAL_CHECK(inputs != nullptr);
+  CAMAL_CHECK(refs != nullptr);
+  refs->clear();
+  const int64_t remaining = NumWindows() - static_cast<int64_t>(next_);
+  const int64_t b = std::min<int64_t>(options_.batch_size, remaining);
+  if (b <= 0) return 0;
+  const int64_t l = options_.window_length;
+  EnsureBatchShape(inputs, b, l);
+  const float inv_scale = 1.0f / options_.input_scale;
+  for (int64_t i = 0; i < b; ++i) {
+    const WindowRef ref = refs_[next_++];
+    refs->push_back(ref);
+    FillWindowRow(series_[static_cast<size_t>(ref.series)]->data(), ref.offset,
+                  l, inv_scale, inputs->data() + i * l);
   }
   return b;
 }

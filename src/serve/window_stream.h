@@ -22,6 +22,14 @@ struct WindowStreamOptions {
   float input_scale = 1000.0f;
 };
 
+/// Window start offsets for a series of \p len samples under \p options:
+/// the stride grid, plus a tail window aligned to the series end when the
+/// grid would leave trailing samples uncovered (and only then — a grid
+/// whose last window already touches the end gets no duplicate). Series
+/// shorter than one window yield no offsets.
+std::vector<int64_t> ComputeWindowOffsets(int64_t len,
+                                          const WindowStreamOptions& options);
+
 /// Streams a household's aggregate series as batches of overlapping,
 /// scaled windows — the feeder of the batched inference runtime.
 ///
@@ -59,6 +67,54 @@ class WindowStream {
   const std::vector<float>* series_;
   WindowStreamOptions options_;
   std::vector<int64_t> offsets_;
+  size_t next_ = 0;
+};
+
+/// Identifies one window inside a coalesced multi-series batch: which
+/// series it was cut from and where it starts there.
+struct WindowRef {
+  int32_t series = 0;  ///< index into the stream's series list.
+  int64_t offset = 0;  ///< window start offset within that series.
+};
+
+/// Multi-series counterpart of WindowStream: emits the windows of several
+/// series as one stream of shared batches, so a single forward pass can
+/// carry windows cut from different households. Windows are ordered
+/// series-by-series (series 0's windows first, then series 1's, ...), each
+/// series windowed exactly as WindowStream would window it alone — same
+/// offsets, same zero-fill, same scaling — so per-window model inputs are
+/// bit-for-bit what an uncoalesced scan feeds. Batches simply keep filling
+/// across series boundaries instead of flushing short.
+class MultiWindowStream {
+ public:
+  /// \p series entries are borrowed and must outlive the stream; none may
+  /// be null. All series share one slicing policy.
+  MultiWindowStream(std::vector<const std::vector<float>*> series,
+                    WindowStreamOptions options);
+
+  /// Total windows across every series.
+  int64_t NumWindows() const { return static_cast<int64_t>(refs_.size()); }
+
+  /// Windows contributed by series \p s.
+  int64_t NumWindowsOf(int32_t s) const {
+    return windows_per_series_[static_cast<size_t>(s)];
+  }
+
+  /// Fills \p inputs with the next (B, 1, L) batch (B <= batch_size) and
+  /// \p refs with the B (series, offset) pairs. Returns B; 0 when
+  /// exhausted. Same tensor-reuse contract as WindowStream::NextBatch.
+  int64_t NextBatch(nn::Tensor* inputs, std::vector<WindowRef>* refs);
+
+  /// Rewinds to the first window.
+  void Reset() { next_ = 0; }
+
+  const WindowStreamOptions& options() const { return options_; }
+
+ private:
+  std::vector<const std::vector<float>*> series_;
+  WindowStreamOptions options_;
+  std::vector<WindowRef> refs_;  ///< all windows, series-major order.
+  std::vector<int64_t> windows_per_series_;
   size_t next_ = 0;
 };
 

@@ -7,7 +7,10 @@
 #include <future>
 #include <memory>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <utility>
 
 #include "common/parallel_for.h"
 #include "common/rng.h"
@@ -136,6 +139,121 @@ TEST(WindowStreamTest, SmallFinalBatchIsEmitted) {
   EXPECT_EQ(stream.NextBatch(&batch, &offsets), 0);
 }
 
+TEST(WindowStreamTest, ComputeWindowOffsetsGridAndTail) {
+  serve::WindowStreamOptions opt = SmallStream(16, 8, 4);
+  // Exact grid fit, (len - L) % stride == 0: no duplicate tail offset.
+  EXPECT_EQ(serve::ComputeWindowOffsets(32, opt),
+            (std::vector<int64_t>{0, 8, 16}));
+  // Trailing samples: tail window aligned to the series end is appended.
+  EXPECT_EQ(serve::ComputeWindowOffsets(35, opt),
+            (std::vector<int64_t>{0, 8, 16, 19}));
+  // Shorter than one window: nothing.
+  EXPECT_TRUE(serve::ComputeWindowOffsets(15, opt).empty());
+  // Exactly one window.
+  EXPECT_EQ(serve::ComputeWindowOffsets(16, opt),
+            (std::vector<int64_t>{0}));
+}
+
+TEST(WindowStreamTest, ResetThenRescanReusesTensorAndRepeatsBatches) {
+  // Reset() + re-scan with the same tensor must reproduce the first
+  // pass's batches exactly, without reallocating equal-shaped batches.
+  Rng rng(41);
+  std::vector<float> series(72);
+  for (auto& v : series) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
+  series[5] = std::nanf("");
+  serve::WindowStream stream(&series, SmallStream(16, 8, 4));
+
+  nn::Tensor batch;
+  std::vector<int64_t> offsets;
+  std::vector<std::vector<float>> first_pass;
+  std::vector<int64_t> first_offsets;
+  int64_t b = 0;
+  while ((b = stream.NextBatch(&batch, &offsets)) > 0) {
+    first_pass.emplace_back(batch.data(), batch.data() + batch.numel());
+    first_offsets.insert(first_offsets.end(), offsets.begin(), offsets.end());
+  }
+  ASSERT_EQ(static_cast<int64_t>(first_offsets.size()), stream.NumWindows());
+
+  stream.Reset();
+  const float* storage = batch.data();
+  size_t batch_index = 0;
+  std::vector<int64_t> second_offsets;
+  while ((b = stream.NextBatch(&batch, &offsets)) > 0) {
+    ASSERT_LT(batch_index, first_pass.size());
+    const std::vector<float>& expected = first_pass[batch_index++];
+    ASSERT_EQ(batch.numel(), static_cast<int64_t>(expected.size()));
+    for (int64_t i = 0; i < batch.numel(); ++i) {
+      EXPECT_EQ(batch.at(i), expected[static_cast<size_t>(i)]);
+    }
+    if (batch.numel() == static_cast<int64_t>(first_pass.front().size())) {
+      // Full-size batches keep reusing the caller's storage in place.
+      EXPECT_EQ(batch.data(), storage);
+    }
+    second_offsets.insert(second_offsets.end(), offsets.begin(),
+                          offsets.end());
+  }
+  EXPECT_EQ(batch_index, first_pass.size());
+  EXPECT_EQ(second_offsets, first_offsets);
+}
+
+TEST(MultiWindowStreamTest, MergesSeriesWindowsAcrossBatchBoundaries) {
+  // Series 0 has 3 windows (len 32, window 16, stride 8), series 1 has 5
+  // (len 48): one shared stream of 8 windows. With batch_size 4 the second
+  // batch spans the series boundary — the coalescing the per-series
+  // WindowStream cannot do.
+  Rng rng(43);
+  std::vector<float> a(32), c(48);
+  for (auto& v : a) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
+  for (auto& v : c) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
+  serve::WindowStreamOptions opt = SmallStream(16, 8, 4);
+  serve::MultiWindowStream stream({&a, &c}, opt);
+  ASSERT_EQ(stream.NumWindows(), 8);
+  EXPECT_EQ(stream.NumWindowsOf(0), 3);
+  EXPECT_EQ(stream.NumWindowsOf(1), 5);
+
+  // Reference rows from the single-series streams.
+  auto single_rows = [&](const std::vector<float>& series) {
+    serve::WindowStream s(&series, opt);
+    nn::Tensor batch;
+    std::vector<int64_t> offsets;
+    std::vector<std::vector<float>> rows;
+    int64_t b = 0;
+    while ((b = s.NextBatch(&batch, &offsets)) > 0) {
+      for (int64_t i = 0; i < b; ++i) {
+        rows.emplace_back(batch.data() + i * 16, batch.data() + (i + 1) * 16);
+      }
+    }
+    return rows;
+  };
+  std::vector<std::vector<float>> expected = single_rows(a);
+  std::vector<std::vector<float>> rows_c = single_rows(c);
+  expected.insert(expected.end(), rows_c.begin(), rows_c.end());
+
+  nn::Tensor batch;
+  std::vector<serve::WindowRef> refs;
+  std::vector<serve::WindowRef> all_refs;
+  size_t row = 0;
+  int64_t b = 0;
+  while ((b = stream.NextBatch(&batch, &refs)) > 0) {
+    for (int64_t i = 0; i < b; ++i, ++row) {
+      ASSERT_LT(row, expected.size());
+      for (int64_t t = 0; t < 16; ++t) {
+        // Coalesced rows are bit-for-bit the single-stream rows.
+        EXPECT_EQ(batch.at(i * 16 + t), expected[row][static_cast<size_t>(t)]);
+      }
+    }
+    all_refs.insert(all_refs.end(), refs.begin(), refs.end());
+  }
+  ASSERT_EQ(all_refs.size(), 8u);
+  // Series-major order: series 0's offsets first, then series 1's.
+  const std::vector<std::pair<int32_t, int64_t>> want = {
+      {0, 0}, {0, 8}, {0, 16}, {1, 0}, {1, 8}, {1, 16}, {1, 24}, {1, 32}};
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(all_refs[i].series, want[i].first) << "ref " << i;
+    EXPECT_EQ(all_refs[i].offset, want[i].second) << "ref " << i;
+  }
+}
+
 core::CamalEnsemble RandomEnsemble(uint64_t seed) {
   Rng rng(seed);
   std::vector<core::EnsembleMember> members;
@@ -244,6 +362,132 @@ TEST(BatchRunnerTest, ShortSeriesIsLeftPaddedAndScanned) {
     EXPECT_EQ(result.detection.at(t), reference.detection.at(t + 22));
     EXPECT_EQ(result.status.at(t), reference.status.at(t + 22));
     EXPECT_EQ(result.power.at(t), reference.power.at(t + 22));
+  }
+}
+
+TEST(BatchRunnerTest, ExactFitTailStitchesWithoutDuplicateWindows) {
+  // (len - L) % stride == 0: the last grid window already touches the
+  // series end, so no tail window may be added — a duplicate offset would
+  // double the last window's stitch votes (and its weight in the
+  // detection mean).
+  core::CamalEnsemble ensemble = RandomEnsemble(45);
+  serve::BatchRunnerOptions opt;
+  opt.stream = SmallStream(16, 8, 4);
+  opt.appliance_avg_power_w = 700.0f;
+  serve::BatchRunner runner(&ensemble, opt);
+
+  Rng rng(46);
+  std::vector<float> series(32);
+  for (auto& v : series) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
+  serve::ScanResult result = runner.Scan(series);
+  EXPECT_EQ(result.windows, 3);  // offsets {0, 8, 16}, no tail duplicate
+
+  // One extra sample breaks the exact fit; the tail window appears.
+  series.push_back(1500.0f);
+  serve::ScanResult longer = runner.Scan(series);
+  EXPECT_EQ(longer.windows, 4);  // offsets {0, 8, 16, 17}
+}
+
+TEST(BatchRunnerTest, EntirelyMissingSeriesReportsZeroPower) {
+  // A series that is all NaN still scans (zero-filled windows are real
+  // model input), but whatever the ensemble votes, no timestamp may
+  // report appliance power: there is no observed aggregate to assign.
+  core::CamalEnsemble ensemble = RandomEnsemble(47);
+  serve::BatchRunnerOptions opt;
+  opt.stream = SmallStream(16, 8, 4);
+  opt.appliance_avg_power_w = 900.0f;
+  serve::BatchRunner runner(&ensemble, opt);
+
+  std::vector<float> series(40, std::nanf(""));
+  serve::ScanResult result = runner.Scan(series);
+  ASSERT_EQ(result.detection.numel(), 40);
+  EXPECT_GT(result.windows, 0);
+  for (int64_t t = 0; t < 40; ++t) {
+    EXPECT_GE(result.detection.at(t), 0.0f);
+    EXPECT_LE(result.detection.at(t), 1.0f);
+    EXPECT_TRUE(result.status.at(t) == 0.0f || result.status.at(t) == 1.0f);
+    EXPECT_EQ(result.power.at(t), 0.0f) << "phantom power at " << t;
+  }
+}
+
+TEST(BatchRunnerTest, MissingTimestampsNeverReportPower) {
+  // Mixed series: NaN readings scattered through a strong activation.
+  // Even when overlapping-window votes turn a missing timestamp ON, its
+  // estimated power must be exactly 0 — the §IV-C estimate needs an
+  // observed aggregate to price the activation.
+  core::CamalEnsemble ensemble = RandomEnsemble(49);
+  serve::BatchRunnerOptions opt;
+  opt.stream = SmallStream(16, 8, 4);
+  opt.appliance_avg_power_w = 700.0f;
+  serve::BatchRunner runner(&ensemble, opt);
+
+  Rng rng(50);
+  std::vector<float> series(96);
+  for (auto& v : series) v = static_cast<float>(rng.Uniform(1000.0, 3000.0));
+  for (size_t t = 7; t < series.size(); t += 9) series[t] = std::nanf("");
+  serve::ScanResult result = runner.Scan(series);
+  int64_t on_count = 0;
+  for (int64_t t = 0; t < result.status.numel(); ++t) {
+    on_count += result.status.at(t) > 0.5f ? 1 : 0;
+    if (std::isnan(series[static_cast<size_t>(t)])) {
+      EXPECT_EQ(result.power.at(t), 0.0f) << "phantom power at " << t;
+    }
+  }
+  // The high-power series should produce some activations, so the
+  // assertion above is not vacuous for every seed drift.
+  EXPECT_GT(on_count, 0);
+}
+
+TEST(BatchRunnerTest, ScanManyMatchesLoneScansBitwise) {
+  // The coalescing contract: one shared feed phase over several series —
+  // batches filling across series boundaries — must reproduce every lone
+  // Scan bit for bit. Covers regular, short (left-padded), empty, and
+  // all-NaN series in one group.
+  core::CamalEnsemble ensemble = RandomEnsemble(51);
+  serve::BatchRunnerOptions opt;
+  opt.stream = SmallStream(16, 8, 4);
+  opt.appliance_avg_power_w = 650.0f;
+  serve::BatchRunner coalesced(&ensemble, opt);
+  serve::BatchRunner sequential(&ensemble, opt);
+
+  Rng rng(52);
+  std::vector<std::vector<float>> cohort;
+  for (int64_t len : {70, 9, 0, 41, 33, 120}) {
+    std::vector<float> series(static_cast<size_t>(len));
+    for (auto& v : series) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
+    if (len == 41) series.assign(series.size(), std::nanf(""));
+    cohort.push_back(std::move(series));
+  }
+  std::vector<const std::vector<float>*> pointers;
+  for (const auto& series : cohort) pointers.push_back(&series);
+
+  std::vector<serve::ScanResult> group = coalesced.ScanMany(pointers);
+  ASSERT_EQ(group.size(), cohort.size());
+  for (size_t i = 0; i < cohort.size(); ++i) {
+    serve::ScanResult expected = sequential.Scan(cohort[i]);
+    ASSERT_EQ(group[i].windows, expected.windows) << "series " << i;
+    ASSERT_EQ(group[i].detection.numel(), expected.detection.numel());
+    for (int64_t t = 0; t < expected.detection.numel(); ++t) {
+      EXPECT_EQ(group[i].detection.at(t), expected.detection.at(t))
+          << "series " << i << " t " << t;
+      EXPECT_EQ(group[i].status.at(t), expected.status.at(t));
+      EXPECT_EQ(group[i].power.at(t), expected.power.at(t));
+    }
+  }
+
+  // Scratch reuse across calls must not leak one group's votes into the
+  // next: a second ScanMany over a permuted group stays bitwise-equal.
+  std::vector<const std::vector<float>*> reversed(pointers.rbegin(),
+                                                  pointers.rend());
+  std::vector<serve::ScanResult> second = coalesced.ScanMany(reversed);
+  for (size_t i = 0; i < reversed.size(); ++i) {
+    serve::ScanResult expected = sequential.Scan(*reversed[i]);
+    ASSERT_EQ(second[i].windows, expected.windows) << "series " << i;
+    for (int64_t t = 0; t < expected.detection.numel(); ++t) {
+      EXPECT_EQ(second[i].detection.at(t), expected.detection.at(t));
+      EXPECT_EQ(second[i].status.at(t), expected.status.at(t));
+      EXPECT_EQ(second[i].power.at(t), expected.power.at(t));
+    }
   }
 }
 
@@ -509,6 +753,97 @@ TEST(RequestQueueTest, PopBlocksUntilPushOrClose) {
   EXPECT_EQ(popped.load(), 5);
 }
 
+serve::QueuedScan MakeApplianceTask(const std::vector<float>* series,
+                                    const std::string& appliance,
+                                    const std::string& id) {
+  serve::QueuedScan task = MakeTask(series);
+  task.request.appliance = appliance;
+  task.request.household_id = id;
+  return task;
+}
+
+TEST(RequestQueueTest, PopGroupDrainsSameApplianceKeepingOthersInOrder) {
+  std::vector<float> series(4, 1.0f);
+  serve::RequestQueue queue(/*capacity=*/0);
+  for (const auto& [appliance, id] :
+       std::vector<std::pair<std::string, std::string>>{{"a", "a1"},
+                                                        {"b", "b1"},
+                                                        {"a", "a2"},
+                                                        {"c", "c1"},
+                                                        {"a", "a3"},
+                                                        {"a", "a4"}}) {
+    serve::QueuedScan task = MakeApplianceTask(&series, appliance, id);
+    ASSERT_TRUE(queue.Push(&task).ok());
+  }
+
+  // Head is a1; budget 2 drains a2 and a3 (admission order), skipping b1
+  // and c1; a4 is beyond the budget and stays queued behind them.
+  serve::QueuedScan first;
+  std::vector<serve::QueuedScan> extras;
+  ASSERT_TRUE(queue.PopGroup(&first, &extras, 2));
+  EXPECT_EQ(first.request.household_id, "a1");
+  ASSERT_EQ(extras.size(), 2u);
+  EXPECT_EQ(extras[0].request.household_id, "a2");
+  EXPECT_EQ(extras[1].request.household_id, "a3");
+  EXPECT_EQ(queue.size(), 3);
+
+  // The bypassed appliances kept their relative order: b1, c1, then a4.
+  serve::QueuedScan out;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out.request.household_id, "b1");
+  ASSERT_TRUE(queue.PopGroup(&first, &extras, 4));
+  EXPECT_EQ(first.request.household_id, "c1");
+  EXPECT_TRUE(extras.empty());  // no other 'c' request waits
+  ASSERT_TRUE(queue.PopGroup(&first, &extras, 4));
+  EXPECT_EQ(first.request.household_id, "a4");
+  EXPECT_TRUE(extras.empty());
+  EXPECT_EQ(queue.size(), 0);
+}
+
+TEST(RequestQueueTest, PopGroupWithZeroBudgetBehavesLikePop) {
+  std::vector<float> series(4, 1.0f);
+  serve::RequestQueue queue(/*capacity=*/0);
+  serve::QueuedScan a = MakeApplianceTask(&series, "a", "a1");
+  serve::QueuedScan b = MakeApplianceTask(&series, "a", "a2");
+  ASSERT_TRUE(queue.Push(&a).ok());
+  ASSERT_TRUE(queue.Push(&b).ok());
+
+  serve::QueuedScan first;
+  std::vector<serve::QueuedScan> extras;
+  ASSERT_TRUE(queue.PopGroup(&first, &extras, 0));
+  EXPECT_EQ(first.request.household_id, "a1");
+  EXPECT_TRUE(extras.empty());
+  EXPECT_EQ(queue.size(), 1);
+
+  // Closed-and-drained reports exhaustion just like Pop.
+  ASSERT_TRUE(queue.PopGroup(&first, &extras, 8));
+  EXPECT_EQ(first.request.household_id, "a2");
+  queue.Close();
+  EXPECT_FALSE(queue.PopGroup(&first, &extras, 8));
+}
+
+TEST(RequestQueueTest, PushReportsBackpressureDistinctFromShutdown) {
+  std::vector<float> series(4, 1.0f);
+  serve::RequestQueue queue(/*capacity=*/1);
+  serve::QueuedScan a = MakeTask(&series);
+  ASSERT_TRUE(queue.Push(&a).ok());
+
+  // Full queue: rejection flagged as backpressure.
+  serve::QueuedScan b = MakeTask(&series);
+  bool rejected_full = false;
+  EXPECT_EQ(queue.Push(&b, &rejected_full).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(rejected_full);
+
+  // Closed queue: same code, but not backpressure.
+  queue.Close();
+  serve::QueuedScan c = MakeTask(&series);
+  rejected_full = true;
+  EXPECT_EQ(queue.Push(&c, &rejected_full).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(rejected_full);
+}
+
 // ---------------------------------------------------------------------
 // serve::Service: the asynchronous multi-appliance facade.
 // ---------------------------------------------------------------------
@@ -585,7 +920,11 @@ TEST(ServiceTest, MalformedRequestsResolveWithStatusNotAborts) {
   EXPECT_NE(unknown_result.status().message().find("toaster"),
             std::string::npos);
 
-  EXPECT_EQ(service.stats().rejected, 3);
+  // All three rejections are validation failures, not backpressure — the
+  // split telemetry must file them under rejected_invalid.
+  EXPECT_EQ(service.stats().rejected_invalid, 3);
+  EXPECT_EQ(service.stats().rejected_backpressure, 0);
+  EXPECT_EQ(service.stats().rejected_total(), 3);
   EXPECT_EQ(service.stats().accepted, 0);
 
   // The service still serves valid requests after rejecting garbage.
@@ -693,7 +1032,7 @@ TEST(ServiceTest, AsyncResultsMatchSequentialBitwiseAcrossAppliances) {
   }
   const serve::ServiceStats stats = service.stats();
   EXPECT_EQ(stats.accepted, 12);
-  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.rejected_total(), 0);
   service.Shutdown();
 
   serve::BatchRunner dish_sequential(&dishwasher, dish_opt);
@@ -801,8 +1140,200 @@ TEST(ServiceTest, FullQueueRejectsWithBackpressure) {
   EXPECT_GE(backpressure, 1);
   EXPECT_EQ(ok_count + backpressure, 9);
   const serve::ServiceStats stats = service.stats();
-  EXPECT_EQ(stats.rejected, backpressure);
+  // Queue-full rejections are backpressure, not invalid requests — the
+  // split that makes overload visible in telemetry.
+  EXPECT_EQ(stats.rejected_backpressure, backpressure);
+  EXPECT_EQ(stats.rejected_invalid, 0);
   EXPECT_EQ(stats.accepted, ok_count);
+}
+
+TEST(ServiceTest, CoalescedScansMatchSequentialBitwise) {
+  // Deep queue, one worker: while the worker chews a long scan, a burst
+  // of small same-appliance requests piles up; the worker then drains
+  // them in coalesced groups (budget 4) through shared GEMM batches.
+  // Every result — however it was grouped — must equal a lone sequential
+  // BatchRunner scan bit for bit.
+  core::CamalEnsemble ensemble = RandomEnsemble(53);
+  const serve::BatchRunnerOptions runner = SmallRunner(16, 8, 8, 600.0f);
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 1;
+  service_opt.queue_capacity = 0;
+  service_opt.coalesce_budget = 4;
+  serve::Service service(service_opt);
+  ASSERT_TRUE(service.RegisterAppliance("fridge", &ensemble, runner).ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  Rng rng(54);
+  std::vector<float> slow_series(60000);
+  for (auto& v : slow_series) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
+  std::vector<std::vector<float>> small = SyntheticCohort(8, 55);
+
+  std::vector<std::future<Result<serve::ScanResult>>> futures;
+  serve::ScanRequest slow;
+  slow.household_id = "slow";
+  slow.appliance = "fridge";
+  slow.series = &slow_series;
+  futures.push_back(service.Submit(std::move(slow)));
+  // Wait until the worker has the slow scan in flight, so the burst below
+  // queues up behind it and coalesced groups actually form.
+  while (service.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (size_t i = 0; i < small.size(); ++i) {
+    serve::ScanRequest request;
+    request.household_id = "small_" + std::to_string(i);
+    request.appliance = "fridge";
+    request.series = &small[i];
+    futures.push_back(service.Submit(std::move(request)));
+  }
+
+  std::vector<serve::ScanResult> async_results;
+  for (auto& future : futures) {
+    Result<serve::ScanResult> result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    async_results.push_back(std::move(result).value());
+  }
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 9);
+  // The burst was fully queued while the worker scanned the slow series,
+  // so at least the first drained group must have coalesced.
+  EXPECT_GE(stats.coalesced_groups, 1);
+  EXPECT_GE(stats.coalesced_requests, 2);
+  service.Shutdown();
+
+  serve::BatchRunner sequential(&ensemble, runner);
+  serve::ScanResult expected_slow = sequential.Scan(slow_series);
+  ASSERT_EQ(async_results[0].windows, expected_slow.windows);
+  for (int64_t t = 0; t < expected_slow.detection.numel(); ++t) {
+    ASSERT_EQ(async_results[0].detection.at(t), expected_slow.detection.at(t));
+    ASSERT_EQ(async_results[0].status.at(t), expected_slow.status.at(t));
+    ASSERT_EQ(async_results[0].power.at(t), expected_slow.power.at(t));
+  }
+  for (size_t i = 0; i < small.size(); ++i) {
+    const serve::ScanResult& got = async_results[i + 1];
+    serve::ScanResult expected = sequential.Scan(small[i]);
+    ASSERT_EQ(got.windows, expected.windows) << "household " << i;
+    ASSERT_EQ(got.detection.numel(), expected.detection.numel());
+    for (int64_t t = 0; t < expected.detection.numel(); ++t) {
+      EXPECT_EQ(got.detection.at(t), expected.detection.at(t))
+          << "household " << i << " t " << t;
+      EXPECT_EQ(got.status.at(t), expected.status.at(t));
+      EXPECT_EQ(got.power.at(t), expected.power.at(t));
+    }
+  }
+}
+
+TEST(ServiceTest, ThrowingScanResolvesFutureWithInternal) {
+  // Regression: a scan that threw used to leave the request's promise
+  // unfulfilled — the submitter blocked forever on the future — and
+  // unwound the worker thread. It must resolve the future with kInternal
+  // and keep the worker alive for the next request.
+  core::CamalEnsemble ensemble = RandomEnsemble(57);
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 1;
+  service_opt.coalesce_budget = 1;
+  service_opt.pre_scan_hook = [](const serve::ScanRequest& request) {
+    if (request.household_id == "poison") {
+      throw std::runtime_error("injected scan fault");
+    }
+  };
+  serve::Service service(service_opt);
+  ASSERT_TRUE(service
+                  .RegisterAppliance("kettle", &ensemble,
+                                     SmallRunner(16, 8, 4, 900.0f))
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  std::vector<float> series(48, 500.0f);
+  serve::ScanRequest poison;
+  poison.household_id = "poison";
+  poison.appliance = "kettle";
+  poison.series = &series;
+  Result<serve::ScanResult> poisoned = service.Submit(std::move(poison)).get();
+  ASSERT_FALSE(poisoned.ok());
+  EXPECT_EQ(poisoned.status().code(), StatusCode::kInternal);
+  EXPECT_NE(poisoned.status().message().find("injected scan fault"),
+            std::string::npos);
+
+  // The worker survived: the next request is served normally.
+  serve::ScanRequest healthy;
+  healthy.household_id = "healthy";
+  healthy.appliance = "kettle";
+  healthy.series = &series;
+  EXPECT_TRUE(service.Submit(std::move(healthy)).get().ok());
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.accepted, 2);
+}
+
+TEST(ServiceTest, ThrowingCoalescedGroupFailsEveryMemberOnce) {
+  // When a coalesced group's shared scan throws, every request of the
+  // group resolves with kInternal (exactly once — no hung futures), and
+  // the worker lives on to serve later requests.
+  core::CamalEnsemble ensemble = RandomEnsemble(59);
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 1;
+  service_opt.queue_capacity = 0;
+  service_opt.coalesce_budget = 8;
+  service_opt.pre_scan_hook = [](const serve::ScanRequest& request) {
+    if (request.household_id == "poison") {
+      throw std::runtime_error("injected group fault");
+    }
+  };
+  serve::Service service(service_opt);
+  ASSERT_TRUE(service
+                  .RegisterAppliance("oven", &ensemble,
+                                     SmallRunner(16, 8, 4, 1100.0f))
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  Rng rng(60);
+  std::vector<float> slow_series(60000);
+  for (auto& v : slow_series) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
+  std::vector<float> series(48, 800.0f);
+
+  serve::ScanRequest slow;
+  slow.household_id = "slow";
+  slow.appliance = "oven";
+  slow.series = &slow_series;
+  std::future<Result<serve::ScanResult>> slow_future =
+      service.Submit(std::move(slow));
+  while (service.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Both queue behind the slow scan, so they drain as one group whose
+  // head throws.
+  serve::ScanRequest poison;
+  poison.household_id = "poison";
+  poison.appliance = "oven";
+  poison.series = &series;
+  std::future<Result<serve::ScanResult>> poison_future =
+      service.Submit(std::move(poison));
+  serve::ScanRequest bystander;
+  bystander.household_id = "bystander";
+  bystander.appliance = "oven";
+  bystander.series = &series;
+  std::future<Result<serve::ScanResult>> bystander_future =
+      service.Submit(std::move(bystander));
+
+  EXPECT_TRUE(slow_future.get().ok());
+  Result<serve::ScanResult> poisoned = poison_future.get();
+  ASSERT_FALSE(poisoned.ok());
+  EXPECT_EQ(poisoned.status().code(), StatusCode::kInternal);
+  Result<serve::ScanResult> bystood = bystander_future.get();
+  ASSERT_FALSE(bystood.ok());
+  EXPECT_EQ(bystood.status().code(), StatusCode::kInternal);
+
+  // A fresh request is still served: the worker outlived the fault.
+  serve::ScanRequest after;
+  after.household_id = "after";
+  after.appliance = "oven";
+  after.series = &series;
+  EXPECT_TRUE(service.Submit(std::move(after)).get().ok());
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.failed, 2);
+  EXPECT_EQ(stats.completed, 2);
 }
 
 }  // namespace
