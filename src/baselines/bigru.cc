@@ -31,6 +31,11 @@ nn::Tensor BiGruModel::Forward(const nn::Tensor& x) {
   return net_->Forward(x).Reshape({last_n_, last_l_});
 }
 
+nn::Tensor BiGruModel::ForwardInference(const nn::Tensor& x) {
+  const int64_t n = x.dim(0), l = x.dim(2);
+  return net_->ForwardInference(x).Reshape({n, l});
+}
+
 nn::Tensor BiGruModel::Backward(const nn::Tensor& grad_output) {
   return net_->Backward(grad_output.Reshape({last_n_, 1, last_l_}));
 }

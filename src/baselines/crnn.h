@@ -28,6 +28,12 @@ class Crnn : public nn::Module {
   /// (N, 1, L) -> (N, L) frame logits.
   nn::Tensor Forward(const nn::Tensor& x) override;
   nn::Tensor Backward(const nn::Tensor& grad_output) override;
+
+  /// Batched inference path: fused Conv+BN+ReLU GEMM front-end and the
+  /// cache-free BiGRU recurrence (no BPTT gate tensors). Agrees with
+  /// eval-mode Forward to float rounding.
+  nn::Tensor ForwardInference(const nn::Tensor& x) override;
+
   void CollectParameters(std::vector<nn::Parameter*>* out) override;
   void CollectBuffers(std::vector<nn::Tensor*>* out) override;
   void SetTraining(bool training) override;

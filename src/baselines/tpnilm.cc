@@ -7,9 +7,12 @@
 namespace camal::baselines {
 namespace {
 
-std::unique_ptr<nn::Sequential> ConvBnRelu(int64_t in_ch, int64_t out_ch,
-                                           int64_t kernel, Rng* rng) {
-  auto seq = std::make_unique<nn::Sequential>();
+// Appends conv, batchnorm, and relu as SIBLING layers of `seq` (not a
+// nested Sequential): Sequential::ForwardInference pattern-matches
+// Conv -> BN -> ReLU -> MaxPool runs into one fused GEMM pass, and the
+// pool only fuses when it sits in the same layer list as the conv.
+void AddConvBnRelu(nn::Sequential* seq, int64_t in_ch, int64_t out_ch,
+                   int64_t kernel, Rng* rng) {
   nn::Conv1dOptions opt;
   opt.in_channels = in_ch;
   opt.out_channels = out_ch;
@@ -19,7 +22,6 @@ std::unique_ptr<nn::Sequential> ConvBnRelu(int64_t in_ch, int64_t out_ch,
   seq->Add(std::make_unique<nn::Conv1d>(opt, rng));
   seq->Add(std::make_unique<nn::BatchNorm1d>(out_ch));
   seq->Add(std::make_unique<nn::ReLU>());
-  return seq;
 }
 
 }  // namespace
@@ -31,11 +33,11 @@ Tpnilm::Tpnilm(const BaselineScale& scale, Rng* rng) {
   branch_channels_ = scale.Channels(64);
 
   encoder_ = std::make_unique<nn::Sequential>();
-  encoder_->Add(ConvBnRelu(1, c1, 3, rng));
+  AddConvBnRelu(encoder_.get(), 1, c1, 3, rng);
   encoder_->Add(std::make_unique<nn::MaxPool1d>(2, 2));
-  encoder_->Add(ConvBnRelu(c1, c2, 3, rng));
+  AddConvBnRelu(encoder_.get(), c1, c2, 3, rng);
   encoder_->Add(std::make_unique<nn::MaxPool1d>(2, 2));
-  encoder_->Add(ConvBnRelu(c2, enc_channels_, 3, rng));
+  AddConvBnRelu(encoder_.get(), c2, enc_channels_, 3, rng);
 
   for (int64_t s : {1, 2, 4, 8}) {
     Branch b;
@@ -55,7 +57,7 @@ Tpnilm::Tpnilm(const BaselineScale& scale, Rng* rng) {
   const int64_t concat_ch =
       enc_channels_ + branch_channels_ * static_cast<int64_t>(branches_.size());
   decoder_head_ = std::make_unique<nn::Sequential>();
-  decoder_head_->Add(ConvBnRelu(concat_ch, c2, 1, rng));
+  AddConvBnRelu(decoder_head_.get(), concat_ch, c2, 1, rng);
 
   output_head_ = std::make_unique<nn::Sequential>();
   nn::Conv1dOptions out;
@@ -91,6 +93,36 @@ nn::Tensor Tpnilm::Forward(const nn::Tensor& x) {
   nn::Tensor up = final_resize_->Forward(dec);
   nn::Tensor y = output_head_->Forward(up);  // (N, 1, L)
   return y.Reshape({last_n_, last_l_});
+}
+
+nn::Tensor Tpnilm::ForwardInference(const nn::Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  const int64_t n = x.dim(0), l = x.dim(2);
+  CAMAL_CHECK_MSG(l % 4 == 0 && l >= 32,
+                  "TPNILM window length must be divisible by 4 and >= 32");
+  // The encoder's Conv+BN+ReLU+MaxPool(2,2) runs collapse into fused
+  // GEMM-with-pool passes here; the L-sized and L/2-sized pre-pool
+  // activations are never materialized.
+  nn::Tensor enc = encoder_->ForwardInference(x);  // (N, C, L/4)
+  const int64_t lenc = enc.dim(2);
+
+  std::vector<nn::Tensor> parts;
+  parts.push_back(enc);
+  for (auto& b : branches_) {
+    nn::Tensor h = b.pool ? b.pool->ForwardInference(enc) : enc;
+    h = b.project->ForwardInference(h);
+    if (b.scale > 1) {
+      nn::ResizeNearest1d resize(lenc);
+      h = resize.ForwardInference(h);
+    }
+    parts.push_back(std::move(h));
+  }
+  nn::Tensor concat = nn::ConcatChannels(parts);
+  nn::Tensor dec = decoder_head_->ForwardInference(concat);
+  nn::ResizeNearest1d final_resize(l);
+  nn::Tensor up = final_resize.ForwardInference(dec);
+  nn::Tensor y = output_head_->ForwardInference(up);  // (N, 1, L)
+  return y.Reshape({n, l});
 }
 
 nn::Tensor Tpnilm::Backward(const nn::Tensor& grad_output) {

@@ -27,6 +27,13 @@ class Tpnilm : public nn::Module {
   /// (N, 1, L) -> (N, L) frame logits.
   nn::Tensor Forward(const nn::Tensor& x) override;
   nn::Tensor Backward(const nn::Tensor& grad_output) override;
+
+  /// Batched inference path: encoder Conv+BN+ReLU+MaxPool(2,2) runs
+  /// collapse into fused GEMM-with-pool passes (no full-size pre-pool
+  /// intermediates), branch/decoder convs run the implicit-im2col GEMM,
+  /// and no backward caches are kept. Agrees with eval-mode Forward to
+  /// float rounding.
+  nn::Tensor ForwardInference(const nn::Tensor& x) override;
   void CollectParameters(std::vector<nn::Parameter*>* out) override;
   void CollectBuffers(std::vector<nn::Tensor*>* out) override;
   void SetTraining(bool training) override;

@@ -33,6 +33,13 @@ nn::Tensor TransformerBlock::Forward(const nn::Tensor& x) {
   return ln2_->Forward(nn::Add(h, ff));
 }
 
+nn::Tensor TransformerBlock::ForwardInference(const nn::Tensor& x) {
+  nn::Tensor attn = mhsa_->ForwardInference(x);
+  nn::Tensor h = ln1_->ForwardInference(nn::Add(x, attn));
+  nn::Tensor ff = ffn_->ForwardInference(h);
+  return ln2_->ForwardInference(nn::Add(h, ff));
+}
+
 nn::Tensor TransformerBlock::Backward(const nn::Tensor& grad_output) {
   nn::Tensor g = ln2_->Backward(grad_output);
   nn::Tensor g_ffn = ffn_->Backward(g);
@@ -90,6 +97,11 @@ nn::Tensor TransNilm::Forward(const nn::Tensor& x) {
   last_n_ = x.dim(0);
   last_l_ = x.dim(2);
   return net_->Forward(x).Reshape({last_n_, last_l_});
+}
+
+nn::Tensor TransNilm::ForwardInference(const nn::Tensor& x) {
+  const int64_t n = x.dim(0), l = x.dim(2);
+  return net_->ForwardInference(x).Reshape({n, l});
 }
 
 nn::Tensor TransNilm::Backward(const nn::Tensor& grad_output) {

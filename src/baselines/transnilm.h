@@ -22,6 +22,11 @@ class TransformerBlock : public nn::Module {
 
   nn::Tensor Forward(const nn::Tensor& x) override;
   nn::Tensor Backward(const nn::Tensor& grad_output) override;
+
+  /// Cache-free block: attention keeps no Q/K/V/softmax caches, layer
+  /// norms keep no x_hat, and the FFN convs run the inference GEMM.
+  nn::Tensor ForwardInference(const nn::Tensor& x) override;
+
   void CollectParameters(std::vector<nn::Parameter*>* out) override;
   void CollectBuffers(std::vector<nn::Tensor*>* out) override;
   void SetTraining(bool training) override;
@@ -42,6 +47,11 @@ class TransNilm : public nn::Module {
   /// (N, 1, L) -> (N, L) frame logits.
   nn::Tensor Forward(const nn::Tensor& x) override;
   nn::Tensor Backward(const nn::Tensor& grad_output) override;
+
+  /// Batched inference path: fused Conv+BN+ReLU embedding and cache-free
+  /// transformer blocks. Agrees with eval-mode Forward to float rounding.
+  nn::Tensor ForwardInference(const nn::Tensor& x) override;
+
   void CollectParameters(std::vector<nn::Parameter*>* out) override;
   void CollectBuffers(std::vector<nn::Tensor*>* out) override;
   void SetTraining(bool training) override;

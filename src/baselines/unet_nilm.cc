@@ -65,6 +65,23 @@ nn::Tensor UnetNilm::Forward(const nn::Tensor& x) {
   return head_->Forward(d1).Reshape({last_n_, last_l_});
 }
 
+nn::Tensor UnetNilm::ForwardInference(const nn::Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  const int64_t n = x.dim(0), l = x.dim(2);
+  CAMAL_CHECK_MSG(l % 4 == 0,
+                  "UNet-NILM window length must be divisible by 4");
+  nn::Tensor a1 = enc1_->ForwardInference(x);        // (N, c1, L)
+  nn::Tensor p1 = pool1_->ForwardInference(a1);      // (N, c1, L/2)
+  nn::Tensor a2 = enc2_->ForwardInference(p1);       // (N, c2, L/2)
+  nn::Tensor p2 = pool2_->ForwardInference(a2);      // (N, c2, L/4)
+  nn::Tensor b = bottleneck_->ForwardInference(p2);  // (N, c3, L/4)
+  nn::Tensor u2 = up2_->ForwardInference(b);         // (N, c3, L/2)
+  nn::Tensor d2 = dec2_->ForwardInference(nn::ConcatChannels({u2, a2}));
+  nn::Tensor u1 = up1_->ForwardInference(d2);        // (N, c2, L)
+  nn::Tensor d1 = dec1_->ForwardInference(nn::ConcatChannels({u1, a1}));
+  return head_->ForwardInference(d1).Reshape({n, l});
+}
+
 nn::Tensor UnetNilm::Backward(const nn::Tensor& grad_output) {
   nn::Tensor g = head_->Backward(grad_output.Reshape({last_n_, 1, last_l_}));
   g = dec1_->Backward(g);

@@ -23,6 +23,14 @@ class UnetNilm : public nn::Module {
   /// (N, 1, L) -> (N, L) frame logits.
   nn::Tensor Forward(const nn::Tensor& x) override;
   nn::Tensor Backward(const nn::Tensor& grad_output) override;
+
+  /// Batched inference path: every DoubleConv runs fused
+  /// Conv+BN+ReLU GEMM passes, pooling skips the argmax bookkeeping, and
+  /// no backward caches are kept. (The pre-pool activations a1/a2 feed
+  /// the skip connections, so they must materialize — the encoder pools
+  /// here are the one spot the fused-pool epilogue legitimately cannot
+  /// claim.) Agrees with eval-mode Forward to float rounding.
+  nn::Tensor ForwardInference(const nn::Tensor& x) override;
   void CollectParameters(std::vector<nn::Parameter*>* out) override;
   void CollectBuffers(std::vector<nn::Tensor*>* out) override;
   void SetTraining(bool training) override;

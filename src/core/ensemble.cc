@@ -48,7 +48,11 @@ double EvaluateClassifierLoss(CamBackbone* model,
     std::vector<int> labels;
     MakeBatch(dataset, order, static_cast<size_t>(done),
               static_cast<size_t>(done + b), &inputs, &labels);
-    nn::Tensor logits = model->Forward(inputs);
+    // Inference-only forward (fused conv GEMM, no backward caches):
+    // agrees with eval-mode Forward to float rounding, so the epoch a
+    // fixed-seed training run early-stops on is unchanged (pinned by
+    // EnsembleTest.EarlyStoppingSelectionIsReproducible).
+    nn::Tensor logits = model->ForwardInference(inputs);
     total += nn::SoftmaxCrossEntropy(logits, labels).value *
              static_cast<double>(b);
     done += b;

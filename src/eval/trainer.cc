@@ -87,7 +87,7 @@ double EvaluateWeakMilLoss(nn::Module* model,
         std::min(order.size(), begin + static_cast<size_t>(batch_size));
     nn::Tensor inputs = MakeBatchInputs(dataset, order, begin, end);
     std::vector<int> labels = MakeBatchWeakLabels(dataset, order, begin, end);
-    nn::Tensor logits = model->Forward(inputs);
+    nn::Tensor logits = model->ForwardInference(inputs);
     total += baselines::WeakMilLoss(logits, labels).value *
              static_cast<double>(end - begin);
   }
@@ -159,7 +159,7 @@ double EvaluateFrameLoss(nn::Module* model, const data::WindowDataset& dataset,
         std::min(order.size(), begin + static_cast<size_t>(batch_size));
     nn::Tensor inputs = MakeBatchInputs(dataset, order, begin, end);
     nn::Tensor status = MakeBatchStatus(dataset, order, begin, end);
-    nn::Tensor logits = model->Forward(inputs);
+    nn::Tensor logits = model->ForwardInference(inputs);
     total += nn::BceWithLogits(logits, status).value *
              static_cast<double>(end - begin);
   }
@@ -230,7 +230,7 @@ nn::Tensor PredictFrameProbabilities(nn::Module* model,
     const size_t end =
         std::min(order.size(), begin + static_cast<size_t>(batch_size));
     nn::Tensor inputs = MakeBatchInputs(dataset, order, begin, end);
-    nn::Tensor logits = model->Forward(inputs);
+    nn::Tensor logits = model->ForwardInference(inputs);
     for (size_t i = begin; i < end; ++i) {
       for (int64_t t = 0; t < l; ++t) {
         probs.at2(static_cast<int64_t>(i), t) = nn::SigmoidScalar(

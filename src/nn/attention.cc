@@ -17,6 +17,66 @@ Tensor ToLd(const Tensor& x, int64_t sample) {
   return out;
 }
 
+// One sample's attention output (L, D). When the cache out-params are
+// non-null the tensors Backward consumes are moved into them (the
+// training path); inference passes nulls and keeps nothing.
+Tensor AttendSample(const Tensor& x, int64_t ni, const Tensor& wq,
+                    const Tensor& wk, const Tensor& wv, const Tensor& wo,
+                    int64_t num_heads, int64_t d_head, Tensor* q_out,
+                    Tensor* k_out, Tensor* v_out, Tensor* attn_out,
+                    Tensor* ctx_out) {
+  const int64_t d_model = x.dim(1), l = x.dim(2);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head));
+  Tensor xs = ToLd(x, ni);                 // (L, D)
+  Tensor q = MatMulTransposeB(xs, wq);     // (L, D)
+  Tensor k = MatMulTransposeB(xs, wk);
+  Tensor v = MatMulTransposeB(xs, wv);
+
+  Tensor attn({num_heads, l, l});
+  Tensor ctx({l, d_model});
+  for (int64_t hh = 0; hh < num_heads; ++hh) {
+    const int64_t off = hh * d_head;
+    // Scores + softmax per query position.
+    for (int64_t i = 0; i < l; ++i) {
+      float max_s = -1e30f;
+      for (int64_t j = 0; j < l; ++j) {
+        float s = 0.0f;
+        for (int64_t p = 0; p < d_head; ++p) {
+          s += q.at2(i, off + p) * k.at2(j, off + p);
+        }
+        s *= scale;
+        attn.at3(hh, i, j) = s;
+        if (s > max_s) max_s = s;
+      }
+      float denom = 0.0f;
+      for (int64_t j = 0; j < l; ++j) {
+        const float e = std::exp(attn.at3(hh, i, j) - max_s);
+        attn.at3(hh, i, j) = e;
+        denom += e;
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t j = 0; j < l; ++j) attn.at3(hh, i, j) *= inv;
+      // Context row for this head.
+      for (int64_t p = 0; p < d_head; ++p) {
+        float acc = 0.0f;
+        for (int64_t j = 0; j < l; ++j) {
+          acc += attn.at3(hh, i, j) * v.at2(j, off + p);
+        }
+        ctx.at2(i, off + p) = acc;
+      }
+    }
+  }
+  Tensor out = MatMulTransposeB(ctx, wo);  // (L, D)
+  if (q_out != nullptr) {
+    *q_out = std::move(q);
+    *k_out = std::move(k);
+    *v_out = std::move(v);
+    *attn_out = std::move(attn);
+    *ctx_out = std::move(ctx);
+  }
+  return out;
+}
+
 }  // namespace
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t d_model,
@@ -41,7 +101,6 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x) {
   CAMAL_CHECK_EQ(x.dim(1), d_model_);
   input_ = x;
   const int64_t n = x.dim(0), l = x.dim(2);
-  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
 
   q_.clear();
   k_.clear();
@@ -51,46 +110,10 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x) {
   Tensor y({n, d_model_, l});
 
   for (int64_t ni = 0; ni < n; ++ni) {
-    Tensor xs = ToLd(x, ni);                         // (L, D)
-    Tensor q = MatMulTransposeB(xs, wq_.value);      // (L, D)
-    Tensor k = MatMulTransposeB(xs, wk_.value);
-    Tensor v = MatMulTransposeB(xs, wv_.value);
-
-    Tensor attn({num_heads_, l, l});
-    Tensor ctx({l, d_model_});
-    for (int64_t hh = 0; hh < num_heads_; ++hh) {
-      const int64_t off = hh * d_head_;
-      // Scores + softmax per query position.
-      for (int64_t i = 0; i < l; ++i) {
-        float max_s = -1e30f;
-        for (int64_t j = 0; j < l; ++j) {
-          float s = 0.0f;
-          for (int64_t p = 0; p < d_head_; ++p) {
-            s += q.at2(i, off + p) * k.at2(j, off + p);
-          }
-          s *= scale;
-          attn.at3(hh, i, j) = s;
-          if (s > max_s) max_s = s;
-        }
-        float denom = 0.0f;
-        for (int64_t j = 0; j < l; ++j) {
-          const float e = std::exp(attn.at3(hh, i, j) - max_s);
-          attn.at3(hh, i, j) = e;
-          denom += e;
-        }
-        const float inv = 1.0f / denom;
-        for (int64_t j = 0; j < l; ++j) attn.at3(hh, i, j) *= inv;
-        // Context row for this head.
-        for (int64_t p = 0; p < d_head_; ++p) {
-          float acc = 0.0f;
-          for (int64_t j = 0; j < l; ++j) {
-            acc += attn.at3(hh, i, j) * v.at2(j, off + p);
-          }
-          ctx.at2(i, off + p) = acc;
-        }
-      }
-    }
-    Tensor out = MatMulTransposeB(ctx, wo_.value);  // (L, D)
+    Tensor q, k, v, attn, ctx;
+    Tensor out =
+        AttendSample(x, ni, wq_.value, wk_.value, wv_.value, wo_.value,
+                     num_heads_, d_head_, &q, &k, &v, &attn, &ctx);
     for (int64_t t = 0; t < l; ++t) {
       for (int64_t j = 0; j < d_model_; ++j) y.at3(ni, j, t) = out.at2(t, j);
     }
@@ -99,6 +122,23 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x) {
     v_.push_back(std::move(v));
     attn_.push_back(std::move(attn));
     context_.push_back(std::move(ctx));
+  }
+  return y;
+}
+
+Tensor MultiHeadSelfAttention::ForwardInference(const Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  CAMAL_CHECK_EQ(x.dim(1), d_model_);
+  const int64_t n = x.dim(0), l = x.dim(2);
+  Tensor y = Tensor::Uninitialized({n, d_model_, l});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    Tensor out =
+        AttendSample(x, ni, wq_.value, wk_.value, wv_.value, wo_.value,
+                     num_heads_, d_head_, nullptr, nullptr, nullptr, nullptr,
+                     nullptr);
+    for (int64_t t = 0; t < l; ++t) {
+      for (int64_t j = 0; j < d_model_; ++j) y.at3(ni, j, t) = out.at2(t, j);
+    }
   }
   return y;
 }

@@ -19,6 +19,11 @@ class MultiHeadSelfAttention : public Module {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_output) override;
+
+  /// Identical attention math without retaining the per-sample Q/K/V,
+  /// softmax-weight, and context caches Backward consumes.
+  Tensor ForwardInference(const Tensor& x) override;
+
   void CollectParameters(std::vector<Parameter*>* out) override;
 
  private:

@@ -82,97 +82,61 @@ Tensor Conv1d::Forward(const Tensor& x) {
   return y;
 }
 
-namespace {
-
-// Writes the im2col matrix (C_in * K rows, L_out columns) for one sample:
-// col[ci * k + kk][t] = x[ci][t * stride + kk * dil - pad], zero outside
-// the input. Row r is a (possibly strided) shifted copy of an input row,
-// so the interior is a straight copy at stride 1.
-void Im2Col(const float* x, int64_t cin, int64_t lin, int64_t k,
-            int64_t stride, int64_t pad, int64_t dil, int64_t lout,
-            float* col) {
-  for (int64_t ci = 0; ci < cin; ++ci) {
-    const float* in_row = x + ci * lin;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float* col_row = col + (ci * k + kk) * lout;
-      const int64_t in_off = kk * dil - pad;
-      int64_t t0 = 0;
-      if (in_off < 0) t0 = (-in_off + stride - 1) / stride;
-      int64_t t1 = 0;
-      if (in_off < lin) {
-        t1 = std::min<int64_t>(lout, (lin - 1 - in_off) / stride + 1);
-      }
-      if (t1 < t0) t1 = t0;
-      std::fill(col_row, col_row + t0, 0.0f);
-      if (stride == 1) {
-        std::copy(in_row + t0 + in_off, in_row + t1 + in_off, col_row + t0);
-      } else {
-        for (int64_t t = t0; t < t1; ++t) {
-          col_row[t] = in_row[t * stride + in_off];
-        }
-      }
-      std::fill(col_row + t1, col_row + lout, 0.0f);
-    }
-  }
-}
-
-}  // namespace
-
 Tensor Conv1d::RunBatched(const Tensor& x, const float* row_scale,
-                          const float* row_shift, bool fuse_relu) {
+                          const float* row_shift, bool fuse_relu,
+                          ConvPool pool, int64_t pool_size) {
   CAMAL_CHECK_EQ(x.ndim(), 3);
   CAMAL_CHECK_EQ(x.dim(1), options_.in_channels);
   const int64_t n = x.dim(0), cin = options_.in_channels, lin = x.dim(2);
   const int64_t cout = options_.out_channels, k = options_.kernel_size;
   const int64_t lout = OutputLength(lin);
   CAMAL_CHECK_GT(lout, 0);
-  Tensor y = Tensor::Uninitialized({n, cout, lout});
-  const int64_t stride = options_.stride, pad = options_.padding,
-                dil = options_.dilation;
-  const int64_t col_rows = cin * k;
+  const int64_t pw = pool == ConvPool::kNone ? 1 : pool_size;
+  if (pool != ConvPool::kNone) CAMAL_CHECK(ConvGemmSupportsPool(pw));
+  const int64_t lpool = lout / pw;
+  CAMAL_CHECK_GT(lpool, 0);
+  Tensor y = Tensor::Uninitialized({n, cout, lpool});
+  const int64_t pad = options_.padding;
+  const int64_t lpad = lin + 2 * pad;
   const float* w = weight_.value.data();  // (cout, cin * k) row-major
 
-  if (stride == 1 && dil == 1) {
-    // Implicit im2col: the conv GEMM reads shifted input rows directly, so
-    // only an L1-sized zero-padded copy of each sample is materialized
-    // instead of the (cin * k) x L_out column matrix (the common case —
-    // every conv in the ResNet backbone is stride-1/dilation-1).
-    const int64_t lpad = lin + 2 * pad;
-    ParallelForChunked(0, n, [&](int64_t n_begin, int64_t n_end) {
-      thread_local AlignedBuffer xpad;
-      const float* sample_pad;
-      if (pad == 0) {
-        sample_pad = nullptr;  // read straight from x below
-      } else {
-        xpad.assign(static_cast<size_t>(cin * lpad), 0.0f);
-      }
-      for (int64_t ni = n_begin; ni < n_end; ++ni) {
-        const float* sample = x.data() + ni * cin * lin;
-        if (pad == 0) {
-          sample_pad = sample;
-        } else {
-          for (int64_t ci = 0; ci < cin; ++ci) {
-            std::copy(sample + ci * lin, sample + (ci + 1) * lin,
-                      xpad.data() + ci * lpad + pad);
-          }
-          sample_pad = xpad.data();
-        }
-        ConvGemmEpilogue(w, sample_pad, y.data() + ni * cout * lout, cout,
-                         cin, k, lpad, row_scale, row_shift, fuse_relu);
-      }
-    });
-    return y;
-  }
+  ConvGemmParams params;
+  params.cout = cout;
+  params.cin = cin;
+  params.kernel = k;
+  params.lpad = lpad;
+  params.stride = options_.stride;
+  params.dilation = options_.dilation;
+  params.pool = pool;
+  params.pool_size = pw;
+  params.row_scale = row_scale;
+  params.row_shift = row_shift;
+  params.relu = fuse_relu;
 
+  // Implicit im2col for every geometry: the conv GEMM samples the padded
+  // input at stride/dilation offsets directly, so only an L1-sized
+  // zero-padded copy of each sample is materialized — never the
+  // (cin * k) x L_out column matrix.
   ParallelForChunked(0, n, [&](int64_t n_begin, int64_t n_end) {
-    // Reused across layers and calls on the same worker thread.
-    thread_local AlignedBuffer col;
-    col.resize(static_cast<size_t>(col_rows * lout));
+    thread_local AlignedBuffer xpad;
+    const float* sample_pad;
+    if (pad == 0) {
+      sample_pad = nullptr;  // read straight from x below
+    } else {
+      xpad.assign(static_cast<size_t>(cin * lpad), 0.0f);
+    }
     for (int64_t ni = n_begin; ni < n_end; ++ni) {
-      Im2Col(x.data() + ni * cin * lin, cin, lin, k, stride, pad, dil, lout,
-             col.data());
-      GemmEpilogue(w, col.data(), y.data() + ni * cout * lout, cout,
-                   col_rows, lout, row_scale, row_shift, fuse_relu);
+      const float* sample = x.data() + ni * cin * lin;
+      if (pad == 0) {
+        sample_pad = sample;
+      } else {
+        for (int64_t ci = 0; ci < cin; ++ci) {
+          std::copy(sample + ci * lin, sample + (ci + 1) * lin,
+                    xpad.data() + ci * lpad + pad);
+        }
+        sample_pad = xpad.data();
+      }
+      ConvGemmEpilogue(w, sample_pad, y.data() + ni * cout * lpool, params);
     }
   });
   return y;
@@ -187,19 +151,21 @@ Tensor Conv1d::ForwardInference(const Tensor& x) {
 Tensor Conv1d::ForwardInferenceFused(const Tensor& x,
                                      const float* channel_scale,
                                      const float* channel_shift,
-                                     bool fuse_relu) {
-  CAMAL_CHECK(channel_scale != nullptr);
-  CAMAL_CHECK(channel_shift != nullptr);
+                                     bool fuse_relu, ConvPool pool,
+                                     int64_t pool_size) {
   if (!options_.bias) {
-    return RunBatched(x, channel_scale, channel_shift, fuse_relu);
+    return RunBatched(x, channel_scale, channel_shift, fuse_relu, pool,
+                      pool_size);
   }
   // Fold the conv bias into the shift: s * (conv + bias) + t.
   std::vector<float> shift(static_cast<size_t>(options_.out_channels));
   for (int64_t co = 0; co < options_.out_channels; ++co) {
-    shift[static_cast<size_t>(co)] =
-        channel_scale[co] * bias_.value.at(co) + channel_shift[co];
+    const float s = channel_scale != nullptr ? channel_scale[co] : 1.0f;
+    const float t = channel_shift != nullptr ? channel_shift[co] : 0.0f;
+    shift[static_cast<size_t>(co)] = s * bias_.value.at(co) + t;
   }
-  return RunBatched(x, channel_scale, shift.data(), fuse_relu);
+  return RunBatched(x, channel_scale, shift.data(), fuse_relu, pool,
+                    pool_size);
 }
 
 Tensor Conv1d::Backward(const Tensor& grad_output) {

@@ -2,6 +2,7 @@
 #define CAMAL_NN_CONV1D_H_
 
 #include "common/rng.h"
+#include "nn/gemm.h"
 #include "nn/module.h"
 
 namespace camal::nn {
@@ -35,21 +36,29 @@ class Conv1d : public Module {
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_output) override;
 
-  /// im2col + register-blocked GEMM (AVX2+FMA when the CPU has it),
-  /// parallelized over the batch with per-thread reusable column scratch.
-  /// Skips the input caching Forward does for Backward; the batched
-  /// serving path runs through this.
+  /// Implicit-im2col register-blocked GEMM (AVX-512/AVX2+FMA when the CPU
+  /// has them) for EVERY geometry — strided and dilated convolutions walk
+  /// the padded sample at stride/dilation offsets inside the tile loops,
+  /// so no inference path ever materializes a column matrix. Parallelized
+  /// over the batch with per-thread reusable padding scratch; skips the
+  /// input caching Forward does for Backward. The batched serving path
+  /// runs through this.
   Tensor ForwardInference(const Tensor& x) override;
 
-  /// ForwardInference with a per-output-channel affine + optional ReLU
-  /// fused into the GEMM epilogue:
-  ///   y[co] = relu?(scale[co] * conv(x)[co] + shift[co]).
-  /// scale/shift must have out_channels entries; this is how eval-mode
-  /// Conv -> BatchNorm -> ReLU blocks collapse into a single output pass
-  /// (see Sequential::ForwardInference). The conv bias, when present, is
-  /// folded into the shift.
+  /// ForwardInference with a per-output-channel affine + optional ReLU +
+  /// optional non-overlapping pool fused into the GEMM epilogue:
+  ///   y[co] = pool(relu?(scale[co] * conv(x)[co] + shift[co])).
+  /// scale/shift have out_channels entries or are null (identity scale,
+  /// zero shift); the conv bias, when present, is folded into the shift
+  /// either way. This is how eval-mode Conv -> BatchNorm -> ReLU
+  /// [-> MaxPool/AvgPool(w, w)] blocks collapse into a single output pass
+  /// (see Sequential::ForwardInference); with pool != kNone the pooled
+  /// tensor is written directly and the full-size activation never
+  /// materializes. Fused pooling matches a separate pool layer bitwise.
   Tensor ForwardInferenceFused(const Tensor& x, const float* channel_scale,
-                               const float* channel_shift, bool fuse_relu);
+                               const float* channel_shift, bool fuse_relu,
+                               ConvPool pool = ConvPool::kNone,
+                               int64_t pool_size = 1);
 
   void CollectParameters(std::vector<Parameter*>* out) override;
 
@@ -63,7 +72,8 @@ class Conv1d : public Module {
  private:
   /// Shared batched kernel behind ForwardInference / ForwardInferenceFused.
   Tensor RunBatched(const Tensor& x, const float* row_scale,
-                    const float* row_shift, bool fuse_relu);
+                    const float* row_shift, bool fuse_relu,
+                    ConvPool pool = ConvPool::kNone, int64_t pool_size = 1);
 
   Conv1dOptions options_;
   Parameter weight_;  // (C_out, C_in, K)

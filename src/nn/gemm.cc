@@ -45,20 +45,25 @@ void GemmEpilogue(const float* a, const float* b, float* c, int64_t m,
   }
 }
 
-void ConvGemmEpilogue(const float* w, const float* xpad, float* y, int64_t cout,
-                      int64_t cin, int64_t kernel, int64_t lpad,
-                      const float* row_scale, const float* row_shift,
-                      bool relu) {
-  if (cout <= 0) return;
+bool ConvGemmSupportsPool(int64_t pool_size) {
+  // Fused pooling is only offered for windows that divide every tier's
+  // tile width (16 portable/AVX2, 32 AVX-512): those keep the tile
+  // decomposition identical to an unpooled run, which is what makes the
+  // fused result bitwise-equal to conv-then-separate-pool (vector bodies
+  // and remainder epilogs may contract floating point differently, so
+  // only an identical decomposition guarantees identical bits).
+  return pool_size >= 2 && pool_size <= 16 && 16 % pool_size == 0;
+}
+
+void ConvGemmEpilogue(const float* w, const float* xpad, float* y,
+                      const ConvGemmParams& p) {
+  if (p.cout <= 0) return;
   if (internal::HasAvx512Gemm()) {
-    internal::ConvGemmEpilogueAvx512(w, xpad, y, cout, cin, kernel, lpad,
-                                     row_scale, row_shift, relu);
+    internal::ConvGemmEpilogueAvx512(w, xpad, y, p);
   } else if (internal::HasAvx2Gemm()) {
-    internal::ConvGemmEpilogueAvx2(w, xpad, y, cout, cin, kernel, lpad,
-                                   row_scale, row_shift, relu);
+    internal::ConvGemmEpilogueAvx2(w, xpad, y, p);
   } else {
-    internal::ConvGemmEpilogueGeneric(w, xpad, y, cout, cin, kernel, lpad,
-                                      row_scale, row_shift, relu);
+    internal::ConvGemmEpilogueGeneric(w, xpad, y, p);
   }
 }
 

@@ -25,16 +25,62 @@ void GemmEpilogue(const float* a, const float* b, float* c, int64_t m,
                   int64_t k, int64_t n, const float* row_scale,
                   const float* row_shift, bool relu);
 
-/// Stride-1, dilation-1 convolution of one sample as an implicit-im2col
-/// GEMM: w is (cout, cin * kernel) row-major, xpad one sample (cin, lpad)
-/// with the zero padding already materialized by the caller, y is
-/// (cout, lpad - kernel + 1). The column matrix is read directly out of
-/// xpad instead of being materialized, with the same epilogue as
-/// GemmEpilogue. Same runtime CPU dispatch.
-void ConvGemmEpilogue(const float* w, const float* xpad, float* y, int64_t cout,
-                      int64_t cin, int64_t kernel, int64_t lpad,
-                      const float* row_scale, const float* row_shift,
-                      bool relu);
+/// Non-overlapping pooling a conv GEMM can fuse into its output stage:
+/// the pooled tensor is written directly and the full-size conv output
+/// never materializes.
+enum class ConvPool : int {
+  kNone = 0,
+  kMax = 1,  ///< MaxPool1d(w, w): max of each window of epilogue outputs.
+  kAvg = 2,  ///< AvgPool1d(w, w): mean of each window of epilogue outputs.
+};
+
+/// Geometry and epilogue of one implicit-im2col convolution sample.
+///
+/// The weight matrix w is (cout, cin * kernel) row-major; xpad is one
+/// sample (cin, lpad) with the zero padding already materialized by the
+/// caller. Output column j reads input positions
+///   j * stride + kk * dilation,   kk in [0, kernel)
+/// which the lpad/stride/dilation geometry keeps in bounds, so every tile
+/// load is unconditional. With pool != kNone the epilogue outputs are
+/// reduced in non-overlapping windows of pool_size (window == stride, no
+/// padding — the MaxPool1d(2,2) / AvgPool1d(s,s) shape that follows
+/// Conv+BN+ReLU in the pooling-heavy baselines) and y has
+/// (conv_out / pool_size) columns; the conv-column remainder is dropped,
+/// exactly like a separate floor-mode pool.
+struct ConvGemmParams {
+  int64_t cout = 0;
+  int64_t cin = 0;
+  int64_t kernel = 0;
+  int64_t lpad = 0;  ///< padded sample length (zero padding materialized)
+  int64_t stride = 1;
+  int64_t dilation = 1;
+  ConvPool pool = ConvPool::kNone;
+  int64_t pool_size = 1;  ///< pooling window == pooling stride
+  const float* row_scale = nullptr;  ///< per-output-channel scale (or null)
+  const float* row_shift = nullptr;  ///< per-output-channel shift (or null)
+  bool relu = false;
+};
+
+/// Conv output length (before any fused pooling) for \p p.
+inline int64_t ConvGemmOutputLength(const ConvGemmParams& p) {
+  return (p.lpad - (p.dilation * (p.kernel - 1) + 1)) / p.stride + 1;
+}
+
+/// True when the tile kernels of every dispatch tier can fuse a pool of
+/// this window (it must divide the narrowest tile width). Unsupported
+/// windows still compute correctly but run on the scalar edge path, so
+/// callers should fuse only when this holds.
+bool ConvGemmSupportsPool(int64_t pool_size);
+
+/// Strided/dilated 1-D convolution of one sample as an implicit-im2col
+/// GEMM with the same epilogue as GemmEpilogue plus an optional fused
+/// non-overlapping pool (see ConvGemmParams). The column matrix is read
+/// directly out of xpad instead of being materialized. Per output scalar,
+/// k accumulates in (ci, kk) order in every tile/edge/dispatch variant, so
+/// results are independent of batch composition and tile placement.
+/// Same runtime CPU dispatch as GemmEpilogue.
+void ConvGemmEpilogue(const float* w, const float* xpad, float* y,
+                      const ConvGemmParams& p);
 
 namespace internal {
 
@@ -44,19 +90,13 @@ void GemmEpilogueGeneric(const float* a, const float* b, float* c, int64_t m,
                          const float* row_shift, bool relu);
 
 void ConvGemmEpilogueGeneric(const float* w, const float* xpad, float* y,
-                             int64_t cout, int64_t cin, int64_t kernel,
-                             int64_t lpad, const float* row_scale,
-                             const float* row_shift, bool relu);
+                             const ConvGemmParams& p);
 
 void ConvGemmEpilogueAvx2(const float* w, const float* xpad, float* y,
-                          int64_t cout, int64_t cin, int64_t kernel,
-                          int64_t lpad, const float* row_scale,
-                          const float* row_shift, bool relu);
+                          const ConvGemmParams& p);
 
 void ConvGemmEpilogueAvx512(const float* w, const float* xpad, float* y,
-                            int64_t cout, int64_t cin, int64_t kernel,
-                            int64_t lpad, const float* row_scale,
-                            const float* row_shift, bool relu);
+                            const ConvGemmParams& p);
 
 /// AVX2+FMA kernel; only callable when HasAvx2Gemm() is true.
 void GemmEpilogueAvx2(const float* a, const float* b, float* c, int64_t m,

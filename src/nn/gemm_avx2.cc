@@ -26,11 +26,8 @@ void GemmEpilogueAvx2(const float* a, const float* b, float* c, int64_t m,
 }
 
 void ConvGemmEpilogueAvx2(const float* w, const float* xpad, float* y,
-                          int64_t cout, int64_t cin, int64_t kernel,
-                          int64_t lpad, const float* row_scale,
-                          const float* row_shift, bool relu) {
-  ConvGemmEpilogueGeneric(w, xpad, y, cout, cin, kernel, lpad, row_scale,
-                          row_shift, relu);
+                          const ConvGemmParams& p) {
+  ConvGemmEpilogueGeneric(w, xpad, y, p);
 }
 
 #endif

@@ -1,6 +1,7 @@
 #include "nn/gru.h"
 
 #include <cmath>
+#include <utility>
 
 #include "nn/activations.h"
 #include "nn/init.h"
@@ -17,6 +18,39 @@ Tensor SliceTimestep(const Tensor& x, int64_t t) {
   }
   (void)l;
   return out;
+}
+
+// One GRU timestep over the batch, from the precomputed projections
+// gi = x_t W_ih^T and gh = h_{t-1} W_hh^T (both (N, 3H)): writes h_t into
+// ht. When the gate out-params are non-null (the training path) the
+// per-step activations BPTT consumes are stored too; inference passes
+// nulls and keeps nothing. One body for both paths, so a recurrence fix
+// can never drift them apart.
+void GruCellStep(const Tensor& gi, const Tensor& gh, const Tensor& b_ih,
+                 const Tensor& b_hh, const Tensor& hprev, int64_t h,
+                 Tensor* ht, Tensor* rt, Tensor* zt, Tensor* nt,
+                 Tensor* qt) {
+  const int64_t n = gi.dim(0);
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t j = 0; j < h; ++j) {
+      const float ir = gi.at2(ni, j) + b_ih.at(j);
+      const float hr = gh.at2(ni, j) + b_hh.at(j);
+      const float iz = gi.at2(ni, h + j) + b_ih.at(h + j);
+      const float hz = gh.at2(ni, h + j) + b_hh.at(h + j);
+      const float in = gi.at2(ni, 2 * h + j) + b_ih.at(2 * h + j);
+      const float hn = gh.at2(ni, 2 * h + j) + b_hh.at(2 * h + j);
+      const float r = SigmoidScalar(ir + hr);
+      const float zz = SigmoidScalar(iz + hz);
+      const float nn = std::tanh(in + r * hn);
+      ht->at2(ni, j) = (1.0f - zz) * nn + zz * hprev.at2(ni, j);
+      if (rt != nullptr) {
+        rt->at2(ni, j) = r;
+        zt->at2(ni, j) = zz;
+        nt->at2(ni, j) = nn;
+        qt->at2(ni, j) = hn;
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -68,25 +102,8 @@ Tensor Gru::Forward(const Tensor& x) {
     Tensor gi = MatMulTransposeB(xt, w_ih_.value);         // (N, 3H)
     Tensor gh = MatMulTransposeB(h_.back(), w_hh_.value);  // (N, 3H)
     Tensor rt({n, h}), zt({n, h}), nt({n, h}), qt({n, h}), ht({n, h});
-    const Tensor& hprev = h_.back();
-    for (int64_t ni = 0; ni < n; ++ni) {
-      for (int64_t j = 0; j < h; ++j) {
-        const float ir = gi.at2(ni, j) + b_ih_.value.at(j);
-        const float hr = gh.at2(ni, j) + b_hh_.value.at(j);
-        const float iz = gi.at2(ni, h + j) + b_ih_.value.at(h + j);
-        const float hz = gh.at2(ni, h + j) + b_hh_.value.at(h + j);
-        const float in = gi.at2(ni, 2 * h + j) + b_ih_.value.at(2 * h + j);
-        const float hn = gh.at2(ni, 2 * h + j) + b_hh_.value.at(2 * h + j);
-        const float r = SigmoidScalar(ir + hr);
-        const float zz = SigmoidScalar(iz + hz);
-        const float nn = std::tanh(in + r * hn);
-        rt.at2(ni, j) = r;
-        zt.at2(ni, j) = zz;
-        nt.at2(ni, j) = nn;
-        qt.at2(ni, j) = hn;
-        ht.at2(ni, j) = (1.0f - zz) * nn + zz * hprev.at2(ni, j);
-      }
-    }
+    GruCellStep(gi, gh, b_ih_.value, b_hh_.value, h_.back(), h, &ht, &rt,
+                &zt, &nt, &qt);
     for (int64_t ni = 0; ni < n; ++ni) {
       for (int64_t j = 0; j < h; ++j) y.at3(ni, j, t) = ht.at2(ni, j);
     }
@@ -95,6 +112,29 @@ Tensor Gru::Forward(const Tensor& x) {
     n_.push_back(std::move(nt));
     q_.push_back(std::move(qt));
     h_.push_back(std::move(ht));
+  }
+  return y;
+}
+
+Tensor Gru::ForwardInference(const Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  CAMAL_CHECK_EQ(x.dim(1), input_size_);
+  const int64_t n = x.dim(0), l = x.dim(2), h = hidden_size_;
+
+  Tensor hprev({n, h});
+  Tensor hnext({n, h});
+  Tensor y = Tensor::Uninitialized({n, h, l});
+  for (int64_t step = 0; step < l; ++step) {
+    const int64_t t = reverse_ ? l - 1 - step : step;
+    Tensor xt = SliceTimestep(x, t);                    // (N, I)
+    Tensor gi = MatMulTransposeB(xt, w_ih_.value);      // (N, 3H)
+    Tensor gh = MatMulTransposeB(hprev, w_hh_.value);   // (N, 3H)
+    GruCellStep(gi, gh, b_ih_.value, b_hh_.value, hprev, h, &hnext,
+                nullptr, nullptr, nullptr, nullptr);
+    for (int64_t ni = 0; ni < n; ++ni) {
+      for (int64_t j = 0; j < h; ++j) y.at3(ni, j, t) = hnext.at2(ni, j);
+    }
+    std::swap(hprev, hnext);
   }
   return y;
 }
@@ -205,6 +245,22 @@ Tensor BiGru::Forward(const Tensor& x) {
   Tensor yb = bwd_->Forward(x);
   const int64_t n = x.dim(0), l = x.dim(2), h = hidden_size_;
   Tensor y({n, 2 * h, l});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t j = 0; j < h; ++j) {
+      for (int64_t t = 0; t < l; ++t) {
+        y.at3(ni, j, t) = yf.at3(ni, j, t);
+        y.at3(ni, h + j, t) = yb.at3(ni, j, t);
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BiGru::ForwardInference(const Tensor& x) {
+  Tensor yf = fwd_->ForwardInference(x);
+  Tensor yb = bwd_->ForwardInference(x);
+  const int64_t n = x.dim(0), l = x.dim(2), h = hidden_size_;
+  Tensor y = Tensor::Uninitialized({n, 2 * h, l});
   for (int64_t ni = 0; ni < n; ++ni) {
     for (int64_t j = 0; j < h; ++j) {
       for (int64_t t = 0; t < l; ++t) {

@@ -25,6 +25,12 @@ class Gru : public Module {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_output) override;
+
+  /// Identical recurrence without the per-step gate caches BPTT needs
+  /// (Forward stores five (N, H) tensors per timestep; inference keeps
+  /// only the rolling hidden state).
+  Tensor ForwardInference(const Tensor& x) override;
+
   void CollectParameters(std::vector<Parameter*>* out) override;
 
   int64_t hidden_size() const { return hidden_size_; }
@@ -52,6 +58,10 @@ class BiGru : public Module {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_output) override;
+
+  /// Both directions through the cache-free Gru::ForwardInference.
+  Tensor ForwardInference(const Tensor& x) override;
+
   void CollectParameters(std::vector<Parameter*>* out) override;
   void SetTraining(bool training) override;
 

@@ -45,6 +45,32 @@ Tensor LayerNorm::Forward(const Tensor& x) {
   return y;
 }
 
+Tensor LayerNorm::ForwardInference(const Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  CAMAL_CHECK_EQ(x.dim(1), features_);
+  const int64_t n = x.dim(0), d = features_, l = x.dim(2);
+  Tensor y = Tensor::Uninitialized({n, d, l});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t t = 0; t < l; ++t) {
+      double sum = 0.0, sq = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        const float v = x.at3(ni, j, t);
+        sum += v;
+        sq += static_cast<double>(v) * v;
+      }
+      const double mean = sum / d;
+      double var = sq / d - mean * mean;
+      if (var < 0.0) var = 0.0;
+      const float is = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      for (int64_t j = 0; j < d; ++j) {
+        const float xh = (x.at3(ni, j, t) - static_cast<float>(mean)) * is;
+        y.at3(ni, j, t) = gamma_.value.at(j) * xh + beta_.value.at(j);
+      }
+    }
+  }
+  return y;
+}
+
 Tensor LayerNorm::Backward(const Tensor& grad_output) {
   CAMAL_CHECK(grad_output.SameShape(x_hat_));
   const int64_t n = x_hat_.dim(0), d = features_, l = x_hat_.dim(2);

@@ -14,6 +14,10 @@ class LayerNorm : public Module {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_output) override;
+
+  /// Identical normalization without caching x_hat / inv_std for Backward.
+  Tensor ForwardInference(const Tensor& x) override;
+
   void CollectParameters(std::vector<Parameter*>* out) override;
 
  private:

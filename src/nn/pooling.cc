@@ -1,6 +1,40 @@
 #include "nn/pooling.h"
 
 namespace camal::nn {
+namespace {
+
+// One row of max pooling; records per-output argmax when am is non-null
+// (the training path needs it for Backward, inference skips it).
+void MaxPoolRow(const float* row, float* out, int64_t* am, int64_t l,
+                int64_t lo, int64_t kernel, int64_t stride, int64_t padding) {
+  for (int64_t t = 0; t < lo; ++t) {
+    const int64_t start = t * stride - padding;
+    const int64_t k0 = start < 0 ? -start : 0;
+    int64_t best_i = start + k0;
+    float best = row[best_i];
+    for (int64_t k = k0 + 1; k < kernel && start + k < l; ++k) {
+      if (row[start + k] > best) {
+        best = row[start + k];
+        best_i = start + k;
+      }
+    }
+    out[t] = best;
+    if (am != nullptr) am[t] = best_i;
+  }
+}
+
+// One row of average pooling (no padding; window `kernel`, step `stride`).
+void AvgPoolRow(const float* row, float* out, int64_t lo, int64_t kernel,
+                int64_t stride, float inv_k) {
+  for (int64_t t = 0; t < lo; ++t) {
+    float acc = 0.0f;
+    const int64_t start = t * stride;
+    for (int64_t k = 0; k < kernel; ++k) acc += row[start + k];
+    out[t] = acc * inv_k;
+  }
+}
+
+}  // namespace
 
 MaxPool1d::MaxPool1d(int64_t kernel, int64_t stride, int64_t padding)
     : kernel_(kernel), stride_(stride), padding_(padding) {
@@ -24,23 +58,25 @@ Tensor MaxPool1d::Forward(const Tensor& x) {
   argmax_.assign(static_cast<size_t>(n * c * lo), 0);
   for (int64_t ni = 0; ni < n; ++ni) {
     for (int64_t ci = 0; ci < c; ++ci) {
-      const float* row = x.data() + (ni * c + ci) * l;
-      float* out = y.data() + (ni * c + ci) * lo;
-      int64_t* am = argmax_.data() + (ni * c + ci) * lo;
-      for (int64_t t = 0; t < lo; ++t) {
-        const int64_t start = t * stride_ - padding_;
-        const int64_t k0 = start < 0 ? -start : 0;
-        int64_t best_i = start + k0;
-        float best = row[best_i];
-        for (int64_t k = k0 + 1; k < kernel_ && start + k < l; ++k) {
-          if (row[start + k] > best) {
-            best = row[start + k];
-            best_i = start + k;
-          }
-        }
-        out[t] = best;
-        am[t] = best_i;
-      }
+      MaxPoolRow(x.data() + (ni * c + ci) * l,
+                 y.data() + (ni * c + ci) * lo,
+                 argmax_.data() + (ni * c + ci) * lo, l, lo, kernel_,
+                 stride_, padding_);
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool1d::ForwardInference(const Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  const int64_t n = x.dim(0), c = x.dim(1), l = x.dim(2);
+  const int64_t lo = OutputLength(l);
+  Tensor y = Tensor::Uninitialized({n, c, lo});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      MaxPoolRow(x.data() + (ni * c + ci) * l,
+                 y.data() + (ni * c + ci) * lo, nullptr, l, lo, kernel_,
+                 stride_, padding_);
     }
   }
   return y;
@@ -82,14 +118,23 @@ Tensor AvgPool1d::Forward(const Tensor& x) {
   const float inv_k = 1.0f / static_cast<float>(kernel_);
   for (int64_t ni = 0; ni < n; ++ni) {
     for (int64_t ci = 0; ci < c; ++ci) {
-      const float* row = x.data() + (ni * c + ci) * l;
-      float* out = y.data() + (ni * c + ci) * lo;
-      for (int64_t t = 0; t < lo; ++t) {
-        float acc = 0.0f;
-        const int64_t start = t * stride_;
-        for (int64_t k = 0; k < kernel_; ++k) acc += row[start + k];
-        out[t] = acc * inv_k;
-      }
+      AvgPoolRow(x.data() + (ni * c + ci) * l,
+                 y.data() + (ni * c + ci) * lo, lo, kernel_, stride_, inv_k);
+    }
+  }
+  return y;
+}
+
+Tensor AvgPool1d::ForwardInference(const Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  const int64_t n = x.dim(0), c = x.dim(1), l = x.dim(2);
+  const int64_t lo = OutputLength(l);
+  Tensor y = Tensor::Uninitialized({n, c, lo});
+  const float inv_k = 1.0f / static_cast<float>(kernel_);
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      AvgPoolRow(x.data() + (ni * c + ci) * l,
+                 y.data() + (ni * c + ci) * lo, lo, kernel_, stride_, inv_k);
     }
   }
   return y;

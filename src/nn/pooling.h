@@ -18,7 +18,14 @@ class MaxPool1d : public Module {
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_output) override;
 
+  /// Forward without recording the per-output argmax Backward needs.
+  Tensor ForwardInference(const Tensor& x) override;
+
   int64_t OutputLength(int64_t input_length) const;
+
+  int64_t kernel() const { return kernel_; }
+  int64_t stride() const { return stride_; }
+  int64_t padding() const { return padding_; }
 
  private:
   int64_t kernel_;
@@ -36,7 +43,13 @@ class AvgPool1d : public Module {
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_output) override;
 
+  /// Forward without caching the input shape for Backward.
+  Tensor ForwardInference(const Tensor& x) override;
+
   int64_t OutputLength(int64_t input_length) const;
+
+  int64_t kernel() const { return kernel_; }
+  int64_t stride() const { return stride_; }
 
  private:
   int64_t kernel_;

@@ -5,6 +5,7 @@
 #include "nn/activations.h"
 #include "nn/batchnorm1d.h"
 #include "nn/conv1d.h"
+#include "nn/pooling.h"
 
 namespace camal::nn {
 
@@ -36,21 +37,53 @@ Tensor Sequential::ForwardInference(const Tensor& x) {
       i += 2;
       continue;
     }
-    // Collapse Conv -> BatchNorm(eval) [-> ReLU] into one fused pass: the
-    // BatchNorm affine and the ReLU clamp ride in the conv GEMM epilogue
-    // instead of re-streaming the activation tensor twice.
+    // Collapse Conv [-> BatchNorm(eval)] [-> ReLU]
+    // [-> MaxPool/AvgPool(w, w)] into one fused pass: the BatchNorm
+    // affine, the ReLU clamp, and the non-overlapping pool all ride in
+    // the conv GEMM epilogue instead of re-streaming the activation
+    // tensor once per layer — with a fused pool the full-size activation
+    // never materializes at all.
     auto* conv = dynamic_cast<Conv1d*>(layers_[i].get());
-    if (conv != nullptr && i + 1 < layers_.size()) {
-      auto* bn = dynamic_cast<BatchNorm1d*>(layers_[i + 1].get());
-      if (bn != nullptr && !bn->training()) {
-        const bool fuse_relu =
-            i + 2 < layers_.size() &&
-            dynamic_cast<ReLU*>(layers_[i + 2].get()) != nullptr;
-        std::vector<float> scale, shift;
-        bn->FusedAffine(&scale, &shift);
-        h = conv->ForwardInferenceFused(h, scale.data(), shift.data(),
-                                        fuse_relu);
-        i += fuse_relu ? 3 : 2;
+    if (conv != nullptr) {
+      size_t next = i + 1;
+      std::vector<float> scale, shift;
+      bool have_bn = false;
+      if (next < layers_.size()) {
+        auto* bn = dynamic_cast<BatchNorm1d*>(layers_[next].get());
+        if (bn != nullptr && !bn->training()) {
+          bn->FusedAffine(&scale, &shift);
+          have_bn = true;
+          ++next;
+        }
+      }
+      bool fuse_relu = false;
+      if (next < layers_.size() &&
+          dynamic_cast<ReLU*>(layers_[next].get()) != nullptr) {
+        fuse_relu = true;
+        ++next;
+      }
+      ConvPool pool = ConvPool::kNone;
+      int64_t pool_size = 1;
+      if (next < layers_.size()) {
+        if (auto* mp = dynamic_cast<MaxPool1d*>(layers_[next].get());
+            mp != nullptr && mp->kernel() == mp->stride() &&
+            mp->padding() == 0 && ConvGemmSupportsPool(mp->kernel())) {
+          pool = ConvPool::kMax;
+          pool_size = mp->kernel();
+          ++next;
+        } else if (auto* ap = dynamic_cast<AvgPool1d*>(layers_[next].get());
+                   ap != nullptr && ap->kernel() == ap->stride() &&
+                   ConvGemmSupportsPool(ap->kernel())) {
+          pool = ConvPool::kAvg;
+          pool_size = ap->kernel();
+          ++next;
+        }
+      }
+      if (have_bn || fuse_relu || pool != ConvPool::kNone) {
+        h = conv->ForwardInferenceFused(
+            h, have_bn ? scale.data() : nullptr,
+            have_bn ? shift.data() : nullptr, fuse_relu, pool, pool_size);
+        i = next;
         continue;
       }
     }

@@ -1,6 +1,48 @@
 #include "nn/upsample.h"
 
 namespace camal::nn {
+namespace {
+
+// Shared inference bodies: nearest-neighbour copies with no Backward state.
+Tensor UpsampleRows(const Tensor& x, int64_t factor) {
+  const int64_t n = x.dim(0), c = x.dim(1), l = x.dim(2);
+  Tensor y = Tensor::Uninitialized({n, c, l * factor});
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float* row = x.data() + (ni * c + ci) * l;
+      float* out = y.data() + (ni * c + ci) * l * factor;
+      for (int64_t t = 0; t < l; ++t) {
+        for (int64_t f = 0; f < factor; ++f) out[t * factor + f] = row[t];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor ResizeRows(const Tensor& x, int64_t target_length) {
+  const int64_t n = x.dim(0), c = x.dim(1), l = x.dim(2);
+  Tensor y = Tensor::Uninitialized({n, c, target_length});
+  // One divide per output position instead of one per element: the
+  // nearest-neighbour source map is shared by every (n, c) row.
+  std::vector<int64_t> src_of(static_cast<size_t>(target_length));
+  for (int64_t t = 0; t < target_length; ++t) {
+    int64_t src = t * l / target_length;
+    if (src >= l) src = l - 1;
+    src_of[static_cast<size_t>(t)] = src;
+  }
+  for (int64_t ni = 0; ni < n; ++ni) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float* row = x.data() + (ni * c + ci) * l;
+      float* out = y.data() + (ni * c + ci) * target_length;
+      for (int64_t t = 0; t < target_length; ++t) {
+        out[t] = row[src_of[static_cast<size_t>(t)]];
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace
 
 UpsampleNearest1d::UpsampleNearest1d(int64_t factor) : factor_(factor) {
   CAMAL_CHECK_GT(factor, 0);
@@ -9,18 +51,12 @@ UpsampleNearest1d::UpsampleNearest1d(int64_t factor) : factor_(factor) {
 Tensor UpsampleNearest1d::Forward(const Tensor& x) {
   CAMAL_CHECK_EQ(x.ndim(), 3);
   input_shape_ = x.shape();
-  const int64_t n = x.dim(0), c = x.dim(1), l = x.dim(2);
-  Tensor y({n, c, l * factor_});
-  for (int64_t ni = 0; ni < n; ++ni) {
-    for (int64_t ci = 0; ci < c; ++ci) {
-      const float* row = x.data() + (ni * c + ci) * l;
-      float* out = y.data() + (ni * c + ci) * l * factor_;
-      for (int64_t t = 0; t < l; ++t) {
-        for (int64_t f = 0; f < factor_; ++f) out[t * factor_ + f] = row[t];
-      }
-    }
-  }
-  return y;
+  return UpsampleRows(x, factor_);
+}
+
+Tensor UpsampleNearest1d::ForwardInference(const Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  return UpsampleRows(x, factor_);
 }
 
 Tensor UpsampleNearest1d::Backward(const Tensor& grad_output) {
@@ -49,20 +85,12 @@ ResizeNearest1d::ResizeNearest1d(int64_t target_length)
 Tensor ResizeNearest1d::Forward(const Tensor& x) {
   CAMAL_CHECK_EQ(x.ndim(), 3);
   input_shape_ = x.shape();
-  const int64_t n = x.dim(0), c = x.dim(1), l = x.dim(2);
-  Tensor y({n, c, target_length_});
-  for (int64_t ni = 0; ni < n; ++ni) {
-    for (int64_t ci = 0; ci < c; ++ci) {
-      const float* row = x.data() + (ni * c + ci) * l;
-      float* out = y.data() + (ni * c + ci) * target_length_;
-      for (int64_t t = 0; t < target_length_; ++t) {
-        int64_t src = t * l / target_length_;
-        if (src >= l) src = l - 1;
-        out[t] = row[src];
-      }
-    }
-  }
-  return y;
+  return ResizeRows(x, target_length_);
+}
+
+Tensor ResizeNearest1d::ForwardInference(const Tensor& x) {
+  CAMAL_CHECK_EQ(x.ndim(), 3);
+  return ResizeRows(x, target_length_);
 }
 
 Tensor ResizeNearest1d::Backward(const Tensor& grad_output) {

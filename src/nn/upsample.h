@@ -16,6 +16,9 @@ class UpsampleNearest1d : public Module {
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_output) override;
 
+  /// Forward without caching the input shape for Backward.
+  Tensor ForwardInference(const Tensor& x) override;
+
  private:
   int64_t factor_;
   std::vector<int64_t> input_shape_;
@@ -29,6 +32,9 @@ class ResizeNearest1d : public Module {
 
   Tensor Forward(const Tensor& x) override;
   Tensor Backward(const Tensor& grad_output) override;
+
+  /// Forward without caching the input shape for Backward.
+  Tensor ForwardInference(const Tensor& x) override;
 
  private:
   int64_t target_length_;

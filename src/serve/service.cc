@@ -9,7 +9,9 @@
 namespace camal::serve {
 
 Service::Service(ServiceOptions options)
-    : options_(std::move(options)), queue_(options_.queue_capacity) {
+    : options_(std::move(options)),
+      coalesce_budget_(options_.coalesce_budget),
+      queue_(options_.queue_capacity) {
   CAMAL_CHECK_GE(options_.workers, 0);
 }
 
@@ -93,11 +95,13 @@ void Service::WorkerLoop(Worker* worker) {
   // concurrently fan their conv GEMMs out to NumThreads()/W chunks each
   // instead of W times the whole pool.
   ParallelBudgetScope budget(inner_budget_);
-  const int64_t extra_budget =
-      static_cast<int64_t>(options_.coalesce_budget) - 1;
   QueuedScan first;
   std::vector<QueuedScan> extras;
-  while (queue_.PopGroup(&first, &extras, extra_budget)) {
+  // The coalescing budget re-reads per dequeue: it is runtime-adjustable
+  // (see set_coalesce_budget) and only shapes batching, never results.
+  while (queue_.PopGroup(
+      &first, &extras,
+      static_cast<int64_t>(coalesce_budget_.load()) - 1)) {
     BatchRunner* runner = worker->runners.at(first.request.appliance).get();
     ServeGroup(runner, &first, &extras);
   }

@@ -141,6 +141,15 @@ class Service {
   /// (NumThreads() / workers, at least 1). Meaningful after Start.
   int inner_budget() const { return inner_budget_; }
 
+  /// The live cross-request coalescing budget (initially
+  /// options().coalesce_budget). Runtime-adjustable: set_coalesce_budget
+  /// takes effect at each worker's next dequeue — safe at any time from
+  /// any thread, because coalescing is a batching policy, not a results
+  /// policy (coalesced scans are bitwise-identical to lone scans).
+  /// <= 1 disables draining. ShardedScanner re-pins this per cohort.
+  int coalesce_budget() const { return coalesce_budget_.load(); }
+  void set_coalesce_budget(int budget) { coalesce_budget_.store(budget); }
+
   ServiceStats stats() const;
 
   const ServiceOptions& options() const { return options_; }
@@ -174,6 +183,8 @@ class Service {
   std::future<Result<ScanResult>> Reject(Status status);
 
   ServiceOptions options_;
+  /// Live coalescing budget; see coalesce_budget().
+  std::atomic<int> coalesce_budget_;
   std::map<std::string, Appliance> appliances_;  // frozen at Start
   RequestQueue queue_;
   std::vector<std::unique_ptr<Worker>> workers_;

@@ -34,14 +34,21 @@ Service* ShardedScanner::EnsureService(int64_t cohort_size) {
   const int workers =
       PlanOuterShards(std::max<int64_t>(cohort_size, 1), options_.max_shards)
           .shards;
+  // Coalesce only when THIS cohort's households outnumber the pool: each
+  // worker then drains a deep queue of sibling households into shared
+  // GEMM batches (results are bitwise-identical, only batch occupancy
+  // changes). With one worker per household, draining siblings would
+  // serialize the very scans the shards parallelize, so the budget pins
+  // back to 1 — the service's budget is runtime-adjustable, so re-pinning
+  // per cohort needs no pool rebuild.
+  const int coalesce = cohort_size > workers
+                           ? std::max(1, options_.coalesce_budget)
+                           : 1;
   if (service_ == nullptr || service_->workers() < workers) {
     ServiceOptions service_options;
     service_options.workers = workers;
     service_options.queue_capacity = 0;  // whole cohorts, no backpressure
-    // No cross-request coalescing here: the pool is sized one worker per
-    // household (up to the cap), so letting one worker drain its siblings'
-    // households would serialize the very scans the shards parallelize.
-    service_options.coalesce_budget = 1;
+    service_options.coalesce_budget = coalesce;
     auto service = std::make_unique<Service>(service_options);
     CAMAL_CHECK(service
                     ->RegisterAppliance(kApplianceName, ensemble_,
@@ -54,6 +61,10 @@ Service* ShardedScanner::EnsureService(int64_t cohort_size) {
     // worker-0 ensemble while the new service's Start clones it.
     service_ = std::move(service);
   }
+  // Re-pin every call (a reused pool may have served a cohort of a
+  // different depth): no request is in flight here, so the next dequeues
+  // all see this cohort's budget.
+  service_->set_coalesce_budget(coalesce);
   return service_.get();
 }
 

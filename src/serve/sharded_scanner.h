@@ -16,6 +16,17 @@ struct ShardedScannerOptions {
   /// budget left over after the worker fan-out (NumThreads() / workers)
   /// serves the conv GEMMs inside each worker — see PlanOuterShards.
   int max_shards = 0;
+  /// Cross-request window coalescing budget applied to the internal
+  /// service WHEN a cohort's households outnumber the planned worker
+  /// pool — with more households than workers each worker serves a deep
+  /// queue, so draining same-appliance siblings into shared GEMM batches
+  /// is pure occupancy win (first step of the ROADMAP's adaptive
+  /// coalescing). The budget is re-pinned per ScanAll via the service's
+  /// runtime-adjustable setter: a cohort that fits the pool (one worker
+  /// per household) always runs with 1, since coalescing there would
+  /// serialize the scans the shards parallelize. Results are
+  /// bitwise-identical either way. <= 1 always disables.
+  int coalesce_budget = 8;
 };
 
 /// Synchronous whole-cohort scanning, as a thin wrapper over the
@@ -53,6 +64,11 @@ class ShardedScanner {
       const std::vector<const std::vector<float>*>& households);
 
   const ShardedScannerOptions& options() const { return options_; }
+
+  /// The internal service behind the last ScanAll (null before the first
+  /// scan) — read-only observability for telemetry and tests (its
+  /// coalesce_budget() / stats() show whether coalescing ran).
+  const Service* service() const { return service_.get(); }
 
  private:
   /// Builds (or grows) and starts the internal service, sizing its worker

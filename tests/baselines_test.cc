@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "baselines/crnn.h"
 #include "baselines/registry.h"
 #include "baselines/unet_nilm.h"
@@ -53,6 +56,56 @@ TEST_P(BaselineShapes, HasTrainableParameters) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllBaselineKinds, BaselineShapes, ::testing::ValuesIn(AllBaselines()),
+    [](const ::testing::TestParamInfo<BaselineKind>& info) {
+      std::string name = BaselineName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+class BaselineInferenceParity : public ::testing::TestWithParam<BaselineKind> {
+};
+
+TEST_P(BaselineInferenceParity, ForwardInferenceMatchesForward) {
+  // Every baseline must serve through the batched inference path with the
+  // same numbers the training kernels produce: sweep batch sizes
+  // {1, 7, 32} and two window lengths (the pooling baselines need
+  // multiples of 4; the others take genuinely odd lengths).
+  const BaselineKind kind = GetParam();
+  Rng rng(21);
+  auto model = MakeBaseline(kind, TinyScale(), &rng);
+  const bool pooled = kind == BaselineKind::kTpnilm ||
+                      kind == BaselineKind::kUnetNilm;
+  const std::vector<int64_t> lengths =
+      pooled ? std::vector<int64_t>{32, 36} : std::vector<int64_t>{32, 33};
+  // Drive BatchNorm running statistics off the identity first so the
+  // fused affine actually does something.
+  model->SetTraining(true);
+  for (int step = 0; step < 3; ++step) {
+    model->Forward(RandomInput({4, 1, lengths[0]}, 50 + step, -0.5, 1.5));
+  }
+  model->SetTraining(false);
+  for (int64_t n : {1, 7, 32}) {
+    for (int64_t l : lengths) {
+      nn::Tensor x = RandomInput({n, 1, l}, 7 * n + l, -0.5, 1.5);
+      nn::Tensor slow = model->Forward(x);
+      nn::Tensor fast = model->ForwardInference(x);
+      ASSERT_TRUE(slow.SameShape(fast)) << "n=" << n << " l=" << l;
+      double max_diff = 0.0;
+      for (int64_t i = 0; i < slow.numel(); ++i) {
+        max_diff = std::max(
+            max_diff, std::abs(static_cast<double>(slow.at(i)) - fast.at(i)));
+      }
+      EXPECT_LT(max_diff, 1e-4)
+          << BaselineName(kind) << " n=" << n << " l=" << l;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselineKinds, BaselineInferenceParity,
+    ::testing::ValuesIn(AllBaselines()),
     [](const ::testing::TestParamInfo<BaselineKind>& info) {
       std::string name = BaselineName(info.param);
       for (char& c : name) {

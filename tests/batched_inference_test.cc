@@ -9,6 +9,8 @@
 #include "nn/batchnorm1d.h"
 #include "nn/conv1d.h"
 #include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
 #include "nn/tensor.h"
 
 namespace camal {
@@ -79,6 +81,187 @@ TEST(Conv1dInferenceTest, AgreesWithForwardAcrossGeometries) {
     EXPECT_LT(MaxAbsDiff(slow, fast), 1e-5)
         << "cin=" << g.cin << " k=" << g.k << " stride=" << g.stride
         << " dil=" << g.dilation;
+  }
+}
+
+TEST(Conv1dInferenceTest, StridedDilatedParityAcrossBatchesAndLengths) {
+  // The generalized implicit-im2col kernel serves every geometry; sweep
+  // stride/dilation combinations over batch sizes {1, 7, 32} and odd
+  // input lengths (partial tiles, short outputs, output tails).
+  Rng rng(17);
+  struct Geometry {
+    int64_t cin, cout, k, stride, padding, dilation;
+  };
+  for (const Geometry& g : {Geometry{2, 5, 3, 2, 1, 1},
+                            Geometry{3, 4, 3, 3, 0, 1},
+                            Geometry{2, 6, 3, 1, 3, 3},
+                            Geometry{4, 7, 5, 2, 4, 2},
+                            Geometry{1, 3, 4, 3, 2, 2},
+                            Geometry{5, 2, 1, 2, 0, 1}}) {
+    nn::Conv1dOptions opt;
+    opt.in_channels = g.cin;
+    opt.out_channels = g.cout;
+    opt.kernel_size = g.k;
+    opt.stride = g.stride;
+    opt.padding = g.padding;
+    opt.dilation = g.dilation;
+    nn::Conv1d conv(opt, &rng);
+    for (int64_t n : {1, 7, 32}) {
+      for (int64_t lin : {17, 33, 41}) {
+        if (conv.OutputLength(lin) <= 0) continue;
+        nn::Tensor x = RandomTensor({n, g.cin, lin}, &rng);
+        nn::Tensor slow = conv.Forward(x);
+        nn::Tensor fast = conv.ForwardInference(x);
+        EXPECT_LT(MaxAbsDiff(slow, fast), 1e-4)
+            << "n=" << n << " lin=" << lin << " k=" << g.k
+            << " stride=" << g.stride << " dil=" << g.dilation;
+      }
+    }
+  }
+}
+
+TEST(Conv1dInferenceTest, StridedResultsAreBatchCompositionInvariant) {
+  // Serving coalesces windows from different requests into shared
+  // batches; per-sample outputs must be bitwise-independent of what else
+  // rides in the batch — now also for strided/dilated geometries.
+  Rng rng(19);
+  nn::Conv1dOptions opt;
+  opt.in_channels = 3;
+  opt.out_channels = 6;
+  opt.kernel_size = 3;
+  opt.stride = 2;
+  opt.padding = 2;
+  opt.dilation = 2;
+  nn::Conv1d conv(opt, &rng);
+  const int64_t n = 5, lin = 39;
+  nn::Tensor batch = RandomTensor({n, 3, lin}, &rng);
+  nn::Tensor batched = conv.ForwardInference(batch);
+  for (int64_t i = 0; i < n; ++i) {
+    nn::Tensor one({1, 3, lin});
+    for (int64_t c = 0; c < 3; ++c) {
+      for (int64_t t = 0; t < lin; ++t) one.at3(0, c, t) = batch.at3(i, c, t);
+    }
+    nn::Tensor single = conv.ForwardInference(one);
+    for (int64_t j = 0; j < single.numel(); ++j) {
+      EXPECT_EQ(single.at(j), batched.at(i * single.numel() + j))
+          << "sample " << i << " flat index " << j;
+    }
+  }
+}
+
+// Drives BatchNorm running statistics away from the identity so the
+// fused affine is non-trivial.
+void WarmBatchNorm(nn::BatchNorm1d* bn, int64_t channels, Rng* rng) {
+  bn->SetTraining(true);
+  for (int step = 0; step < 4; ++step) {
+    bn->Forward(RandomTensor({5, channels, 12}, rng));
+  }
+  bn->SetTraining(false);
+}
+
+TEST(FusedPoolTest, MaxPoolEpilogueMatchesSeparatePoolBitwise) {
+  // Conv+BN+ReLU+MaxPool(2,2) through Sequential::ForwardInference (one
+  // fused GEMM-with-pool pass) vs the same fused conv followed by a
+  // separate pool layer: identical to the last ULP, for even and odd
+  // (remainder-dropping) input lengths.
+  Rng rng(23);
+  auto seq = std::make_unique<nn::Sequential>();
+  nn::Conv1dOptions opt;
+  opt.in_channels = 3;
+  opt.out_channels = 9;
+  opt.kernel_size = 3;
+  opt.padding = opt.SamePadding();
+  opt.bias = false;
+  auto* conv = seq->Add(std::make_unique<nn::Conv1d>(opt, &rng));
+  auto* bn = seq->Add(std::make_unique<nn::BatchNorm1d>(9));
+  seq->Add(std::make_unique<nn::ReLU>());
+  auto* pool = seq->Add(std::make_unique<nn::MaxPool1d>(2, 2));
+  WarmBatchNorm(bn, 9, &rng);
+  seq->SetTraining(false);
+  for (int64_t lin : {40, 37}) {
+    nn::Tensor x = RandomTensor({4, 3, lin}, &rng);
+    nn::Tensor fused = seq->ForwardInference(x);
+    std::vector<float> scale, shift;
+    bn->FusedAffine(&scale, &shift);
+    nn::Tensor unpooled = conv->ForwardInferenceFused(
+        x, scale.data(), shift.data(), /*fuse_relu=*/true);
+    nn::Tensor separate = pool->ForwardInference(unpooled);
+    ASSERT_TRUE(fused.SameShape(separate)) << "lin=" << lin;
+    EXPECT_EQ(MaxAbsDiff(fused, separate), 0.0) << "lin=" << lin;
+    // Anchor against the unfused training path too (eval mode).
+    EXPECT_LT(MaxAbsDiff(fused, seq->Forward(x)), 1e-4) << "lin=" << lin;
+  }
+}
+
+TEST(FusedPoolTest, AvgPoolEpilogueMatchesSeparatePoolBitwise) {
+  // Conv(bias)+ReLU+AvgPool(w, w) across the tile-dividing windows the
+  // fusion admits (odd input length exercises the dropped remainder).
+  Rng rng(29);
+  for (int64_t pw : {2, 4, 8}) {
+    auto seq = std::make_unique<nn::Sequential>();
+    nn::Conv1dOptions opt;
+    opt.in_channels = 2;
+    opt.out_channels = 5;
+    opt.kernel_size = 5;
+    opt.padding = opt.SamePadding();
+    auto* conv = seq->Add(std::make_unique<nn::Conv1d>(opt, &rng));
+    seq->Add(std::make_unique<nn::ReLU>());
+    auto* pool =
+        seq->Add(std::make_unique<nn::AvgPool1d>(pw, pw));
+    seq->SetTraining(false);
+    nn::Tensor x = RandomTensor({3, 2, 38}, &rng);
+    nn::Tensor fused = seq->ForwardInference(x);
+    nn::Tensor unpooled = conv->ForwardInferenceFused(
+        x, /*channel_scale=*/nullptr, /*channel_shift=*/nullptr,
+        /*fuse_relu=*/true);
+    nn::Tensor separate = pool->ForwardInference(unpooled);
+    ASSERT_TRUE(fused.SameShape(separate)) << "pw=" << pw;
+    EXPECT_EQ(MaxAbsDiff(fused, separate), 0.0) << "pw=" << pw;
+    EXPECT_LT(MaxAbsDiff(fused, seq->Forward(x)), 1e-4) << "pw=" << pw;
+  }
+}
+
+TEST(FusedPoolTest, SupportedPoolWindowsDivideEveryTileTier) {
+  EXPECT_FALSE(nn::ConvGemmSupportsPool(1));
+  EXPECT_TRUE(nn::ConvGemmSupportsPool(2));
+  EXPECT_FALSE(nn::ConvGemmSupportsPool(3));  // correct, but not bitwise
+  EXPECT_TRUE(nn::ConvGemmSupportsPool(4));
+  EXPECT_TRUE(nn::ConvGemmSupportsPool(8));
+  EXPECT_TRUE(nn::ConvGemmSupportsPool(16));
+  EXPECT_FALSE(nn::ConvGemmSupportsPool(17));
+}
+
+TEST(FusedPoolTest, KernelHandlesNonDividingWindowsToRounding) {
+  // Pool windows that do not divide the tile width are not offered to
+  // the layer fusion (no bitwise guarantee), but the kernel itself must
+  // still produce the right values: check a 3-wide average pool against
+  // a manual conv-then-pool reference.
+  Rng rng(31);
+  const int64_t cin = 2, cout = 5, kernel = 5, lpad = 42, pw = 3;
+  nn::Tensor w = RandomTensor({cout, cin * kernel}, &rng);
+  nn::Tensor xpad = RandomTensor({cin, lpad}, &rng);
+  const int64_t lout = lpad - kernel + 1;
+  nn::Tensor conv = nn::Tensor::Uninitialized({cout, lout});
+  nn::ConvGemmParams p;
+  p.cout = cout;
+  p.cin = cin;
+  p.kernel = kernel;
+  p.lpad = lpad;
+  p.relu = true;
+  nn::ConvGemmEpilogue(w.data(), xpad.data(), conv.data(), p);
+  const int64_t lpool = lout / pw;
+  nn::Tensor fused = nn::Tensor::Uninitialized({cout, lpool});
+  p.pool = nn::ConvPool::kAvg;
+  p.pool_size = pw;
+  nn::ConvGemmEpilogue(w.data(), xpad.data(), fused.data(), p);
+  const float inv = 1.0f / static_cast<float>(pw);
+  for (int64_t c = 0; c < cout; ++c) {
+    for (int64_t g = 0; g < lpool; ++g) {
+      float acc = 0.0f;
+      for (int64_t r = 0; r < pw; ++r) acc += conv.at2(c, g * pw + r);
+      EXPECT_NEAR(fused.at2(c, g), acc * inv, 1e-5)
+          << "row " << c << " group " << g;
+    }
   }
 }
 

@@ -71,6 +71,39 @@ std::vector<LayerCase> AllLayerCases() {
                      return std::make_unique<Conv1d>(opt, rng);
                    },
                    {2, 2, 12}});
+  cases.push_back({"conv1d_stride3",
+                   [](Rng* rng) {
+                     Conv1dOptions opt;
+                     opt.in_channels = 2;
+                     opt.out_channels = 3;
+                     opt.kernel_size = 3;
+                     opt.stride = 3;
+                     return std::make_unique<Conv1d>(opt, rng);
+                   },
+                   {2, 2, 11}});
+  cases.push_back({"conv1d_dilation3",
+                   [](Rng* rng) {
+                     Conv1dOptions opt;
+                     opt.in_channels = 2;
+                     opt.out_channels = 3;
+                     opt.kernel_size = 3;
+                     opt.dilation = 3;
+                     opt.padding = 3;
+                     return std::make_unique<Conv1d>(opt, rng);
+                   },
+                   {2, 2, 10}});
+  cases.push_back({"conv1d_stride2_dil2_nopad",
+                   [](Rng* rng) {
+                     Conv1dOptions opt;
+                     opt.in_channels = 3;
+                     opt.out_channels = 2;
+                     opt.kernel_size = 4;
+                     opt.stride = 2;
+                     opt.dilation = 2;
+                     opt.bias = false;
+                     return std::make_unique<Conv1d>(opt, rng);
+                   },
+                   {2, 3, 13}});
   cases.push_back({"conv1d_no_bias",
                    [](Rng* rng) {
                      Conv1dOptions opt;

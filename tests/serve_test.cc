@@ -638,6 +638,52 @@ TEST(ShardedScannerTest, GrowsWorkerPoolForLargerCohorts) {
   }
 }
 
+TEST(ShardedScannerTest, CoalesceBudgetPassesThroughForDeepCohorts) {
+  // ROADMAP "adaptive coalescing" first step: when households outnumber
+  // the shard cap, each worker serves a deep queue, so the configured
+  // coalesce budget flows into the internal service; a cohort that fits
+  // the pool keeps the budget pinned at 1. Results stay bitwise-identical
+  // to sequential scans either way.
+  core::CamalEnsemble ensemble = RandomEnsemble(41);
+  serve::BatchRunnerOptions opt;
+  opt.stream = SmallStream(16, 8, 4);
+  opt.appliance_avg_power_w = 700.0f;
+  serve::ShardedScannerOptions sharded_opt;
+  sharded_opt.runner = opt;
+  sharded_opt.max_shards = 2;
+  sharded_opt.coalesce_budget = 4;
+  serve::ShardedScanner scanner(&ensemble, sharded_opt);
+
+  // One household can never outnumber the (>= 1 worker) pool: pinned off.
+  const std::vector<std::vector<float>> one = SyntheticCohort(1, 42);
+  ASSERT_EQ(scanner.ScanAll(one).size(), 1u);
+  ASSERT_NE(scanner.service(), nullptr);
+  EXPECT_EQ(scanner.service()->coalesce_budget(), 1);
+
+  // Nine households over at most two workers: deep queues, the configured
+  // budget flows into the (possibly rebuilt) service.
+  const std::vector<std::vector<float>> cohort = SyntheticCohort(9, 43);
+  std::vector<serve::ScanResult> scans = scanner.ScanAll(cohort);
+  EXPECT_EQ(scanner.service()->coalesce_budget(), 4);
+  serve::BatchRunner sequential(&ensemble, opt);
+  ASSERT_EQ(scans.size(), cohort.size());
+  for (size_t h = 0; h < cohort.size(); ++h) {
+    serve::ScanResult expected = sequential.Scan(cohort[h]);
+    ASSERT_EQ(scans[h].windows, expected.windows) << "household " << h;
+    for (int64_t t = 0; t < expected.detection.numel(); ++t) {
+      EXPECT_EQ(scans[h].detection.at(t), expected.detection.at(t));
+      EXPECT_EQ(scans[h].status.at(t), expected.status.at(t));
+      EXPECT_EQ(scans[h].power.at(t), expected.power.at(t));
+    }
+  }
+
+  // A later small cohort reuses the wider pool but re-pins the budget to
+  // 1 (runtime-adjustable — no rebuild): a cohort that fits the pool
+  // must not have one worker drain its siblings' households.
+  ASSERT_EQ(scanner.ScanAll(one).size(), 1u);
+  EXPECT_EQ(scanner.service()->coalesce_budget(), 1);
+}
+
 TEST(ShardedScannerTest, NullHouseholdPointerReturnsInvalidArgument) {
   // Regression: a null entry in the pointer-variant cohort used to be a
   // hard CAMAL_CHECK abort; it now surfaces as a Status through the
