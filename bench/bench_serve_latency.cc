@@ -6,7 +6,11 @@
 // the figure an operator sizing the worker pool cares about.
 
 #include <algorithm>
+#include <chrono>
+#include <cinttypes>
 #include <future>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -141,6 +145,198 @@ void DeepQueueScenario(const eval::BenchParams& params,
   }
 }
 
+/// Resident set size in KB from /proc/self/status, or -1 where the file
+/// does not exist (non-Linux).
+int64_t ReadVmRssKb() {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return -1;
+  char line[256];
+  long long kb = -1;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %lld", &kb) == 1) break;
+  }
+  std::fclose(file);
+  return kb;
+}
+
+/// Long-lived streaming sessions under Poisson-arriving appends: each
+/// household holds a serve::Session and keeps appending tail-sized deltas
+/// (one stride of samples), so the incremental path re-feeds only the
+/// window grid the new tail touches instead of rescanning the whole
+/// series. Reports steady-state append latency, resident memory at
+/// start/mid/end of the soak (per-session stitch state is the only thing
+/// that should grow, linearly and slowly), and the measured speedup of
+/// incremental appends over from-scratch rescans of the same prefixes.
+void SoakScenario(const eval::BenchParams& params,
+                  core::CamalEnsemble* ensemble,
+                  const serve::BatchRunnerOptions& runner) {
+  int sessions = 192;
+  int appends = 12;
+  if (params.mode == eval::BenchMode::kSmoke) {
+    sessions = 128;  // the CI gate wants >= 100 sessions, ~10 appends
+    appends = 10;
+  } else if (params.mode == eval::BenchMode::kFull) {
+    sessions = 512;
+    appends = 16;
+  }
+  const auto append_samples = static_cast<size_t>(runner.stream.stride);
+  const int workers = std::min(2, NumThreads());
+  // Poisson process over the whole fleet: fleet-wide arrival rate of one
+  // append per 100us keeps a deep, never-empty queue without letting the
+  // arrival loop outrun the workers entirely.
+  const double arrivals_per_second = 10'000.0;
+
+  std::printf("\nStreaming session soak — incremental append-and-rescan\n"
+              "(%d sessions x %d appends of %zu samples each, Poisson\n"
+              "arrivals at %.0f appends/sec, %d workers)\n",
+              sessions, appends, append_samples, arrivals_per_second,
+              workers);
+
+  serve::ServiceOptions service_opt;
+  service_opt.workers = workers;
+  service_opt.queue_capacity = 0;  // session flow control bounds appends
+  service_opt.coalesce_budget = 8;
+  serve::Service service(service_opt);
+  CAMAL_CHECK(service.RegisterAppliance("appliance", ensemble, runner).ok());
+  CAMAL_CHECK(service.Start().ok());
+
+  Rng rng(23);
+  std::vector<std::shared_ptr<serve::Session>> fleet;
+  fleet.reserve(static_cast<size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    serve::SessionOptions session_opt;
+    session_opt.household_id = "house_" + FmtInt(s);
+    fleet.push_back(service.CreateSession("appliance", session_opt).value());
+  }
+  auto make_chunk = [&] {
+    std::vector<float> chunk(append_samples);
+    for (auto& v : chunk) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
+    return chunk;
+  };
+
+  // Warm-up round (replicas, scratch, per-session state) before the RSS
+  // baseline, so "growth" below measures the steady state, not the first
+  // allocations.
+  {
+    std::vector<std::future<Result<serve::ScanResult>>> futures;
+    for (auto& session : fleet) {
+      futures.push_back(session->AppendReadings(make_chunk()));
+    }
+    for (auto& future : futures) CAMAL_CHECK(future.get().ok());
+  }
+  const int64_t rss_start_kb = ReadVmRssKb();
+  int64_t rss_mid_kb = rss_start_kb;
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<size_t>(sessions) *
+                       static_cast<size_t>(appends));
+  Stopwatch watch;
+  for (int round = 0; round < appends; ++round) {
+    std::vector<std::future<Result<serve::ScanResult>>> futures;
+    futures.reserve(fleet.size());
+    for (auto& session : fleet) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          rng.Exponential(arrivals_per_second)));
+      futures.push_back(session->AppendReadings(make_chunk()));
+    }
+    for (auto& future : futures) {
+      Result<serve::ScanResult> result = future.get();
+      CAMAL_CHECK(result.ok());
+      latencies_ms.push_back(result.value().latency_seconds * 1e3);
+    }
+    if (round == appends / 2) rss_mid_kb = ReadVmRssKb();
+  }
+  const double soak_wall = watch.ElapsedSeconds();
+  const int64_t rss_end_kb = ReadVmRssKb();
+  const serve::ServiceStats stats = service.stats();
+
+  // Lifecycle sweep: half the fleet closes like polite clients, the rest
+  // go silent and are reclaimed by the idle sweep.
+  for (int s = 0; s < sessions / 2; ++s) CAMAL_CHECK(fleet[s]->Close().ok());
+  const int64_t evicted = service.EvictIdleSessions(0.0);
+  CAMAL_CHECK(service.live_sessions() == 0);
+  service.Shutdown();
+
+  // Incremental-vs-rescan speedup, measured directly on a BatchRunner
+  // (the service is down, so the shared ensemble is free): replay one
+  // session's append sequence, then from-scratch scan every prefix.
+  const int replay = appends + 1;
+  serve::BatchRunner incremental(ensemble, runner);
+  serve::BatchRunner reference(ensemble, runner);
+  std::vector<std::vector<float>> chunks;
+  for (int k = 0; k < replay; ++k) chunks.push_back(make_chunk());
+  serve::SessionScanState state;
+  Stopwatch incremental_watch;
+  for (const auto& chunk : chunks) incremental.AppendScan(&state, chunk);
+  const double incremental_s = incremental_watch.ElapsedSeconds();
+  std::vector<float> prefix;
+  Stopwatch rescan_watch;
+  for (const auto& chunk : chunks) {
+    prefix.insert(prefix.end(), chunk.begin(), chunk.end());
+    reference.Scan(prefix);
+  }
+  const double rescan_s = rescan_watch.ElapsedSeconds();
+  const double speedup = incremental_s > 0.0 ? rescan_s / incremental_s : 0.0;
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double p50 = Percentile(latencies_ms, 0.50);
+  const double p95 = Percentile(latencies_ms, 0.95);
+  const double p99 = Percentile(latencies_ms, 0.99);
+  const double aps = soak_wall > 0.0
+                         ? static_cast<double>(latencies_ms.size()) / soak_wall
+                         : 0.0;
+  const double growth_pct =
+      rss_mid_kb > 0 ? 100.0 *
+                           static_cast<double>(rss_end_kb - rss_mid_kb) /
+                           static_cast<double>(rss_mid_kb)
+                     : 0.0;
+
+  TablePrinter table({"Appends", "Appends/sec", "p50 ms", "p95 ms", "p99 ms",
+                      "Windows saved"});
+  table.AddRow({FmtInt(static_cast<int64_t>(latencies_ms.size())),
+                Fmt(aps, 1), Fmt(p50, 1), Fmt(p95, 1), Fmt(p99, 1),
+                FmtInt(stats.incremental_windows_saved)});
+  table.Print(stdout);
+  std::printf("\nsteady-state RSS: start %lld KB, mid %lld KB, end %lld KB "
+              "(growth after mid-soak %.1f%%)\n",
+              static_cast<long long>(rss_start_kb),
+              static_cast<long long>(rss_mid_kb),
+              static_cast<long long>(rss_end_kb), growth_pct);
+  std::printf("sessions: %lld created, %lld closed by clients, %lld "
+              "reclaimed by the idle sweep, %lld readings appended\n",
+              static_cast<long long>(stats.sessions_created),
+              static_cast<long long>(sessions) -
+                  static_cast<long long>(evicted),
+              static_cast<long long>(evicted),
+              static_cast<long long>(stats.appended_readings));
+  std::printf("incremental speedup vs full rescan: %.2fx over %d tail-sized "
+              "appends (%.3fs incremental, %.3fs rescans)\n",
+              speedup, replay, incremental_s, rescan_s);
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"serve_soak\",\n";
+  json += "  \"sessions\": " + FmtInt(sessions) + ",\n";
+  json += "  \"appends_per_session\": " + FmtInt(appends) + ",\n";
+  json += "  \"append_samples\": " +
+          FmtInt(static_cast<int64_t>(append_samples)) + ",\n";
+  json += "  \"appends_per_sec\": " + Fmt(aps, 2) + ",\n";
+  json += "  \"p50_ms\": " + Fmt(p50, 3) + ",\n";
+  json += "  \"p95_ms\": " + Fmt(p95, 3) + ",\n";
+  json += "  \"p99_ms\": " + Fmt(p99, 3) + ",\n";
+  json += "  \"rss_start_kb\": " + FmtInt(rss_start_kb) + ",\n";
+  json += "  \"rss_mid_kb\": " + FmtInt(rss_mid_kb) + ",\n";
+  json += "  \"rss_end_kb\": " + FmtInt(rss_end_kb) + ",\n";
+  json += "  \"rss_growth_after_mid_pct\": " + Fmt(growth_pct, 2) + ",\n";
+  json += "  \"incremental_windows_saved\": " +
+          FmtInt(stats.incremental_windows_saved) + ",\n";
+  json += "  \"sessions_evicted\": " + FmtInt(evicted) + ",\n";
+  json += "  \"incremental_seconds\": " + Fmt(incremental_s, 4) + ",\n";
+  json += "  \"rescan_seconds\": " + Fmt(rescan_s, 4) + ",\n";
+  json += "  \"incremental_speedup\": " + Fmt(speedup, 3) + "\n";
+  json += "}\n";
+  bench::WriteTextFile("BENCH_soak.json", json);
+}
+
 void Run() {
   bench::PrintHeader("Serving latency — async serve::Service",
                      "serving extension (request latency vs workers)");
@@ -264,6 +460,7 @@ void Run() {
               NumThreads());
 
   DeepQueueScenario(params, &ensemble, runner);
+  SoakScenario(params, &ensemble, runner);
 }
 
 }  // namespace

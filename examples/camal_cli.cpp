@@ -21,6 +21,7 @@
 #include <cstring>
 #include <future>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -225,7 +226,7 @@ int CmdServe(const Args& args) {
     std::fprintf(stderr,
                  "usage: camal_cli serve <model_dir> <data_dir> --appliance "
                  "NAME [--window 128] [--workers 0] [--queue 0] "
-                 "[--coalesce 8] [--avg-power 800]\n");
+                 "[--coalesce 8] [--avg-power 800] [--session-chunk 0]\n");
     return 1;
   }
   auto ensemble_result = core::LoadEnsemble(args.positional[0]);
@@ -279,16 +280,52 @@ int CmdServe(const Args& args) {
               appliance.c_str(), service.workers(), capacity.c_str(),
               houses.size());
 
-  // The async path end to end: submit every household, then harvest the
-  // futures in admission order and report per-request latency.
+  // Streaming mode (--session-chunk N): one serve::Session per household,
+  // its aggregate replayed in N-sample deltas as if the meter reported
+  // live. Every append rescans only the windows the new tail touches, and
+  // the final result is bitwise-identical to the one-shot scan below.
+  const int64_t session_chunk = args.FlagInt("session-chunk", 0);
   std::vector<std::future<Result<serve::ScanResult>>> futures;
   futures.reserve(houses.size());
-  for (const data::HouseRecord& house : houses) {
-    serve::ScanRequest request;
-    request.household_id = "house_" + std::to_string(house.house_id);
-    request.appliance = appliance;
-    request.series = &house.aggregate;
-    futures.push_back(service.Submit(std::move(request)));
+  std::vector<std::shared_ptr<serve::Session>> sessions;
+  if (session_chunk > 0) {
+    sessions.reserve(houses.size());
+    for (const data::HouseRecord& house : houses) {
+      serve::SessionOptions session_opt;
+      session_opt.household_id = "house_" + std::to_string(house.house_id);
+      // Every chunk of the replay is admitted up front; the session
+      // serializer parks them, so the park must hold the whole backlog.
+      session_opt.max_pending_appends =
+          static_cast<int64_t>(house.aggregate.size()) / session_chunk + 1;
+      auto session_result = service.CreateSession(appliance, session_opt);
+      if (!session_result.ok()) return Fail(session_result.status());
+      sessions.push_back(std::move(session_result).value());
+    }
+    for (size_t h = 0; h < houses.size(); ++h) {
+      const std::vector<float>& series = houses[h].aggregate;
+      const auto n = static_cast<int64_t>(series.size());
+      std::future<Result<serve::ScanResult>> last;
+      for (int64_t begin = 0; begin < n || begin == 0;
+           begin += session_chunk) {
+        const int64_t len = std::min(session_chunk, n - begin);
+        last = sessions[h]->AppendReadings(series.data() + begin, len);
+      }
+      // Only the final append's future is harvested: it covers the whole
+      // series, which is what the per-house report wants. The sessions
+      // close after the harvest — closing now would fail the parked
+      // appends behind the one in flight.
+      futures.push_back(std::move(last));
+    }
+  } else {
+    // The async path end to end: submit every household, then harvest the
+    // futures in admission order and report per-request latency.
+    for (const data::HouseRecord& house : houses) {
+      serve::ScanRequest request;
+      request.household_id = "house_" + std::to_string(house.house_id);
+      request.appliance = appliance;
+      request.series = &house.aggregate;
+      futures.push_back(service.Submit(std::move(request)));
+    }
   }
   double total_latency_s = 0.0;
   int64_t served = 0;
@@ -304,15 +341,33 @@ int CmdServe(const Args& args) {
     for (int64_t t = 0; t < scan.status.numel(); ++t) {
       on_samples += scan.status.at(t) > 0.5f ? 1 : 0;
     }
+    // In streaming mode the harvested result is the LAST append: report
+    // the windows covering the whole series (windows_full), not the
+    // handful the incremental tail rescan actually fed.
     std::printf("house %-3d: %6lld windows, %6lld samples ON, "
                 "latency %8.1f ms (%.0f windows/s)\n",
-                houses[h].house_id, static_cast<long long>(scan.windows),
+                houses[h].house_id,
+                static_cast<long long>(session_chunk > 0 ? scan.windows_full
+                                                         : scan.windows),
                 static_cast<long long>(on_samples),
                 scan.latency_seconds * 1e3, scan.WindowsPerSecond());
     total_latency_s += scan.latency_seconds;
     ++served;
   }
+  for (auto& session : sessions) {
+    Status closed = session->Close();
+    if (!closed.ok()) return Fail(closed);
+  }
   const serve::ServiceStats stats = service.stats();
+  if (session_chunk > 0) {
+    std::printf("sessions: %lld created, %lld closed, %lld appends "
+                "(%lld readings), %lld windows saved vs full rescans\n",
+                static_cast<long long>(stats.sessions_created),
+                static_cast<long long>(stats.sessions_closed),
+                static_cast<long long>(stats.session_appends),
+                static_cast<long long>(stats.appended_readings),
+                static_cast<long long>(stats.incremental_windows_saved));
+  }
   std::printf("served %lld/%zu requests, mean latency %.1f ms "
               "(%lld rejected invalid, %lld rejected by backpressure)\n",
               static_cast<long long>(served), houses.size(),

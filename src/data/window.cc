@@ -21,4 +21,20 @@ bool WindowIsComplete(const std::vector<float>& values, int64_t offset,
   return true;
 }
 
+int64_t GridWindowCount(int64_t series_length, int64_t window_length,
+                        int64_t stride) {
+  if (window_length <= 0 || stride <= 0 || series_length < window_length) {
+    return 0;
+  }
+  return (series_length - window_length) / stride + 1;
+}
+
+bool GridLeavesTail(int64_t series_length, int64_t window_length,
+                    int64_t stride) {
+  if (window_length <= 0 || stride <= 0 || series_length < window_length) {
+    return false;
+  }
+  return (series_length - window_length) % stride != 0;
+}
+
 }  // namespace camal::data

@@ -19,6 +19,24 @@ std::vector<int64_t> TumblingWindowOffsets(int64_t series_length,
 bool WindowIsComplete(const std::vector<float>& values, int64_t offset,
                       int64_t length);
 
+/// Number of stride-grid windows (offsets 0, stride, 2*stride, ...) of
+/// \p window_length that fit a series of \p series_length samples. The
+/// grid is append-only: growing the series never moves or removes an
+/// existing grid window, which is what lets a streaming session keep its
+/// committed windows' stitch votes across appends.
+int64_t GridWindowCount(int64_t series_length, int64_t window_length,
+                        int64_t stride);
+
+/// True when the stride grid leaves trailing samples uncovered, i.e. the
+/// serving window plan adds an end-aligned tail window at
+/// series_length - window_length on top of the grid. False for series
+/// shorter than one window (no grid) and for series the grid covers
+/// exactly — a duplicate tail there would double the last window's votes.
+/// Unlike grid windows the tail moves with the series end, so streaming
+/// sessions recompute it on every append instead of persisting its votes.
+bool GridLeavesTail(int64_t series_length, int64_t window_length,
+                    int64_t stride);
+
 }  // namespace camal::data
 
 #endif  // CAMAL_DATA_WINDOW_H_

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "core/localizer.h"
 #include "serve/window_stream.h"
 
@@ -23,6 +24,11 @@ struct ScanResult {
   nn::Tensor status;     ///< (T) 0/1 activation by majority vote of windows.
   nn::Tensor power;      ///< (T) estimated appliance Watts (§IV-C).
   int64_t windows = 0;   ///< windows processed.
+  /// Windows a from-scratch scan of the full series would process. Equal
+  /// to `windows` for one-shot scans; for incremental session appends the
+  /// gap windows_full - windows is the feed work the persisted stitch
+  /// state saved.
+  int64_t windows_full = 0;
   /// Wall-clock inference time of the scan. For a series served inside a
   /// coalesced ScanMany group this is the shared pass's time (the group
   /// was inferred together, so its members are not separable).
@@ -36,6 +42,34 @@ struct ScanResult {
   double WindowsPerSecond() const {
     return seconds > 0.0 ? static_cast<double>(windows) / seconds : 0.0;
   }
+};
+
+/// Persisted stitch state of one streaming household: everything an
+/// incremental rescan needs to extend the household's result without
+/// re-feeding committed windows. Owned by serve::Session (or any caller
+/// driving AppendScan directly); BatchRunner only reads and extends it,
+/// so state created by one runner can be appended to by another — the
+/// per-window forward results it caches votes from are replica- and
+/// batch-composition-invariant.
+///
+/// The accumulators hold STRIDE-GRID window votes only. Grid windows
+/// never move once committed (growing a series only appends offsets),
+/// while the end-aligned tail window — and the zero-padded window of a
+/// series still shorter than one window — depends on the current series
+/// end, so every append recomputes it into a transient overlay that is
+/// summed after the grid votes. That reproduces a from-scratch stitch's
+/// accumulation order (grid windows ascending, tail last) bit for bit,
+/// which is what makes incremental results bitwise-identical to a full
+/// rescan of the concatenated series.
+struct SessionScanState {
+  std::vector<float> series;      ///< committed aggregate readings (owned).
+  int64_t grid_windows = 0;       ///< grid windows already accumulated.
+  std::vector<float> prob_sum;    ///< per-timestamp grid probability sum.
+  std::vector<int32_t> cover;     ///< grid windows covering each timestamp.
+  std::vector<int32_t> on_votes;  ///< grid ON votes per timestamp.
+
+  /// Readings committed so far.
+  int64_t readings() const { return static_cast<int64_t>(series.size()); }
 };
 
 /// End-to-end batched serving for one appliance: slices a household
@@ -76,6 +110,34 @@ class BatchRunner {
   std::vector<ScanResult> ScanMany(
       const std::vector<const std::vector<float>*>& series);
 
+  /// Incremental rescan: appends \p delta to \p state's committed series
+  /// and feeds ONLY the windows the new tail touches — grid windows not
+  /// yet committed plus the end-aligned tail (or short-series pad) window
+  /// — reusing the persisted votes for everything else. Returns the
+  /// full-series result, bitwise-identical to Scan(state->series) after
+  /// the append; its `windows` counts only the windows actually fed.
+  /// Empty deltas are fine (they re-finalize without feeding anything).
+  /// Not thread-safe, like Scan; concurrent appends to one state are the
+  /// caller's bug (serve::Service serializes per session).
+  ScanResult AppendScan(SessionScanState* state,
+                        const std::vector<float>& delta);
+
+  /// Coalesced incremental rescan of several sessions: one feed phase
+  /// carries every session's new windows, so distinct households' appends
+  /// share GEMM batches exactly like ScanMany coalesces one-shot scans.
+  /// states[i] / deltas[i] pair up; entries must not be null and states
+  /// must be distinct. results[i] is bitwise-identical to
+  /// Scan(states[i]->series) after its append. Not thread-safe.
+  std::vector<ScanResult> AppendScanMany(
+      const std::vector<SessionScanState*>& states,
+      const std::vector<const std::vector<float>*>& deltas);
+
+  /// Validates scan options without constructing a runner — the Status
+  /// mirror of the constructor's programmer-error CHECKs, for callers
+  /// (serve::Service::RegisterAppliance) that take options from
+  /// configuration and must reject bad ones instead of aborting.
+  static Status ValidateOptions(const BatchRunnerOptions& options);
+
   const BatchRunnerOptions& options() const { return options_; }
 
  private:
@@ -110,12 +172,47 @@ class BatchRunner {
   void FinalizeSeries(const std::vector<float>& aggregate_watts,
                       const SeriesState& state, ScanResult* result);
 
+  /// Transient accumulators for the end-dependent window of one append
+  /// (the tail or short-series pad window), kept out of the persisted
+  /// grid accumulators because the series end moves on every append.
+  struct OverlayState {
+    bool active = false;  ///< this append has a tail or pad window.
+    /// Series coordinate of overlay index 0; negative for a pad window
+    /// (the synthetic zeros occupy [offset, 0)).
+    int64_t offset = 0;
+    std::vector<float> padded;    ///< padded feed copy when len < window.
+    std::vector<float> prob_sum;  ///< window-length vote buffers.
+    std::vector<int32_t> cover;
+    std::vector<int32_t> on_votes;
+  };
+
+  /// Folds one localized batch of an append into the owning session's
+  /// persistent grid accumulators or its transient overlay.
+  void StitchAppendBatch(const core::LocalizationResult& loc,
+                         const std::vector<WindowRef>& refs, int64_t batch,
+                         const std::vector<SessionScanState*>& states,
+                         const std::vector<int32_t>& feed_state,
+                         const std::vector<uint8_t>& feed_overlay,
+                         std::vector<ScanResult>* results);
+
+  /// Sums persistent grid votes and the overlay into \p result's
+  /// detection/status series (overlay last, like a from-scratch stitch).
+  void FinalizeAppend(const SessionScanState& state,
+                      const OverlayState& overlay, ScanResult* result);
+
+  /// §IV-C power estimation over \p result's stitched status — shared by
+  /// one-shot and incremental finalization so both force power to 0 at
+  /// missing readings the same way.
+  void FinalizePower(const std::vector<float>& aggregate_watts,
+                     ScanResult* result);
+
   core::CamalEnsemble* ensemble_;
   core::CamalLocalizer localizer_;
   BatchRunnerOptions options_;
   // Scan scratch reused across calls (one scan stitches hundreds of
   // batches; per-batch allocation churn showed up in serving profiles).
   std::vector<SeriesState> states_;
+  std::vector<OverlayState> overlays_;  ///< append scratch, like states_.
   std::vector<WindowRef> batch_refs_;
   nn::Tensor batch_;
 };

@@ -4,7 +4,8 @@ namespace camal::serve {
 
 RequestQueue::RequestQueue(int64_t capacity) : capacity_(capacity) {}
 
-Status RequestQueue::Push(QueuedScan* task, bool* rejected_full) {
+Status RequestQueue::Push(QueuedScan* task, bool* rejected_full,
+                          bool force) {
   CAMAL_CHECK(task != nullptr);
   if (rejected_full != nullptr) *rejected_full = false;
   {
@@ -12,7 +13,7 @@ Status RequestQueue::Push(QueuedScan* task, bool* rejected_full) {
     if (closed_) {
       return Status::FailedPrecondition("request queue is shut down");
     }
-    if (capacity_ > 0 &&
+    if (!force && capacity_ > 0 &&
         static_cast<int64_t>(tasks_.size()) >= capacity_) {
       if (rejected_full != nullptr) *rejected_full = true;
       return Status::FailedPrecondition(

@@ -6,7 +6,9 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,23 +17,50 @@
 
 namespace camal::serve {
 
+class Session;
+
 /// One asynchronous scan request submitted to serve::Service.
+///
+/// The series travels one of two ways — set exactly one:
+///  - `series`: BORROWED. The caller's buffer must stay alive until the
+///    request's future resolves. Right for batch clients that own a
+///    cohort for the whole call (ShardedScanner).
+///  - `owned_series`: OWNED. The request carries the buffer itself, so
+///    the caller may return immediately — the fire-and-forget shape the
+///    borrowed pointer made a lifetime footgun. Session appends always
+///    use this form; Submit(appliance, series) builds it for one-shots.
 struct ScanRequest {
   /// Caller-chosen identifier echoed through logs and benches; the service
-  /// itself does not interpret it.
+  /// itself does not interpret it. Session appends carry the session id.
   std::string household_id;
   /// Name of a registered appliance (Service::RegisterAppliance).
   std::string appliance;
-  /// Aggregate series in unscaled Watts (NaN = missing reading). Borrowed:
-  /// must stay alive until the request's future resolves.
+  /// Aggregate series in unscaled Watts (NaN = missing reading). Borrowed;
+  /// see the struct contract.
   const std::vector<float>* series = nullptr;
+  /// Owning alternative to `series`; see the struct contract. For a
+  /// session append this is the delta, not a full series.
+  std::optional<std::vector<float>> owned_series;
 };
+
+/// The effective series of a request: the owned buffer when present,
+/// otherwise the borrowed pointer (null when the caller set neither).
+/// Resolve only on the request's final resting place — the owned buffer's
+/// address changes whenever the enclosing QueuedScan moves.
+inline const std::vector<float>* RequestSeries(const ScanRequest& request) {
+  return request.owned_series.has_value() ? &*request.owned_series
+                                          : request.series;
+}
 
 /// A validated request waiting in the admission queue, paired with the
 /// promise its worker fulfills and the admission timestamp that
 /// ScanResult::latency_seconds is measured from.
 struct QueuedScan {
   ScanRequest request;
+  /// Non-null: this task is a session append (request.owned_series holds
+  /// the delta) and the worker routes it through AppendScanMany against
+  /// the session's persisted stitch state.
+  std::shared_ptr<Session> session;
   std::promise<Result<ScanResult>> promise;
   std::chrono::steady_clock::time_point admitted;
 };
@@ -55,8 +84,14 @@ class RequestQueue {
   /// is left intact and a kFailedPrecondition status is returned; when
   /// \p rejected_full is non-null it is set to whether the failure was the
   /// capacity bound (backpressure) rather than shutdown — the distinction
-  /// ServiceStats telemetry reports.
-  Status Push(QueuedScan* task, bool* rejected_full = nullptr);
+  /// ServiceStats telemetry reports. \p force bypasses the capacity bound
+  /// (never the closed check): session appends use it, both at admission
+  /// and at the worker handoff that re-queues a session's next parked
+  /// append — session flow control is per-session (max_pending_appends),
+  /// and bouncing a handoff off the global bound would strand the parked
+  /// backlog behind an in_flight flag nobody clears.
+  Status Push(QueuedScan* task, bool* rejected_full = nullptr,
+              bool force = false);
 
   /// Blocks until a task is available (returns true) or the queue is
   /// closed and fully drained (returns false).

@@ -34,6 +34,9 @@ Status Service::RegisterAppliance(std::string name,
   if (ensemble->members().empty()) {
     return Status::InvalidArgument("appliance ensemble has no members");
   }
+  // Scan options come from configuration; bad ones must surface as a
+  // Status here instead of aborting inside a worker's BatchRunner.
+  CAMAL_RETURN_NOT_OK(BatchRunner::ValidateOptions(runner));
   Appliance appliance;
   appliance.ensemble = ensemble;
   appliance.runner = runner;
@@ -110,17 +113,27 @@ void Service::WorkerLoop(Worker* worker) {
 void Service::ServeGroup(BatchRunner* runner, QueuedScan* first,
                          std::vector<QueuedScan>* extras) {
   // The group: head task plus the same-appliance extras PopGroup drained,
-  // in admission order.
+  // in admission order. Split it by kind — one-shot scans run one
+  // coalesced ScanMany pass, session appends one coalesced AppendScanMany
+  // pass, so distinct households' appends share GEMM batches with each
+  // other (two appends of ONE session can't meet here: the session
+  // serializer admits one at a time).
   std::vector<QueuedScan*> tasks;
   tasks.reserve(1 + extras->size());
   tasks.push_back(first);
   for (QueuedScan& extra : *extras) tasks.push_back(&extra);
+  std::vector<QueuedScan*> scans;
+  std::vector<QueuedScan*> appends;
+  for (QueuedScan* task : tasks) {
+    (task->session != nullptr ? appends : scans).push_back(task);
+  }
 
   // Scan inside try; fulfill promises outside, so each promise is resolved
   // exactly once whatever happens. Before this guard a throwing scan left
   // every promise of the group unfulfilled — the submitters blocked
   // forever on their futures — and unwound the worker thread for good.
-  std::vector<ScanResult> results;
+  std::vector<ScanResult> scan_results;
+  std::vector<ScanResult> append_results;
   Status failure = Status::OK();
   try {
     if (options_.pre_scan_hook) {
@@ -128,17 +141,28 @@ void Service::ServeGroup(BatchRunner* runner, QueuedScan* first,
         options_.pre_scan_hook(task->request);
       }
     }
-    if (tasks.size() == 1) {
-      results.push_back(runner->Scan(*first->request.series));
-    } else {
+    if (!scans.empty()) {
       std::vector<const std::vector<float>*> series;
-      series.reserve(tasks.size());
-      for (const QueuedScan* task : tasks) {
-        series.push_back(task->request.series);
+      series.reserve(scans.size());
+      for (const QueuedScan* task : scans) {
+        series.push_back(RequestSeries(task->request));
       }
       // One shared feed phase for the whole group; per-request stitches
       // stay independent, so results match per-request scans bitwise.
-      results = runner->ScanMany(series);
+      scan_results = runner->ScanMany(series);
+    }
+    if (!appends.empty()) {
+      std::vector<SessionScanState*> states;
+      std::vector<const std::vector<float>*> deltas;
+      states.reserve(appends.size());
+      deltas.reserve(appends.size());
+      for (QueuedScan* task : appends) {
+        states.push_back(&task->session->scan_state_);
+        deltas.push_back(RequestSeries(task->request));
+      }
+      append_results = runner->AppendScanMany(states, deltas);
+    }
+    if (tasks.size() > 1) {
       coalesced_groups_.fetch_add(1, std::memory_order_relaxed);
       coalesced_requests_.fetch_add(static_cast<int64_t>(tasks.size()),
                                     std::memory_order_relaxed);
@@ -155,14 +179,39 @@ void Service::ServeGroup(BatchRunner* runner, QueuedScan* first,
     for (QueuedScan* task : tasks) {
       task->promise.set_value(Result<ScanResult>(failure));
     }
+    // A faulted append leaves its session's stitch state half-updated;
+    // close those sessions so later appends can't serve corrupt results.
+    for (QueuedScan* task : appends) {
+      FailSession(task->session, failure);
+    }
     return;
   }
   const auto now = std::chrono::steady_clock::now();
-  for (size_t i = 0; i < tasks.size(); ++i) {
-    results[i].latency_seconds =
-        std::chrono::duration<double>(now - tasks[i]->admitted).count();
+  const auto fulfill = [&](QueuedScan* task, ScanResult result) {
+    result.latency_seconds =
+        std::chrono::duration<double>(now - task->admitted).count();
     completed_.fetch_add(1, std::memory_order_relaxed);
-    tasks[i]->promise.set_value(std::move(results[i]));
+    task->promise.set_value(std::move(result));
+  };
+  for (size_t i = 0; i < scans.size(); ++i) {
+    fulfill(scans[i], std::move(scan_results[i]));
+  }
+  for (size_t i = 0; i < appends.size(); ++i) {
+    QueuedScan* task = appends[i];
+    session_appends_.fetch_add(1, std::memory_order_relaxed);
+    appended_readings_.fetch_add(
+        static_cast<int64_t>(RequestSeries(task->request)->size()),
+        std::memory_order_relaxed);
+    windows_saved_.fetch_add(
+        append_results[i].windows_full - append_results[i].windows,
+        std::memory_order_relaxed);
+    // Commit the session (readings gauge, next parked append) BEFORE the
+    // promise resolves: a caller that wakes on the future must see
+    // session->readings() reflect this append. The task dies with the
+    // group, so pin the session first.
+    std::shared_ptr<Session> session = std::move(task->session);
+    FinishAppend(session);
+    fulfill(task, std::move(append_results[i]));
   }
 }
 
@@ -186,7 +235,11 @@ std::future<Result<ScanResult>> Service::Submit(ScanRequest request) {
     return Reject(
         Status::InvalidArgument("request has an empty appliance name"));
   }
-  if (request.series == nullptr) {
+  if (request.owned_series.has_value() && request.series != nullptr) {
+    return Reject(Status::InvalidArgument(
+        "request sets both series (borrowed) and owned_series"));
+  }
+  if (RequestSeries(request) == nullptr) {
     return Reject(Status::InvalidArgument("request series is null"));
   }
   // appliances_ is frozen once state_ is kRunning, so lock-free reads are
@@ -215,6 +268,208 @@ std::future<Result<ScanResult>> Service::Submit(ScanRequest request) {
   return future;
 }
 
+std::future<Result<ScanResult>> Service::Submit(std::string appliance,
+                                                std::vector<float> series) {
+  ScanRequest request;
+  request.appliance = std::move(appliance);
+  request.owned_series = std::move(series);
+  return Submit(std::move(request));
+}
+
+Result<std::shared_ptr<Session>> Service::CreateSession(
+    const std::string& appliance, SessionOptions options) {
+  if (state_.load() != State::kRunning) {
+    return Status::FailedPrecondition(
+        state_.load() == State::kIdle ? "service is not started"
+                                      : "service is shut down");
+  }
+  if (appliance.empty()) {
+    return Status::InvalidArgument("appliance name must not be empty");
+  }
+  if (appliances_.find(appliance) == appliances_.end()) {
+    return Status::NotFound("appliance '" + appliance +
+                            "' is not registered");
+  }
+  if (options.max_pending_appends < 0) {
+    return Status::InvalidArgument("max_pending_appends must be >= 0");
+  }
+  // Opportunistic sweep: a fleet that only ever opens sessions still
+  // reclaims the ones whose households went silent.
+  if (options_.session_idle_seconds > 0.0) {
+    EvictIdleSessions(options_.session_idle_seconds);
+  }
+  std::string id =
+      options.household_id.empty()
+          ? "session-" + std::to_string(session_seq_.fetch_add(1) + 1)
+          : options.household_id;
+  std::shared_ptr<Session> session(
+      new Session(this, std::move(id), appliance, std::move(options)));
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (!sessions_.emplace(session->id(), session).second) {
+      return Status::InvalidArgument("session '" + session->id() +
+                                     "' already exists");
+    }
+  }
+  sessions_created_.fetch_add(1, std::memory_order_relaxed);
+  return session;
+}
+
+std::future<Result<ScanResult>> Service::AppendReadings(
+    const std::shared_ptr<Session>& session, std::vector<float> readings) {
+  if (session == nullptr || session->service_ != this) {
+    return Reject(Status::InvalidArgument(
+        "session does not belong to this service"));
+  }
+  if (state_.load() != State::kRunning) {
+    return Reject(Status::FailedPrecondition(
+        state_.load() == State::kIdle ? "service is not started"
+                                      : "service is shut down"));
+  }
+  QueuedScan task;
+  task.request.household_id = session->id();
+  task.request.appliance = session->appliance();
+  task.request.owned_series = std::move(readings);
+  task.session = session;
+  task.admitted = std::chrono::steady_clock::now();
+  std::future<Result<ScanResult>> future = task.promise.get_future();
+
+  std::lock_guard<std::mutex> lock(session->mu_);
+  if (session->closed_) {
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    task.promise.set_value(Result<ScanResult>(Status::FailedPrecondition(
+        "session '" + session->id() + "' is closed")));
+    return future;
+  }
+  session->last_active_ = std::chrono::steady_clock::now();
+  if (session->in_flight_) {
+    // Same-session appends serialize: park behind the in-flight one; the
+    // worker that finishes it hands the head of the park to the queue.
+    if (static_cast<int64_t>(session->pending_.size()) >=
+        session->options_.max_pending_appends) {
+      rejected_backpressure_.fetch_add(1, std::memory_order_relaxed);
+      task.promise.set_value(Result<ScanResult>(Status::FailedPrecondition(
+          "session '" + session->id() +
+          "' append backlog is full (backpressure, max " +
+          std::to_string(session->options_.max_pending_appends) + ")")));
+      return future;
+    }
+    session->pending_.push_back(std::move(task));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    return future;
+  }
+  session->in_flight_ = true;
+  Status admitted = queue_.Push(&task, nullptr, /*force=*/true);
+  if (!admitted.ok()) {
+    // Shutdown closed the queue between the state check and here.
+    session->in_flight_ = false;
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    task.promise.set_value(Result<ScanResult>(std::move(admitted)));
+    return future;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+void Service::DrainPendingLocked(Session* session, const Status& status) {
+  while (!session->pending_.empty()) {
+    QueuedScan parked = std::move(session->pending_.front());
+    session->pending_.pop_front();
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    parked.promise.set_value(Result<ScanResult>(status));
+  }
+}
+
+Status Service::CloseSession(const std::shared_ptr<Session>& session) {
+  if (session == nullptr || session->service_ != this) {
+    return Status::InvalidArgument("session does not belong to this service");
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.erase(session->id());
+  }
+  std::lock_guard<std::mutex> lock(session->mu_);
+  if (session->closed_) return Status::OK();  // idempotent
+  session->closed_ = true;
+  sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  // An already-running append still completes (it was admitted); parked
+  // ones were promised to a household that no longer exists, so they fail
+  // now instead of scanning a closed session.
+  DrainPendingLocked(session.get(),
+                     Status::FailedPrecondition("session '" + session->id() +
+                                                "' is closed"));
+  return Status::OK();
+}
+
+void Service::FailSession(const std::shared_ptr<Session>& session,
+                          const Status& failure) {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.erase(session->id());
+  }
+  std::lock_guard<std::mutex> lock(session->mu_);
+  if (!session->closed_) {
+    session->closed_ = true;
+    sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  DrainPendingLocked(session.get(), failure);
+  session->in_flight_ = false;
+}
+
+int64_t Service::EvictIdleSessions(double idle_seconds) {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::shared_ptr<Session>> evicted;
+  {
+    std::lock_guard<std::mutex> map_lock(sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      Session* session = it->second.get();
+      bool evict = false;
+      {
+        std::lock_guard<std::mutex> lock(session->mu_);
+        // Only truly quiescent sessions go: anything queued, parked, or
+        // running keeps the session alive, so eviction can never yank
+        // stitch state out from under a worker.
+        evict = !session->closed_ && !session->in_flight_ &&
+                session->pending_.empty() &&
+                std::chrono::duration<double>(now - session->last_active_)
+                        .count() >= idle_seconds;
+        if (evict) session->closed_ = true;
+      }
+      if (evict) {
+        evicted.push_back(std::move(it->second));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  sessions_evicted_.fetch_add(static_cast<int64_t>(evicted.size()),
+                              std::memory_order_relaxed);
+  return static_cast<int64_t>(evicted.size());
+}
+
+int64_t Service::live_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return static_cast<int64_t>(sessions_.size());
+}
+
+void Service::FinishAppend(const std::shared_ptr<Session>& session) {
+  std::lock_guard<std::mutex> lock(session->mu_);
+  session->committed_readings_ = session->scan_state_.readings();
+  session->last_active_ = std::chrono::steady_clock::now();
+  while (!session->pending_.empty()) {
+    QueuedScan next = std::move(session->pending_.front());
+    session->pending_.pop_front();
+    Status admitted = queue_.Push(&next, nullptr, /*force=*/true);
+    if (admitted.ok()) return;  // still in flight; the next worker continues
+    // Queue closed mid-stream (shutdown): this parked append and every
+    // one behind it fail — they were never admitted to the queue.
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    next.promise.set_value(Result<ScanResult>(admitted));
+  }
+  session->in_flight_ = false;
+}
+
 void Service::Shutdown() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (state_.load() != State::kRunning) {
@@ -229,6 +484,24 @@ void Service::Shutdown() {
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
+  // With the workers joined, no append is in flight and (FinishAppend
+  // drained against the closed queue) none is parked; close whatever
+  // sessions remain so handles read closed and late appends fail fast.
+  std::map<std::string, std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
+    sessions.swap(sessions_);
+  }
+  for (auto& [id, session] : sessions) {
+    std::lock_guard<std::mutex> session_lock(session->mu_);
+    if (!session->closed_) {
+      session->closed_ = true;
+      sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    DrainPendingLocked(session.get(),
+                       Status::FailedPrecondition("service is shut down"));
+    session->in_flight_ = false;
+  }
 }
 
 ServiceStats Service::stats() const {
@@ -242,6 +515,15 @@ ServiceStats Service::stats() const {
   stats.coalesced_groups = coalesced_groups_.load(std::memory_order_relaxed);
   stats.coalesced_requests =
       coalesced_requests_.load(std::memory_order_relaxed);
+  stats.sessions_created = sessions_created_.load(std::memory_order_relaxed);
+  stats.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  stats.sessions_evicted = sessions_evicted_.load(std::memory_order_relaxed);
+  stats.live_sessions = live_sessions();
+  stats.session_appends = session_appends_.load(std::memory_order_relaxed);
+  stats.appended_readings =
+      appended_readings_.load(std::memory_order_relaxed);
+  stats.incremental_windows_saved =
+      windows_saved_.load(std::memory_order_relaxed);
   return stats;
 }
 

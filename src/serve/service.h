@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "serve/request_queue.h"
+#include "serve/session.h"
 
 namespace camal::serve {
 
@@ -37,6 +38,12 @@ struct ServiceOptions {
   /// drained request rides its group instead of a possibly idle other
   /// worker, so latency-critical shallow-queue deployments may prefer 1.
   int coalesce_budget = 8;
+  /// Streaming sessions idle at least this long — no append queued,
+  /// parked, or running since — become eligible for eviction, swept
+  /// opportunistically on each CreateSession (no background thread to
+  /// configure or leak). <= 0 disables the sweep; EvictIdleSessions
+  /// evicts on demand either way.
+  double session_idle_seconds = 0.0;
   /// Test seam (fault injection): runs on the worker thread immediately
   /// before each request is scanned. An exception thrown here — or
   /// anywhere in the scan — resolves the affected requests' futures with
@@ -61,6 +68,16 @@ struct ServiceStats {
   /// coalesced scans = coalesced_requests / coalesced_groups.
   int64_t coalesced_groups = 0;
   int64_t coalesced_requests = 0;
+  /// Streaming-session telemetry.
+  int64_t sessions_created = 0;
+  int64_t sessions_closed = 0;   ///< by CloseSession, faults, or Shutdown.
+  int64_t sessions_evicted = 0;  ///< reclaimed by idle eviction.
+  int64_t live_sessions = 0;     ///< gauge: sessions open right now.
+  int64_t session_appends = 0;   ///< append scans completed.
+  int64_t appended_readings = 0;  ///< samples committed through appends.
+  /// Feed windows the persisted stitch state saved versus from-scratch
+  /// rescans: sum over completed appends of windows_full - windows.
+  int64_t incremental_windows_saved = 0;
 
   /// All rejections, whatever the reason.
   int64_t rejected_total() const {
@@ -90,10 +107,19 @@ struct ServiceStats {
 /// only ever see validated requests; a scan that throws resolves the
 /// affected futures with kInternal and the worker lives on.
 ///
+/// Streaming households use sessions instead of one-shot Submits:
+/// CreateSession opens a long-lived handle whose AppendReadings deltas
+/// rescan incrementally against persisted stitch state — bitwise-
+/// identical to a from-scratch scan of the concatenated series, at the
+/// cost of only the windows the new tail touches. Session appends ride
+/// the same queue, workers, and coalescing as one-shot requests.
+///
 /// Shutdown is graceful: admission stops at once, every request already
-/// admitted is still served, then workers join. The destructor calls
-/// Shutdown. Requests borrow their series, which must stay alive until
-/// the request's future resolves.
+/// admitted is still served, then workers join and live sessions close.
+/// The destructor calls Shutdown. A borrowed-series request
+/// (ScanRequest::series) must keep its buffer alive until the request's
+/// future resolves; owned-series requests and session appends carry
+/// their buffers.
 class Service {
  public:
   explicit Service(ServiceOptions options = {});
@@ -120,11 +146,56 @@ class Service {
 
   /// Validates and enqueues \p request. Always returns a future: on
   /// rejection it is already resolved with the non-OK Status (see the
-  /// class contract for codes). Thread-safe.
+  /// class contract for codes). Thread-safe. The request must set exactly
+  /// one of `series` (borrowed — the caller's buffer must outlive the
+  /// future) and `owned_series` (the request carries the buffer).
   std::future<Result<ScanResult>> Submit(ScanRequest request);
 
-  /// Stops admission, serves every admitted request, joins the workers.
-  /// Idempotent; safe to race with Submit (late submissions are rejected).
+  /// Owning one-shot convenience: the request carries \p series, so the
+  /// caller has no buffer to keep alive — use this instead of a borrowed
+  /// ScanRequest unless the series already outlives the call.
+  std::future<Result<ScanResult>> Submit(std::string appliance,
+                                         std::vector<float> series);
+
+  /// Opens a streaming session for \p appliance (see Session for the
+  /// lifecycle and serialization contract). kFailedPrecondition before
+  /// Start / after Shutdown, kNotFound for an unregistered appliance,
+  /// kInvalidArgument for bad options or a duplicate live household_id.
+  /// Thread-safe. When ServiceOptions::session_idle_seconds > 0 this also
+  /// sweeps idle sessions first.
+  Result<std::shared_ptr<Session>> CreateSession(const std::string& appliance,
+                                                 SessionOptions options = {});
+
+  /// Appends \p readings to \p session and rescans incrementally. Always
+  /// returns a future; on success it resolves to the FULL-series result,
+  /// bitwise-identical to a from-scratch scan of everything appended so
+  /// far. Appends to one session serialize in submission order; at most
+  /// max_pending_appends may park behind the in-flight one before
+  /// kFailedPrecondition backpressure. A closed / evicted session or a
+  /// shut-down service rejects with kFailedPrecondition. Thread-safe.
+  std::future<Result<ScanResult>> AppendReadings(
+      const std::shared_ptr<Session>& session, std::vector<float> readings);
+
+  /// Closes \p session: parked appends fail with kFailedPrecondition (an
+  /// already-running one still completes), later appends are rejected,
+  /// and the service drops its reference. Idempotent. Thread-safe.
+  Status CloseSession(const std::shared_ptr<Session>& session);
+
+  /// Evicts every session whose last append activity is at least
+  /// \p idle_seconds ago and that has nothing queued, parked, or running.
+  /// Evicted sessions read as closed. Returns how many were evicted.
+  /// Thread-safe; safe to race with appends — a session that becomes
+  /// active between the check and the evict is skipped, never corrupted.
+  int64_t EvictIdleSessions(double idle_seconds);
+
+  /// Sessions currently open (the ServiceStats::live_sessions gauge).
+  int64_t live_sessions() const;
+
+  /// Stops admission, serves every admitted request, joins the workers,
+  /// then closes every live session — parked appends admitted after the
+  /// queue closed fail with kFailedPrecondition, so every future returned
+  /// by Submit/AppendReadings resolves. Idempotent; safe to race with
+  /// Submit (late submissions are rejected).
   void Shutdown();
 
   /// True between a successful Start and Shutdown.
@@ -173,11 +244,28 @@ class Service {
   void WorkerLoop(Worker* worker);
 
   /// Serves one dequeued group (head task plus same-appliance extras) on
-  /// \p runner: a lone task through Scan, a group through one coalesced
-  /// ScanMany pass. Every task's promise is resolved exactly once — with
-  /// its ScanResult, or with kInternal if the scan threw.
+  /// \p runner: one-shot tasks through one coalesced ScanMany pass,
+  /// session appends through one coalesced AppendScanMany pass (a group
+  /// never holds two appends of the same session — the session serializer
+  /// admits one at a time). Every task's promise is resolved exactly once
+  /// — with its ScanResult, or with kInternal if the scan threw, which
+  /// also closes the affected sessions (their stitch state is suspect).
   void ServeGroup(BatchRunner* runner, QueuedScan* first,
                   std::vector<QueuedScan>* extras);
+
+  /// Post-append session handoff, on the worker thread: commits the
+  /// readings gauge, then either hands the next parked append to the
+  /// queue (the session stays in flight) or clears the in-flight flag.
+  void FinishAppend(const std::shared_ptr<Session>& session);
+
+  /// Closes \p session after its append faulted: parked appends fail,
+  /// the handle reads closed, the service drops its reference.
+  void FailSession(const std::shared_ptr<Session>& session,
+                   const Status& failure);
+
+  /// Fails every parked append of \p session with \p status and counts
+  /// them failed. Caller holds session->mu_.
+  void DrainPendingLocked(Session* session, const Status& status);
 
   /// Ready future carrying \p status; counts an invalid-request rejection.
   std::future<Result<ScanResult>> Reject(Status status);
@@ -191,6 +279,12 @@ class Service {
   int inner_budget_ = 1;  ///< nested-GEMM budget per worker (see Start).
   std::atomic<State> state_{State::kIdle};
   std::mutex lifecycle_mu_;  ///< serializes Register/Start/Shutdown.
+  /// Live sessions by id; guarded by sessions_mu_ (lock order: before any
+  /// Session::mu_). Values are shared with caller handles, so erasing
+  /// here never frees a session somebody still appends through.
+  mutable std::mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  std::atomic<int64_t> session_seq_{0};  ///< auto-generated id counter.
   mutable std::atomic<int64_t> accepted_{0};
   mutable std::atomic<int64_t> rejected_invalid_{0};
   mutable std::atomic<int64_t> rejected_backpressure_{0};
@@ -198,6 +292,12 @@ class Service {
   mutable std::atomic<int64_t> failed_{0};
   mutable std::atomic<int64_t> coalesced_groups_{0};
   mutable std::atomic<int64_t> coalesced_requests_{0};
+  mutable std::atomic<int64_t> sessions_created_{0};
+  mutable std::atomic<int64_t> sessions_closed_{0};
+  mutable std::atomic<int64_t> sessions_evicted_{0};
+  mutable std::atomic<int64_t> session_appends_{0};
+  mutable std::atomic<int64_t> appended_readings_{0};
+  mutable std::atomic<int64_t> windows_saved_{0};
 };
 
 }  // namespace camal::serve

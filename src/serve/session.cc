@@ -1,0 +1,43 @@
+#include "serve/session.h"
+
+#include <utility>
+
+#include "serve/service.h"
+
+namespace camal::serve {
+
+Session::Session(Service* service, std::string id, std::string appliance,
+                 SessionOptions options)
+    : service_(service),
+      id_(std::move(id)),
+      appliance_(std::move(appliance)),
+      options_(std::move(options)),
+      last_active_(std::chrono::steady_clock::now()) {}
+
+int64_t Session::readings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_readings_;
+}
+
+bool Session::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::future<Result<ScanResult>> Session::AppendReadings(
+    std::vector<float> readings) {
+  return service_->AppendReadings(shared_from_this(), std::move(readings));
+}
+
+std::future<Result<ScanResult>> Session::AppendReadings(const float* readings,
+                                                        int64_t count) {
+  CAMAL_CHECK(count >= 0);
+  CAMAL_CHECK(count == 0 || readings != nullptr);
+  if (count == 0) return AppendReadings(std::vector<float>());
+  return AppendReadings(std::vector<float>(
+      readings, readings + static_cast<size_t>(count)));
+}
+
+Status Session::Close() { return service_->CloseSession(shared_from_this()); }
+
+}  // namespace camal::serve

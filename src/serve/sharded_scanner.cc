@@ -69,18 +69,10 @@ Service* ShardedScanner::EnsureService(int64_t cohort_size) {
 }
 
 Result<std::vector<ScanResult>> ShardedScanner::ScanAll(
-    const std::vector<const std::vector<float>*>& households) {
+    const std::vector<std::vector<float>>& households) {
   const size_t n = households.size();
   std::vector<ScanResult> results(n);
   if (n == 0) return results;
-  // Reject malformed cohorts before spinning up any worker: a null entry
-  // is a caller bug surfaced as a Status, not UB inside a worker thread.
-  for (size_t i = 0; i < n; ++i) {
-    if (households[i] == nullptr) {
-      return Status::InvalidArgument("household series " + std::to_string(i) +
-                                     " is null");
-    }
-  }
 
   Service* service = EnsureService(static_cast<int64_t>(n));
   std::vector<std::future<Result<ScanResult>>> futures;
@@ -89,7 +81,10 @@ Result<std::vector<ScanResult>> ShardedScanner::ScanAll(
     ScanRequest request;
     request.household_id = std::to_string(i);
     request.appliance = kApplianceName;
-    request.series = households[i];
+    // Borrowed on purpose: the cohort outlives this call, and copying
+    // every household into owning requests would double the scan's
+    // resident footprint.
+    request.series = &households[i];
     futures.push_back(service->Submit(std::move(request)));
   }
   for (size_t i = 0; i < n; ++i) {
@@ -100,15 +95,6 @@ Result<std::vector<ScanResult>> ShardedScanner::ScanAll(
     results[i] = std::move(result).value();
   }
   return results;
-}
-
-std::vector<ScanResult> ShardedScanner::ScanAll(
-    const std::vector<std::vector<float>>& households) {
-  std::vector<const std::vector<float>*> pointers;
-  pointers.reserve(households.size());
-  for (const auto& series : households) pointers.push_back(&series);
-  // Pointers are never null here, so the value() cannot abort.
-  return std::move(ScanAll(pointers)).value();
 }
 
 }  // namespace camal::serve

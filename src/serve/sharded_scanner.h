@@ -52,16 +52,14 @@ class ShardedScanner {
                  ShardedScannerOptions options);
   ~ShardedScanner();
 
-  /// Scans every household; results[i] corresponds to households[i].
-  std::vector<ScanResult> ScanAll(
-      const std::vector<std::vector<float>>& households);
-
-  /// Pointer variant for cohorts whose series live elsewhere (borrowed).
-  /// A null entry returns kInvalidArgument naming the offending index —
-  /// surfaced as a Status through the service's validation, never UB or
-  /// an abort.
+  /// Scans every household; results[i] corresponds to households[i]. A
+  /// lifecycle fault in the internal service surfaces as the Status — the
+  /// one error contract shared with serve::Service. (The old pointer-based
+  /// overload is gone: its null-entry and dangling-series hazards bought
+  /// nothing a caller can't get from serve::Service directly, which also
+  /// offers an owning Submit for series that live elsewhere.)
   Result<std::vector<ScanResult>> ScanAll(
-      const std::vector<const std::vector<float>*>& households);
+      const std::vector<std::vector<float>>& households);
 
   const ShardedScannerOptions& options() const { return options_; }
 

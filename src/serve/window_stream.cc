@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "data/time_series.h"
+#include "data/window.h"
 
 namespace camal::serve {
 namespace {
@@ -43,15 +44,19 @@ void EnsureBatchShape(nn::Tensor* inputs, int64_t b, int64_t l) {
 std::vector<int64_t> ComputeWindowOffsets(
     int64_t len, const WindowStreamOptions& options) {
   const int64_t l = options.window_length;
+  const int64_t grid = data::GridWindowCount(len, l, options.stride);
   std::vector<int64_t> offsets;
-  for (int64_t off = 0; off + l <= len; off += options.stride) {
-    offsets.push_back(off);
+  offsets.reserve(static_cast<size_t>(grid) + 1);
+  for (int64_t k = 0; k < grid; ++k) {
+    offsets.push_back(k * options.stride);
   }
   // Tail window: align to the series end so trailing samples the stride
   // grid skipped still get covered. When the last grid window already
   // ends at the series end ((len - l) % stride == 0) no tail is added —
-  // a duplicate offset would double that window's stitch votes.
-  if (len >= l && (offsets.empty() || offsets.back() + l < len)) {
+  // a duplicate offset would double that window's stitch votes. The same
+  // data::GridLeavesTail predicate drives the incremental session plan,
+  // so the streaming and one-shot window sets can never disagree.
+  if (data::GridLeavesTail(len, l, options.stride)) {
     offsets.push_back(len - l);
   }
   return offsets;
@@ -99,6 +104,25 @@ MultiWindowStream::MultiWindowStream(
     for (int64_t off : offsets) {
       refs_.push_back(WindowRef{static_cast<int32_t>(s), off});
     }
+  }
+}
+
+MultiWindowStream::MultiWindowStream(
+    std::vector<const std::vector<float>*> series, WindowStreamOptions options,
+    std::vector<WindowRef> refs)
+    : series_(std::move(series)), options_(options), refs_(std::move(refs)) {
+  CheckOptions(options_);
+  windows_per_series_.assign(series_.size(), 0);
+  for (const std::vector<float>* s : series_) CAMAL_CHECK(s != nullptr);
+  const int64_t l = options_.window_length;
+  for (const WindowRef& ref : refs_) {
+    CAMAL_CHECK_GE(ref.series, 0);
+    CAMAL_CHECK_LT(static_cast<size_t>(ref.series), series_.size());
+    CAMAL_CHECK_GE(ref.offset, 0);
+    CAMAL_CHECK_LE(
+        ref.offset + l,
+        static_cast<int64_t>(series_[static_cast<size_t>(ref.series)]->size()));
+    ++windows_per_series_[static_cast<size_t>(ref.series)];
   }
 }
 

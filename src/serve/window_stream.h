@@ -92,6 +92,15 @@ class MultiWindowStream {
   MultiWindowStream(std::vector<const std::vector<float>*> series,
                     WindowStreamOptions options);
 
+  /// Explicit-window variant, the feeder of incremental session rescans:
+  /// emits exactly \p refs, in the given order, instead of every window
+  /// of every series. Each ref must address a series in \p series and fit
+  /// inside it (offset >= 0, offset + window_length <= size). Rows fill
+  /// through the same path as the full streams, so a window's model input
+  /// is bit-for-bit independent of which stream variant cut it.
+  MultiWindowStream(std::vector<const std::vector<float>*> series,
+                    WindowStreamOptions options, std::vector<WindowRef> refs);
+
   /// Total windows across every series.
   int64_t NumWindows() const { return static_cast<int64_t>(refs_.size()); }
 

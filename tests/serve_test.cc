@@ -17,6 +17,7 @@
 #include "core/ensemble.h"
 #include "core/inception.h"
 #include "core/resnet.h"
+#include "data/window.h"
 #include "serve/batch_runner.h"
 #include "serve/request_queue.h"
 #include "serve/service.h"
@@ -517,7 +518,7 @@ TEST(ShardedScannerTest, MatchesSequentialScansBitwise) {
   serve::ShardedScannerOptions sharded_opt;
   sharded_opt.runner = opt;
   serve::ShardedScanner scanner(&ensemble, sharded_opt);
-  std::vector<serve::ScanResult> sharded = scanner.ScanAll(cohort);
+  std::vector<serve::ScanResult> sharded = scanner.ScanAll(cohort).value();
 
   serve::BatchRunner sequential(&ensemble, opt);
   ASSERT_EQ(sharded.size(), cohort.size());
@@ -554,8 +555,8 @@ TEST(ShardedScannerTest, ShardCapDoesNotChangeResults) {
   wide_opt.runner = opt;
   serve::ShardedScanner wide(&ensemble, wide_opt);
 
-  std::vector<serve::ScanResult> a = serial.ScanAll(cohort);
-  std::vector<serve::ScanResult> b = wide.ScanAll(cohort);
+  std::vector<serve::ScanResult> a = serial.ScanAll(cohort).value();
+  std::vector<serve::ScanResult> b = wide.ScanAll(cohort).value();
   ASSERT_EQ(a.size(), b.size());
   for (size_t h = 0; h < a.size(); ++h) {
     ASSERT_EQ(a[h].windows, b[h].windows);
@@ -589,7 +590,7 @@ TEST(ShardedScannerTest, ClonesNonDefaultBackboneConfigs) {
   opt.runner.appliance_avg_power_w = 500.0f;
   serve::ShardedScanner scanner(&ensemble, opt);
   const std::vector<std::vector<float>> cohort = SyntheticCohort(8, 23);
-  std::vector<serve::ScanResult> scans = scanner.ScanAll(cohort);
+  std::vector<serve::ScanResult> scans = scanner.ScanAll(cohort).value();
 
   serve::BatchRunner sequential(&ensemble, opt.runner);
   for (size_t h = 0; h < cohort.size(); ++h) {
@@ -605,7 +606,8 @@ TEST(ShardedScannerTest, EmptyCohortYieldsNoResults) {
   serve::ShardedScannerOptions opt;
   opt.runner.stream = SmallStream(16, 8, 4);
   serve::ShardedScanner scanner(&ensemble, opt);
-  EXPECT_TRUE(scanner.ScanAll(std::vector<std::vector<float>>()).empty());
+  EXPECT_TRUE(
+      scanner.ScanAll(std::vector<std::vector<float>>()).value().empty());
 }
 
 TEST(ShardedScannerTest, GrowsWorkerPoolForLargerCohorts) {
@@ -621,10 +623,10 @@ TEST(ShardedScannerTest, GrowsWorkerPoolForLargerCohorts) {
   serve::ShardedScanner scanner(&ensemble, sharded_opt);
 
   const std::vector<std::vector<float>> warmup = SyntheticCohort(1, 38);
-  ASSERT_EQ(scanner.ScanAll(warmup).size(), 1u);
+  ASSERT_EQ(scanner.ScanAll(warmup).value().size(), 1u);
 
   const std::vector<std::vector<float>> cohort = SyntheticCohort(9, 39);
-  std::vector<serve::ScanResult> scans = scanner.ScanAll(cohort);
+  std::vector<serve::ScanResult> scans = scanner.ScanAll(cohort).value();
   serve::BatchRunner sequential(&ensemble, opt);
   ASSERT_EQ(scans.size(), cohort.size());
   for (size_t h = 0; h < cohort.size(); ++h) {
@@ -656,14 +658,14 @@ TEST(ShardedScannerTest, CoalesceBudgetPassesThroughForDeepCohorts) {
 
   // One household can never outnumber the (>= 1 worker) pool: pinned off.
   const std::vector<std::vector<float>> one = SyntheticCohort(1, 42);
-  ASSERT_EQ(scanner.ScanAll(one).size(), 1u);
+  ASSERT_EQ(scanner.ScanAll(one).value().size(), 1u);
   ASSERT_NE(scanner.service(), nullptr);
   EXPECT_EQ(scanner.service()->coalesce_budget(), 1);
 
   // Nine households over at most two workers: deep queues, the configured
   // budget flows into the (possibly rebuilt) service.
   const std::vector<std::vector<float>> cohort = SyntheticCohort(9, 43);
-  std::vector<serve::ScanResult> scans = scanner.ScanAll(cohort);
+  std::vector<serve::ScanResult> scans = scanner.ScanAll(cohort).value();
   EXPECT_EQ(scanner.service()->coalesce_budget(), 4);
   serve::BatchRunner sequential(&ensemble, opt);
   ASSERT_EQ(scans.size(), cohort.size());
@@ -680,31 +682,8 @@ TEST(ShardedScannerTest, CoalesceBudgetPassesThroughForDeepCohorts) {
   // A later small cohort reuses the wider pool but re-pins the budget to
   // 1 (runtime-adjustable — no rebuild): a cohort that fits the pool
   // must not have one worker drain its siblings' households.
-  ASSERT_EQ(scanner.ScanAll(one).size(), 1u);
+  ASSERT_EQ(scanner.ScanAll(one).value().size(), 1u);
   EXPECT_EQ(scanner.service()->coalesce_budget(), 1);
-}
-
-TEST(ShardedScannerTest, NullHouseholdPointerReturnsInvalidArgument) {
-  // Regression: a null entry in the pointer-variant cohort used to be a
-  // hard CAMAL_CHECK abort; it now surfaces as a Status through the
-  // service-backed scan path, naming the offending index.
-  core::CamalEnsemble ensemble = RandomEnsemble(15);
-  serve::ShardedScannerOptions opt;
-  opt.runner.stream = SmallStream(16, 8, 4);
-  serve::ShardedScanner scanner(&ensemble, opt);
-
-  std::vector<float> series(40, 1.0f);
-  std::vector<const std::vector<float>*> cohort = {&series, nullptr, &series};
-  Result<std::vector<serve::ScanResult>> result = scanner.ScanAll(cohort);
-  ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
-  EXPECT_NE(result.status().message().find("1"), std::string::npos);
-
-  // The same scanner still serves valid cohorts afterwards.
-  cohort[1] = &series;
-  Result<std::vector<serve::ScanResult>> retry = scanner.ScanAll(cohort);
-  ASSERT_TRUE(retry.ok());
-  EXPECT_EQ(retry.value().size(), 3u);
 }
 
 // ---------------------------------------------------------------------
@@ -1380,6 +1359,675 @@ TEST(ServiceTest, ThrowingCoalescedGroupFailsEveryMemberOnce) {
   const serve::ServiceStats stats = service.stats();
   EXPECT_EQ(stats.failed, 2);
   EXPECT_EQ(stats.completed, 2);
+}
+
+// ---------------------------------------------------------------------
+// Streaming sessions: incremental append-and-rescan (tentpole PR 6).
+// ---------------------------------------------------------------------
+
+void ExpectBitwiseEqual(const serve::ScanResult& got,
+                        const serve::ScanResult& want,
+                        const std::string& label) {
+  ASSERT_EQ(got.detection.numel(), want.detection.numel()) << label;
+  for (int64_t t = 0; t < want.detection.numel(); ++t) {
+    // Bitwise equality: the incremental path must reproduce the exact
+    // float accumulation order of a from-scratch stitch, so not a single
+    // ULP may move.
+    ASSERT_EQ(got.detection.at(t), want.detection.at(t))
+        << label << " detection t=" << t;
+    ASSERT_EQ(got.status.at(t), want.status.at(t))
+        << label << " status t=" << t;
+    ASSERT_EQ(got.power.at(t), want.power.at(t))
+        << label << " power t=" << t;
+  }
+}
+
+TEST(WindowMathTest, GridHelpersAgreeWithComputedOffsets) {
+  // The session math and the one-shot window plan must share one source
+  // of truth: grid count + tail predicate fully determine the offsets.
+  for (int64_t len = 0; len <= 70; ++len) {
+    for (int64_t stride : {3, 8, 16}) {
+      const serve::WindowStreamOptions opt = SmallStream(16, stride, 4);
+      const std::vector<int64_t> offsets =
+          serve::ComputeWindowOffsets(len, opt);
+      const int64_t grid = data::GridWindowCount(len, 16, stride);
+      const bool tail = data::GridLeavesTail(len, 16, stride);
+      ASSERT_EQ(static_cast<int64_t>(offsets.size()), grid + (tail ? 1 : 0))
+          << "len=" << len << " stride=" << stride;
+      if (tail) {
+        ASSERT_EQ(offsets.back(), len - 16);
+        ASSERT_NE((len - 16) % stride, 0);  // never collides with the grid
+      }
+      for (int64_t k = 0; k < grid; ++k) {
+        ASSERT_EQ(offsets[static_cast<size_t>(k)], k * stride);
+      }
+    }
+  }
+}
+
+TEST(BatchRunnerTest, AppendScanMatchesFromScratchBitwise) {
+  // The tentpole gate at the runner level: every append's full-series
+  // result must be bitwise-identical to a from-scratch scan of the
+  // concatenated series. Chunks cross every edge on purpose: a start
+  // shorter than one window (pad overlay), growth past the window
+  // boundary, a zero-length delta, an all-NaN delta, and tail-sized
+  // nibbles that leave/remove an end-aligned tail window.
+  core::CamalEnsemble ensemble = RandomEnsemble(61);
+  const serve::BatchRunnerOptions opt = SmallRunner(16, 8, 4, 650.0f);
+  serve::BatchRunner incremental(&ensemble, opt);
+  serve::BatchRunner reference(&ensemble, opt);
+
+  Rng rng(62);
+  serve::SessionScanState state;
+  std::vector<float> concatenated;
+  int64_t step = 0;
+  for (int64_t chunk_len : {5, 7, 10, 0, 13, 40, 3, 8}) {
+    std::vector<float> chunk(static_cast<size_t>(chunk_len));
+    for (auto& v : chunk) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
+    if (step == 4) {  // the 13-sample chunk arrives all-missing
+      for (auto& v : chunk) v = std::nanf("");
+    }
+    concatenated.insert(concatenated.end(), chunk.begin(), chunk.end());
+
+    serve::ScanResult got = incremental.AppendScan(&state, chunk);
+    serve::ScanResult want = reference.Scan(concatenated);
+    ASSERT_EQ(state.readings(),
+              static_cast<int64_t>(concatenated.size()));
+    // windows_full mirrors what the from-scratch scan really fed.
+    ASSERT_EQ(got.windows_full, want.windows)
+        << "step " << step << " len " << concatenated.size();
+    ASSERT_LE(got.windows, got.windows_full);
+    ExpectBitwiseEqual(got, want, "step " + std::to_string(step));
+    ++step;
+  }
+  // By the end the series is long enough that persistence must have paid:
+  // the last append fed strictly fewer windows than a full rescan.
+  ASSERT_GT(state.readings(), 64);
+  serve::ScanResult last = incremental.AppendScan(&state, {1200.0f});
+  concatenated.push_back(1200.0f);
+  EXPECT_LT(last.windows, last.windows_full);
+  ExpectBitwiseEqual(last, reference.Scan(concatenated), "final");
+}
+
+TEST(BatchRunnerTest, AppendScanManyCoalescesDistinctSessionsBitwise) {
+  // Distinct sessions' appends share one feed phase (the GEMM batches the
+  // service coalesces across households); each must still finalize to the
+  // exact from-scratch result, whatever its neighbors contributed.
+  core::CamalEnsemble ensemble = RandomEnsemble(63);
+  const serve::BatchRunnerOptions opt = SmallRunner(16, 8, 4, 800.0f);
+  serve::BatchRunner incremental(&ensemble, opt);
+  serve::BatchRunner reference(&ensemble, opt);
+
+  Rng rng(64);
+  constexpr int kSessions = 3;
+  serve::SessionScanState states[kSessions];
+  std::vector<float> concatenated[kSessions];
+  const int64_t chunk_lens[kSessions] = {21, 9, 33};
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::vector<float>> chunks(kSessions);
+    std::vector<serve::SessionScanState*> state_ptrs;
+    std::vector<const std::vector<float>*> delta_ptrs;
+    for (int s = 0; s < kSessions; ++s) {
+      chunks[s].resize(static_cast<size_t>(chunk_lens[s] + 2 * round));
+      for (auto& v : chunks[s]) {
+        v = static_cast<float>(rng.Uniform(0.0, 2500.0));
+      }
+      concatenated[s].insert(concatenated[s].end(), chunks[s].begin(),
+                             chunks[s].end());
+      state_ptrs.push_back(&states[s]);
+      delta_ptrs.push_back(&chunks[s]);
+    }
+    std::vector<serve::ScanResult> got =
+        incremental.AppendScanMany(state_ptrs, delta_ptrs);
+    ASSERT_EQ(got.size(), static_cast<size_t>(kSessions));
+    for (int s = 0; s < kSessions; ++s) {
+      serve::ScanResult want = reference.Scan(concatenated[s]);
+      ASSERT_EQ(got[s].windows_full, want.windows);
+      ExpectBitwiseEqual(got[s], want,
+                         "round " + std::to_string(round) + " session " +
+                             std::to_string(s));
+    }
+  }
+}
+
+TEST(ServiceTest, SessionAppendsMatchFromScratchSubmitsBitwise) {
+  // The tentpole gate at the service level: appends served through the
+  // queue/worker/coalescing machinery must equal one-shot Submits of the
+  // concatenated series, bit for bit. Futures are harvested before the
+  // reference Submits — worker 0 borrows the original ensemble.
+  core::CamalEnsemble ensemble = RandomEnsemble(65);
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 2;
+  serve::Service service(service_opt);
+  ASSERT_TRUE(service
+                  .RegisterAppliance("fridge", &ensemble,
+                                     SmallRunner(16, 8, 4, 550.0f))
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  serve::SessionOptions session_opt;
+  session_opt.household_id = "house-7";
+  Result<std::shared_ptr<serve::Session>> created =
+      service.CreateSession("fridge", session_opt);
+  ASSERT_TRUE(created.ok());
+  std::shared_ptr<serve::Session> session = created.value();
+  EXPECT_EQ(session->id(), "house-7");
+  EXPECT_EQ(session->appliance(), "fridge");
+
+  Rng rng(66);
+  std::vector<float> concatenated;
+  std::vector<serve::ScanResult> incremental;
+  for (int64_t chunk_len : {11, 30, 0, 8, 26}) {
+    std::vector<float> chunk(static_cast<size_t>(chunk_len));
+    for (auto& v : chunk) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
+    concatenated.insert(concatenated.end(), chunk.begin(), chunk.end());
+    Result<serve::ScanResult> result =
+        session->AppendReadings(std::move(chunk)).get();
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result.value().latency_seconds, 0.0);
+    incremental.push_back(std::move(result).value());
+    EXPECT_EQ(session->readings(),
+              static_cast<int64_t>(concatenated.size()));
+
+    // Every prefix gets its reference one-shot scan via the owning
+    // Submit overload (the request carries the buffer).
+    Result<serve::ScanResult> reference =
+        service.Submit("fridge", concatenated).get();
+    ASSERT_TRUE(reference.ok());
+    ExpectBitwiseEqual(incremental.back(), reference.value(),
+                       "prefix " + std::to_string(concatenated.size()));
+  }
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sessions_created, 1);
+  EXPECT_EQ(stats.live_sessions, 1);
+  EXPECT_EQ(stats.session_appends, 5);
+  EXPECT_EQ(stats.appended_readings,
+            static_cast<int64_t>(concatenated.size()));
+  // The series outgrew one window several appends ago, so persistence
+  // must have saved real feed work.
+  EXPECT_GT(stats.incremental_windows_saved, 0);
+
+  EXPECT_TRUE(session->Close().ok());
+  EXPECT_TRUE(session->closed());
+  EXPECT_EQ(service.stats().live_sessions, 0);
+  EXPECT_EQ(service.stats().sessions_closed, 1);
+}
+
+TEST(ServiceTest, ConcurrentSessionAppendsSerializePerSession) {
+  // Appends to one session must serialize in submission order even when
+  // fired without waiting, while distinct sessions proceed concurrently.
+  // Result lengths prove the order: the k-th append of a session resolves
+  // to the k-th cumulative prefix length.
+  core::CamalEnsemble ensemble = RandomEnsemble(67);
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 2;
+  serve::Service service(service_opt);
+  ASSERT_TRUE(service
+                  .RegisterAppliance("washer", &ensemble,
+                                     SmallRunner(16, 8, 4, 420.0f))
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  constexpr int kSessions = 3;
+  constexpr int kAppends = 6;
+  const int64_t chunk_len = 12;
+  std::vector<std::shared_ptr<serve::Session>> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.push_back(service.CreateSession("washer").value());
+  }
+  Rng rng(68);
+  std::vector<std::vector<float>> concatenated(kSessions);
+  std::vector<std::vector<std::future<Result<serve::ScanResult>>>> futures(
+      kSessions);
+  for (int k = 0; k < kAppends; ++k) {
+    for (int s = 0; s < kSessions; ++s) {
+      std::vector<float> chunk(static_cast<size_t>(chunk_len));
+      for (auto& v : chunk) v = static_cast<float>(rng.Uniform(0.0, 2000.0));
+      concatenated[static_cast<size_t>(s)].insert(
+          concatenated[static_cast<size_t>(s)].end(), chunk.begin(),
+          chunk.end());
+      futures[static_cast<size_t>(s)].push_back(
+          sessions[static_cast<size_t>(s)]->AppendReadings(
+              std::move(chunk)));
+    }
+  }
+  // Harvest everything before the reference Submits (worker 0 borrows the
+  // original ensemble). The k-th future's length proves in-order serving.
+  std::vector<serve::ScanResult> finals;
+  for (int s = 0; s < kSessions; ++s) {
+    for (int k = 0; k < kAppends; ++k) {
+      Result<serve::ScanResult> result =
+          futures[static_cast<size_t>(s)][static_cast<size_t>(k)].get();
+      ASSERT_TRUE(result.ok()) << "session " << s << " append " << k;
+      ASSERT_EQ(result.value().detection.numel(), (k + 1) * chunk_len)
+          << "session " << s << " append " << k << " served out of order";
+      if (k == kAppends - 1) finals.push_back(std::move(result).value());
+    }
+  }
+  for (int s = 0; s < kSessions; ++s) {
+    Result<serve::ScanResult> reference =
+        service.Submit("washer", concatenated[static_cast<size_t>(s)]).get();
+    ASSERT_TRUE(reference.ok());
+    ExpectBitwiseEqual(finals[static_cast<size_t>(s)], reference.value(),
+                       "session " + std::to_string(s));
+  }
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.session_appends, kSessions * kAppends);
+  EXPECT_EQ(stats.failed, 0);
+}
+
+TEST(ServiceTest, DistinctSessionAppendsCoalesceIntoSharedBatches) {
+  // One worker, deep queue: appends of distinct sessions drained together
+  // must serve through one shared AppendScanMany pass (coalescing
+  // telemetry ticks) and still match from-scratch Submits bitwise.
+  core::CamalEnsemble ensemble = RandomEnsemble(69);
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 1;
+  service_opt.coalesce_budget = 8;
+  serve::Service service(service_opt);
+  ASSERT_TRUE(service
+                  .RegisterAppliance("heater", &ensemble,
+                                     SmallRunner(16, 8, 4, 1200.0f))
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  // Park the lone worker on a long one-shot scan so the session appends
+  // pile up behind it and dequeue as one group.
+  Rng rng(70);
+  std::vector<float> long_series(4096);
+  for (auto& v : long_series) {
+    v = static_cast<float>(rng.Uniform(0.0, 3000.0));
+  }
+  std::future<Result<serve::ScanResult>> plug =
+      service.Submit("heater", long_series);
+
+  constexpr int kSessions = 5;
+  std::vector<std::shared_ptr<serve::Session>> sessions;
+  std::vector<std::vector<float>> chunks(kSessions);
+  std::vector<std::future<Result<serve::ScanResult>>> futures;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.push_back(service.CreateSession("heater").value());
+    chunks[static_cast<size_t>(s)].resize(20 + 3 * static_cast<size_t>(s));
+    for (auto& v : chunks[static_cast<size_t>(s)]) {
+      v = static_cast<float>(rng.Uniform(0.0, 2500.0));
+    }
+    futures.push_back(sessions[static_cast<size_t>(s)]->AppendReadings(
+        chunks[static_cast<size_t>(s)]));
+  }
+
+  ASSERT_TRUE(plug.get().ok());
+  std::vector<serve::ScanResult> results;
+  for (auto& future : futures) {
+    Result<serve::ScanResult> result = future.get();
+    ASSERT_TRUE(result.ok());
+    results.push_back(std::move(result).value());
+  }
+  // The appends piled up behind the plug, so at least one group formed.
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_GE(stats.coalesced_groups, 1);
+  for (int s = 0; s < kSessions; ++s) {
+    Result<serve::ScanResult> reference =
+        service.Submit("heater", chunks[static_cast<size_t>(s)]).get();
+    ASSERT_TRUE(reference.ok());
+    ExpectBitwiseEqual(results[static_cast<size_t>(s)], reference.value(),
+                       "session " + std::to_string(s));
+  }
+}
+
+TEST(ServiceTest, AppendAfterCloseFailsWithFailedPrecondition) {
+  core::CamalEnsemble ensemble = RandomEnsemble(71);
+  serve::Service service;
+  ASSERT_TRUE(service
+                  .RegisterAppliance("dryer", &ensemble,
+                                     SmallRunner(16, 8, 4, 2000.0f))
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+  std::shared_ptr<serve::Session> session =
+      service.CreateSession("dryer").value();
+  ASSERT_TRUE(
+      session->AppendReadings(std::vector<float>(24, 900.0f)).get().ok());
+
+  ASSERT_TRUE(session->Close().ok());
+  EXPECT_TRUE(session->closed());
+  Result<serve::ScanResult> late =
+      session->AppendReadings(std::vector<float>(8, 100.0f)).get();
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(late.status().message().find("closed"), std::string::npos);
+
+  // Close is idempotent, and closing doesn't disturb the gauges twice.
+  EXPECT_TRUE(session->Close().ok());
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sessions_closed, 1);
+  EXPECT_EQ(stats.live_sessions, 0);
+  // Committed readings survive close for observability.
+  EXPECT_EQ(session->readings(), 24);
+}
+
+TEST(ServiceTest, ShutdownWithLiveSessionsResolvesEveryFuture) {
+  // ASan doubles as the leak gate here: every parked append's promise
+  // must resolve (kFailedPrecondition), every session close, no worker
+  // left joined-less, no QueuedScan leaked.
+  core::CamalEnsemble ensemble = RandomEnsemble(73);
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 1;
+  serve::Service service(service_opt);
+  ASSERT_TRUE(service
+                  .RegisterAppliance("pump", &ensemble,
+                                     SmallRunner(16, 8, 4, 300.0f))
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  std::vector<std::shared_ptr<serve::Session>> sessions;
+  std::vector<std::future<Result<serve::ScanResult>>> futures;
+  for (int s = 0; s < 3; ++s) {
+    sessions.push_back(service.CreateSession("pump").value());
+    // Several appends per session: the first goes in flight, the rest
+    // park on the session and meet Shutdown there.
+    for (int k = 0; k < 4; ++k) {
+      futures.push_back(sessions.back()->AppendReadings(
+          std::vector<float>(40, static_cast<float>(100 * (k + 1)))));
+    }
+  }
+  service.Shutdown();
+
+  int ok = 0;
+  int failed_precondition = 0;
+  for (auto& future : futures) {
+    Result<serve::ScanResult> result = future.get();  // must not hang
+    if (result.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+      ++failed_precondition;
+    }
+  }
+  EXPECT_EQ(ok + failed_precondition, 12);
+  EXPECT_EQ(service.stats().live_sessions, 0);
+  for (const auto& session : sessions) EXPECT_TRUE(session->closed());
+  // Appends after shutdown reject immediately.
+  EXPECT_EQ(sessions[0]
+                ->AppendReadings(std::vector<float>(4, 1.0f))
+                .get()
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ServiceTest, SessionBackpressureBoundsParkedAppends) {
+  // A session's park is bounded by max_pending_appends; the overflow
+  // append rejects as backpressure without touching the global queue.
+  core::CamalEnsemble ensemble = RandomEnsemble(75);
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 1;
+  std::promise<void> gate;
+  std::shared_future<void> gate_future = gate.get_future().share();
+  std::atomic<bool> gate_armed{true};
+  service_opt.pre_scan_hook = [&](const serve::ScanRequest& request) {
+    if (gate_armed.load() && request.household_id == "slow-house") {
+      gate_future.wait();
+    }
+  };
+  serve::Service service(service_opt);
+  ASSERT_TRUE(service
+                  .RegisterAppliance("boiler", &ensemble,
+                                     SmallRunner(16, 8, 4, 800.0f))
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  serve::SessionOptions session_opt;
+  session_opt.household_id = "slow-house";
+  session_opt.max_pending_appends = 2;
+  std::shared_ptr<serve::Session> session =
+      service.CreateSession("boiler", session_opt).value();
+
+  // First append blocks on the gate; two park; the fourth overflows.
+  std::vector<std::future<Result<serve::ScanResult>>> futures;
+  for (int k = 0; k < 3; ++k) {
+    futures.push_back(
+        session->AppendReadings(std::vector<float>(10, 500.0f)));
+  }
+  Result<serve::ScanResult> overflow =
+      session->AppendReadings(std::vector<float>(10, 500.0f)).get();
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(overflow.status().message().find("backpressure"),
+            std::string::npos);
+  EXPECT_GE(service.stats().rejected_backpressure, 1);
+
+  gate_armed.store(false);
+  gate.set_value();
+  for (auto& future : futures) ASSERT_TRUE(future.get().ok());
+  EXPECT_EQ(session->readings(), 30);
+}
+
+TEST(ServiceTest, EvictIdleSessionsSkipsBusyAndReclaimsQuiescent) {
+  // Eviction takes only truly idle sessions: one session is held busy by
+  // a gated append while the sweep runs, so it must survive; the idle one
+  // goes. The busy session keeps working afterwards.
+  core::CamalEnsemble ensemble = RandomEnsemble(77);
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 1;
+  std::promise<void> gate;
+  std::shared_future<void> gate_future = gate.get_future().share();
+  std::atomic<bool> gate_armed{true};
+  service_opt.pre_scan_hook = [&](const serve::ScanRequest& request) {
+    if (gate_armed.load() && request.household_id == "busy-house") {
+      gate_future.wait();
+    }
+  };
+  serve::Service service(service_opt);
+  ASSERT_TRUE(service
+                  .RegisterAppliance("fan", &ensemble,
+                                     SmallRunner(16, 8, 4, 60.0f))
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  serve::SessionOptions idle_opt;
+  idle_opt.household_id = "idle-house";
+  std::shared_ptr<serve::Session> idle =
+      service.CreateSession("fan", idle_opt).value();
+  ASSERT_TRUE(idle->AppendReadings(std::vector<float>(20, 40.0f)).get().ok());
+
+  serve::SessionOptions busy_opt;
+  busy_opt.household_id = "busy-house";
+  std::shared_ptr<serve::Session> busy =
+      service.CreateSession("fan", busy_opt).value();
+  std::future<Result<serve::ScanResult>> in_flight =
+      busy->AppendReadings(std::vector<float>(20, 50.0f));
+
+  // Idle threshold 0: anything quiescent goes, anything busy stays.
+  EXPECT_EQ(service.EvictIdleSessions(0.0), 1);
+  EXPECT_TRUE(idle->closed());
+  EXPECT_FALSE(busy->closed());
+  EXPECT_EQ(service.stats().sessions_evicted, 1);
+  EXPECT_EQ(service.stats().live_sessions, 1);
+
+  gate_armed.store(false);
+  gate.set_value();
+  ASSERT_TRUE(in_flight.get().ok());
+  // The survivor still serves appends after the sweep.
+  ASSERT_TRUE(busy->AppendReadings(std::vector<float>(12, 55.0f)).get().ok());
+  EXPECT_EQ(busy->readings(), 32);
+  // The evicted handle rejects like a closed one.
+  EXPECT_EQ(idle->AppendReadings(std::vector<float>(4, 1.0f))
+                .get()
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ServiceTest, EvictionRacesAppendsWithoutCorruption) {
+  // TSan gate: appends and eviction sweeps hammer the same small session
+  // fleet from two threads. Every future must resolve, every reading
+  // either commits or fails cleanly, and the bookkeeping must balance.
+  core::CamalEnsemble ensemble = RandomEnsemble(79);
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 2;
+  serve::Service service(service_opt);
+  ASSERT_TRUE(service
+                  .RegisterAppliance("ac", &ensemble,
+                                     SmallRunner(16, 8, 4, 1500.0f))
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  constexpr int kRounds = 40;
+  std::atomic<bool> stop{false};
+  std::thread evictor([&] {
+    while (!stop.load()) service.EvictIdleSessions(0.0);
+  });
+
+  int64_t appends_ok = 0;
+  int64_t appends_rejected = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    Result<std::shared_ptr<serve::Session>> created =
+        service.CreateSession("ac");
+    ASSERT_TRUE(created.ok());
+    std::shared_ptr<serve::Session> session = created.value();
+    std::vector<std::future<Result<serve::ScanResult>>> futures;
+    for (int k = 0; k < 3; ++k) {
+      futures.push_back(
+          session->AppendReadings(std::vector<float>(18, 700.0f)));
+    }
+    for (auto& future : futures) {
+      Result<serve::ScanResult> result = future.get();
+      if (result.ok()) {
+        ++appends_ok;
+      } else {
+        // The sweep got between two appends: a clean closed-session
+        // rejection, never a crash or a corrupt result.
+        ASSERT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+        ++appends_rejected;
+      }
+    }
+  }
+  stop.store(true);
+  evictor.join();
+
+  EXPECT_EQ(appends_ok + appends_rejected, kRounds * 3);
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sessions_created, kRounds);
+  EXPECT_EQ(stats.sessions_created,
+            stats.sessions_closed + stats.sessions_evicted +
+                stats.live_sessions);
+}
+
+TEST(ServiceTest, ZeroLengthAndNaNTailAppendsStayBitwiseExact) {
+  // Session lifecycle edges from the satellite list: an empty delta must
+  // re-finalize without feeding anything, and an all-NaN tail must
+  // zero-fill its windows and clamp power to 0 at the missing readings —
+  // both bitwise-equal to the from-scratch scan.
+  core::CamalEnsemble ensemble = RandomEnsemble(81);
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 2;
+  serve::Service service(service_opt);
+  ASSERT_TRUE(service
+                  .RegisterAppliance("tv", &ensemble,
+                                     SmallRunner(16, 8, 4, 150.0f))
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+  std::shared_ptr<serve::Session> session =
+      service.CreateSession("tv").value();
+
+  Rng rng(82);
+  std::vector<float> concatenated;
+  std::vector<float> normal(30);
+  for (auto& v : normal) v = static_cast<float>(rng.Uniform(0.0, 1000.0));
+  concatenated.insert(concatenated.end(), normal.begin(), normal.end());
+  ASSERT_TRUE(session->AppendReadings(normal).get().ok());
+
+  // Zero-length append: result covers the unchanged series.
+  Result<serve::ScanResult> empty_append =
+      session->AppendReadings(std::vector<float>()).get();
+  ASSERT_TRUE(empty_append.ok());
+  ASSERT_EQ(empty_append.value().detection.numel(), 30);
+  Result<serve::ScanResult> reference =
+      service.Submit("tv", concatenated).get();
+  ASSERT_TRUE(reference.ok());
+  ExpectBitwiseEqual(empty_append.value(), reference.value(), "empty");
+
+  // NaN tail: missing readings vote through zero-filled windows and the
+  // power estimate is forced to 0 there.
+  std::vector<float> nan_tail(12, std::nanf(""));
+  concatenated.insert(concatenated.end(), nan_tail.begin(), nan_tail.end());
+  Result<serve::ScanResult> nan_append =
+      session->AppendReadings(nan_tail).get();
+  ASSERT_TRUE(nan_append.ok());
+  for (int64_t t = 30; t < 42; ++t) {
+    EXPECT_EQ(nan_append.value().power.at(t), 0.0f) << "t=" << t;
+  }
+  reference = service.Submit("tv", concatenated).get();
+  ASSERT_TRUE(reference.ok());
+  ExpectBitwiseEqual(nan_append.value(), reference.value(), "nan-tail");
+}
+
+TEST(ServiceTest, SessionAndSubmitValidationShareOneErrorContract) {
+  core::CamalEnsemble ensemble = RandomEnsemble(83);
+  serve::Service service;
+
+  // CreateSession before Start is a lifecycle error, like Submit.
+  EXPECT_EQ(service.CreateSession("fridge").status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Bad runner options are rejected at registration through Status — the
+  // old path aborted inside the worker's BatchRunner constructor.
+  serve::BatchRunnerOptions bad = SmallRunner(0, 8, 4, 500.0f);
+  EXPECT_EQ(service.RegisterAppliance("fridge", &ensemble, bad).code(),
+            StatusCode::kInvalidArgument);
+  bad = SmallRunner(16, 0, 4, 500.0f);
+  EXPECT_EQ(service.RegisterAppliance("fridge", &ensemble, bad).code(),
+            StatusCode::kInvalidArgument);
+  bad = SmallRunner(16, 8, 4, -1.0f);
+  EXPECT_EQ(service.RegisterAppliance("fridge", &ensemble, bad).code(),
+            StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(service
+                  .RegisterAppliance("fridge", &ensemble,
+                                     SmallRunner(16, 8, 4, 500.0f))
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  // Unknown appliance and duplicate ids surface as Status.
+  EXPECT_EQ(service.CreateSession("toaster").status().code(),
+            StatusCode::kNotFound);
+  serve::SessionOptions opt;
+  opt.household_id = "dup";
+  ASSERT_TRUE(service.CreateSession("fridge", opt).ok());
+  EXPECT_EQ(service.CreateSession("fridge", opt).status().code(),
+            StatusCode::kInvalidArgument);
+  opt.household_id.clear();
+  opt.max_pending_appends = -1;
+  EXPECT_EQ(service.CreateSession("fridge", opt).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A request that sets both series forms is ambiguous and rejected.
+  std::vector<float> series(20, 1.0f);
+  serve::ScanRequest both;
+  both.appliance = "fridge";
+  both.series = &series;
+  both.owned_series = series;
+  EXPECT_EQ(service.Submit(std::move(both)).get().status().code(),
+            StatusCode::kInvalidArgument);
+
+  // The owning Submit overload serves from a buffer the caller dropped.
+  std::future<Result<serve::ScanResult>> owned;
+  {
+    std::vector<float> ephemeral(40);
+    Rng rng(84);
+    for (auto& v : ephemeral) {
+      v = static_cast<float>(rng.Uniform(0.0, 2000.0));
+    }
+    series = ephemeral;  // keep a copy for the reference scan
+    owned = service.Submit("fridge", std::move(ephemeral));
+  }
+  Result<serve::ScanResult> owned_result = owned.get();
+  ASSERT_TRUE(owned_result.ok());
+  Result<serve::ScanResult> borrowed_result =
+      service.Submit("fridge", series).get();
+  ASSERT_TRUE(borrowed_result.ok());
+  ExpectBitwiseEqual(owned_result.value(), borrowed_result.value(),
+                     "owned-vs-copy");
 }
 
 }  // namespace
