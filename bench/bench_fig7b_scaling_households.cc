@@ -244,7 +244,7 @@ void Run() {
           serve::ScanRequest request;
           request.household_id = FmtInt(static_cast<int64_t>(i));
           request.appliance = "noise";
-          request.series = &cohort[i];
+          request.series = data::SeriesView(cohort[i]);
           futures.push_back(service.Submit(std::move(request)));
         }
         int64_t windows = 0;

@@ -87,7 +87,7 @@ void DeepQueueScenario(const eval::BenchParams& params,
         serve::ScanRequest request;
         request.household_id = FmtInt(static_cast<int64_t>(i));
         request.appliance = "appliance";
-        request.series = &cohort[i];
+        request.series = data::SeriesView(cohort[i]);
         futures.push_back(service.Submit(std::move(request)));
       }
       std::vector<serve::ScanResult> results;
@@ -399,7 +399,7 @@ void Run() {
         serve::ScanRequest request;
         request.household_id = FmtInt(static_cast<int64_t>(i));
         request.appliance = "appliance";
-        request.series = &cohort[i];
+        request.series = data::SeriesView(cohort[i]);
         futures.push_back(service.Submit(std::move(request)));
       }
       std::vector<serve::ScanResult> results;

@@ -12,13 +12,22 @@
 //       Load a saved ensemble and print per-window detections and the
 //       localized activation timeline for one household.
 //   camal_cli serve <model_dir> <data_dir> --appliance NAME [--window L]
-//       [--workers N] [--queue N] [--avg-power W]
+//       [--workers N] [--queue N] [--avg-power W] [--store 1]
 //       Load a saved ensemble, start the asynchronous serve::Service, scan
 //       every house_*.csv through the request queue, and print
-//       per-request latency.
+//       per-request latency. With --store 1, <data_dir> holds
+//       house_*.cstore files instead and every scan runs straight off the
+//       memory mapping (zero-copy).
+//   camal_cli convert <src> <dst> [--house-id N] [--chunk N] [--to-csv 1]
+//       Convert between CSV households and binary column stores. <src>
+//       may be one file or a directory of house_*.csv / house_*.cstore
+//       files; the direction is inferred from the .cstore extension or
+//       forced with --to-csv 1.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <future>
 #include <map>
 #include <memory>
@@ -27,6 +36,7 @@
 
 #include "common/parallel_for.h"
 #include "data/balance.h"
+#include "data/column_store.h"
 #include "data/csv_loader.h"
 #include "data/split.h"
 #include "core/localizer.h"
@@ -221,20 +231,159 @@ int CmdLocalize(const Args& args) {
   return 0;
 }
 
+// Lists <prefix>*<suffix> files in \p dir, sorted by name (the order
+// LoadDatasetDir and OpenStoreDir assign household indices in).
+Result<std::vector<std::string>> ListFiles(const std::string& dir,
+                                           const std::string& prefix,
+                                           const std::string& suffix) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > prefix.size() + suffix.size() &&
+        name.rfind(prefix, 0) == 0 &&
+        name.substr(name.size() - suffix.size()) == suffix) {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (files.empty()) {
+    return Status::NotFound("no " + prefix + "*" + suffix + " files in " +
+                            dir);
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int64_t FileBytes(const std::string& path) {
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<int64_t>(bytes);
+}
+
+int CmdConvert(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: camal_cli convert <src> <dst> [--house-id 1] "
+                 "[--chunk 262144] [--to-csv 1]\n"
+                 "  <src>/<dst> are files, or directories of house_*.csv "
+                 "(or house_*.cstore with --to-csv 1)\n");
+    return 1;
+  }
+  const std::string& src = args.positional[0];
+  const std::string& dst = args.positional[1];
+  data::ColumnStoreWriteOptions options;
+  options.chunk_samples = args.FlagInt("chunk", options.chunk_samples);
+  const bool to_csv =
+      args.FlagInt("to-csv", 0) != 0 ||
+      (src.size() > 7 && src.substr(src.size() - 7) == ".cstore");
+
+  std::error_code ec;
+  if (!std::filesystem::is_directory(src, ec)) {
+    // Single file: csv -> cstore (or the inverse with --to-csv 1).
+    Status st = to_csv
+                    ? data::ConvertStoreToCsv(src, dst)
+                    : data::ConvertCsvToStore(
+                          src, dst,
+                          static_cast<int>(args.FlagInt("house-id", 1)),
+                          options);
+    if (!st.ok()) return Fail(st);
+    std::printf("converted %s (%lld bytes) -> %s (%lld bytes)\n", src.c_str(),
+                static_cast<long long>(FileBytes(src)), dst.c_str(),
+                static_cast<long long>(FileBytes(dst)));
+    return 0;
+  }
+
+  // Directory mode: convert the whole cohort, one file per household.
+  (void)std::system(("mkdir -p " + dst).c_str());
+  int64_t src_bytes = 0, dst_bytes = 0;
+  size_t converted = 0;
+  if (to_csv) {
+    auto files = ListFiles(src, "house_", ".cstore");
+    if (!files.ok()) return Fail(files.status());
+    for (const std::string& file : files.value()) {
+      // The output name carries the id the store was written with, so a
+      // round trip reproduces the original cohort layout.
+      auto store = data::ColumnStore::Open(file);
+      if (!store.ok()) return Fail(store.status());
+      char name[64];
+      std::snprintf(name, sizeof(name), "/house_%03d.csv",
+                    store.value().house_id());
+      Status st = data::WriteHouseCsv(store.value().ToHouseRecord(),
+                                      dst + name);
+      if (!st.ok()) return Fail(st);
+      src_bytes += FileBytes(file);
+      dst_bytes += FileBytes(dst + name);
+      ++converted;
+    }
+  } else {
+    auto files = ListFiles(src, "house_", ".csv");
+    if (!files.ok()) return Fail(files.status());
+    // Sequential ids, mirroring LoadDatasetDir: `serve --store` over the
+    // converted directory reports the same household ids as `serve` over
+    // the CSV directory.
+    int next_id = 1;
+    for (const std::string& file : files.value()) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "/house_%03d.cstore", next_id);
+      Status st = data::ConvertCsvToStore(file, dst + name, next_id, options);
+      if (!st.ok()) return Fail(st);
+      src_bytes += FileBytes(file);
+      dst_bytes += FileBytes(dst + name);
+      ++next_id;
+      ++converted;
+    }
+  }
+  std::printf("converted %zu households: %s (%lld bytes) -> %s (%lld "
+              "bytes, %.2fx)\n",
+              converted, src.c_str(), static_cast<long long>(src_bytes),
+              dst.c_str(), static_cast<long long>(dst_bytes),
+              dst_bytes > 0 ? static_cast<double>(src_bytes) /
+                                  static_cast<double>(dst_bytes)
+                            : 0.0);
+  return 0;
+}
+
 int CmdServe(const Args& args) {
   if (args.positional.size() < 2 || args.Flag("appliance", "").empty()) {
     std::fprintf(stderr,
                  "usage: camal_cli serve <model_dir> <data_dir> --appliance "
                  "NAME [--window 128] [--workers 0] [--queue 0] "
-                 "[--coalesce 8] [--avg-power 800] [--session-chunk 0]\n");
+                 "[--coalesce 8] [--avg-power 800] [--session-chunk 0] "
+                 "[--store 1]\n");
     return 1;
   }
   auto ensemble_result = core::LoadEnsemble(args.positional[0]);
   if (!ensemble_result.ok()) return Fail(ensemble_result.status());
   core::CamalEnsemble ensemble = std::move(ensemble_result).value();
-  auto houses_result = data::LoadDatasetDir(args.positional[1]);
-  if (!houses_result.ok()) return Fail(houses_result.status());
-  const auto houses = std::move(houses_result).value();
+
+  // Two data planes, one serving path. CSV households are parsed into
+  // owned vectors; mapped column stores lend their aggregates as
+  // zero-copy views and the scans read straight off the file. Either way
+  // the cohort below is a list of (id, SeriesView) — the views borrow
+  // from `houses` or `stores`, which outlive every request.
+  const bool use_store = args.FlagInt("store", 0) != 0;
+  std::vector<data::HouseRecord> houses;
+  std::vector<data::ColumnStore> stores;
+  std::vector<int> house_ids;
+  std::vector<data::SeriesView> cohort;
+  if (use_store) {
+    auto stores_result = data::OpenStoreDir(args.positional[1]);
+    if (!stores_result.ok()) return Fail(stores_result.status());
+    stores = std::move(stores_result).value();
+    for (const data::ColumnStore& store : stores) {
+      house_ids.push_back(store.house_id());
+      cohort.push_back(store.aggregate());
+    }
+  } else {
+    auto houses_result = data::LoadDatasetDir(args.positional[1]);
+    if (!houses_result.ok()) return Fail(houses_result.status());
+    houses = std::move(houses_result).value();
+    for (const data::HouseRecord& house : houses) {
+      house_ids.push_back(house.house_id);
+      cohort.push_back(data::SeriesView(house.aggregate));
+    }
+  }
   const std::string appliance = args.Flag("appliance", "");
 
   float avg_power_w = 800.0f;
@@ -276,9 +425,10 @@ int CmdServe(const Args& args) {
           ? std::to_string(service_opt.queue_capacity)
           : "unbounded";
   std::printf("serving '%s' on %d workers (queue capacity %s), "
-              "%zu households\n",
+              "%zu households%s\n",
               appliance.c_str(), service.workers(), capacity.c_str(),
-              houses.size());
+              cohort.size(),
+              use_store ? " (mapped stores, zero-copy)" : "");
 
   // Streaming mode (--session-chunk N): one serve::Session per household,
   // its aggregate replayed in N-sample deltas as if the meter reported
@@ -286,24 +436,23 @@ int CmdServe(const Args& args) {
   // the final result is bitwise-identical to the one-shot scan below.
   const int64_t session_chunk = args.FlagInt("session-chunk", 0);
   std::vector<std::future<Result<serve::ScanResult>>> futures;
-  futures.reserve(houses.size());
+  futures.reserve(cohort.size());
   std::vector<std::shared_ptr<serve::Session>> sessions;
   if (session_chunk > 0) {
-    sessions.reserve(houses.size());
-    for (const data::HouseRecord& house : houses) {
+    sessions.reserve(cohort.size());
+    for (size_t h = 0; h < cohort.size(); ++h) {
       serve::SessionOptions session_opt;
-      session_opt.household_id = "house_" + std::to_string(house.house_id);
+      session_opt.household_id = "house_" + std::to_string(house_ids[h]);
       // Every chunk of the replay is admitted up front; the session
       // serializer parks them, so the park must hold the whole backlog.
-      session_opt.max_pending_appends =
-          static_cast<int64_t>(house.aggregate.size()) / session_chunk + 1;
+      session_opt.max_pending_appends = cohort[h].size() / session_chunk + 1;
       auto session_result = service.CreateSession(appliance, session_opt);
       if (!session_result.ok()) return Fail(session_result.status());
       sessions.push_back(std::move(session_result).value());
     }
-    for (size_t h = 0; h < houses.size(); ++h) {
-      const std::vector<float>& series = houses[h].aggregate;
-      const auto n = static_cast<int64_t>(series.size());
+    for (size_t h = 0; h < cohort.size(); ++h) {
+      const data::SeriesView series = cohort[h];
+      const int64_t n = series.size();
       std::future<Result<serve::ScanResult>> last;
       for (int64_t begin = 0; begin < n || begin == 0;
            begin += session_chunk) {
@@ -319,20 +468,20 @@ int CmdServe(const Args& args) {
   } else {
     // The async path end to end: submit every household, then harvest the
     // futures in admission order and report per-request latency.
-    for (const data::HouseRecord& house : houses) {
+    for (size_t h = 0; h < cohort.size(); ++h) {
       serve::ScanRequest request;
-      request.household_id = "house_" + std::to_string(house.house_id);
+      request.household_id = "house_" + std::to_string(house_ids[h]);
       request.appliance = appliance;
-      request.series = &house.aggregate;
+      request.series = cohort[h];
       futures.push_back(service.Submit(std::move(request)));
     }
   }
   double total_latency_s = 0.0;
   int64_t served = 0;
-  for (size_t h = 0; h < houses.size(); ++h) {
+  for (size_t h = 0; h < cohort.size(); ++h) {
     Result<serve::ScanResult> result = futures[h].get();
     if (!result.ok()) {
-      std::printf("house %-3d: rejected: %s\n", houses[h].house_id,
+      std::printf("house %-3d: rejected: %s\n", house_ids[h],
                   result.status().ToString().c_str());
       continue;
     }
@@ -346,7 +495,7 @@ int CmdServe(const Args& args) {
     // handful the incremental tail rescan actually fed.
     std::printf("house %-3d: %6lld windows, %6lld samples ON, "
                 "latency %8.1f ms (%.0f windows/s)\n",
-                houses[h].house_id,
+                house_ids[h],
                 static_cast<long long>(session_chunk > 0 ? scan.windows_full
                                                          : scan.windows),
                 static_cast<long long>(on_samples),
@@ -370,7 +519,7 @@ int CmdServe(const Args& args) {
   }
   std::printf("served %lld/%zu requests, mean latency %.1f ms "
               "(%lld rejected invalid, %lld rejected by backpressure)\n",
-              static_cast<long long>(served), houses.size(),
+              static_cast<long long>(served), cohort.size(),
               served > 0 ? total_latency_s * 1e3 / served : 0.0,
               static_cast<long long>(stats.rejected_invalid),
               static_cast<long long>(stats.rejected_backpressure));
@@ -391,7 +540,8 @@ int CmdServe(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: camal_cli <simulate|train|localize|serve> ...\n");
+                 "usage: camal_cli "
+                 "<simulate|train|localize|serve|convert> ...\n");
     return 1;
   }
   const Args args = ParseArgs(argc, argv);
@@ -400,6 +550,7 @@ int main(int argc, char** argv) {
   if (command == "train") return CmdTrain(args);
   if (command == "localize") return CmdLocalize(args);
   if (command == "serve") return CmdServe(args);
+  if (command == "convert") return CmdConvert(args);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 1;
 }

@@ -15,6 +15,7 @@
 
 #include "common/parallel_for.h"
 #include "data/balance.h"
+#include "data/column_store.h"
 #include "data/split.h"
 #include "eval/experiment.h"
 #include "serve/service.h"
@@ -123,7 +124,7 @@ int main() {
       serve::ScanRequest request;
       request.household_id = "house_" + std::to_string(h);
       request.appliance = trained[a].spec.name;
-      request.series = &split.test[h].aggregate;
+      request.series = data::SeriesView(split.test[h].aggregate);
       pending.push_back({a, h, service.Submit(std::move(request))});
     }
   }
@@ -226,6 +227,51 @@ int main() {
                 identical ? "yes" : "NO");
     if (!identical) return 1;
     if (!session->Close().ok()) return 1;
+
+    // Zero-copy store epilogue: persist the same household as a mapped
+    // column store and scan it straight off the file. The request borrows
+    // a SeriesView into the mapping — no parse, no copy — and must still
+    // produce bitwise the same result as the in-memory one-shot scan.
+    const std::string store_path = "/tmp/household_scan_house.cstore";
+    Status wrote = data::WriteColumnStore(house, store_path);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "write store: %s\n", wrote.ToString().c_str());
+      return 1;
+    }
+    auto store_result = data::ColumnStore::Open(store_path);
+    if (!store_result.ok()) {
+      std::fprintf(stderr, "open store: %s\n",
+                   store_result.status().ToString().c_str());
+      return 1;
+    }
+    const data::ColumnStore& store = store_result.value();
+    serve::ScanRequest request;
+    request.household_id = "store_demo";
+    request.appliance = name;
+    request.series = store.aggregate();
+    Result<serve::ScanResult> mapped = service.Submit(std::move(request)).get();
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "mapped scan: %s\n",
+                   mapped.status().ToString().c_str());
+      return 1;
+    }
+    bool store_identical =
+        mapped.value().detection.numel() == oneshot.value().detection.numel();
+    for (int64_t t = 0;
+         store_identical && t < oneshot.value().detection.numel(); ++t) {
+      store_identical =
+          mapped.value().detection.at(t) == oneshot.value().detection.at(t) &&
+          mapped.value().status.at(t) == oneshot.value().status.at(t) &&
+          mapped.value().power.at(t) == oneshot.value().power.at(t);
+    }
+    std::printf("mapped store scan (%lld samples, %lld bytes on disk, "
+                "%lld chunks): bitwise-identical to the in-memory scan: %s\n",
+                static_cast<long long>(store.num_samples()),
+                static_cast<long long>(store.file_bytes()),
+                static_cast<long long>(store.num_chunks()),
+                store_identical ? "yes" : "NO");
+    std::remove(store_path.c_str());
+    if (!store_identical) return 1;
   }
   service.Shutdown();
   return 0;

@@ -1,0 +1,342 @@
+#include "data/column_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+
+#include "data/csv_loader.h"
+
+namespace camal::data {
+namespace {
+
+/// Fixed 48-byte file header. Serialized field by field (memcpy through a
+/// byte buffer), so the on-disk layout is the spec below, not whatever a
+/// compiler pads a struct to.
+struct Header {
+  uint32_t magic = ColumnStoreFormat::kMagic;  // offset 0
+  uint32_t version = ColumnStoreFormat::kVersion;  // offset 4
+  int32_t house_id = 0;                            // offset 8
+  uint32_t n_channels = 0;                         // offset 12
+  uint32_t n_chunks = 0;                           // offset 16
+  uint32_t name_bytes = 0;                         // offset 20
+  double interval_seconds = 0.0;                   // offset 24
+  int64_t total_samples = 0;                       // offset 32
+  int64_t data_offset = 0;                         // offset 40
+};
+
+void EncodeHeader(const Header& header,
+                  uint8_t out[ColumnStoreFormat::kHeaderBytes]) {
+  std::memcpy(out + 0, &header.magic, 4);
+  std::memcpy(out + 4, &header.version, 4);
+  std::memcpy(out + 8, &header.house_id, 4);
+  std::memcpy(out + 12, &header.n_channels, 4);
+  std::memcpy(out + 16, &header.n_chunks, 4);
+  std::memcpy(out + 20, &header.name_bytes, 4);
+  std::memcpy(out + 24, &header.interval_seconds, 8);
+  std::memcpy(out + 32, &header.total_samples, 8);
+  std::memcpy(out + 40, &header.data_offset, 8);
+}
+
+Header DecodeHeader(const uint8_t* in) {
+  Header header;
+  std::memcpy(&header.magic, in + 0, 4);
+  std::memcpy(&header.version, in + 4, 4);
+  std::memcpy(&header.house_id, in + 8, 4);
+  std::memcpy(&header.n_channels, in + 12, 4);
+  std::memcpy(&header.n_chunks, in + 16, 4);
+  std::memcpy(&header.name_bytes, in + 20, 4);
+  std::memcpy(&header.interval_seconds, in + 24, 8);
+  std::memcpy(&header.total_samples, in + 32, 8);
+  std::memcpy(&header.data_offset, in + 40, 8);
+  return header;
+}
+
+int64_t AlignUp(int64_t offset, int64_t alignment) {
+  return (offset + alignment - 1) / alignment * alignment;
+}
+
+/// fwrite that surfaces disk errors as a Status instead of dropping bytes.
+Status WriteBytes(std::FILE* f, const void* bytes, size_t n,
+                  const std::string& path) {
+  if (n > 0 && std::fwrite(bytes, 1, n, f) != n) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteColumnStore(const HouseRecord& house, const std::string& path,
+                        const ColumnStoreWriteOptions& options) {
+  if (options.chunk_samples <= 0) {
+    return Status::InvalidArgument("chunk_samples must be positive");
+  }
+  if (!(house.interval_seconds > 0.0)) {
+    return Status::InvalidArgument("interval_seconds must be positive");
+  }
+  const int64_t total = static_cast<int64_t>(house.aggregate.size());
+  for (const ApplianceTrace& trace : house.appliances) {
+    if (static_cast<int64_t>(trace.power.size()) != total) {
+      return Status::InvalidArgument(
+          "appliance trace '" + trace.name +
+          "' is not aligned with the aggregate");
+    }
+    if (trace.name.empty()) {
+      return Status::InvalidArgument("appliance trace has an empty name");
+    }
+  }
+
+  // Channel 0 is always the aggregate; submeter traces follow.
+  std::vector<std::string> names;
+  names.reserve(house.appliances.size() + 1);
+  names.push_back("aggregate");
+  for (const ApplianceTrace& trace : house.appliances) {
+    names.push_back(trace.name);
+  }
+  uint32_t name_bytes = 0;
+  for (const std::string& name : names) {
+    if (name.size() > ColumnStoreFormat::kMaxNameBytes) {
+      return Status::InvalidArgument("channel name too long: " + name);
+    }
+    name_bytes += 4 + static_cast<uint32_t>(name.size());
+  }
+
+  // Chunk directory: contiguous, ascending, last chunk possibly short.
+  std::vector<int64_t> chunk_starts;
+  std::vector<int64_t> chunk_counts;
+  for (int64_t start = 0; start < total; start += options.chunk_samples) {
+    chunk_starts.push_back(start);
+    chunk_counts.push_back(std::min(options.chunk_samples, total - start));
+  }
+
+  Header header;
+  header.house_id = house.house_id;
+  header.n_channels = static_cast<uint32_t>(names.size());
+  header.n_chunks = static_cast<uint32_t>(chunk_starts.size());
+  header.name_bytes = name_bytes;
+  header.interval_seconds = house.interval_seconds;
+  header.total_samples = total;
+  const int64_t metadata_end =
+      static_cast<int64_t>(ColumnStoreFormat::kHeaderBytes) + name_bytes +
+      static_cast<int64_t>(chunk_starts.size()) * 16;
+  header.data_offset =
+      AlignUp(metadata_end, ColumnStoreFormat::kDataAlignment);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot create " + path);
+  }
+  Status status = Status::OK();
+  const auto write = [&](const void* bytes, size_t n) {
+    if (status.ok()) status = WriteBytes(f, bytes, n, path);
+  };
+  uint8_t encoded[ColumnStoreFormat::kHeaderBytes];
+  EncodeHeader(header, encoded);
+  write(encoded, sizeof(encoded));
+  for (const std::string& name : names) {
+    const uint32_t len = static_cast<uint32_t>(name.size());
+    write(&len, 4);
+    write(name.data(), name.size());
+  }
+  for (size_t k = 0; k < chunk_starts.size(); ++k) {
+    write(&chunk_starts[k], 8);
+    write(&chunk_counts[k], 8);
+  }
+  const std::string padding(
+      static_cast<size_t>(header.data_offset - metadata_end), '\0');
+  write(padding.data(), padding.size());
+  // Channel-major data: each channel's samples contiguous (the zero-copy
+  // contract), chunk slices addressed through the directory above. Floats
+  // are written verbatim, so NaN missing-value payloads survive bit-exact.
+  write(house.aggregate.data(), static_cast<size_t>(total) * 4);
+  for (const ApplianceTrace& trace : house.appliances) {
+    write(trace.power.data(), static_cast<size_t>(total) * 4);
+  }
+  if (std::fclose(f) != 0 && status.ok()) {
+    status = Status::IoError("cannot flush " + path);
+  }
+  return status;
+}
+
+Result<ColumnStore> ColumnStore::Open(const std::string& path) {
+  CAMAL_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(path));
+  const int64_t file_size = static_cast<int64_t>(file.size());
+  if (file_size < static_cast<int64_t>(ColumnStoreFormat::kHeaderBytes)) {
+    return Status::InvalidArgument(
+        path + ": truncated header (" + std::to_string(file_size) +
+        " bytes" + (file_size == 0 ? ", empty file" : "") + ")");
+  }
+  const Header header = DecodeHeader(file.data());
+  if (header.magic != ColumnStoreFormat::kMagic) {
+    return Status::InvalidArgument(path + ": bad magic (not a column store)");
+  }
+  if (header.version != ColumnStoreFormat::kVersion) {
+    return Status::InvalidArgument(
+        path + ": unsupported version " + std::to_string(header.version) +
+        " (reader supports " +
+        std::to_string(ColumnStoreFormat::kVersion) + ")");
+  }
+  if (header.n_channels == 0 || header.n_channels > (1u << 16)) {
+    return Status::InvalidArgument(
+        path + ": invalid channel count " +
+        std::to_string(header.n_channels));
+  }
+  if (!(header.interval_seconds > 0.0)) {
+    return Status::InvalidArgument(path + ": invalid sampling interval");
+  }
+  if (header.total_samples < 0 ||
+      header.total_samples >
+          std::numeric_limits<int64_t>::max() /
+              (4 * static_cast<int64_t>(header.n_channels))) {
+    return Status::InvalidArgument(path + ": invalid sample count");
+  }
+
+  // Metadata bounds: names then chunk directory, all before data_offset.
+  const int64_t names_begin =
+      static_cast<int64_t>(ColumnStoreFormat::kHeaderBytes);
+  const int64_t names_end = names_begin + header.name_bytes;
+  const int64_t chunks_end =
+      names_end + static_cast<int64_t>(header.n_chunks) * 16;
+  if (header.name_bytes > file_size - names_begin ||
+      chunks_end > file_size || chunks_end > header.data_offset) {
+    return Status::InvalidArgument(path + ": truncated metadata");
+  }
+  if (header.data_offset % ColumnStoreFormat::kDataAlignment != 0) {
+    return Status::InvalidArgument(path + ": misaligned data section");
+  }
+  const int64_t data_bytes =
+      4 * static_cast<int64_t>(header.n_channels) * header.total_samples;
+  if (header.data_offset > file_size - data_bytes) {
+    return Status::InvalidArgument(path + ": truncated chunk data");
+  }
+
+  ColumnStore store;
+  store.house_id_ = header.house_id;
+  store.interval_seconds_ = header.interval_seconds;
+  store.total_samples_ = header.total_samples;
+  store.data_offset_ = header.data_offset;
+
+  // Name table: uint32 length + bytes per channel, packed.
+  int64_t cursor = names_begin;
+  store.names_.reserve(header.n_channels);
+  for (uint32_t c = 0; c < header.n_channels; ++c) {
+    if (cursor + 4 > names_end) {
+      return Status::InvalidArgument(path + ": truncated channel names");
+    }
+    uint32_t len = 0;
+    std::memcpy(&len, file.data() + cursor, 4);
+    cursor += 4;
+    if (len > ColumnStoreFormat::kMaxNameBytes ||
+        cursor + static_cast<int64_t>(len) > names_end) {
+      return Status::InvalidArgument(path + ": corrupt channel name table");
+    }
+    store.names_.emplace_back(
+        reinterpret_cast<const char*>(file.data() + cursor), len);
+    cursor += len;
+  }
+  if (cursor != names_end) {
+    return Status::InvalidArgument(path + ": corrupt channel name table");
+  }
+
+  // Chunk directory: contiguous ascending coverage of the whole series.
+  store.chunk_starts_.reserve(header.n_chunks);
+  store.chunk_counts_.reserve(header.n_chunks);
+  int64_t expected_start = 0;
+  for (uint32_t k = 0; k < header.n_chunks; ++k) {
+    int64_t start = 0;
+    int64_t count = 0;
+    std::memcpy(&start, file.data() + names_end + 16 * k, 8);
+    std::memcpy(&count, file.data() + names_end + 16 * k + 8, 8);
+    if (start != expected_start || count <= 0 ||
+        count > header.total_samples - start) {
+      return Status::InvalidArgument(path + ": corrupt chunk directory");
+    }
+    store.chunk_starts_.push_back(start);
+    store.chunk_counts_.push_back(count);
+    expected_start = start + count;
+  }
+  if (expected_start != header.total_samples) {
+    return Status::InvalidArgument(
+        path + ": chunk directory does not cover the series");
+  }
+
+  store.file_ = std::move(file);
+  return store;
+}
+
+SeriesView ColumnStore::Channel(int64_t c) const {
+  CAMAL_CHECK_GE(c, 0);
+  CAMAL_CHECK_LT(c, num_channels());
+  if (total_samples_ == 0) return SeriesView();
+  const uint8_t* base = file_.data() + data_offset_ + 4 * c * total_samples_;
+  return SeriesView(reinterpret_cast<const float*>(base), total_samples_);
+}
+
+SeriesView ColumnStore::ChunkColumn(int64_t k, int64_t c) const {
+  CAMAL_CHECK_GE(k, 0);
+  CAMAL_CHECK_LT(k, num_chunks());
+  return Channel(c).subview(chunk_start(k), chunk_samples(k));
+}
+
+HouseRecord ColumnStore::ToHouseRecord() const {
+  HouseRecord house;
+  house.house_id = house_id_;
+  house.interval_seconds = interval_seconds_;
+  const SeriesView aggregate_view = aggregate();
+  house.aggregate.assign(aggregate_view.begin(), aggregate_view.end());
+  for (int64_t c = 1; c < num_channels(); ++c) {
+    ApplianceTrace trace;
+    trace.name = channel_name(c);
+    const SeriesView view = Channel(c);
+    trace.power.assign(view.begin(), view.end());
+    house.appliances.push_back(std::move(trace));
+    // Mirror the CSV loader: a stored submeter channel implies possession.
+    house.owned_appliances.push_back(channel_name(c));
+  }
+  return house;
+}
+
+Status ConvertCsvToStore(const std::string& csv_path,
+                         const std::string& store_path, int house_id,
+                         const ColumnStoreWriteOptions& options) {
+  CAMAL_ASSIGN_OR_RETURN(HouseRecord house,
+                         LoadHouseCsv(csv_path, house_id));
+  return WriteColumnStore(house, store_path, options);
+}
+
+Status ConvertStoreToCsv(const std::string& store_path,
+                         const std::string& csv_path) {
+  CAMAL_ASSIGN_OR_RETURN(ColumnStore store, ColumnStore::Open(store_path));
+  return WriteHouseCsv(store.ToHouseRecord(), csv_path);
+}
+
+Result<std::vector<ColumnStore>> OpenStoreDir(const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    return Status::NotFound("not a directory: " + directory);
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("house_", 0) == 0 && name.size() > 7 &&
+        name.substr(name.size() - 7) == ".cstore") {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (files.empty()) {
+    return Status::NotFound("no house_*.cstore files in " + directory);
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<ColumnStore> stores;
+  stores.reserve(files.size());
+  for (const std::string& file : files) {
+    CAMAL_ASSIGN_OR_RETURN(ColumnStore store, ColumnStore::Open(file));
+    stores.push_back(std::move(store));
+  }
+  return stores;
+}
+
+}  // namespace camal::data

@@ -1,0 +1,140 @@
+#ifndef CAMAL_DATA_COLUMN_STORE_H_
+#define CAMAL_DATA_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/mmap_file.h"
+#include "data/series_view.h"
+#include "data/time_series.h"
+
+namespace camal::data {
+
+/// Binary columnar household store — the at-scale ingestion format of the
+/// serving stack, replacing CSV text parsing on the cold-start path.
+///
+/// One file holds one household. Layout (all integers little-endian
+/// native, floats IEEE-754 binary32, missing readings stored as NaN with
+/// their payload bits preserved):
+///
+///   header   magic "CAML", version, house_id, channel/chunk counts,
+///            interval_seconds, total_samples, data_offset
+///   names    per channel: uint32 length + bytes (channel 0 is the
+///            aggregate; the rest are appliance submeter traces)
+///   chunks   per chunk: int64 start sample + int64 sample count — the
+///            chunk's timestamp offset is start * interval_seconds.
+///            Chunks are contiguous and ascending.
+///   data     64-byte aligned, channel-major: each channel's
+///            total_samples floats are contiguous, and chunk k of channel
+///            c is the [start_k, start_k + count_k) slice of that region.
+///
+/// Channel-major data is the zero-copy contract: a whole channel is one
+/// contiguous SeriesView straight into the mapping, so a serving scan
+/// reads model inputs directly off the file — no parse, no copy. The
+/// chunk directory carves the same bytes into bounded slices for
+/// streaming readers that want to touch one chunk at a time.
+struct ColumnStoreFormat {
+  static constexpr uint32_t kMagic = 0x4C4D4143;  // "CAML" little-endian
+  static constexpr uint32_t kVersion = 1;
+  static constexpr int64_t kDataAlignment = 64;
+  static constexpr size_t kHeaderBytes = 48;
+  /// Sanity bound on a channel name; real appliance names are tiny.
+  static constexpr uint32_t kMaxNameBytes = 4096;
+};
+
+/// Writer knobs.
+struct ColumnStoreWriteOptions {
+  /// Samples per chunk-directory entry. The default keeps chunks around
+  /// 1 MiB of floats — small enough for bounded-memory streaming readers,
+  /// large enough that the directory stays negligible.
+  int64_t chunk_samples = 1 << 18;
+};
+
+/// Writes \p house as a column store file at \p path (overwriting).
+/// Appliance traces must be aligned with the aggregate (same length);
+/// missing readings (NaN) round-trip bit-exactly.
+Status WriteColumnStore(const HouseRecord& house, const std::string& path,
+                        const ColumnStoreWriteOptions& options = {});
+
+/// Memory-mapped reader. Open validates the whole file shape up front —
+/// magic, version, name table and chunk directory bounds, chunk
+/// invariants, and that every channel's data region lies inside the file
+/// — and returns a Status for anything malformed (empty file, bad magic,
+/// version mismatch, truncated chunk), so readers never fault on a
+/// corrupt store. After Open, every accessor is a bounds-checked view
+/// into the mapping: nothing is parsed or copied again.
+class ColumnStore {
+ public:
+  static Result<ColumnStore> Open(const std::string& path);
+
+  int house_id() const { return house_id_; }
+  double interval_seconds() const { return interval_seconds_; }
+  int64_t num_samples() const { return total_samples_; }
+  int64_t num_channels() const {
+    return static_cast<int64_t>(names_.size());
+  }
+  int64_t num_chunks() const {
+    return static_cast<int64_t>(chunk_starts_.size());
+  }
+  /// Bytes of the backing file (for loader benches).
+  int64_t file_bytes() const { return static_cast<int64_t>(file_.size()); }
+
+  /// Channel 0 is always "aggregate"; 1.. are appliance traces.
+  const std::string& channel_name(int64_t c) const {
+    return names_[static_cast<size_t>(c)];
+  }
+
+  /// Zero-copy view of channel \p c's full series, straight into the
+  /// mapping. Valid only while this store is alive.
+  SeriesView Channel(int64_t c) const;
+
+  /// The household aggregate (channel 0) — what a serving scan feeds.
+  SeriesView aggregate() const { return Channel(0); }
+
+  /// Chunk directory: chunk \p k covers samples
+  /// [chunk_start(k), chunk_start(k) + chunk_samples(k)), i.e. timestamps
+  /// from chunk_start(k) * interval_seconds.
+  int64_t chunk_start(int64_t k) const {
+    return chunk_starts_[static_cast<size_t>(k)];
+  }
+  int64_t chunk_samples(int64_t k) const {
+    return chunk_counts_[static_cast<size_t>(k)];
+  }
+
+  /// Zero-copy view of chunk \p k of channel \p c (a slice of Channel(c)).
+  SeriesView ChunkColumn(int64_t k, int64_t c) const;
+
+  /// Materializes the household (copies out of the mapping) for training
+  /// and evaluation paths that mutate or outlive the store. Appliance
+  /// channels become owned_appliances, mirroring the CSV loader.
+  HouseRecord ToHouseRecord() const;
+
+ private:
+  MmapFile file_;
+  int house_id_ = 0;
+  double interval_seconds_ = 0.0;
+  int64_t total_samples_ = 0;
+  int64_t data_offset_ = 0;
+  std::vector<std::string> names_;
+  std::vector<int64_t> chunk_starts_;
+  std::vector<int64_t> chunk_counts_;
+};
+
+/// CSV -> binary converter: LoadHouseCsv + WriteColumnStore.
+Status ConvertCsvToStore(const std::string& csv_path,
+                         const std::string& store_path, int house_id,
+                         const ColumnStoreWriteOptions& options = {});
+
+/// Binary -> CSV converter (inverse; NaN cells become empty cells).
+Status ConvertStoreToCsv(const std::string& store_path,
+                         const std::string& csv_path);
+
+/// Opens every `house_*.cstore` file in \p directory (sorted by name) as
+/// one mapped cohort — the binary counterpart of LoadDatasetDir.
+Result<std::vector<ColumnStore>> OpenStoreDir(const std::string& directory);
+
+}  // namespace camal::data
+
+#endif  // CAMAL_DATA_COLUMN_STORE_H_

@@ -18,7 +18,12 @@ Result<std::string> ReadFile(const std::string& path) {
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
     text.append(buf, n);
   }
+  // fread returns 0 for EOF and for a read error alike; only ferror tells
+  // them apart. A silently-truncated read must not parse as a shorter
+  // (but well-formed) household.
+  const bool failed = std::ferror(f) != 0;
   std::fclose(f);
+  if (failed) return Status::IoError("read error on " + path);
   return text;
 }
 
@@ -172,7 +177,15 @@ Status ApplyPossessionSurvey(const std::string& path,
       return Status::InvalidArgument("survey row " + std::to_string(r) +
                                      " must be house_id,appliance,owned");
     }
-    const int id = std::atoi(row[0].c_str());
+    // Not atoi: "12x" or "kitchen" would silently map to an id (12 / 0)
+    // and mis-attribute the answer to the wrong house.
+    CAMAL_ASSIGN_OR_RETURN(const double id_value,
+                           ParseNumber(row[0], "survey house_id"));
+    const int id = static_cast<int>(id_value);
+    if (static_cast<double>(id) != id_value) {
+      return Status::InvalidArgument("malformed survey house_id: '" + row[0] +
+                                     "'");
+    }
     HouseRecord* house = nullptr;
     for (auto& h : *houses) {
       if (h.house_id == id) house = &h;

@@ -1,0 +1,58 @@
+#ifndef CAMAL_DATA_MMAP_FILE_H_
+#define CAMAL_DATA_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace camal::data {
+
+/// Read-only memory-mapped file (RAII): the OS pages bytes in on demand
+/// and reclaims them under pressure, so opening a multi-gigabyte household
+/// store costs a page-table setup, not a read. The mapping lives until the
+/// object is destroyed or moved-from; views into data() must not outlive
+/// it. POSIX-only (mmap), like the rest of the serving runtime's
+/// platform-specific code.
+class MmapFile {
+ public:
+  /// Maps \p path read-only. An empty file maps to data() == nullptr with
+  /// size() == 0 (mmap rejects zero-length mappings). Fails with kIoError
+  /// when the file cannot be opened, stat'ed, or mapped.
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile() { Unmap(); }
+
+  MmapFile(MmapFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MmapFile& operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+      Unmap();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// First mapped byte; page-aligned (null for an empty file).
+  const uint8_t* data() const { return data_; }
+  /// Mapped length in bytes.
+  size_t size() const { return size_; }
+
+ private:
+  void Unmap();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace camal::data
+
+#endif  // CAMAL_DATA_MMAP_FILE_H_

@@ -1,0 +1,59 @@
+#ifndef CAMAL_DATA_SERIES_VIEW_H_
+#define CAMAL_DATA_SERIES_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace camal::data {
+
+/// Non-owning view of a contiguous float series — the currency of the
+/// zero-copy data plane. A view is a (pointer, length) pair over readings
+/// someone else owns: a std::vector<float>, a mapped ColumnStore channel,
+/// or a slice of either. Copying a view never copies readings, which is
+/// what lets a serving scan run straight off a memory-mapped household
+/// file. The backing storage must outlive every view of it.
+class SeriesView {
+ public:
+  constexpr SeriesView() = default;
+
+  /// Views \p size readings starting at \p data. \p data may be null only
+  /// when \p size is 0 (the empty series).
+  SeriesView(const float* data, int64_t size) : data_(data), size_(size) {
+    CAMAL_CHECK_GE(size, 0);
+    CAMAL_CHECK(data != nullptr || size == 0);
+  }
+
+  /// Implicit borrow of a vector's readings, so every call site that held
+  /// a std::vector<float> keeps working unchanged. The vector must not
+  /// reallocate or die while the view is in use.
+  SeriesView(const std::vector<float>& values)  // NOLINT(runtime/explicit)
+      : data_(values.data()), size_(static_cast<int64_t>(values.size())) {}
+
+  const float* data() const { return data_; }
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  float operator[](int64_t i) const { return data_[i]; }
+
+  /// Iterator pair for range-for and std algorithms.
+  const float* begin() const { return data_; }
+  const float* end() const { return data_ + size_; }
+
+  /// The sub-series [offset, offset + count); bounds-checked.
+  SeriesView subview(int64_t offset, int64_t count) const {
+    CAMAL_CHECK_GE(offset, 0);
+    CAMAL_CHECK_GE(count, 0);
+    CAMAL_CHECK_LE(offset + count, size_);
+    return SeriesView(count == 0 ? nullptr : data_ + offset, count);
+  }
+
+ private:
+  const float* data_ = nullptr;
+  int64_t size_ = 0;
+};
+
+}  // namespace camal::data
+
+#endif  // CAMAL_DATA_SERIES_VIEW_H_

@@ -38,29 +38,30 @@ Status BatchRunner::ValidateOptions(const BatchRunnerOptions& options) {
   return Status::OK();
 }
 
-const std::vector<float>* BatchRunner::PrepareSeries(
-    const std::vector<float>& series, SeriesState* state, ScanResult* result) {
-  const int64_t len = static_cast<int64_t>(series.size());
+data::SeriesView BatchRunner::PrepareSeries(data::SeriesView series,
+                                            SeriesState* state,
+                                            ScanResult* result) {
+  const int64_t len = series.size();
   const int64_t l = options_.stream.window_length;
   state->len = len;
   state->pad = 0;
   result->detection = nn::Tensor({len});
   result->status = nn::Tensor({len});
   result->power = nn::Tensor({len});
-  if (len == 0) return nullptr;
+  if (len == 0) return data::SeriesView();
 
   // A series shorter than one window is left-padded with zeros to a single
   // window (zero is the stream's missing-reading fill) so short households
   // still get real model predictions instead of all-zero output. The pad
   // occupies [0, pad) of the scanned series; stitched outputs are shifted
   // back by `pad` in FinalizeSeries.
-  const std::vector<float>* scan_series = &series;
+  data::SeriesView scan_series = series;
   if (len < l) {
     state->pad = l - len;
     state->padded.assign(static_cast<size_t>(l), 0.0f);
     std::copy(series.begin(), series.end(),
               state->padded.begin() + static_cast<size_t>(state->pad));
-    scan_series = &state->padded;
+    scan_series = data::SeriesView(state->padded);
   }
   const size_t scan_len = static_cast<size_t>(len + state->pad);
   state->prob_sum.assign(scan_len, 0.0f);
@@ -91,7 +92,7 @@ void BatchRunner::StitchBatch(const core::LocalizationResult& loc,
   }
 }
 
-void BatchRunner::FinalizeSeries(const std::vector<float>& aggregate_watts,
+void BatchRunner::FinalizeSeries(data::SeriesView aggregate_watts,
                                  const SeriesState& state,
                                  ScanResult* result) {
   const int64_t len = state.len;
@@ -108,17 +109,17 @@ void BatchRunner::FinalizeSeries(const std::vector<float>& aggregate_watts,
   FinalizePower(aggregate_watts, result);
 }
 
-void BatchRunner::FinalizePower(const std::vector<float>& aggregate_watts,
+void BatchRunner::FinalizePower(data::SeriesView aggregate_watts,
                                 ScanResult* result) {
   // §IV-C power estimation over the stitched status. Missing readings
   // carry no observed aggregate: they enter EstimatePower zero-filled and
   // the estimate is forced to 0 afterwards, so a voted-ON status at a NaN
   // timestamp can never report P_a-scale phantom power, whatever clamp
   // the estimator applies.
-  const int64_t len = static_cast<int64_t>(aggregate_watts.size());
+  const int64_t len = aggregate_watts.size();
   nn::Tensor watts({1, len});
   for (int64_t t = 0; t < len; ++t) {
-    const float v = aggregate_watts[static_cast<size_t>(t)];
+    const float v = aggregate_watts[t];
     watts.at(t) = data::IsMissing(v) ? 0.0f : v;
   }
   result->power =
@@ -126,14 +127,14 @@ void BatchRunner::FinalizePower(const std::vector<float>& aggregate_watts,
                           options_.appliance_avg_power_w)
           .Reshape({len});
   for (int64_t t = 0; t < len; ++t) {
-    if (data::IsMissing(aggregate_watts[static_cast<size_t>(t)])) {
+    if (data::IsMissing(aggregate_watts[t])) {
       result->power.at(t) = 0.0f;
     }
   }
 }
 
 std::vector<ScanResult> BatchRunner::ScanMany(
-    const std::vector<const std::vector<float>*>& series) {
+    const std::vector<data::SeriesView>& series) {
   const size_t n = series.size();
   std::vector<ScanResult> results(n);
   // resize keeps existing elements, so their vote buffers' capacity is
@@ -142,15 +143,14 @@ std::vector<ScanResult> BatchRunner::ScanMany(
 
   // Phase 1 setup: per-series stitch state, plus the feed list of
   // non-empty (possibly padded) series for the shared window stream.
-  std::vector<const std::vector<float>*> feed;
+  std::vector<data::SeriesView> feed;
   std::vector<int32_t> feed_to_state;
   feed.reserve(n);
   feed_to_state.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    CAMAL_CHECK(series[i] != nullptr);
-    const std::vector<float>* scan_series =
-        PrepareSeries(*series[i], &states_[i], &results[i]);
-    if (scan_series == nullptr) continue;  // empty: all-zero result
+    const data::SeriesView scan_series =
+        PrepareSeries(series[i], &states_[i], &results[i]);
+    if (scan_series.empty()) continue;  // empty: all-zero result
     feed.push_back(scan_series);
     feed_to_state.push_back(static_cast<int32_t>(i));
   }
@@ -173,14 +173,14 @@ std::vector<ScanResult> BatchRunner::ScanMany(
   for (size_t i = 0; i < n; ++i) {
     results[i].seconds = seconds;
     results[i].windows_full = results[i].windows;
-    FinalizeSeries(*series[i], states_[i], &results[i]);
+    FinalizeSeries(series[i], states_[i], &results[i]);
   }
   return results;
 }
 
 std::vector<ScanResult> BatchRunner::AppendScanMany(
     const std::vector<SessionScanState*>& states,
-    const std::vector<const std::vector<float>*>& deltas) {
+    const std::vector<data::SeriesView>& deltas) {
   CAMAL_CHECK_EQ(states.size(), deltas.size());
   const size_t n = states.size();
   const int64_t l = options_.stream.window_length;
@@ -196,16 +196,15 @@ std::vector<ScanResult> BatchRunner::AppendScanMany(
   // into the persistent accumulators, in ascending offset like a
   // from-scratch stitch, then the end-dependent tail/pad window into the
   // transient overlay.
-  std::vector<const std::vector<float>*> feed;
+  std::vector<data::SeriesView> feed;
   std::vector<int32_t> feed_state;    // feed index -> states index
   std::vector<uint8_t> feed_overlay;  // feed entry is an overlay pad buffer
   std::vector<WindowRef> refs;
   for (size_t i = 0; i < n; ++i) {
     SessionScanState* state = states[i];
     CAMAL_CHECK(state != nullptr);
-    CAMAL_CHECK(deltas[i] != nullptr);
-    state->series.insert(state->series.end(), deltas[i]->begin(),
-                         deltas[i]->end());
+    state->series.insert(state->series.end(), deltas[i].begin(),
+                         deltas[i].end());
     const int64_t len = state->readings();
     ScanResult& result = results[i];
     result.detection = nn::Tensor({len});
@@ -226,7 +225,7 @@ std::vector<ScanResult> BatchRunner::AppendScanMany(
     for (int64_t k = state->grid_windows; k < grid; ++k) {
       if (main_feed < 0) {
         main_feed = static_cast<int32_t>(feed.size());
-        feed.push_back(&state->series);
+        feed.push_back(data::SeriesView(state->series));
         feed_state.push_back(static_cast<int32_t>(i));
         feed_overlay.push_back(0);
       }
@@ -244,7 +243,7 @@ std::vector<ScanResult> BatchRunner::AppendScanMany(
       std::copy(state->series.begin(), state->series.end(),
                 overlay.padded.begin() + static_cast<size_t>(l - len));
       refs.push_back(WindowRef{static_cast<int32_t>(feed.size()), 0});
-      feed.push_back(&overlay.padded);
+      feed.push_back(data::SeriesView(overlay.padded));
       feed_state.push_back(static_cast<int32_t>(i));
       feed_overlay.push_back(1);
     } else if (tail) {
@@ -252,7 +251,7 @@ std::vector<ScanResult> BatchRunner::AppendScanMany(
       overlay.offset = len - l;
       if (main_feed < 0) {
         main_feed = static_cast<int32_t>(feed.size());
-        feed.push_back(&state->series);
+        feed.push_back(data::SeriesView(state->series));
         feed_state.push_back(static_cast<int32_t>(i));
         feed_overlay.push_back(0);
       }
@@ -359,16 +358,16 @@ void BatchRunner::FinalizeAppend(const SessionScanState& state,
 }
 
 ScanResult BatchRunner::AppendScan(SessionScanState* state,
-                                   const std::vector<float>& delta) {
-  std::vector<ScanResult> results = AppendScanMany({state}, {&delta});
+                                   data::SeriesView delta) {
+  std::vector<ScanResult> results = AppendScanMany({state}, {delta});
   return std::move(results.front());
 }
 
-ScanResult BatchRunner::Scan(const std::vector<float>& aggregate_watts) {
+ScanResult BatchRunner::Scan(data::SeriesView aggregate_watts) {
   // A lone scan is the one-series coalesced scan: MultiWindowStream over a
   // single series batches exactly like WindowStream, so this is the same
   // computation Scan always did.
-  std::vector<ScanResult> results = ScanMany({&aggregate_watts});
+  std::vector<ScanResult> results = ScanMany({aggregate_watts});
   return std::move(results.front());
 }
 

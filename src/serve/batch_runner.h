@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/localizer.h"
+#include "data/series_view.h"
 #include "serve/window_stream.h"
 
 namespace camal::serve {
@@ -94,21 +95,23 @@ class BatchRunner {
   BatchRunner(core::CamalEnsemble* ensemble, BatchRunnerOptions options);
 
   /// Scans \p aggregate_watts (unscaled Watts; NaN = missing reading).
-  /// Series shorter than one window are left-padded with zeros (the
-  /// stream's missing-value fill) to a single window and scanned, so even
-  /// short households get real predictions; empty series return all-zero
-  /// results. Not thread-safe: a runner owns reusable scan scratch, so
-  /// concurrent scans need one runner each (see ShardedScanner).
-  ScanResult Scan(const std::vector<float>& aggregate_watts);
+  /// The view is borrowed for the duration of the call only — it can sit
+  /// over a vector or straight over a mapped ColumnStore channel; nothing
+  /// is copied either way. Series shorter than one window are left-padded
+  /// with zeros (the stream's missing-value fill) to a single window and
+  /// scanned, so even short households get real predictions; empty series
+  /// return all-zero results. Not thread-safe: a runner owns reusable scan
+  /// scratch, so concurrent scans need one runner each (see
+  /// ShardedScanner).
+  ScanResult Scan(data::SeriesView aggregate_watts);
 
   /// Coalesced scan of several series through shared GEMM batches: one
   /// feed phase carries every series' windows (batches fill across series
   /// boundaries, so small households no longer mean underfilled batches),
   /// then each series stitches and finalizes on its own. results[i] is
-  /// bitwise-identical to Scan(*series[i]); entries must not be null but
-  /// may repeat or be empty. Not thread-safe, like Scan.
-  std::vector<ScanResult> ScanMany(
-      const std::vector<const std::vector<float>*>& series);
+  /// bitwise-identical to Scan(series[i]); entries may repeat or be
+  /// empty. Not thread-safe, like Scan.
+  std::vector<ScanResult> ScanMany(const std::vector<data::SeriesView>& series);
 
   /// Incremental rescan: appends \p delta to \p state's committed series
   /// and feeds ONLY the windows the new tail touches — grid windows not
@@ -117,20 +120,21 @@ class BatchRunner {
   /// full-series result, bitwise-identical to Scan(state->series) after
   /// the append; its `windows` counts only the windows actually fed.
   /// Empty deltas are fine (they re-finalize without feeding anything).
-  /// Not thread-safe, like Scan; concurrent appends to one state are the
-  /// caller's bug (serve::Service serializes per session).
-  ScanResult AppendScan(SessionScanState* state,
-                        const std::vector<float>& delta);
+  /// \p delta must not view \p state's own committed series (it is copied
+  /// into it). Not thread-safe, like Scan; concurrent appends to one
+  /// state are the caller's bug (serve::Service serializes per session).
+  ScanResult AppendScan(SessionScanState* state, data::SeriesView delta);
 
   /// Coalesced incremental rescan of several sessions: one feed phase
   /// carries every session's new windows, so distinct households' appends
   /// share GEMM batches exactly like ScanMany coalesces one-shot scans.
-  /// states[i] / deltas[i] pair up; entries must not be null and states
-  /// must be distinct. results[i] is bitwise-identical to
-  /// Scan(states[i]->series) after its append. Not thread-safe.
+  /// states[i] / deltas[i] pair up; states must not be null and must be
+  /// distinct, and no delta may view its own state's committed series.
+  /// results[i] is bitwise-identical to Scan(states[i]->series) after its
+  /// append. Not thread-safe.
   std::vector<ScanResult> AppendScanMany(
       const std::vector<SessionScanState*>& states,
-      const std::vector<const std::vector<float>*>& deltas);
+      const std::vector<data::SeriesView>& deltas);
 
   /// Validates scan options without constructing a runner — the Status
   /// mirror of the constructor's programmer-error CHECKs, for callers
@@ -153,12 +157,12 @@ class BatchRunner {
   };
 
   /// Prepares states_[i] for \p series: result tensors, short-series pad,
-  /// zeroed vote buffers. Returns the buffer the feed phase should window
-  /// (the padded copy for short series), or nullptr when the series is
-  /// empty and contributes no windows.
-  const std::vector<float>* PrepareSeries(const std::vector<float>& series,
-                                          SeriesState* state,
-                                          ScanResult* result);
+  /// zeroed vote buffers. Returns the view the feed phase should window
+  /// (over the padded copy for short series, over the caller's backing
+  /// otherwise), or an empty view when the series is empty and
+  /// contributes no windows.
+  data::SeriesView PrepareSeries(data::SeriesView series, SeriesState* state,
+                                 ScanResult* result);
 
   /// Folds one localized batch into the owning series' vote buffers.
   /// \p feed_to_state maps MultiWindowStream series indices to states_.
@@ -169,7 +173,7 @@ class BatchRunner {
 
   /// Turns accumulated votes into the per-timestamp detection/status/power
   /// series of \p result, dropping any synthetic pad.
-  void FinalizeSeries(const std::vector<float>& aggregate_watts,
+  void FinalizeSeries(data::SeriesView aggregate_watts,
                       const SeriesState& state, ScanResult* result);
 
   /// Transient accumulators for the end-dependent window of one append
@@ -203,8 +207,7 @@ class BatchRunner {
   /// §IV-C power estimation over \p result's stitched status — shared by
   /// one-shot and incremental finalization so both force power to 0 at
   /// missing readings the same way.
-  void FinalizePower(const std::vector<float>& aggregate_watts,
-                     ScanResult* result);
+  void FinalizePower(data::SeriesView aggregate_watts, ScanResult* result);
 
   core::CamalEnsemble* ensemble_;
   core::CamalLocalizer localizer_;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "data/series_view.h"
 #include "serve/batch_runner.h"
 
 namespace camal::serve {
@@ -22,12 +23,14 @@ class Session;
 /// One asynchronous scan request submitted to serve::Service.
 ///
 /// The series travels one of two ways — set exactly one:
-///  - `series`: BORROWED. The caller's buffer must stay alive until the
-///    request's future resolves. Right for batch clients that own a
-///    cohort for the whole call (ShardedScanner).
+///  - `series`: BORROWED. A non-owning view; its backing storage (a
+///    caller's vector, a mapped ColumnStore channel) must stay alive
+///    until the request's future resolves. Right for batch clients that
+///    own a cohort for the whole call (ShardedScanner) and for serving
+///    straight off a mapped store with zero copies.
 ///  - `owned_series`: OWNED. The request carries the buffer itself, so
 ///    the caller may return immediately — the fire-and-forget shape the
-///    borrowed pointer made a lifetime footgun. Session appends always
+///    borrowed view would make a lifetime footgun. Session appends always
 ///    use this form; Submit(appliance, series) builds it for one-shots.
 struct ScanRequest {
   /// Caller-chosen identifier echoed through logs and benches; the service
@@ -35,21 +38,26 @@ struct ScanRequest {
   std::string household_id;
   /// Name of a registered appliance (Service::RegisterAppliance).
   std::string appliance;
-  /// Aggregate series in unscaled Watts (NaN = missing reading). Borrowed;
-  /// see the struct contract.
-  const std::vector<float>* series = nullptr;
+  /// Aggregate series in unscaled Watts (NaN = missing reading).
+  /// Borrowed view; see the struct contract. (An optional, not a bare
+  /// view, so an explicitly-submitted empty series stays distinguishable
+  /// from "not set".)
+  std::optional<data::SeriesView> series;
   /// Owning alternative to `series`; see the struct contract. For a
   /// session append this is the delta, not a full series.
   std::optional<std::vector<float>> owned_series;
 };
 
-/// The effective series of a request: the owned buffer when present,
-/// otherwise the borrowed pointer (null when the caller set neither).
-/// Resolve only on the request's final resting place — the owned buffer's
-/// address changes whenever the enclosing QueuedScan moves.
-inline const std::vector<float>* RequestSeries(const ScanRequest& request) {
-  return request.owned_series.has_value() ? &*request.owned_series
-                                          : request.series;
+/// The effective series of a request: a view of the owned buffer when
+/// present, otherwise the borrowed view (empty when the caller set
+/// neither). Resolve only on the request's final resting place — the
+/// owned buffer's address changes whenever the enclosing QueuedScan
+/// moves.
+inline data::SeriesView RequestSeries(const ScanRequest& request) {
+  if (request.owned_series.has_value()) {
+    return data::SeriesView(*request.owned_series);
+  }
+  return request.series.value_or(data::SeriesView());
 }
 
 /// A validated request waiting in the admission queue, paired with the

@@ -142,7 +142,7 @@ void Service::ServeGroup(BatchRunner* runner, QueuedScan* first,
       }
     }
     if (!scans.empty()) {
-      std::vector<const std::vector<float>*> series;
+      std::vector<data::SeriesView> series;
       series.reserve(scans.size());
       for (const QueuedScan* task : scans) {
         series.push_back(RequestSeries(task->request));
@@ -153,7 +153,7 @@ void Service::ServeGroup(BatchRunner* runner, QueuedScan* first,
     }
     if (!appends.empty()) {
       std::vector<SessionScanState*> states;
-      std::vector<const std::vector<float>*> deltas;
+      std::vector<data::SeriesView> deltas;
       states.reserve(appends.size());
       deltas.reserve(appends.size());
       for (QueuedScan* task : appends) {
@@ -199,9 +199,8 @@ void Service::ServeGroup(BatchRunner* runner, QueuedScan* first,
   for (size_t i = 0; i < appends.size(); ++i) {
     QueuedScan* task = appends[i];
     session_appends_.fetch_add(1, std::memory_order_relaxed);
-    appended_readings_.fetch_add(
-        static_cast<int64_t>(RequestSeries(task->request)->size()),
-        std::memory_order_relaxed);
+    appended_readings_.fetch_add(RequestSeries(task->request).size(),
+                                 std::memory_order_relaxed);
     windows_saved_.fetch_add(
         append_results[i].windows_full - append_results[i].windows,
         std::memory_order_relaxed);
@@ -235,12 +234,12 @@ std::future<Result<ScanResult>> Service::Submit(ScanRequest request) {
     return Reject(
         Status::InvalidArgument("request has an empty appliance name"));
   }
-  if (request.owned_series.has_value() && request.series != nullptr) {
+  if (request.owned_series.has_value() && request.series.has_value()) {
     return Reject(Status::InvalidArgument(
         "request sets both series (borrowed) and owned_series"));
   }
-  if (RequestSeries(request) == nullptr) {
-    return Reject(Status::InvalidArgument("request series is null"));
+  if (!request.owned_series.has_value() && !request.series.has_value()) {
+    return Reject(Status::InvalidArgument("request has no series"));
   }
   // appliances_ is frozen once state_ is kRunning, so lock-free reads are
   // safe here.

@@ -102,7 +102,7 @@ struct ServiceStats {
 ///
 /// Error contract: malformed requests never abort the process. Submit
 /// resolves the returned future immediately with kInvalidArgument (empty
-/// appliance name, null series), kNotFound (unregistered appliance), or
+/// appliance name, no series set), kNotFound (unregistered appliance), or
 /// kFailedPrecondition (not started, shut down, or queue full). Workers
 /// only ever see validated requests; a scan that throws resolves the
 /// affected futures with kInternal and the worker lives on.
@@ -117,9 +117,11 @@ struct ServiceStats {
 /// Shutdown is graceful: admission stops at once, every request already
 /// admitted is still served, then workers join and live sessions close.
 /// The destructor calls Shutdown. A borrowed-series request
-/// (ScanRequest::series) must keep its buffer alive until the request's
-/// future resolves; owned-series requests and session appends carry
-/// their buffers.
+/// (ScanRequest::series) must keep the view's backing storage — a vector
+/// or a mapped data::ColumnStore — alive until the request's future
+/// resolves; owned-series requests and session appends carry their
+/// buffers. Serving off a mapped store is the zero-copy path: the worker
+/// windows the model inputs straight out of the mapping.
 class Service {
  public:
   explicit Service(ServiceOptions options = {});
@@ -147,8 +149,8 @@ class Service {
   /// Validates and enqueues \p request. Always returns a future: on
   /// rejection it is already resolved with the non-OK Status (see the
   /// class contract for codes). Thread-safe. The request must set exactly
-  /// one of `series` (borrowed — the caller's buffer must outlive the
-  /// future) and `owned_series` (the request carries the buffer).
+  /// one of `series` (borrowed view — its backing storage must outlive
+  /// the future) and `owned_series` (the request carries the buffer).
   std::future<Result<ScanResult>> Submit(ScanRequest request);
 
   /// Owning one-shot convenience: the request carries \p series, so the

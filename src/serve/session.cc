@@ -29,13 +29,14 @@ std::future<Result<ScanResult>> Session::AppendReadings(
   return service_->AppendReadings(shared_from_this(), std::move(readings));
 }
 
+std::future<Result<ScanResult>> Session::AppendReadings(
+    data::SeriesView readings) {
+  return AppendReadings(std::vector<float>(readings.begin(), readings.end()));
+}
+
 std::future<Result<ScanResult>> Session::AppendReadings(const float* readings,
                                                         int64_t count) {
-  CAMAL_CHECK(count >= 0);
-  CAMAL_CHECK(count == 0 || readings != nullptr);
-  if (count == 0) return AppendReadings(std::vector<float>());
-  return AppendReadings(std::vector<float>(
-      readings, readings + static_cast<size_t>(count)));
+  return AppendReadings(data::SeriesView(readings, count));
 }
 
 Status Session::Close() { return service_->CloseSession(shared_from_this()); }

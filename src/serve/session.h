@@ -70,6 +70,12 @@ class Session : public std::enable_shared_from_this<Session> {
   /// Service::AppendReadings(session, readings); see it for the contract.
   std::future<Result<ScanResult>> AppendReadings(std::vector<float> readings);
 
+  /// Copying overload for a borrowed delta (e.g. a mapped ColumnStore
+  /// chunk): the readings are copied into the request, so the view only
+  /// needs to live for this call — an append commits the delta into the
+  /// session's own series either way.
+  std::future<Result<ScanResult>> AppendReadings(data::SeriesView readings);
+
   /// Copying overload for callers holding a raw buffer. \p readings may
   /// be null only when \p count is 0.
   std::future<Result<ScanResult>> AppendReadings(const float* readings,

@@ -69,7 +69,7 @@ Service* ShardedScanner::EnsureService(int64_t cohort_size) {
 }
 
 Result<std::vector<ScanResult>> ShardedScanner::ScanAll(
-    const std::vector<std::vector<float>>& households) {
+    const std::vector<data::SeriesView>& households) {
   const size_t n = households.size();
   std::vector<ScanResult> results(n);
   if (n == 0) return results;
@@ -81,10 +81,10 @@ Result<std::vector<ScanResult>> ShardedScanner::ScanAll(
     ScanRequest request;
     request.household_id = std::to_string(i);
     request.appliance = kApplianceName;
-    // Borrowed on purpose: the cohort outlives this call, and copying
-    // every household into owning requests would double the scan's
-    // resident footprint.
-    request.series = &households[i];
+    // Borrowed on purpose: the cohort's backing storage (vectors or a
+    // mapped store) outlives this call, and copying every household into
+    // owning requests would double the scan's resident footprint.
+    request.series = households[i];
     futures.push_back(service->Submit(std::move(request)));
   }
   for (size_t i = 0; i < n; ++i) {
@@ -95,6 +95,12 @@ Result<std::vector<ScanResult>> ShardedScanner::ScanAll(
     results[i] = std::move(result).value();
   }
   return results;
+}
+
+Result<std::vector<ScanResult>> ShardedScanner::ScanAll(
+    const std::vector<std::vector<float>>& households) {
+  std::vector<data::SeriesView> views(households.begin(), households.end());
+  return ScanAll(views);
 }
 
 }  // namespace camal::serve

@@ -52,12 +52,16 @@ class ShardedScanner {
                  ShardedScannerOptions options);
   ~ShardedScanner();
 
-  /// Scans every household; results[i] corresponds to households[i]. A
-  /// lifecycle fault in the internal service surfaces as the Status — the
-  /// one error contract shared with serve::Service. (The old pointer-based
-  /// overload is gone: its null-entry and dangling-series hazards bought
-  /// nothing a caller can't get from serve::Service directly, which also
-  /// offers an owning Submit for series that live elsewhere.)
+  /// Scans every household; results[i] corresponds to households[i]. The
+  /// views are borrowed for the duration of the call — a cohort of mapped
+  /// ColumnStore aggregates scans with zero copies. A lifecycle fault in
+  /// the internal service surfaces as the Status — the one error contract
+  /// shared with serve::Service.
+  Result<std::vector<ScanResult>> ScanAll(
+      const std::vector<data::SeriesView>& households);
+
+  /// Owning-cohort convenience: borrows a view of each vector and runs
+  /// the view overload above.
   Result<std::vector<ScanResult>> ScanAll(
       const std::vector<std::vector<float>>& households);
 

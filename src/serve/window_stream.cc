@@ -62,13 +62,11 @@ std::vector<int64_t> ComputeWindowOffsets(
   return offsets;
 }
 
-WindowStream::WindowStream(const std::vector<float>* series,
+WindowStream::WindowStream(data::SeriesView series,
                            WindowStreamOptions options)
     : series_(series), options_(options) {
-  CAMAL_CHECK(series != nullptr);
   CheckOptions(options_);
-  offsets_ =
-      ComputeWindowOffsets(static_cast<int64_t>(series->size()), options_);
+  offsets_ = ComputeWindowOffsets(series_.size(), options_);
 }
 
 int64_t WindowStream::NextBatch(nn::Tensor* inputs,
@@ -82,7 +80,7 @@ int64_t WindowStream::NextBatch(nn::Tensor* inputs,
   const int64_t l = options_.window_length;
   EnsureBatchShape(inputs, b, l);
   const float inv_scale = 1.0f / options_.input_scale;
-  const float* series = series_->data();
+  const float* series = series_.data();
   for (int64_t i = 0; i < b; ++i) {
     const int64_t off = offsets_[next_++];
     batch_offsets->push_back(off);
@@ -91,15 +89,14 @@ int64_t WindowStream::NextBatch(nn::Tensor* inputs,
   return b;
 }
 
-MultiWindowStream::MultiWindowStream(
-    std::vector<const std::vector<float>*> series, WindowStreamOptions options)
+MultiWindowStream::MultiWindowStream(std::vector<data::SeriesView> series,
+                                     WindowStreamOptions options)
     : series_(std::move(series)), options_(options) {
   CheckOptions(options_);
   windows_per_series_.reserve(series_.size());
   for (size_t s = 0; s < series_.size(); ++s) {
-    CAMAL_CHECK(series_[s] != nullptr);
-    const std::vector<int64_t> offsets = ComputeWindowOffsets(
-        static_cast<int64_t>(series_[s]->size()), options_);
+    const std::vector<int64_t> offsets =
+        ComputeWindowOffsets(series_[s].size(), options_);
     windows_per_series_.push_back(static_cast<int64_t>(offsets.size()));
     for (int64_t off : offsets) {
       refs_.push_back(WindowRef{static_cast<int32_t>(s), off});
@@ -107,21 +104,19 @@ MultiWindowStream::MultiWindowStream(
   }
 }
 
-MultiWindowStream::MultiWindowStream(
-    std::vector<const std::vector<float>*> series, WindowStreamOptions options,
-    std::vector<WindowRef> refs)
+MultiWindowStream::MultiWindowStream(std::vector<data::SeriesView> series,
+                                     WindowStreamOptions options,
+                                     std::vector<WindowRef> refs)
     : series_(std::move(series)), options_(options), refs_(std::move(refs)) {
   CheckOptions(options_);
   windows_per_series_.assign(series_.size(), 0);
-  for (const std::vector<float>* s : series_) CAMAL_CHECK(s != nullptr);
   const int64_t l = options_.window_length;
   for (const WindowRef& ref : refs_) {
     CAMAL_CHECK_GE(ref.series, 0);
     CAMAL_CHECK_LT(static_cast<size_t>(ref.series), series_.size());
     CAMAL_CHECK_GE(ref.offset, 0);
-    CAMAL_CHECK_LE(
-        ref.offset + l,
-        static_cast<int64_t>(series_[static_cast<size_t>(ref.series)]->size()));
+    CAMAL_CHECK_LE(ref.offset + l,
+                   series_[static_cast<size_t>(ref.series)].size());
     ++windows_per_series_[static_cast<size_t>(ref.series)];
   }
 }
@@ -140,7 +135,7 @@ int64_t MultiWindowStream::NextBatch(nn::Tensor* inputs,
   for (int64_t i = 0; i < b; ++i) {
     const WindowRef ref = refs_[next_++];
     refs->push_back(ref);
-    FillWindowRow(series_[static_cast<size_t>(ref.series)]->data(), ref.offset,
+    FillWindowRow(series_[static_cast<size_t>(ref.series)].data(), ref.offset,
                   l, inv_scale, inputs->data() + i * l);
   }
   return b;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "data/series_view.h"
 #include "nn/tensor.h"
 
 namespace camal::serve {
@@ -40,8 +41,9 @@ std::vector<int64_t> ComputeWindowOffsets(int64_t len,
 /// training does.
 class WindowStream {
  public:
-  /// \p series is borrowed and must outlive the stream.
-  WindowStream(const std::vector<float>* series, WindowStreamOptions options);
+  /// \p series is a non-owning view; its backing storage (a vector, a
+  /// mapped ColumnStore channel, ...) must outlive the stream.
+  WindowStream(data::SeriesView series, WindowStreamOptions options);
 
   /// Total windows this stream will emit.
   int64_t NumWindows() const {
@@ -64,7 +66,7 @@ class WindowStream {
   const WindowStreamOptions& options() const { return options_; }
 
  private:
-  const std::vector<float>* series_;
+  data::SeriesView series_;
   WindowStreamOptions options_;
   std::vector<int64_t> offsets_;
   size_t next_ = 0;
@@ -87,9 +89,9 @@ struct WindowRef {
 /// across series boundaries instead of flushing short.
 class MultiWindowStream {
  public:
-  /// \p series entries are borrowed and must outlive the stream; none may
-  /// be null. All series share one slicing policy.
-  MultiWindowStream(std::vector<const std::vector<float>*> series,
+  /// \p series entries are non-owning views whose backing storage must
+  /// outlive the stream. All series share one slicing policy.
+  MultiWindowStream(std::vector<data::SeriesView> series,
                     WindowStreamOptions options);
 
   /// Explicit-window variant, the feeder of incremental session rescans:
@@ -98,7 +100,7 @@ class MultiWindowStream {
   /// inside it (offset >= 0, offset + window_length <= size). Rows fill
   /// through the same path as the full streams, so a window's model input
   /// is bit-for-bit independent of which stream variant cut it.
-  MultiWindowStream(std::vector<const std::vector<float>*> series,
+  MultiWindowStream(std::vector<data::SeriesView> series,
                     WindowStreamOptions options, std::vector<WindowRef> refs);
 
   /// Total windows across every series.
@@ -120,7 +122,7 @@ class MultiWindowStream {
   const WindowStreamOptions& options() const { return options_; }
 
  private:
-  std::vector<const std::vector<float>*> series_;
+  std::vector<data::SeriesView> series_;
   WindowStreamOptions options_;
   std::vector<WindowRef> refs_;  ///< all windows, series-major order.
   std::vector<int64_t> windows_per_series_;

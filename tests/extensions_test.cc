@@ -112,6 +112,38 @@ TEST(CsvLoaderTest, LoadDatasetDirFailsOnMissingDir) {
   EXPECT_FALSE(data::LoadDatasetDir("/tmp/does_not_exist_camal_dir").ok());
 }
 
+TEST(CsvLoaderTest, ReadErrorIsIoErrorNotShortParse) {
+  // On Linux, fopen("rb") on a directory succeeds and the first fread
+  // fails with EISDIR — exactly the fread-loop-without-ferror case that
+  // used to parse an empty "file" instead of reporting the I/O failure.
+  const std::string dir = "/tmp/camal_read_error_dir";
+  std::filesystem::create_directories(dir);
+  auto house = data::LoadHouseCsv(dir, 1);
+  ASSERT_FALSE(house.ok());
+  EXPECT_EQ(house.status().code(), StatusCode::kIoError)
+      << house.status().ToString();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CsvLoaderTest, PossessionSurveyRejectsMalformedHouseId) {
+  // atoi would map "kitchen" to 0 and "12x" to 12, silently attributing
+  // survey rows to the wrong household; both must be rejected instead.
+  const std::string path = "/tmp/camal_survey_malformed.csv";
+  std::vector<data::HouseRecord> houses(1);
+  houses[0].house_id = 12;
+  for (const char* bad_id : {"kitchen", "12x", "", "12.5"}) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "house_id,appliance,owned\n%s,kettle,1\n", bad_id);
+    std::fclose(f);
+    Status st = data::ApplyPossessionSurvey(path, &houses);
+    ASSERT_FALSE(st.ok()) << "id '" << bad_id << "' was accepted";
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument)
+        << st.ToString() << " for id '" << bad_id << "'";
+  }
+  EXPECT_FALSE(houses[0].Owns("kettle"));
+  std::remove(path.c_str());
+}
+
 TEST(CsvLoaderTest, PossessionSurveyTogglesOwnership) {
   const std::string path = "/tmp/camal_survey.csv";
   std::FILE* f = std::fopen(path.c_str(), "w");

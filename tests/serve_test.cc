@@ -45,7 +45,7 @@ serve::WindowStreamOptions SmallStream(int64_t window, int64_t stride,
 
 TEST(WindowStreamTest, CoversEveryTimestamp) {
   std::vector<float> series(100, 1.0f);
-  serve::WindowStream stream(&series, SmallStream(16, 8, 4));
+  serve::WindowStream stream(series, SmallStream(16, 8, 4));
   std::vector<int> covered(series.size(), 0);
   for (int64_t off : stream.offsets()) {
     ASSERT_GE(off, 0);
@@ -61,7 +61,7 @@ TEST(WindowStreamTest, TailWindowAlignsToSeriesEnd) {
   // 20 samples, window 8, stride 8: grid covers [0,8) and [8,16); the tail
   // window [12,20) must be added for the last 4 samples.
   std::vector<float> series(20, 1.0f);
-  serve::WindowStream stream(&series, SmallStream(8, 8, 4));
+  serve::WindowStream stream(series, SmallStream(8, 8, 4));
   ASSERT_EQ(stream.NumWindows(), 3);
   EXPECT_EQ(stream.offsets().back(), 12);
 }
@@ -71,7 +71,7 @@ TEST(WindowStreamTest, TailWindowExactFitIsNotDuplicated) {
   // window already ends at the series end (offsets.back() + L == len), so
   // no extra tail window may be added.
   std::vector<float> series(32, 1.0f);
-  serve::WindowStream stream(&series, SmallStream(16, 8, 4));
+  serve::WindowStream stream(series, SmallStream(16, 8, 4));
   ASSERT_EQ(stream.NumWindows(), 3);
   EXPECT_EQ(stream.offsets().back() + 16,
             static_cast<int64_t>(series.size()));
@@ -79,7 +79,7 @@ TEST(WindowStreamTest, TailWindowExactFitIsNotDuplicated) {
 
 TEST(WindowStreamTest, AllMissingWindowsAreZeroFilled) {
   std::vector<float> series(24, std::nanf(""));
-  serve::WindowStream stream(&series, SmallStream(16, 8, 4));
+  serve::WindowStream stream(series, SmallStream(16, 8, 4));
   nn::Tensor batch;
   std::vector<int64_t> offsets;
   ASSERT_EQ(stream.NextBatch(&batch, &offsets), 2);
@@ -90,7 +90,7 @@ TEST(WindowStreamTest, AllMissingWindowsAreZeroFilled) {
 
 TEST(WindowStreamTest, NextBatchReusesCallerTensor) {
   std::vector<float> series(80, 1.0f);  // 5 windows of 16 at stride 16
-  serve::WindowStream stream(&series, SmallStream(16, 16, 2));
+  serve::WindowStream stream(series, SmallStream(16, 16, 2));
   nn::Tensor batch;
   std::vector<int64_t> offsets;
   ASSERT_EQ(stream.NextBatch(&batch, &offsets), 2);
@@ -103,7 +103,7 @@ TEST(WindowStreamTest, NextBatchReusesCallerTensor) {
 
 TEST(WindowStreamTest, ShortSeriesYieldsNothing) {
   std::vector<float> series(5, 1.0f);
-  serve::WindowStream stream(&series, SmallStream(8, 4, 2));
+  serve::WindowStream stream(series, SmallStream(8, 4, 2));
   EXPECT_EQ(stream.NumWindows(), 0);
   nn::Tensor batch;
   std::vector<int64_t> offsets;
@@ -115,7 +115,7 @@ TEST(WindowStreamTest, BatchesScaleAndZeroFillMissing) {
   series[3] = std::nanf("");
   serve::WindowStreamOptions opt = SmallStream(16, 16, 8);
   opt.input_scale = 1000.0f;
-  serve::WindowStream stream(&series, opt);
+  serve::WindowStream stream(series, opt);
   nn::Tensor batch;
   std::vector<int64_t> offsets;
   ASSERT_EQ(stream.NextBatch(&batch, &offsets), 2);
@@ -131,7 +131,7 @@ TEST(WindowStreamTest, BatchesScaleAndZeroFillMissing) {
 
 TEST(WindowStreamTest, SmallFinalBatchIsEmitted) {
   std::vector<float> series(80, 1.0f);
-  serve::WindowStream stream(&series, SmallStream(16, 16, 4));
+  serve::WindowStream stream(series, SmallStream(16, 16, 4));
   nn::Tensor batch;
   std::vector<int64_t> offsets;
   ASSERT_EQ(stream.NumWindows(), 5);
@@ -162,7 +162,7 @@ TEST(WindowStreamTest, ResetThenRescanReusesTensorAndRepeatsBatches) {
   std::vector<float> series(72);
   for (auto& v : series) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
   series[5] = std::nanf("");
-  serve::WindowStream stream(&series, SmallStream(16, 8, 4));
+  serve::WindowStream stream(series, SmallStream(16, 8, 4));
 
   nn::Tensor batch;
   std::vector<int64_t> offsets;
@@ -207,14 +207,15 @@ TEST(MultiWindowStreamTest, MergesSeriesWindowsAcrossBatchBoundaries) {
   for (auto& v : a) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
   for (auto& v : c) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
   serve::WindowStreamOptions opt = SmallStream(16, 8, 4);
-  serve::MultiWindowStream stream({&a, &c}, opt);
+  serve::MultiWindowStream stream({data::SeriesView(a), data::SeriesView(c)},
+                                  opt);
   ASSERT_EQ(stream.NumWindows(), 8);
   EXPECT_EQ(stream.NumWindowsOf(0), 3);
   EXPECT_EQ(stream.NumWindowsOf(1), 5);
 
   // Reference rows from the single-series streams.
   auto single_rows = [&](const std::vector<float>& series) {
-    serve::WindowStream s(&series, opt);
+    serve::WindowStream s(series, opt);
     nn::Tensor batch;
     std::vector<int64_t> offsets;
     std::vector<std::vector<float>> rows;
@@ -459,10 +460,9 @@ TEST(BatchRunnerTest, ScanManyMatchesLoneScansBitwise) {
     if (len == 41) series.assign(series.size(), std::nanf(""));
     cohort.push_back(std::move(series));
   }
-  std::vector<const std::vector<float>*> pointers;
-  for (const auto& series : cohort) pointers.push_back(&series);
+  std::vector<data::SeriesView> views(cohort.begin(), cohort.end());
 
-  std::vector<serve::ScanResult> group = coalesced.ScanMany(pointers);
+  std::vector<serve::ScanResult> group = coalesced.ScanMany(views);
   ASSERT_EQ(group.size(), cohort.size());
   for (size_t i = 0; i < cohort.size(); ++i) {
     serve::ScanResult expected = sequential.Scan(cohort[i]);
@@ -478,11 +478,10 @@ TEST(BatchRunnerTest, ScanManyMatchesLoneScansBitwise) {
 
   // Scratch reuse across calls must not leak one group's votes into the
   // next: a second ScanMany over a permuted group stays bitwise-equal.
-  std::vector<const std::vector<float>*> reversed(pointers.rbegin(),
-                                                  pointers.rend());
+  std::vector<data::SeriesView> reversed(views.rbegin(), views.rend());
   std::vector<serve::ScanResult> second = coalesced.ScanMany(reversed);
   for (size_t i = 0; i < reversed.size(); ++i) {
-    serve::ScanResult expected = sequential.Scan(*reversed[i]);
+    serve::ScanResult expected = sequential.Scan(reversed[i]);
     ASSERT_EQ(second[i].windows, expected.windows) << "series " << i;
     for (int64_t t = 0; t < expected.detection.numel(); ++t) {
       EXPECT_EQ(second[i].detection.at(t), expected.detection.at(t));
@@ -693,7 +692,7 @@ TEST(ShardedScannerTest, CoalesceBudgetPassesThroughForDeepCohorts) {
 serve::QueuedScan MakeTask(const std::vector<float>* series) {
   serve::QueuedScan task;
   task.request.appliance = "appliance";
-  task.request.series = series;
+  task.request.series = data::SeriesView(*series);
   task.admitted = std::chrono::steady_clock::now();
   return task;
 }
@@ -902,7 +901,7 @@ TEST(ServiceTest, LifecycleAndRegistrationAreValidated) {
   std::vector<float> series(40, 1.0f);
   serve::ScanRequest request;
   request.appliance = "fridge";
-  request.series = &series;
+  request.series = data::SeriesView(series);
   EXPECT_EQ(service.Submit(request).get().status().code(),
             StatusCode::kFailedPrecondition);
 
@@ -928,7 +927,7 @@ TEST(ServiceTest, MalformedRequestsResolveWithStatusNotAborts) {
   std::vector<float> series(48, 1.0f);
 
   serve::ScanRequest empty_name;
-  empty_name.series = &series;
+  empty_name.series = data::SeriesView(series);
   EXPECT_EQ(service.Submit(empty_name).get().status().code(),
             StatusCode::kInvalidArgument);
 
@@ -939,7 +938,7 @@ TEST(ServiceTest, MalformedRequestsResolveWithStatusNotAborts) {
 
   serve::ScanRequest unknown;
   unknown.appliance = "toaster";
-  unknown.series = &series;
+  unknown.series = data::SeriesView(series);
   Result<serve::ScanResult> unknown_result = service.Submit(unknown).get();
   EXPECT_EQ(unknown_result.status().code(), StatusCode::kNotFound);
   EXPECT_NE(unknown_result.status().message().find("toaster"),
@@ -955,7 +954,7 @@ TEST(ServiceTest, MalformedRequestsResolveWithStatusNotAborts) {
   // The service still serves valid requests after rejecting garbage.
   serve::ScanRequest valid;
   valid.appliance = "dishwasher";
-  valid.series = &series;
+  valid.series = data::SeriesView(series);
   EXPECT_TRUE(service.Submit(valid).get().ok());
 }
 
@@ -970,7 +969,7 @@ TEST(ServiceTest, EmptySeriesReturnsEmptyResultThroughAsyncPath) {
   const std::vector<float> empty;
   serve::ScanRequest request;
   request.appliance = "kettle";
-  request.series = &empty;
+  request.series = data::SeriesView(empty);
   Result<serve::ScanResult> result = service.Submit(request).get();
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value().windows, 0);
@@ -994,7 +993,7 @@ TEST(ServiceTest, ShortSeriesLeftPadMatchesSequentialThroughAsyncPath) {
   for (auto& v : series) v = static_cast<float>(rng.Uniform(500.0, 3000.0));
   serve::ScanRequest request;
   request.appliance = "oven";
-  request.series = &series;
+  request.series = data::SeriesView(series);
   Result<serve::ScanResult> result = service.Submit(request).get();
   ASSERT_TRUE(result.ok());
   const serve::ScanResult& async_scan = result.value();
@@ -1035,11 +1034,11 @@ TEST(ServiceTest, AsyncResultsMatchSequentialBitwiseAcrossAppliances) {
   for (const auto& series : cohort) {
     serve::ScanRequest dish_request;
     dish_request.appliance = "dishwasher";
-    dish_request.series = &series;
+    dish_request.series = data::SeriesView(series);
     dish_futures.push_back(service.Submit(std::move(dish_request)));
     serve::ScanRequest kettle_request;
     kettle_request.appliance = "kettle";
-    kettle_request.series = &series;
+    kettle_request.series = data::SeriesView(series);
     kettle_futures.push_back(service.Submit(std::move(kettle_request)));
   }
 
@@ -1094,7 +1093,7 @@ TEST(ServiceTest, ShutdownDrainsAdmittedThenRejectsSubmissions) {
   for (const auto& series : cohort) {
     serve::ScanRequest request;
     request.appliance = "heater";
-    request.series = &series;
+    request.series = data::SeriesView(series);
     futures.push_back(service.Submit(std::move(request)));
   }
   // Graceful: every admitted request is served before workers exit.
@@ -1107,7 +1106,7 @@ TEST(ServiceTest, ShutdownDrainsAdmittedThenRejectsSubmissions) {
   // Post-shutdown submissions resolve with kFailedPrecondition.
   serve::ScanRequest late;
   late.appliance = "heater";
-  late.series = &cohort.front();
+  late.series = data::SeriesView(cohort.front());
   Result<serve::ScanResult> rejected = service.Submit(late).get();
   EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
   // Shutdown stays idempotent.
@@ -1134,7 +1133,7 @@ TEST(ServiceTest, FullQueueRejectsWithBackpressure) {
   std::vector<std::future<Result<serve::ScanResult>>> futures;
   serve::ScanRequest slow;
   slow.appliance = "ev";
-  slow.series = &long_series;
+  slow.series = data::SeriesView(long_series);
   futures.push_back(service.Submit(std::move(slow)));
   // Wait for the worker to pick the slow scan up, so the queue slot is
   // free and the burst below races only against a busy worker.
@@ -1144,7 +1143,7 @@ TEST(ServiceTest, FullQueueRejectsWithBackpressure) {
   for (int i = 0; i < 8; ++i) {
     serve::ScanRequest request;
     request.appliance = "ev";
-    request.series = &short_series;
+    request.series = data::SeriesView(short_series);
     futures.push_back(service.Submit(std::move(request)));
   }
 
@@ -1197,7 +1196,7 @@ TEST(ServiceTest, CoalescedScansMatchSequentialBitwise) {
   serve::ScanRequest slow;
   slow.household_id = "slow";
   slow.appliance = "fridge";
-  slow.series = &slow_series;
+  slow.series = data::SeriesView(slow_series);
   futures.push_back(service.Submit(std::move(slow)));
   // Wait until the worker has the slow scan in flight, so the burst below
   // queues up behind it and coalesced groups actually form.
@@ -1208,7 +1207,7 @@ TEST(ServiceTest, CoalescedScansMatchSequentialBitwise) {
     serve::ScanRequest request;
     request.household_id = "small_" + std::to_string(i);
     request.appliance = "fridge";
-    request.series = &small[i];
+    request.series = data::SeriesView(small[i]);
     futures.push_back(service.Submit(std::move(request)));
   }
 
@@ -1273,7 +1272,7 @@ TEST(ServiceTest, ThrowingScanResolvesFutureWithInternal) {
   serve::ScanRequest poison;
   poison.household_id = "poison";
   poison.appliance = "kettle";
-  poison.series = &series;
+  poison.series = data::SeriesView(series);
   Result<serve::ScanResult> poisoned = service.Submit(std::move(poison)).get();
   ASSERT_FALSE(poisoned.ok());
   EXPECT_EQ(poisoned.status().code(), StatusCode::kInternal);
@@ -1284,7 +1283,7 @@ TEST(ServiceTest, ThrowingScanResolvesFutureWithInternal) {
   serve::ScanRequest healthy;
   healthy.household_id = "healthy";
   healthy.appliance = "kettle";
-  healthy.series = &series;
+  healthy.series = data::SeriesView(series);
   EXPECT_TRUE(service.Submit(std::move(healthy)).get().ok());
   const serve::ServiceStats stats = service.stats();
   EXPECT_EQ(stats.failed, 1);
@@ -1321,7 +1320,7 @@ TEST(ServiceTest, ThrowingCoalescedGroupFailsEveryMemberOnce) {
   serve::ScanRequest slow;
   slow.household_id = "slow";
   slow.appliance = "oven";
-  slow.series = &slow_series;
+  slow.series = data::SeriesView(slow_series);
   std::future<Result<serve::ScanResult>> slow_future =
       service.Submit(std::move(slow));
   while (service.queue_depth() > 0) {
@@ -1332,13 +1331,13 @@ TEST(ServiceTest, ThrowingCoalescedGroupFailsEveryMemberOnce) {
   serve::ScanRequest poison;
   poison.household_id = "poison";
   poison.appliance = "oven";
-  poison.series = &series;
+  poison.series = data::SeriesView(series);
   std::future<Result<serve::ScanResult>> poison_future =
       service.Submit(std::move(poison));
   serve::ScanRequest bystander;
   bystander.household_id = "bystander";
   bystander.appliance = "oven";
-  bystander.series = &series;
+  bystander.series = data::SeriesView(series);
   std::future<Result<serve::ScanResult>> bystander_future =
       service.Submit(std::move(bystander));
 
@@ -1354,7 +1353,7 @@ TEST(ServiceTest, ThrowingCoalescedGroupFailsEveryMemberOnce) {
   serve::ScanRequest after;
   after.household_id = "after";
   after.appliance = "oven";
-  after.series = &series;
+  after.series = data::SeriesView(series);
   EXPECT_TRUE(service.Submit(std::move(after)).get().ok());
   const serve::ServiceStats stats = service.stats();
   EXPECT_EQ(stats.failed, 2);
@@ -1443,7 +1442,8 @@ TEST(BatchRunnerTest, AppendScanMatchesFromScratchBitwise) {
   // By the end the series is long enough that persistence must have paid:
   // the last append fed strictly fewer windows than a full rescan.
   ASSERT_GT(state.readings(), 64);
-  serve::ScanResult last = incremental.AppendScan(&state, {1200.0f});
+  serve::ScanResult last =
+      incremental.AppendScan(&state, std::vector<float>{1200.0f});
   concatenated.push_back(1200.0f);
   EXPECT_LT(last.windows, last.windows_full);
   ExpectBitwiseEqual(last, reference.Scan(concatenated), "final");
@@ -1466,7 +1466,7 @@ TEST(BatchRunnerTest, AppendScanManyCoalescesDistinctSessionsBitwise) {
   for (int round = 0; round < 3; ++round) {
     std::vector<std::vector<float>> chunks(kSessions);
     std::vector<serve::SessionScanState*> state_ptrs;
-    std::vector<const std::vector<float>*> delta_ptrs;
+    std::vector<data::SeriesView> deltas;
     for (int s = 0; s < kSessions; ++s) {
       chunks[s].resize(static_cast<size_t>(chunk_lens[s] + 2 * round));
       for (auto& v : chunks[s]) {
@@ -1475,10 +1475,10 @@ TEST(BatchRunnerTest, AppendScanManyCoalescesDistinctSessionsBitwise) {
       concatenated[s].insert(concatenated[s].end(), chunks[s].begin(),
                              chunks[s].end());
       state_ptrs.push_back(&states[s]);
-      delta_ptrs.push_back(&chunks[s]);
+      deltas.push_back(data::SeriesView(chunks[s]));
     }
     std::vector<serve::ScanResult> got =
-        incremental.AppendScanMany(state_ptrs, delta_ptrs);
+        incremental.AppendScanMany(state_ptrs, deltas);
     ASSERT_EQ(got.size(), static_cast<size_t>(kSessions));
     for (int s = 0; s < kSessions; ++s) {
       serve::ScanResult want = reference.Scan(concatenated[s]);
@@ -2005,7 +2005,7 @@ TEST(ServiceTest, SessionAndSubmitValidationShareOneErrorContract) {
   std::vector<float> series(20, 1.0f);
   serve::ScanRequest both;
   both.appliance = "fridge";
-  both.series = &series;
+  both.series = data::SeriesView(series);
   both.owned_series = series;
   EXPECT_EQ(service.Submit(std::move(both)).get().status().code(),
             StatusCode::kInvalidArgument);

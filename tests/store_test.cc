@@ -1,0 +1,425 @@
+// Column store tests: format round trips (NaN payload bits included),
+// corrupt-file rejection (every malformed input must come back as a
+// Status, never a fault — these run under ASan/TSan in CI), and the
+// zero-copy guarantee: scans over the mapped store are bitwise-identical
+// to scans over the CSV-loaded vectors, at both the BatchRunner and the
+// Service level.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ensemble.h"
+#include "core/resnet.h"
+#include "data/column_store.h"
+#include "data/csv_loader.h"
+#include "serve/batch_runner.h"
+#include "serve/service.h"
+
+namespace camal {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void WriteRawBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+std::string ReadRawBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string bytes;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+
+data::HouseRecord MakeHouse(int id, int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  data::HouseRecord house;
+  house.house_id = id;
+  house.interval_seconds = 60.0;
+  house.appliances.resize(2);
+  house.appliances[0].name = "kettle";
+  house.appliances[1].name = "dishwasher";
+  for (int64_t i = 0; i < n; ++i) {
+    if (i % 17 == 3) {
+      house.aggregate.push_back(data::kMissingValue);
+      house.appliances[0].power.push_back(data::kMissingValue);
+      house.appliances[1].power.push_back(data::kMissingValue);
+      continue;
+    }
+    house.aggregate.push_back(static_cast<float>(rng.Uniform(0.0, 3000.0)));
+    house.appliances[0].power.push_back(
+        static_cast<float>(rng.Uniform(0.0, 2000.0)));
+    house.appliances[1].power.push_back(
+        static_cast<float>(rng.Uniform(0.0, 1200.0)));
+  }
+  return house;
+}
+
+bool BitsEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+bool BitsEqual(const std::vector<float>& a, data::SeriesView b) {
+  return static_cast<int64_t>(a.size()) == b.size() &&
+         std::memcmp(a.data(), b.data(),
+                     a.size() * sizeof(float)) == 0;
+}
+
+TEST(ColumnStoreTest, RoundTripsRecordAndMetadata) {
+  const data::HouseRecord house = MakeHouse(42, 100, 1);
+  const std::string path = TestPath("roundtrip.cstore");
+  data::ColumnStoreWriteOptions options;
+  options.chunk_samples = 32;  // 100 samples -> chunks of 32,32,32,4
+  ASSERT_TRUE(data::WriteColumnStore(house, path, options).ok());
+
+  auto store_result = data::ColumnStore::Open(path);
+  ASSERT_TRUE(store_result.ok()) << store_result.status().ToString();
+  const data::ColumnStore& store = store_result.value();
+  EXPECT_EQ(store.house_id(), 42);
+  EXPECT_EQ(store.interval_seconds(), 60.0);
+  EXPECT_EQ(store.num_samples(), 100);
+  EXPECT_EQ(store.num_channels(), 3);
+  EXPECT_EQ(store.num_chunks(), 4);
+  EXPECT_EQ(store.channel_name(0), "aggregate");
+  EXPECT_EQ(store.channel_name(1), "kettle");
+  EXPECT_EQ(store.channel_name(2), "dishwasher");
+
+  EXPECT_TRUE(BitsEqual(house.aggregate, store.aggregate()));
+  EXPECT_TRUE(BitsEqual(house.appliances[0].power, store.Channel(1)));
+  EXPECT_TRUE(BitsEqual(house.appliances[1].power, store.Channel(2)));
+
+  const data::HouseRecord copy = store.ToHouseRecord();
+  EXPECT_EQ(copy.house_id, 42);
+  EXPECT_TRUE(BitsEqual(house.aggregate, copy.aggregate));
+  ASSERT_EQ(copy.appliances.size(), 2u);
+  EXPECT_EQ(copy.appliances[0].name, "kettle");
+  EXPECT_TRUE(BitsEqual(house.appliances[0].power,
+                        copy.appliances[0].power));
+  EXPECT_TRUE(BitsEqual(house.appliances[1].power,
+                        copy.appliances[1].power));
+  // The loader convention: every stored submeter is an owned appliance.
+  ASSERT_EQ(copy.owned_appliances.size(), 2u);
+  EXPECT_EQ(copy.owned_appliances[0], "kettle");
+}
+
+TEST(ColumnStoreTest, PreservesNanPayloadBits) {
+  // A custom NaN payload (not kMissingValue) must survive the write/read
+  // cycle bit-exactly: the store treats samples as opaque 32-bit words.
+  data::HouseRecord house;
+  house.house_id = 1;
+  house.interval_seconds = 10.0;
+  uint32_t weird_nan_bits = 0x7FC0BEEF;
+  float weird_nan = 0.0f;
+  std::memcpy(&weird_nan, &weird_nan_bits, sizeof(weird_nan));
+  house.aggregate = {1.0f, weird_nan, data::kMissingValue, -0.0f};
+
+  const std::string path = TestPath("nan_payload.cstore");
+  ASSERT_TRUE(data::WriteColumnStore(house, path).ok());
+  auto store = data::ColumnStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  const data::SeriesView agg = store.value().aggregate();
+  ASSERT_EQ(agg.size(), 4);
+  for (size_t i = 0; i < house.aggregate.size(); ++i) {
+    uint32_t expect = 0, got = 0;
+    std::memcpy(&expect, &house.aggregate[i], sizeof(expect));
+    std::memcpy(&got, agg.data() + i, sizeof(got));
+    EXPECT_EQ(expect, got) << "sample " << i;
+  }
+}
+
+TEST(ColumnStoreTest, ChunkColumnsTileTheChannel) {
+  const data::HouseRecord house = MakeHouse(7, 10, 2);
+  const std::string path = TestPath("chunks.cstore");
+  data::ColumnStoreWriteOptions options;
+  options.chunk_samples = 4;
+  ASSERT_TRUE(data::WriteColumnStore(house, path, options).ok());
+  auto store_result = data::ColumnStore::Open(path);
+  ASSERT_TRUE(store_result.ok());
+  const data::ColumnStore& store = store_result.value();
+  ASSERT_EQ(store.num_chunks(), 3);
+  EXPECT_EQ(store.chunk_start(0), 0);
+  EXPECT_EQ(store.chunk_start(1), 4);
+  EXPECT_EQ(store.chunk_start(2), 8);
+  EXPECT_EQ(store.chunk_samples(2), 2);
+  for (int64_t c = 0; c < store.num_channels(); ++c) {
+    const data::SeriesView channel = store.Channel(c);
+    int64_t covered = 0;
+    for (int64_t k = 0; k < store.num_chunks(); ++k) {
+      const data::SeriesView chunk = store.ChunkColumn(k, c);
+      // A chunk is a slice of the channel mapping, not a copy.
+      EXPECT_EQ(chunk.data(), channel.data() + store.chunk_start(k));
+      covered += chunk.size();
+    }
+    EXPECT_EQ(covered, store.num_samples());
+  }
+}
+
+TEST(ColumnStoreTest, CsvBinaryCsvRoundTripIsExact) {
+  // The full migration cycle: CSV -> binary -> CSV must reproduce the
+  // original text byte for byte (missing cells stay missing, values
+  // reparse to identical floats), and the intermediate binary must carry
+  // the CSV-parsed samples bit-exactly.
+  for (uint64_t seed : {3u, 4u, 5u}) {
+    const data::HouseRecord house =
+        MakeHouse(static_cast<int>(seed), 200, seed);
+    const std::string csv_path = TestPath("cycle.csv");
+    const std::string store_path = TestPath("cycle.cstore");
+    const std::string back_path = TestPath("cycle_back.csv");
+    ASSERT_TRUE(data::WriteHouseCsv(house, csv_path).ok());
+    ASSERT_TRUE(data::ConvertCsvToStore(csv_path, store_path,
+                                        static_cast<int>(seed))
+                    .ok());
+
+    auto loaded = data::LoadHouseCsv(csv_path, static_cast<int>(seed));
+    ASSERT_TRUE(loaded.ok());
+    auto store = data::ColumnStore::Open(store_path);
+    ASSERT_TRUE(store.ok());
+    EXPECT_TRUE(BitsEqual(loaded.value().aggregate,
+                          store.value().aggregate()));
+    for (size_t a = 0; a < loaded.value().appliances.size(); ++a) {
+      EXPECT_TRUE(BitsEqual(
+          loaded.value().appliances[a].power,
+          store.value().Channel(static_cast<int64_t>(a) + 1)));
+    }
+
+    ASSERT_TRUE(data::ConvertStoreToCsv(store_path, back_path).ok());
+    EXPECT_EQ(ReadRawBytes(csv_path), ReadRawBytes(back_path))
+        << "seed " << seed;
+  }
+}
+
+TEST(ColumnStoreTest, WriterRejectsMalformedRecords) {
+  data::HouseRecord house = MakeHouse(1, 10, 6);
+  house.appliances[0].power.pop_back();  // trace shorter than aggregate
+  EXPECT_FALSE(
+      data::WriteColumnStore(house, TestPath("bad.cstore")).ok());
+
+  data::HouseRecord no_interval = MakeHouse(1, 10, 6);
+  no_interval.interval_seconds = 0.0;
+  EXPECT_FALSE(
+      data::WriteColumnStore(no_interval, TestPath("bad.cstore")).ok());
+}
+
+// ---- Corrupt-file rejection: Status out, never a crash ----
+
+TEST(ColumnStoreCorruptionTest, EmptyFile) {
+  const std::string path = TestPath("empty.cstore");
+  WriteRawBytes(path, "");
+  auto store = data::ColumnStore::Open(path);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ColumnStoreCorruptionTest, BadMagic) {
+  // A plausible-size file that is not a column store (e.g. a CSV fed to
+  // the wrong loader).
+  const std::string path = TestPath("notastore.cstore");
+  WriteRawBytes(path, std::string(256, 'x'));
+  auto store = data::ColumnStore::Open(path);
+  ASSERT_FALSE(store.ok());
+  EXPECT_NE(store.status().ToString().find("magic"), std::string::npos);
+}
+
+TEST(ColumnStoreCorruptionTest, VersionMismatch) {
+  const std::string path = TestPath("version.cstore");
+  ASSERT_TRUE(data::WriteColumnStore(MakeHouse(1, 20, 8), path).ok());
+  std::string bytes = ReadRawBytes(path);
+  bytes[4] = 99;  // version field lives at offset 4
+  WriteRawBytes(path, bytes);
+  auto store = data::ColumnStore::Open(path);
+  ASSERT_FALSE(store.ok());
+  EXPECT_NE(store.status().ToString().find("version"), std::string::npos);
+}
+
+TEST(ColumnStoreCorruptionTest, TruncatedChunkData) {
+  const std::string path = TestPath("truncated.cstore");
+  ASSERT_TRUE(data::WriteColumnStore(MakeHouse(1, 64, 9), path).ok());
+  const std::string bytes = ReadRawBytes(path);
+  // Drop the tail of the data section: the header still promises
+  // 64 samples x 3 channels, so Open must notice the shortfall.
+  WriteRawBytes(path, bytes.substr(0, bytes.size() - 100));
+  auto store = data::ColumnStore::Open(path);
+  ASSERT_FALSE(store.ok());
+  EXPECT_NE(store.status().ToString().find("truncated"), std::string::npos);
+}
+
+TEST(ColumnStoreCorruptionTest, TruncatedMetadata) {
+  const std::string path = TestPath("meta.cstore");
+  ASSERT_TRUE(data::WriteColumnStore(MakeHouse(1, 20, 10), path).ok());
+  const std::string bytes = ReadRawBytes(path);
+  // Keep only the header: the name table and chunk directory it points
+  // at are gone.
+  WriteRawBytes(path, bytes.substr(0, data::ColumnStoreFormat::kHeaderBytes));
+  EXPECT_FALSE(data::ColumnStore::Open(path).ok());
+}
+
+TEST(ColumnStoreCorruptionTest, CorruptChunkDirectory) {
+  const std::string path = TestPath("chunkdir.cstore");
+  data::ColumnStoreWriteOptions options;
+  options.chunk_samples = 8;
+  ASSERT_TRUE(data::WriteColumnStore(MakeHouse(1, 24, 11), path, options)
+                  .ok());
+  std::string bytes = ReadRawBytes(path);
+  // The chunk directory follows the header and name table; corrupt the
+  // second entry's start so the chunks no longer tile the series.
+  const size_t name_table =
+      3 * sizeof(uint32_t) +
+      std::strlen("aggregate") + std::strlen("kettle") +
+      std::strlen("dishwasher");
+  const size_t second_entry =
+      data::ColumnStoreFormat::kHeaderBytes + name_table + 16;
+  int64_t bogus_start = 100;
+  std::memcpy(&bytes[second_entry], &bogus_start, sizeof(bogus_start));
+  WriteRawBytes(path, bytes);
+  auto store = data::ColumnStore::Open(path);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ColumnStoreCorruptionTest, MissingFile) {
+  EXPECT_FALSE(data::ColumnStore::Open(TestPath("does_not_exist")).ok());
+}
+
+TEST(OpenStoreDirTest, OpensSortedCohort) {
+  const std::string dir = TestPath("cohort");
+  (void)std::system(("mkdir -p " + dir).c_str());
+  ASSERT_TRUE(
+      data::WriteColumnStore(MakeHouse(2, 30, 12), dir + "/house_002.cstore")
+          .ok());
+  ASSERT_TRUE(
+      data::WriteColumnStore(MakeHouse(1, 40, 13), dir + "/house_001.cstore")
+          .ok());
+  auto stores = data::OpenStoreDir(dir);
+  ASSERT_TRUE(stores.ok()) << stores.status().ToString();
+  ASSERT_EQ(stores.value().size(), 2u);
+  EXPECT_EQ(stores.value()[0].house_id(), 1);
+  EXPECT_EQ(stores.value()[1].house_id(), 2);
+
+  const std::string empty_dir = TestPath("no_cohort");
+  (void)std::system(("mkdir -p " + empty_dir).c_str());
+  EXPECT_EQ(data::OpenStoreDir(empty_dir).status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---- The zero-copy guarantee, asserted end to end ----
+
+core::CamalEnsemble RandomEnsemble(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<core::EnsembleMember> members;
+  for (int64_t k : {5, 9}) {
+    core::ResNetConfig config;
+    config.base_filters = 4;
+    config.kernel_size = k;
+    core::EnsembleMember member;
+    member.model = std::make_unique<core::ResNetClassifier>(config, &rng);
+    member.kernel_size = k;
+    members.push_back(std::move(member));
+  }
+  return core::CamalEnsemble::FromMembers(std::move(members));
+}
+
+bool ScansIdentical(const serve::ScanResult& a, const serve::ScanResult& b) {
+  if (a.detection.numel() != b.detection.numel() ||
+      a.status.numel() != b.status.numel() ||
+      a.power.numel() != b.power.numel()) {
+    return false;
+  }
+  auto bits = [](const float* x, const float* y, int64_t n) {
+    return std::memcmp(x, y, static_cast<size_t>(n) * sizeof(float)) == 0;
+  };
+  return bits(a.detection.data(), b.detection.data(), a.detection.numel()) &&
+         bits(a.status.data(), b.status.data(), a.status.numel()) &&
+         bits(a.power.data(), b.power.data(), a.power.numel());
+}
+
+TEST(ColumnStoreServingTest, BatchRunnerScanMatchesCsvBitwise) {
+  // CSV pipeline: write text, parse it back (what serving loaded before
+  // the store existed). Store pipeline: convert that text, map it, and
+  // scan the borrowed view. Same model, same windows — the results must
+  // be bitwise-identical.
+  const data::HouseRecord house = MakeHouse(1, 300, 20);
+  const std::string csv_path = TestPath("scan.csv");
+  const std::string store_path = TestPath("scan.cstore");
+  ASSERT_TRUE(data::WriteHouseCsv(house, csv_path).ok());
+  ASSERT_TRUE(data::ConvertCsvToStore(csv_path, store_path, 1).ok());
+  auto loaded = data::LoadHouseCsv(csv_path, 1);
+  ASSERT_TRUE(loaded.ok());
+  auto store = data::ColumnStore::Open(store_path);
+  ASSERT_TRUE(store.ok());
+
+  core::CamalEnsemble ensemble = RandomEnsemble(21);
+  serve::BatchRunnerOptions opt;
+  opt.stream.window_length = 16;
+  opt.stream.stride = 8;
+  opt.stream.batch_size = 4;
+  opt.appliance_avg_power_w = 700.0f;
+  serve::BatchRunner runner(&ensemble, opt);
+
+  const serve::ScanResult from_csv = runner.Scan(loaded.value().aggregate);
+  const serve::ScanResult from_store = runner.Scan(store.value().aggregate());
+  EXPECT_TRUE(ScansIdentical(from_csv, from_store));
+}
+
+TEST(ColumnStoreServingTest, ServiceScanMatchesCsvBitwise) {
+  const data::HouseRecord house = MakeHouse(1, 300, 22);
+  const std::string csv_path = TestPath("serve.csv");
+  const std::string store_path = TestPath("serve.cstore");
+  ASSERT_TRUE(data::WriteHouseCsv(house, csv_path).ok());
+  ASSERT_TRUE(data::ConvertCsvToStore(csv_path, store_path, 1).ok());
+  auto loaded = data::LoadHouseCsv(csv_path, 1);
+  ASSERT_TRUE(loaded.ok());
+  auto store = data::ColumnStore::Open(store_path);
+  ASSERT_TRUE(store.ok());
+
+  core::CamalEnsemble ensemble = RandomEnsemble(23);
+  serve::BatchRunnerOptions opt;
+  opt.stream.window_length = 16;
+  opt.stream.stride = 8;
+  opt.stream.batch_size = 4;
+  opt.appliance_avg_power_w = 700.0f;
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 2;
+  serve::Service service(service_opt);
+  ASSERT_TRUE(service.RegisterAppliance("kettle", &ensemble, opt).ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  // The CSV request owns its samples (the pre-store serving idiom); the
+  // store request borrows the mapping.
+  serve::ScanRequest csv_request;
+  csv_request.household_id = "csv";
+  csv_request.appliance = "kettle";
+  csv_request.owned_series = loaded.value().aggregate;
+  serve::ScanRequest store_request;
+  store_request.household_id = "store";
+  store_request.appliance = "kettle";
+  store_request.series = store.value().aggregate();
+  auto csv_future = service.Submit(std::move(csv_request));
+  auto store_future = service.Submit(std::move(store_request));
+  Result<serve::ScanResult> from_csv = csv_future.get();
+  Result<serve::ScanResult> from_store = store_future.get();
+  ASSERT_TRUE(from_csv.ok());
+  ASSERT_TRUE(from_store.ok());
+  EXPECT_TRUE(ScansIdentical(from_csv.value(), from_store.value()));
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace camal
