@@ -13,6 +13,7 @@
 #include "data/split.h"
 #include "eval/bench_mode.h"
 #include "eval/experiment.h"
+#include "loadgen/latency_histogram.h"
 #include "simulate/profiles.h"
 
 namespace camal::bench {
@@ -106,6 +107,17 @@ inline core::CamalEnsemble MakeBenchEnsemble(
     members.push_back(std::move(member));
   }
   return core::CamalEnsemble::FromMembers(std::move(members));
+}
+
+/// Latency percentiles for a bench table, backed by the load harness's
+/// log-bucketed histogram — the one percentile implementation in the
+/// tree (each bench used to carry its own sort-a-vector copy).
+/// Percentiles are bucket estimates (~2.5% relative error); max is exact.
+inline loadgen::LatencySummary SummarizeLatenciesMs(
+    const std::vector<double>& latencies_ms) {
+  loadgen::LatencyHistogram histogram;
+  for (const double ms : latencies_ms) histogram.Record(ms * 1e-3);
+  return histogram.Summary();
 }
 
 /// Writes a CSV copy of a bench table under bench_results/.

@@ -9,6 +9,7 @@
 //   2. the binary cold load (map + validate + fault every aggregate
 //      page) is >= 10x faster than the CSV parse.
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <string>
@@ -114,13 +115,27 @@ int Run() {
   const double store_open_s = open_watch.ElapsedSeconds();
   CAMAL_CHECK(store_result.ok());
   const data::ColumnStore& store = store_result.value();
+  // First touch in 64K-sample slices, each timed into the shared latency
+  // histogram: the total is the honest cold-load cost, and the slice
+  // percentiles show whether page-fault latency is uniform or has a
+  // heavy tail (readahead misses, write-back stalls) that a single total
+  // would hide.
+  loadgen::LatencyHistogram touch_hist;
+  const data::SeriesView aggregate = store.aggregate();
+  constexpr int64_t kTouchSlice = int64_t{1} << 16;
   Stopwatch touch_watch;
   double checksum = 0.0;
-  for (const float v : store.aggregate()) {
-    checksum += std::isnan(v) ? 0.0 : static_cast<double>(v);
+  for (int64_t start = 0; start < aggregate.size(); start += kTouchSlice) {
+    const int64_t count = std::min(kTouchSlice, aggregate.size() - start);
+    Stopwatch slice_watch;
+    for (const float v : aggregate.subview(start, count)) {
+      checksum += std::isnan(v) ? 0.0 : static_cast<double>(v);
+    }
+    touch_hist.Record(slice_watch.ElapsedSeconds());
   }
   const double store_touch_s = touch_watch.ElapsedSeconds();
   const double store_load_s = store_open_s + store_touch_s;
+  const loadgen::LatencySummary touch_latency = touch_hist.Summary();
 
   // Gate 1a: every channel bitwise-identical across formats (NaN payload
   // bits included — memcmp, not float compare).
@@ -198,6 +213,11 @@ int Run() {
               "scan prefix %lld samples\n",
               store_open_s, store_touch_s, checksum,
               static_cast<long long>(scan_samples));
+  std::printf("first-touch latency per %lld-sample slice: p50 %.3f ms, "
+              "p99 %.3f ms, max %.3f ms over %lld slices\n",
+              static_cast<long long>(kTouchSlice), touch_latency.p50_ms,
+              touch_latency.p99_ms, touch_latency.max_ms,
+              static_cast<long long>(touch_latency.count));
   std::printf("[gate] samples bitwise-identical across formats: %s\n",
               samples_identical ? "PASS" : "FAIL");
   std::printf("[gate] scans bitwise-identical across formats: %s\n",
@@ -215,6 +235,8 @@ int Run() {
   json += "  \"csv_load_seconds\": " + Fmt(csv_load_s, 5) + ",\n";
   json += "  \"store_open_seconds\": " + Fmt(store_open_s, 6) + ",\n";
   json += "  \"store_touch_seconds\": " + Fmt(store_touch_s, 6) + ",\n";
+  json += "  \"touch_slice_p50_ms\": " + Fmt(touch_latency.p50_ms, 4) + ",\n";
+  json += "  \"touch_slice_p99_ms\": " + Fmt(touch_latency.p99_ms, 4) + ",\n";
   json += "  \"load_speedup\": " + Fmt(load_speedup, 2) + ",\n";
   json += "  \"csv_scan_seconds\": " + Fmt(csv_scan_s, 5) + ",\n";
   json += "  \"store_scan_seconds\": " + Fmt(store_scan_s, 5) + ",\n";

@@ -21,13 +21,6 @@
 namespace camal {
 namespace {
 
-double Percentile(std::vector<double> sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const auto rank = static_cast<size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(rank, sorted.size() - 1)];
-}
-
 /// Deep queue of small households: each request carries only a few
 /// windows, so per-request scans run tiny, underfilled GEMM batches even
 /// when requests are plentiful. Cross-request coalescing
@@ -114,7 +107,8 @@ void DeepQueueScenario(const eval::BenchParams& params,
       latencies_ms.push_back(result.latency_seconds * 1e3);
       windows += result.windows;
     }
-    std::sort(latencies_ms.begin(), latencies_ms.end());
+    const loadgen::LatencySummary latency =
+        bench::SummarizeLatenciesMs(latencies_ms);
     const serve::ServiceStats stats = service.stats();
     const int64_t groups = stats.coalesced_groups - warm.coalesced_groups;
     const int64_t grouped_requests =
@@ -128,11 +122,11 @@ void DeepQueueScenario(const eval::BenchParams& params,
     best_rps = std::max(best_rps, rps);
     const double wps = wall > 0.0 ? static_cast<double>(windows) / wall : 0.0;
     table.AddRow({FmtInt(budget), Fmt(rps, 1), Fmt(wps, 1),
-                  Fmt(Percentile(latencies_ms, 0.50), 1), FmtInt(groups),
+                  Fmt(latency.p50_ms, 1), FmtInt(groups),
                   Fmt(occupancy, 1)});
     csv_rows.push_back({FmtInt(budget), Fmt(rps, 2), Fmt(wps, 2),
-                        Fmt(Percentile(latencies_ms, 0.50), 2),
-                        FmtInt(groups), Fmt(occupancy, 2)});
+                        Fmt(latency.p50_ms, 2), FmtInt(groups),
+                        Fmt(occupancy, 2)});
   }
   table.Print(stdout);
   bench::WriteCsv("serve_deep_queue", csv_rows);
@@ -167,6 +161,15 @@ int64_t ReadVmRssKb() {
 /// start/mid/end of the soak (per-session stitch state is the only thing
 /// that should grow, linearly and slowly), and the measured speedup of
 /// incremental appends over from-scratch rescans of the same prefixes.
+///
+/// The soak is OPEN-LOOP and charges latency from each append's intended
+/// Poisson arrival time: the whole schedule is laid out up front, the
+/// submit loop sleeps until each intended time regardless of how far the
+/// service has fallen behind, and a slow append inflates the measured
+/// latency of the appends queued behind it instead of silently delaying
+/// their arrivals. (The scenario previously slept per-submission and
+/// harvested in rounds — coordinated omission: every stall paused the
+/// arrival process itself and vanished from the percentiles.)
 void SoakScenario(const eval::BenchParams& params,
                   core::CamalEnsemble* ensemble,
                   const serve::BatchRunnerOptions& runner) {
@@ -227,24 +230,47 @@ void SoakScenario(const eval::BenchParams& params,
   const int64_t rss_start_kb = ReadVmRssKb();
   int64_t rss_mid_kb = rss_start_kb;
 
-  std::vector<double> latencies_ms;
-  latencies_ms.reserve(static_cast<size_t>(sessions) *
-                       static_cast<size_t>(appends));
+  // The fleet-wide Poisson schedule, intended arrival offsets laid out
+  // before the first submission; appends rotate through the sessions.
+  const int total_appends = sessions * appends;
+  std::vector<double> intended;
+  intended.reserve(static_cast<size_t>(total_appends));
+  double next_arrival = 0.0;
+  for (int k = 0; k < total_appends; ++k) {
+    next_arrival += rng.Exponential(arrivals_per_second);
+    intended.push_back(next_arrival);
+  }
+
+  std::vector<std::future<Result<serve::ScanResult>>> futures;
+  std::vector<double> submit_offsets;
+  futures.reserve(static_cast<size_t>(total_appends));
+  submit_offsets.reserve(static_cast<size_t>(total_appends));
   Stopwatch watch;
-  for (int round = 0; round < appends; ++round) {
-    std::vector<std::future<Result<serve::ScanResult>>> futures;
-    futures.reserve(fleet.size());
-    for (auto& session : fleet) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(
-          rng.Exponential(arrivals_per_second)));
-      futures.push_back(session->AppendReadings(make_chunk()));
-    }
-    for (auto& future : futures) {
-      Result<serve::ScanResult> result = future.get();
-      CAMAL_CHECK(result.ok());
-      latencies_ms.push_back(result.value().latency_seconds * 1e3);
-    }
-    if (round == appends / 2) rss_mid_kb = ReadVmRssKb();
+  const auto soak_t0 = std::chrono::steady_clock::now();
+  for (int k = 0; k < total_appends; ++k) {
+    std::this_thread::sleep_until(
+        soak_t0 +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(intended[static_cast<size_t>(k)])));
+    submit_offsets.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      soak_t0)
+            .count());
+    futures.push_back(
+        fleet[static_cast<size_t>(k % sessions)]->AppendReadings(
+            make_chunk()));
+    if (k == total_appends / 2) rss_mid_kb = ReadVmRssKb();
+  }
+  loadgen::LatencyHistogram latency_hist;
+  for (int k = 0; k < total_appends; ++k) {
+    Result<serve::ScanResult> result = futures[static_cast<size_t>(k)].get();
+    CAMAL_CHECK(result.ok());
+    // Intended-arrival latency: schedule slip the driver accumulated plus
+    // the service's own admission-to-completion measurement.
+    latency_hist.Record(std::max(
+        0.0, submit_offsets[static_cast<size_t>(k)] -
+                 intended[static_cast<size_t>(k)] +
+                 result.value().latency_seconds));
   }
   const double soak_wall = watch.ElapsedSeconds();
   const int64_t rss_end_kb = ReadVmRssKb();
@@ -278,12 +304,12 @@ void SoakScenario(const eval::BenchParams& params,
   const double rescan_s = rescan_watch.ElapsedSeconds();
   const double speedup = incremental_s > 0.0 ? rescan_s / incremental_s : 0.0;
 
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  const double p50 = Percentile(latencies_ms, 0.50);
-  const double p95 = Percentile(latencies_ms, 0.95);
-  const double p99 = Percentile(latencies_ms, 0.99);
+  const loadgen::LatencySummary latency = latency_hist.Summary();
+  const double p50 = latency.p50_ms;
+  const double p95 = latency.p95_ms;
+  const double p99 = latency.p99_ms;
   const double aps = soak_wall > 0.0
-                         ? static_cast<double>(latencies_ms.size()) / soak_wall
+                         ? static_cast<double>(latency.count) / soak_wall
                          : 0.0;
   const double growth_pct =
       rss_mid_kb > 0 ? 100.0 *
@@ -293,9 +319,8 @@ void SoakScenario(const eval::BenchParams& params,
 
   TablePrinter table({"Appends", "Appends/sec", "p50 ms", "p95 ms", "p99 ms",
                       "Windows saved"});
-  table.AddRow({FmtInt(static_cast<int64_t>(latencies_ms.size())),
-                Fmt(aps, 1), Fmt(p50, 1), Fmt(p95, 1), Fmt(p99, 1),
-                FmtInt(stats.incremental_windows_saved)});
+  table.AddRow({FmtInt(latency.count), Fmt(aps, 1), Fmt(p50, 1), Fmt(p95, 1),
+                Fmt(p99, 1), FmtInt(stats.incremental_windows_saved)});
   table.Print(stdout);
   std::printf("\nsteady-state RSS: start %lld KB, mid %lld KB, end %lld KB "
               "(growth after mid-soak %.1f%%)\n",
@@ -320,6 +345,11 @@ void SoakScenario(const eval::BenchParams& params,
   json += "  \"append_samples\": " +
           FmtInt(static_cast<int64_t>(append_samples)) + ",\n";
   json += "  \"appends_per_sec\": " + Fmt(aps, 2) + ",\n";
+  // Latency is charged from the intended Poisson arrival time (open-loop;
+  // no coordinated omission). Earlier artifacts measured from submission
+  // of a closed-loop-per-round driver, so percentiles are not comparable
+  // across that change.
+  json += "  \"latency_measured_from\": \"intended_arrival\",\n";
   json += "  \"p50_ms\": " + Fmt(p50, 3) + ",\n";
   json += "  \"p95_ms\": " + Fmt(p95, 3) + ",\n";
   json += "  \"p99_ms\": " + Fmt(p99, 3) + ",\n";
@@ -425,19 +455,16 @@ void Run() {
       latencies_ms.push_back(result.latency_seconds * 1e3);
       windows += result.windows;
     }
-    std::sort(latencies_ms.begin(), latencies_ms.end());
+    const loadgen::LatencySummary latency =
+        bench::SummarizeLatenciesMs(latencies_ms);
     const double rps = wall > 0.0 ? requests / wall : 0.0;
     const double wps = wall > 0.0 ? windows / wall : 0.0;
-    table.AddRow({FmtInt(workers), FmtInt(requests),
-                  Fmt(Percentile(latencies_ms, 0.50), 1),
-                  Fmt(Percentile(latencies_ms, 0.95), 1),
-                  Fmt(Percentile(latencies_ms, 0.99), 1), Fmt(rps, 1),
+    table.AddRow({FmtInt(workers), FmtInt(requests), Fmt(latency.p50_ms, 1),
+                  Fmt(latency.p95_ms, 1), Fmt(latency.p99_ms, 1), Fmt(rps, 1),
                   Fmt(wps, 1)});
     csv_rows.push_back({FmtInt(workers), FmtInt(requests),
-                        Fmt(Percentile(latencies_ms, 0.50), 2),
-                        Fmt(Percentile(latencies_ms, 0.95), 2),
-                        Fmt(Percentile(latencies_ms, 0.99), 2), Fmt(rps, 2),
-                        Fmt(wps, 2)});
+                        Fmt(latency.p50_ms, 2), Fmt(latency.p95_ms, 2),
+                        Fmt(latency.p99_ms, 2), Fmt(rps, 2), Fmt(wps, 2)});
     const serve::ServiceStats stats = service.stats();
     totals.accepted += stats.accepted - warm.accepted;
     totals.completed += stats.completed - warm.completed;

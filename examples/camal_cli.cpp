@@ -23,6 +23,14 @@
 //       may be one file or a directory of house_*.csv / house_*.cstore
 //       files; the direction is inferred from the .cstore extension or
 //       forced with --to-csv 1.
+//   camal_cli loadgen <model_dir> <data_dir> --appliance NAME
+//       [--rps 25,50,100,200] [--seconds 1.0] [--process poisson]
+//       [--deadline S] [--priority normal] [--window L] [--workers N]
+//       [--coalesce 8] [--store 1]
+//       Open-loop load sweep: drive the serving stack at each offered
+//       rate on its intended Poisson (or fixed) schedule without waiting
+//       for completions, and report p50/p95/p99 latency vs load plus the
+//       throughput knee.
 
 #include <algorithm>
 #include <cstdio>
@@ -41,6 +49,7 @@
 #include "data/split.h"
 #include "core/localizer.h"
 #include "core/model_io.h"
+#include "loadgen/sweep.h"
 #include "serve/service.h"
 #include "simulate/profiles.h"
 
@@ -344,6 +353,58 @@ int CmdConvert(const Args& args) {
   return 0;
 }
 
+// A serving cohort: (id, SeriesView) pairs whose views borrow from the
+// owning `houses` (CSV data plane, parsed into owned vectors) or `stores`
+// (mapped column stores, zero-copy) — both live here so the views stay
+// valid for as long as the cohort does. Shared by `serve` and `loadgen`.
+struct ServingCohort {
+  std::vector<data::HouseRecord> houses;
+  std::vector<data::ColumnStore> stores;
+  std::vector<int> house_ids;
+  std::vector<data::SeriesView> views;
+};
+
+Result<ServingCohort> LoadServingCohort(const std::string& data_dir,
+                                        bool use_store) {
+  ServingCohort cohort;
+  if (use_store) {
+    auto stores_result = data::OpenStoreDir(data_dir);
+    if (!stores_result.ok()) return stores_result.status();
+    cohort.stores = std::move(stores_result).value();
+    for (const data::ColumnStore& store : cohort.stores) {
+      cohort.house_ids.push_back(store.house_id());
+      cohort.views.push_back(store.aggregate());
+    }
+  } else {
+    auto houses_result = data::LoadDatasetDir(data_dir);
+    if (!houses_result.ok()) return houses_result.status();
+    cohort.houses = std::move(houses_result).value();
+    for (const data::HouseRecord& house : cohort.houses) {
+      cohort.house_ids.push_back(house.house_id);
+      cohort.views.push_back(data::SeriesView(house.aggregate));
+    }
+  }
+  return cohort;
+}
+
+// Table I average power for a known appliance name, overridable with
+// --avg-power; unknown names fall back to a generic 800 W.
+float ResolveAvgPowerW(const Args& args, const std::string& appliance) {
+  float avg_power_w = 800.0f;
+  for (auto type : {simulate::ApplianceType::kDishwasher,
+                    simulate::ApplianceType::kKettle,
+                    simulate::ApplianceType::kMicrowave,
+                    simulate::ApplianceType::kWashingMachine,
+                    simulate::ApplianceType::kShower,
+                    simulate::ApplianceType::kElectricVehicle}) {
+    if (simulate::ApplianceName(type) == appliance) {
+      avg_power_w = simulate::SpecFor(type).avg_power_w;
+    }
+  }
+  return static_cast<float>(
+      args.FlagDouble("avg-power", static_cast<double>(avg_power_w)));
+}
+
 int CmdServe(const Args& args) {
   if (args.positional.size() < 2 || args.Flag("appliance", "").empty()) {
     std::fprintf(stderr,
@@ -357,48 +418,13 @@ int CmdServe(const Args& args) {
   if (!ensemble_result.ok()) return Fail(ensemble_result.status());
   core::CamalEnsemble ensemble = std::move(ensemble_result).value();
 
-  // Two data planes, one serving path. CSV households are parsed into
-  // owned vectors; mapped column stores lend their aggregates as
-  // zero-copy views and the scans read straight off the file. Either way
-  // the cohort below is a list of (id, SeriesView) — the views borrow
-  // from `houses` or `stores`, which outlive every request.
   const bool use_store = args.FlagInt("store", 0) != 0;
-  std::vector<data::HouseRecord> houses;
-  std::vector<data::ColumnStore> stores;
-  std::vector<int> house_ids;
-  std::vector<data::SeriesView> cohort;
-  if (use_store) {
-    auto stores_result = data::OpenStoreDir(args.positional[1]);
-    if (!stores_result.ok()) return Fail(stores_result.status());
-    stores = std::move(stores_result).value();
-    for (const data::ColumnStore& store : stores) {
-      house_ids.push_back(store.house_id());
-      cohort.push_back(store.aggregate());
-    }
-  } else {
-    auto houses_result = data::LoadDatasetDir(args.positional[1]);
-    if (!houses_result.ok()) return Fail(houses_result.status());
-    houses = std::move(houses_result).value();
-    for (const data::HouseRecord& house : houses) {
-      house_ids.push_back(house.house_id);
-      cohort.push_back(data::SeriesView(house.aggregate));
-    }
-  }
+  auto cohort_result = LoadServingCohort(args.positional[1], use_store);
+  if (!cohort_result.ok()) return Fail(cohort_result.status());
+  const std::vector<int>& house_ids = cohort_result.value().house_ids;
+  const std::vector<data::SeriesView>& cohort = cohort_result.value().views;
   const std::string appliance = args.Flag("appliance", "");
-
-  float avg_power_w = 800.0f;
-  for (auto type : {simulate::ApplianceType::kDishwasher,
-                    simulate::ApplianceType::kKettle,
-                    simulate::ApplianceType::kMicrowave,
-                    simulate::ApplianceType::kWashingMachine,
-                    simulate::ApplianceType::kShower,
-                    simulate::ApplianceType::kElectricVehicle}) {
-    if (simulate::ApplianceName(type) == appliance) {
-      avg_power_w = simulate::SpecFor(type).avg_power_w;
-    }
-  }
-  avg_power_w = static_cast<float>(
-      args.FlagDouble("avg-power", static_cast<double>(avg_power_w)));
+  const float avg_power_w = ResolveAvgPowerW(args, appliance);
 
   serve::ServiceOptions service_opt;
   service_opt.workers = static_cast<int>(args.FlagInt("workers", 0));
@@ -535,13 +561,115 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+// Comma-separated doubles ("25,50,100") -> vector, for the --rps ladder.
+std::vector<double> ParseRates(const std::string& list) {
+  std::vector<double> rates;
+  std::string token;
+  for (size_t i = 0; i <= list.size(); ++i) {
+    if (i == list.size() || list[i] == ',') {
+      if (!token.empty()) rates.push_back(std::atof(token.c_str()));
+      token.clear();
+    } else {
+      token.push_back(list[i]);
+    }
+  }
+  return rates;
+}
+
+int CmdLoadgen(const Args& args) {
+  if (args.positional.size() < 2 || args.Flag("appliance", "").empty()) {
+    std::fprintf(stderr,
+                 "usage: camal_cli loadgen <model_dir> <data_dir> "
+                 "--appliance NAME [--rps 25,50,100,200] [--seconds 1.0] "
+                 "[--process poisson|fixed] [--deadline 0] "
+                 "[--priority high|normal|low] [--seed 1] [--window 128] "
+                 "[--workers 0] [--queue 0] [--coalesce 8] "
+                 "[--avg-power 800] [--store 1]\n");
+    return 1;
+  }
+  auto ensemble_result = core::LoadEnsemble(args.positional[0]);
+  if (!ensemble_result.ok()) return Fail(ensemble_result.status());
+  core::CamalEnsemble ensemble = std::move(ensemble_result).value();
+  auto cohort_result = LoadServingCohort(args.positional[1],
+                                         args.FlagInt("store", 0) != 0);
+  if (!cohort_result.ok()) return Fail(cohort_result.status());
+  const std::string appliance = args.Flag("appliance", "");
+
+  serve::ServiceOptions service_opt;
+  service_opt.workers = static_cast<int>(args.FlagInt("workers", 0));
+  service_opt.queue_capacity = args.FlagInt("queue", 0);
+  service_opt.coalesce_budget = static_cast<int>(args.FlagInt("coalesce", 8));
+  serve::Service service(service_opt);
+  serve::BatchRunnerOptions runner;
+  runner.stream.window_length = args.FlagInt("window", 128);
+  runner.stream.stride = runner.stream.window_length / 2;
+  runner.appliance_avg_power_w = ResolveAvgPowerW(args, appliance);
+  Status st = service.RegisterAppliance(appliance, &ensemble, runner);
+  if (!st.ok()) return Fail(st);
+  st = service.Start();
+  if (!st.ok()) return Fail(st);
+
+  loadgen::LoadSweepOptions sweep;
+  sweep.offered_rps = ParseRates(args.Flag("rps", "25,50,100,200"));
+  if (sweep.offered_rps.empty()) {
+    return Fail(Status::InvalidArgument("--rps needs at least one rate"));
+  }
+  sweep.seconds_per_point = args.FlagDouble("seconds", 1.0);
+  sweep.base.appliance = appliance;
+  sweep.base.seed = static_cast<uint64_t>(args.FlagInt("seed", 1));
+  sweep.base.process = args.Flag("process", "poisson") == "fixed"
+                           ? loadgen::ArrivalProcess::kFixedRate
+                           : loadgen::ArrivalProcess::kPoisson;
+  sweep.base.deadline_seconds = args.FlagDouble("deadline", 0.0);
+  const std::string priority = args.Flag("priority", "normal");
+  sweep.base.priority = priority == "high"
+                            ? serve::RequestPriority::kHigh
+                            : (priority == "low"
+                                   ? serve::RequestPriority::kLow
+                                   : serve::RequestPriority::kNormal);
+
+  std::printf("open-loop sweep: '%s' on %d workers, %zu households, %s "
+              "arrivals, %.1fs per point\n",
+              appliance.c_str(), service.workers(),
+              cohort_result.value().views.size(),
+              sweep.base.process == loadgen::ArrivalProcess::kPoisson
+                  ? "poisson"
+                  : "fixed",
+              sweep.seconds_per_point);
+  const loadgen::LoadSweepResult result =
+      loadgen::RunLoadSweep(&service, cohort_result.value().views, sweep);
+  std::printf("%10s %10s %6s %8s %8s %8s %8s %6s %6s\n", "offered", "achieved",
+              "util", "p50ms", "p95ms", "p99ms", "maxms", "shed", "rej");
+  for (const loadgen::LoadSweepPoint& point : result.points) {
+    std::printf("%10.1f %10.1f %6.2f %8.2f %8.2f %8.2f %8.2f %6lld %6lld\n",
+                point.offered_rps, point.achieved_rps, point.utilization,
+                point.latency.p50_ms, point.latency.p95_ms,
+                point.latency.p99_ms, point.latency.max_ms,
+                static_cast<long long>(point.shed_deadline),
+                static_cast<long long>(point.rejected_backpressure));
+  }
+  std::printf("knee: %.1f rps (%s)\n", result.knee_rps,
+              result.knee_basis.c_str());
+  const serve::ServiceStats stats = service.stats();
+  std::printf("service: %lld completed (%lld high / %lld normal / %lld "
+              "low), %lld shed on deadline, %lld backpressure\n",
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.completed_high),
+              static_cast<long long>(stats.completed_normal),
+              static_cast<long long>(stats.completed_low),
+              static_cast<long long>(stats.shed_deadline),
+              static_cast<long long>(stats.rejected_backpressure));
+  service.Shutdown();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: camal_cli "
-                 "<simulate|train|localize|serve|convert> ...\n");
+                 "<simulate|train|localize|serve|convert|loadgen> ...\n");
     return 1;
   }
   const Args args = ParseArgs(argc, argv);
@@ -551,6 +679,7 @@ int main(int argc, char** argv) {
   if (command == "localize") return CmdLocalize(args);
   if (command == "serve") return CmdServe(args);
   if (command == "convert") return CmdConvert(args);
+  if (command == "loadgen") return CmdLoadgen(args);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 1;
 }

@@ -18,6 +18,9 @@ enum class StatusCode {
   kIoError,
   kFailedPrecondition,
   kInternal,
+  /// The request's deadline passed before a worker could serve it; the
+  /// service shed it without running the scan (see ScanRequest).
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for \p code (e.g. "InvalidArgument").
@@ -57,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,131 @@
+#include "loadgen/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace camal::loadgen {
+
+LatencyHistogram::LatencyHistogram() { Reset(); }
+
+LatencyHistogram::LatencyHistogram(const LatencyHistogram& other) {
+  *this = other;
+}
+
+LatencyHistogram& LatencyHistogram::operator=(const LatencyHistogram& other) {
+  if (this == &other) return *this;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)].store(
+        other.buckets_[static_cast<size_t>(i)].load(
+            std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  count_.store(other.count_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  total_ns_.store(other.total_ns_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  max_ns_.store(other.max_ns_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  return *this;
+}
+
+int LatencyHistogram::BucketIndex(double seconds) {
+  if (!(seconds > kMinSeconds)) return 0;  // also catches NaN
+  const int index = static_cast<int>(
+      std::log10(seconds / kMinSeconds) * kBucketsPerDecade);
+  return std::clamp(index, 0, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketLowerSeconds(int index) {
+  return kMinSeconds *
+         std::pow(10.0, static_cast<double>(index) /
+                            static_cast<double>(kBucketsPerDecade));
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (!std::isfinite(seconds) || seconds < 0.0) seconds = 0.0;
+  buckets_[static_cast<size_t>(BucketIndex(seconds))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const auto ns = static_cast<int64_t>(seconds * 1e9);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  int64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const int64_t n = other.buckets_[static_cast<size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (n != 0) {
+      buckets_[static_cast<size_t>(i)].fetch_add(n,
+                                                 std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  total_ns_.fetch_add(other.total_ns_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  const int64_t other_max = other.max_ns_.load(std::memory_order_relaxed);
+  int64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (other_max > seen &&
+         !max_ns_.compare_exchange_weak(seen, other_max,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+int64_t LatencyHistogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::total_seconds() const {
+  return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+double LatencyHistogram::max_seconds() const {
+  return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  const int64_t n = count();
+  if (n <= 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(p * static_cast<double>(n))));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Geometric midpoint of the bucket — the unbiased point estimate
+      // for a log-spaced bin — never reported beyond the exact max.
+      const double lower = BucketLowerSeconds(i);
+      const double upper = BucketLowerSeconds(i + 1);
+      return std::min(std::sqrt(lower * upper), max_seconds());
+    }
+  }
+  return max_seconds();
+}
+
+LatencySummary LatencyHistogram::Summary() const {
+  LatencySummary summary;
+  summary.count = count();
+  if (summary.count == 0) return summary;
+  summary.mean_ms =
+      total_seconds() / static_cast<double>(summary.count) * 1e3;
+  summary.p50_ms = Percentile(0.50) * 1e3;
+  summary.p95_ms = Percentile(0.95) * 1e3;
+  summary.p99_ms = Percentile(0.99) * 1e3;
+  summary.max_ms = max_seconds() * 1e3;
+  return summary;
+}
+
+}  // namespace camal::loadgen

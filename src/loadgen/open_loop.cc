@@ -1,0 +1,114 @@
+#include "loadgen/open_loop.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+#include "serve/service.h"
+
+namespace camal::loadgen {
+
+std::vector<double> IntendedArrivalOffsets(const OpenLoopOptions& options) {
+  CAMAL_CHECK_GT(options.offered_rps, 0.0);
+  CAMAL_CHECK_GT(options.requests, 0);
+  std::vector<double> offsets;
+  offsets.reserve(static_cast<size_t>(options.requests));
+  if (options.process == ArrivalProcess::kFixedRate) {
+    for (int64_t i = 0; i < options.requests; ++i) {
+      offsets.push_back(static_cast<double>(i) / options.offered_rps);
+    }
+    return offsets;
+  }
+  Rng rng(options.seed);
+  double t = 0.0;
+  for (int64_t i = 0; i < options.requests; ++i) {
+    // The first arrival also waits an exponential gap, so the start of
+    // the run is as memoryless as the middle.
+    t += rng.Exponential(options.offered_rps);
+    offsets.push_back(t);
+  }
+  return offsets;
+}
+
+OpenLoopDriver::OpenLoopDriver(serve::Service* service,
+                               std::vector<data::SeriesView> cohort,
+                               OpenLoopOptions options)
+    : service_(service),
+      cohort_(std::move(cohort)),
+      options_(std::move(options)) {
+  CAMAL_CHECK(service_ != nullptr);
+  CAMAL_CHECK(!cohort_.empty());
+}
+
+OpenLoopResult OpenLoopDriver::Run() {
+  const std::vector<double> intended = IntendedArrivalOffsets(options_);
+  OpenLoopResult out;
+  out.offered_rps = options_.offered_rps;
+  out.intended = static_cast<int64_t>(intended.size());
+
+  std::vector<std::future<Result<serve::ScanResult>>> futures;
+  std::vector<double> submit_offsets;  // seconds from t0, per request
+  futures.reserve(intended.size());
+  submit_offsets.reserve(intended.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < intended.size(); ++i) {
+    const auto target =
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(intended[i]));
+    // Open loop: wait for the intended time, never for a completion. A
+    // service drowning in backlog does not slow this loop down.
+    std::this_thread::sleep_until(target);
+    serve::ScanRequest request;
+    request.household_id = "loadgen-" + std::to_string(i);
+    request.appliance = options_.appliance;
+    request.series = cohort_[i % cohort_.size()];
+    request.priority = options_.priority;
+    request.deadline_seconds = options_.deadline_seconds;
+    const double submit_offset =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    submit_offsets.push_back(submit_offset);
+    out.max_submit_lag_seconds =
+        std::max(out.max_submit_lag_seconds, submit_offset - intended[i]);
+    futures.push_back(service_->Submit(std::move(request)));
+    ++out.submitted;
+  }
+
+  // Harvest. Latency is charged from the INTENDED arrival: queueing delay
+  // the request experienced plus the schedule slip the driver added, with
+  // the in-service part taken from the service's own admission-to-
+  // completion measurement — no completion-time clock read racing the
+  // workers.
+  double last_completion_offset = 0.0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<serve::ScanResult> result = futures[i].get();
+    if (result.ok()) {
+      ++out.completed;
+      const double service_latency = result.value().latency_seconds;
+      out.latency.Record(
+          std::max(0.0, submit_offsets[i] - intended[i] + service_latency));
+      last_completion_offset = std::max(
+          last_completion_offset, submit_offsets[i] + service_latency);
+    } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      ++out.shed_deadline;
+    } else if (result.status().code() == StatusCode::kFailedPrecondition) {
+      ++out.rejected_backpressure;
+    } else {
+      ++out.failed;
+    }
+  }
+  out.wall_seconds = last_completion_offset > 0.0
+                         ? last_completion_offset
+                         : (intended.empty() ? 0.0 : intended.back());
+  out.achieved_rps = out.wall_seconds > 0.0
+                         ? static_cast<double>(out.completed) /
+                               out.wall_seconds
+                         : 0.0;
+  return out;
+}
+
+}  // namespace camal::loadgen

@@ -1,0 +1,108 @@
+#ifndef CAMAL_LOADGEN_OPEN_LOOP_H_
+#define CAMAL_LOADGEN_OPEN_LOOP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/series_view.h"
+#include "loadgen/latency_histogram.h"
+#include "serve/request_queue.h"
+
+namespace camal::serve {
+class Service;
+}  // namespace camal::serve
+
+namespace camal::loadgen {
+
+/// How intended arrival times are spaced.
+enum class ArrivalProcess {
+  /// Exponential inter-arrival gaps (a memoryless request stream — the
+  /// fleet-of-independent-households model; bursts happen naturally).
+  kPoisson,
+  /// Exactly 1/rate between arrivals (isolates queueing from burstiness).
+  kFixedRate,
+};
+
+/// Configuration of one open-loop run against a serve::Service.
+struct OpenLoopOptions {
+  /// Offered load: intended arrivals per second. Must be > 0.
+  double offered_rps = 100.0;
+  /// Total requests in the run. Must be > 0.
+  int64_t requests = 100;
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  /// Seed of the arrival schedule and the household rotation — two runs
+  /// with equal options submit the identical request sequence at the
+  /// identical intended times.
+  uint64_t seed = 1;
+  /// Registered appliance every request targets.
+  std::string appliance = "appliance";
+  serve::RequestPriority priority = serve::RequestPriority::kNormal;
+  /// Per-request deadline passed through to ScanRequest; <= 0 = none.
+  double deadline_seconds = 0.0;
+};
+
+/// The intended arrival offsets (seconds from run start, nondecreasing,
+/// one per request) that \p options generates. Deterministic in the seed;
+/// exposed so tests pin the schedule and the driver provably replays it.
+std::vector<double> IntendedArrivalOffsets(const OpenLoopOptions& options);
+
+/// Outcome of one open-loop run.
+struct OpenLoopResult {
+  double offered_rps = 0.0;
+  /// Completions per second of wall time, submission start to last
+  /// completion. Tracks offered_rps below saturation; flattens at the
+  /// service's capacity above it — the throughput side of the knee.
+  double achieved_rps = 0.0;
+  int64_t intended = 0;   ///< scheduled arrivals (== options.requests).
+  int64_t submitted = 0;  ///< requests actually handed to Submit (all).
+  int64_t completed = 0;
+  int64_t rejected_backpressure = 0;  ///< bounced off the bounded queue.
+  int64_t shed_deadline = 0;          ///< kDeadlineExceeded futures.
+  int64_t failed = 0;                 ///< any other non-OK future.
+  /// Submission start to last completion, in seconds.
+  double wall_seconds = 0.0;
+  /// Worst (submit time - intended time) across the run: how far the
+  /// DRIVER fell behind its own schedule. Should stay near zero; a large
+  /// value means the harness itself throttled the offered load and the
+  /// run underestimates it (the closed-loop mistake this subsystem
+  /// exists to avoid).
+  double max_submit_lag_seconds = 0.0;
+  /// Intended-arrival -> completion latency of completed requests. The
+  /// open-loop number: a request that waited behind a backlog is charged
+  /// the wait from when it WANTED to arrive, so the percentiles include
+  /// the queueing a closed-loop harness never sees (no coordinated
+  /// omission).
+  LatencyHistogram latency;
+};
+
+/// Deterministic open-loop load driver: schedules every intended arrival
+/// up front (IntendedArrivalOffsets), then walks the schedule, sleeping
+/// until each intended time and submitting WITHOUT waiting for any
+/// completion — a backlogged service makes latencies grow, never the
+/// arrival rate shrink. Requests rotate through the cohort round-robin
+/// and borrow their series views (the cohort must outlive Run).
+///
+/// Run submits on the calling thread and harvests every future before
+/// returning, so one driver measures one stream; concurrent streams (e.g.
+/// a high-priority trickle against a low-priority flood) are separate
+/// drivers on separate threads against the same service.
+class OpenLoopDriver {
+ public:
+  /// \p service must be started and outlive the driver; \p cohort views
+  /// must stay valid through Run.
+  OpenLoopDriver(serve::Service* service, std::vector<data::SeriesView> cohort,
+                 OpenLoopOptions options);
+
+  /// Executes the run. Call at most once per driver.
+  OpenLoopResult Run();
+
+ private:
+  serve::Service* service_;
+  std::vector<data::SeriesView> cohort_;
+  OpenLoopOptions options_;
+};
+
+}  // namespace camal::loadgen
+
+#endif  // CAMAL_LOADGEN_OPEN_LOOP_H_

@@ -1,0 +1,74 @@
+#include "loadgen/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "serve/service.h"
+
+namespace camal::loadgen {
+
+LoadSweepResult RunLoadSweep(serve::Service* service,
+                             const std::vector<data::SeriesView>& cohort,
+                             const LoadSweepOptions& options) {
+  CAMAL_CHECK(service != nullptr);
+  CAMAL_CHECK(!options.offered_rps.empty());
+  CAMAL_CHECK_GT(options.seconds_per_point, 0.0);
+  LoadSweepResult result;
+  result.points.reserve(options.offered_rps.size());
+
+  for (size_t i = 0; i < options.offered_rps.size(); ++i) {
+    OpenLoopOptions run = options.base;
+    run.offered_rps = options.offered_rps[i];
+    run.requests = std::clamp(
+        static_cast<int64_t>(
+            std::llround(run.offered_rps * options.seconds_per_point)),
+        options.min_requests_per_point, options.max_requests_per_point);
+    run.seed = options.base.seed + i;  // independent schedules per point
+    OpenLoopDriver driver(service, cohort, run);
+    const OpenLoopResult outcome = driver.Run();
+
+    LoadSweepPoint point;
+    point.offered_rps = outcome.offered_rps;
+    point.achieved_rps = outcome.achieved_rps;
+    point.utilization = outcome.offered_rps > 0.0
+                            ? outcome.achieved_rps / outcome.offered_rps
+                            : 0.0;
+    point.requests = outcome.intended;
+    point.completed = outcome.completed;
+    point.shed_deadline = outcome.shed_deadline;
+    point.rejected_backpressure = outcome.rejected_backpressure;
+    point.failed = outcome.failed;
+    point.max_submit_lag_seconds = outcome.max_submit_lag_seconds;
+    point.latency = outcome.latency.Summary();
+    result.points.push_back(point);
+  }
+
+  // Knee: the highest offered load still served at ~full rate. The ladder
+  // is ascending, so take the LAST qualifying point — below it the
+  // service keeps up, above it achieved flattens and latency explodes.
+  for (size_t i = 0; i < result.points.size(); ++i) {
+    if (result.points[i].utilization >= options.knee_utilization) {
+      result.knee_index = static_cast<int>(i);
+    }
+  }
+  if (result.knee_index >= 0) {
+    result.knee_basis = "utilization";
+  } else {
+    // Whole ladder overloaded: report where achieved throughput peaked —
+    // a capacity estimate rather than a served-load boundary, but still a
+    // knee the sweep's caller (and the CI gate) can anchor on.
+    double best = -1.0;
+    for (size_t i = 0; i < result.points.size(); ++i) {
+      if (result.points[i].achieved_rps > best) {
+        best = result.points[i].achieved_rps;
+        result.knee_index = static_cast<int>(i);
+      }
+    }
+    result.knee_basis = "peak_achieved";
+  }
+  result.knee_rps =
+      result.points[static_cast<size_t>(result.knee_index)].offered_rps;
+  return result;
+}
+
+}  // namespace camal::loadgen

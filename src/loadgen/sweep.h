@@ -1,0 +1,71 @@
+#ifndef CAMAL_LOADGEN_SWEEP_H_
+#define CAMAL_LOADGEN_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loadgen/open_loop.h"
+
+namespace camal::loadgen {
+
+/// Configuration of an offered-load sweep.
+struct LoadSweepOptions {
+  /// Offered-load ladder (requests/second), ascending.
+  std::vector<double> offered_rps;
+  /// Intended submission duration per ladder point; the request count is
+  /// offered_rps * seconds_per_point, clamped to the bounds below.
+  double seconds_per_point = 1.0;
+  int64_t min_requests_per_point = 16;
+  int64_t max_requests_per_point = 4000;
+  /// A point with achieved/offered >= this is "keeping up"; the knee is
+  /// the highest such point. 0.9 leaves room for scheduler jitter without
+  /// mistaking a collapsing point for a healthy one.
+  double knee_utilization = 0.9;
+  /// Template for every point's run (appliance, process, priority,
+  /// deadline, seed). offered_rps/requests are overwritten per point;
+  /// the seed is offset per point so ladder points draw independent
+  /// arrival schedules while the sweep stays deterministic.
+  OpenLoopOptions base;
+};
+
+/// One ladder point's outcome.
+struct LoadSweepPoint {
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  double utilization = 0.0;  ///< achieved_rps / offered_rps.
+  int64_t requests = 0;
+  int64_t completed = 0;
+  int64_t shed_deadline = 0;
+  int64_t rejected_backpressure = 0;
+  int64_t failed = 0;
+  double max_submit_lag_seconds = 0.0;
+  LatencySummary latency;
+};
+
+/// The sweep's verdict: per-point latency vs load, plus the throughput
+/// knee estimate.
+struct LoadSweepResult {
+  std::vector<LoadSweepPoint> points;  ///< one per ladder entry, in order.
+  int knee_index = -1;
+  /// Offered load at the knee: the highest ladder point the service still
+  /// kept up with (utilization >= knee_utilization). When no point
+  /// qualified (the whole ladder overloads the service), falls back to
+  /// the point with the highest ACHIEVED rate — the capacity estimate —
+  /// and knee_basis says which rule fired.
+  double knee_rps = 0.0;
+  std::string knee_basis;  ///< "utilization" or "peak_achieved".
+};
+
+/// Walks the ladder low to high against \p service, one open-loop run per
+/// point (same cohort, per-point seeds), and locates the knee. The
+/// service is shared across points and must stay started throughout;
+/// counters accumulate in the service, but every number here comes from
+/// the drivers' own futures, so sweeping a warm service is fine.
+LoadSweepResult RunLoadSweep(serve::Service* service,
+                             const std::vector<data::SeriesView>& cohort,
+                             const LoadSweepOptions& options);
+
+}  // namespace camal::loadgen
+
+#endif  // CAMAL_LOADGEN_SWEEP_H_

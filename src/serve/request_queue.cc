@@ -1,8 +1,51 @@
 #include "serve/request_queue.h"
 
+#include <algorithm>
+
 namespace camal::serve {
 
+const char* RequestPriorityName(RequestPriority priority) {
+  switch (priority) {
+    case RequestPriority::kHigh:
+      return "high";
+    case RequestPriority::kNormal:
+      return "normal";
+    case RequestPriority::kLow:
+      return "low";
+  }
+  return "unknown";
+}
+
 RequestQueue::RequestQueue(int64_t capacity) : capacity_(capacity) {}
+
+size_t RequestQueue::HeadIndexLocked() const {
+  // Linear scan for the earliest task of the most urgent class. The queue
+  // is FIFO within a class, so the first task seen of a class is that
+  // class's head; an all-kNormal backlog (the default traffic) exits at
+  // index 0 after one comparison short-circuits the scan.
+  size_t head = 0;
+  RequestPriority best = tasks_.front().request.priority;
+  for (size_t i = 1; i < tasks_.size() && best != RequestPriority::kHigh;
+       ++i) {
+    if (tasks_[i].request.priority < best) {
+      best = tasks_[i].request.priority;
+      head = i;
+    }
+  }
+  return head;
+}
+
+int64_t RequestQueue::AdaptiveDrainBudget(int64_t extra_budget,
+                                          int64_t backlog,
+                                          int64_t idle_consumers) {
+  // Reserve one task per idle consumer: draining it into this group would
+  // trade a whole concurrent worker for one more row of batch occupancy.
+  // With nobody waiting this is the plain fixed budget (bounded by the
+  // backlog, which the drain loop enforces anyway).
+  return std::max<int64_t>(
+      0, std::min(extra_budget, backlog - std::max<int64_t>(0,
+                                                            idle_consumers)));
+}
 
 Status RequestQueue::Push(QueuedScan* task, bool* rejected_full,
                           bool force) {
@@ -29,10 +72,13 @@ Status RequestQueue::Push(QueuedScan* task, bool* rejected_full,
 bool RequestQueue::Pop(QueuedScan* out) {
   CAMAL_CHECK(out != nullptr);
   std::unique_lock<std::mutex> lock(mu_);
+  ++waiting_;
   cv_.wait(lock, [this] { return closed_ || !tasks_.empty(); });
+  --waiting_;
   if (tasks_.empty()) return false;  // closed and drained
-  *out = std::move(tasks_.front());
-  tasks_.pop_front();
+  const size_t head = HeadIndexLocked();
+  *out = std::move(tasks_[head]);
+  tasks_.erase(tasks_.begin() + static_cast<std::ptrdiff_t>(head));
   return true;
 }
 
@@ -42,30 +88,45 @@ bool RequestQueue::PopGroup(QueuedScan* first, std::vector<QueuedScan>* extras,
   CAMAL_CHECK(extras != nullptr);
   extras->clear();
   std::unique_lock<std::mutex> lock(mu_);
+  ++waiting_;
   cv_.wait(lock, [this] { return closed_ || !tasks_.empty(); });
+  --waiting_;
   if (tasks_.empty()) return false;  // closed and drained
-  *first = std::move(tasks_.front());
-  tasks_.pop_front();
-  if (extra_budget <= 0 || tasks_.empty()) return true;
+  const size_t head = HeadIndexLocked();
+  *first = std::move(tasks_[head]);
+  tasks_.erase(tasks_.begin() + static_cast<std::ptrdiff_t>(head));
+  // Adaptive budget, decided under the same lock that tracks waiting
+  // consumers: waiting_ counts the siblings blocked in cv_.wait right
+  // now, and the backlog is what remains after the head left. Leaving
+  // them work beats batching it — an idle worker is idle parallelism.
+  const int64_t budget = AdaptiveDrainBudget(
+      extra_budget, static_cast<int64_t>(tasks_.size()), waiting_);
+  if (budget <= 0 || tasks_.empty()) return true;
 
-  // Peel off up to extra_budget tasks for the head task's appliance,
-  // compacting the rest in place so every other appliance keeps its
-  // admission order. Tasks before the first match never move: a backlog
-  // holding nothing for this appliance costs only the comparisons, and a
-  // match costs O(tasks behind it) moves under the lock — the elements
-  // are a few pointers and strings each.
+  // Peel off up to `budget` tasks matching the head's appliance AND
+  // priority, compacting the rest in place so everything else keeps its
+  // admission order. FIFO within a class means no match can precede the
+  // head's old position, but the head may have been taken from the
+  // middle (priority overtaking), so the scan starts at index 0 — tasks
+  // before the first match never move; a backlog holding nothing to
+  // coalesce costs only the comparisons.
   const std::string& appliance = first->request.appliance;
+  const RequestPriority priority = first->request.priority;
+  const auto matches = [&](const QueuedScan& task) {
+    return task.request.priority == priority &&
+           task.request.appliance == appliance;
+  };
   const size_t n = tasks_.size();
   size_t read = 0;
-  while (read < n && tasks_[read].request.appliance != appliance) ++read;
+  while (read < n && !matches(tasks_[read])) ++read;
   if (read == n) return true;  // nothing to coalesce with
-  int64_t budget = extra_budget;
+  int64_t remaining = budget;
   size_t write = read;
   for (; read < n; ++read) {
     QueuedScan& task = tasks_[read];
-    if (budget > 0 && task.request.appliance == appliance) {
+    if (remaining > 0 && matches(task)) {
       extras->push_back(std::move(task));
-      --budget;
+      --remaining;
     } else {
       tasks_[write++] = std::move(task);
     }
@@ -90,6 +151,11 @@ int64_t RequestQueue::size() const {
 bool RequestQueue::closed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return closed_;
+}
+
+int64_t RequestQueue::waiting_consumers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
 }
 
 }  // namespace camal::serve

@@ -20,6 +20,21 @@ namespace camal::serve {
 
 class Session;
 
+/// Scheduling class of a request. Lower value = more urgent: a worker
+/// always takes the earliest-admitted task of the most urgent class
+/// present, so high-priority requests overtake a backlog of normal ones
+/// while FIFO order is preserved within each class (no reordering among
+/// equals — the bitwise-identity guarantees are per-request and
+/// unaffected either way).
+enum class RequestPriority {
+  kHigh = 0,
+  kNormal = 1,
+  kLow = 2,
+};
+
+/// Returns "high" / "normal" / "low".
+const char* RequestPriorityName(RequestPriority priority);
+
 /// One asynchronous scan request submitted to serve::Service.
 ///
 /// The series travels one of two ways — set exactly one:
@@ -46,6 +61,18 @@ struct ScanRequest {
   /// Owning alternative to `series`; see the struct contract. For a
   /// session append this is the delta, not a full series.
   std::optional<std::vector<float>> owned_series;
+  /// Scheduling class; defaults to kNormal, which reproduces the pre-
+  /// priority FIFO behaviour exactly. Does not affect results — only the
+  /// order (and, with a deadline, whether) the request is served.
+  RequestPriority priority = RequestPriority::kNormal;
+  /// Optional deadline, in seconds from submission; <= 0 means none.
+  /// A request still queued when its deadline passes is shed by the next
+  /// worker that dequeues it — its future resolves with kDeadlineExceeded
+  /// and no scan runs (the point: under overload, capacity goes to
+  /// requests whose answers someone still wants). A request whose scan
+  /// already started always completes. Session appends never carry
+  /// deadlines: a shed append would silently hole the session's series.
+  double deadline_seconds = 0.0;
 };
 
 /// The effective series of a request: a view of the owned buffer when
@@ -71,6 +98,10 @@ struct QueuedScan {
   std::shared_ptr<Session> session;
   std::promise<Result<ScanResult>> promise;
   std::chrono::steady_clock::time_point admitted;
+  /// Absolute expiry stamped at admission from request.deadline_seconds;
+  /// empty = no deadline. Workers compare against steady_clock::now()
+  /// once per dequeued group, before scanning.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// Bounded MPMC admission queue of the serving front-end: producers are
@@ -102,18 +133,39 @@ class RequestQueue {
               bool force = false);
 
   /// Blocks until a task is available (returns true) or the queue is
-  /// closed and fully drained (returns false).
+  /// closed and fully drained (returns false). The task taken is the
+  /// earliest-admitted one of the most urgent RequestPriority present
+  /// (FIFO within a class; all-kNormal traffic behaves exactly like the
+  /// plain FIFO this used to be).
   bool Pop(QueuedScan* out);
 
   /// Batch pop with appliance affinity, the queue side of cross-request
-  /// window coalescing: blocks for the head task like Pop, then — without
-  /// blocking — drains up to \p extra_budget more waiting tasks for the
-  /// SAME appliance into \p extras (cleared first), skipping over other
-  /// appliances, whose relative order is preserved. Drained tasks come
-  /// out in admission order. extra_budget <= 0 makes this exactly Pop.
+  /// window coalescing: blocks for the head task like Pop (same priority-
+  /// aware head selection), then — without blocking — drains more waiting
+  /// tasks for the SAME appliance AND SAME priority into \p extras
+  /// (cleared first), skipping over everything else, whose relative order
+  /// is preserved. Drained tasks come out in admission order. Grouping
+  /// never crosses priority classes: a low request must not ride a high
+  /// head's scan ahead of other high requests (nor the reverse).
+  ///
+  /// The drain budget is adaptive (ROADMAP adaptive-coalescing step 2),
+  /// never more than \p extra_budget: with idle sibling consumers blocked
+  /// in Pop/PopGroup, a fixed budget would batch work one request deep
+  /// while a whole worker sat idle, so the drain leaves at least one task
+  /// behind per waiting consumer — see AdaptiveDrainBudget. Purely a
+  /// batching policy: results are bitwise-identical whichever worker or
+  /// group serves a request. extra_budget <= 0 makes this exactly Pop.
   /// Returns false only when closed and fully drained.
   bool PopGroup(QueuedScan* first, std::vector<QueuedScan>* extras,
                 int64_t extra_budget);
+
+  /// The effective extras budget a PopGroup may drain: the configured
+  /// \p extra_budget, capped so that \p idle_consumers tasks of the
+  /// remaining \p backlog (queue depth AFTER removing the head) are left
+  /// for the consumers currently blocked waiting. Exposed for tests;
+  /// pure.
+  static int64_t AdaptiveDrainBudget(int64_t extra_budget, int64_t backlog,
+                                     int64_t idle_consumers);
 
   /// Stops admission; queued tasks remain poppable. Idempotent.
   void Close();
@@ -122,12 +174,21 @@ class RequestQueue {
   int64_t capacity() const { return capacity_; }
   bool closed() const;
 
+  /// Consumers currently blocked inside Pop/PopGroup waiting for work —
+  /// the idle-worker signal the adaptive drain budget is gated on.
+  int64_t waiting_consumers() const;
+
  private:
+  /// Index of the task Pop/PopGroup takes: earliest of the most urgent
+  /// priority class present. Caller holds mu_; tasks_ must be non-empty.
+  size_t HeadIndexLocked() const;
+
   const int64_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<QueuedScan> tasks_;
   bool closed_ = false;
+  int64_t waiting_ = 0;  ///< consumers blocked in Pop/PopGroup.
 };
 
 }  // namespace camal::serve

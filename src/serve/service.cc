@@ -122,6 +122,31 @@ void Service::ServeGroup(BatchRunner* runner, QueuedScan* first,
   tasks.reserve(1 + extras->size());
   tasks.push_back(first);
   for (QueuedScan& extra : *extras) tasks.push_back(&extra);
+
+  // Shed expired requests first — before the pre-scan hook and before any
+  // feed work, so a dead deadline costs nothing but this comparison. One
+  // clock read covers the group. Only one-shot scans carry deadlines
+  // (Submit stamps them; session appends never do — see ScanRequest), so
+  // shedding can't hole a session's series.
+  const auto shed_now = std::chrono::steady_clock::now();
+  std::vector<QueuedScan*> live;
+  live.reserve(tasks.size());
+  for (QueuedScan* task : tasks) {
+    if (task->session == nullptr && task->deadline.has_value() &&
+        shed_now >= *task->deadline) {
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      task->promise.set_value(Result<ScanResult>(Status::DeadlineExceeded(
+          "deadline of " +
+          std::to_string(task->request.deadline_seconds) +
+          "s passed while request '" + task->request.household_id +
+          "' was queued; shed without scanning")));
+    } else {
+      live.push_back(task);
+    }
+  }
+  if (live.empty()) return;
+  tasks.swap(live);
+
   std::vector<QueuedScan*> scans;
   std::vector<QueuedScan*> appends;
   for (QueuedScan* task : tasks) {
@@ -191,6 +216,8 @@ void Service::ServeGroup(BatchRunner* runner, QueuedScan* first,
     result.latency_seconds =
         std::chrono::duration<double>(now - task->admitted).count();
     completed_.fetch_add(1, std::memory_order_relaxed);
+    completed_by_priority_[static_cast<size_t>(task->request.priority)]
+        .fetch_add(1, std::memory_order_relaxed);
     task->promise.set_value(std::move(result));
   };
   for (size_t i = 0; i < scans.size(); ++i) {
@@ -247,10 +274,22 @@ std::future<Result<ScanResult>> Service::Submit(ScanRequest request) {
     return Reject(Status::NotFound("appliance '" + request.appliance +
                                    "' is not registered"));
   }
+  if (request.deadline_seconds < 0.0) {
+    return Reject(
+        Status::InvalidArgument("request deadline_seconds must be >= 0"));
+  }
 
   QueuedScan task;
   task.request = std::move(request);
   task.admitted = std::chrono::steady_clock::now();
+  if (task.request.deadline_seconds > 0.0) {
+    // Stamp the absolute expiry once, here: workers compare against it
+    // without re-deriving from the (relative) request field.
+    task.deadline =
+        task.admitted +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(task.request.deadline_seconds));
+  }
   std::future<Result<ScanResult>> future = task.promise.get_future();
   bool rejected_full = false;
   Status admitted = queue_.Push(&task, &rejected_full);
@@ -511,6 +550,13 @@ ServiceStats Service::stats() const {
       rejected_backpressure_.load(std::memory_order_relaxed);
   stats.completed = completed_.load(std::memory_order_relaxed);
   stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  stats.completed_high =
+      completed_by_priority_[0].load(std::memory_order_relaxed);
+  stats.completed_normal =
+      completed_by_priority_[1].load(std::memory_order_relaxed);
+  stats.completed_low =
+      completed_by_priority_[2].load(std::memory_order_relaxed);
   stats.coalesced_groups = coalesced_groups_.load(std::memory_order_relaxed);
   stats.coalesced_requests =
       coalesced_requests_.load(std::memory_order_relaxed);

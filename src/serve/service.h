@@ -1,6 +1,7 @@
 #ifndef CAMAL_SERVE_SERVICE_H_
 #define CAMAL_SERVE_SERVICE_H_
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <map>
@@ -63,6 +64,17 @@ struct ServiceStats {
   int64_t rejected_backpressure = 0;
   int64_t completed = 0;  ///< requests whose future holds a ScanResult.
   int64_t failed = 0;     ///< scans that threw; futures hold kInternal.
+  /// Requests whose deadline passed while they queued: shed by a worker
+  /// BEFORE any scan ran, futures hold kDeadlineExceeded. Under overload
+  /// this is the load-shedding signal (capacity spent only on answers
+  /// someone still wants); it is not failure and not backpressure.
+  int64_t shed_deadline = 0;
+  /// Completions by scheduling class (sum equals `completed`): the
+  /// QoS split an operator checks to see whether priority inversion or
+  /// starvation is happening under load.
+  int64_t completed_high = 0;
+  int64_t completed_normal = 0;
+  int64_t completed_low = 0;
   /// Coalescing telemetry: groups of >= 2 requests served through one
   /// shared scan, and the requests inside them. Mean batch occupancy of
   /// coalesced scans = coalesced_requests / coalesced_groups.
@@ -102,10 +114,20 @@ struct ServiceStats {
 ///
 /// Error contract: malformed requests never abort the process. Submit
 /// resolves the returned future immediately with kInvalidArgument (empty
-/// appliance name, no series set), kNotFound (unregistered appliance), or
-/// kFailedPrecondition (not started, shut down, or queue full). Workers
-/// only ever see validated requests; a scan that throws resolves the
-/// affected futures with kInternal and the worker lives on.
+/// appliance name, no series set, negative deadline), kNotFound
+/// (unregistered appliance), or kFailedPrecondition (not started, shut
+/// down, or queue full). Workers only ever see validated requests; a scan
+/// that throws resolves the affected futures with kInternal and the
+/// worker lives on.
+///
+/// QoS: every request carries a RequestPriority (default kNormal) — a
+/// worker always serves the earliest request of the most urgent class,
+/// FIFO within a class, and cross-request coalescing never groups across
+/// classes. A request may also set ScanRequest::deadline_seconds; one
+/// still queued when it expires is shed with kDeadlineExceeded before
+/// any scan runs (ServiceStats::shed_deadline). Neither priority nor an
+/// unexpired deadline changes results: a served request's ScanResult is
+/// bitwise-identical whatever its class or the queue state.
 ///
 /// Streaming households use sessions instead of one-shot Submits:
 /// CreateSession opens a long-lived handle whose AppendReadings deltas
@@ -246,7 +268,10 @@ class Service {
   void WorkerLoop(Worker* worker);
 
   /// Serves one dequeued group (head task plus same-appliance extras) on
-  /// \p runner: one-shot tasks through one coalesced ScanMany pass,
+  /// \p runner. Expired-deadline tasks are shed first — their promises
+  /// resolve with kDeadlineExceeded and they never reach the pre-scan
+  /// hook or a runner. The rest: one-shot tasks through one coalesced
+  /// ScanMany pass,
   /// session appends through one coalesced AppendScanMany pass (a group
   /// never holds two appends of the same session — the session serializer
   /// admits one at a time). Every task's promise is resolved exactly once
@@ -292,6 +317,9 @@ class Service {
   mutable std::atomic<int64_t> rejected_backpressure_{0};
   mutable std::atomic<int64_t> completed_{0};
   mutable std::atomic<int64_t> failed_{0};
+  mutable std::atomic<int64_t> shed_deadline_{0};
+  /// Completions indexed by RequestPriority (kHigh=0..kLow=2).
+  mutable std::array<std::atomic<int64_t>, 3> completed_by_priority_{};
   mutable std::atomic<int64_t> coalesced_groups_{0};
   mutable std::atomic<int64_t> coalesced_requests_{0};
   mutable std::atomic<int64_t> sessions_created_{0};

@@ -24,8 +24,12 @@ struct ShardedScannerOptions {
   /// coalescing). The budget is re-pinned per ScanAll via the service's
   /// runtime-adjustable setter: a cohort that fits the pool (one worker
   /// per household) always runs with 1, since coalescing there would
-  /// serialize the scans the shards parallelize. Results are
-  /// bitwise-identical either way. <= 1 always disables.
+  /// serialize the scans the shards parallelize. This budget is only the
+  /// upper bound: per dequeue, RequestQueue::AdaptiveDrainBudget shrinks
+  /// the actual drain so idle sibling workers keep work (adaptive
+  /// coalescing, step 2), which makes a generous budget safe even near
+  /// the cohort/pool crossover. Results are bitwise-identical either
+  /// way. <= 1 always disables.
   int coalesce_budget = 8;
 };
 

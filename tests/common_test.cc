@@ -46,6 +46,16 @@ TEST(StatusTest, AllCodesHaveNames) {
                "FailedPrecondition");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(StatusTest, DeadlineExceededHelper) {
+  Status st = Status::DeadlineExceeded("request expired in queue");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(st.message(), "request expired in queue");
+  EXPECT_EQ(st.ToString(), "DeadlineExceeded: request expired in queue");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ensemble.h"
+#include "core/resnet.h"
+#include "data/series_view.h"
+#include "loadgen/latency_histogram.h"
+#include "loadgen/open_loop.h"
+#include "loadgen/sweep.h"
+#include "serve/batch_runner.h"
+#include "serve/service.h"
+#include "serve/window_stream.h"
+
+namespace camal {
+namespace {
+
+// Force a multi-thread pool even on single-core machines so service
+// workers really run concurrently; an explicit CAMAL_THREADS (e.g. from
+// CI) wins.
+const bool kThreadsForced = [] {
+  setenv("CAMAL_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+using loadgen::LatencyHistogram;
+
+// ---------------------------------------------------------------------
+// LatencyHistogram: the shared percentile machinery.
+// ---------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, EmptyThenSingleSample) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0);
+  EXPECT_EQ(hist.Percentile(0.5), 0.0);
+  EXPECT_EQ(hist.Summary().count, 0);
+  EXPECT_EQ(hist.max_seconds(), 0.0);
+
+  hist.Record(0.010);
+  EXPECT_EQ(hist.count(), 1);
+  EXPECT_NEAR(hist.max_seconds(), 0.010, 1e-9);  // max is exact
+  // Every percentile of a 1-sample distribution is that sample, up to
+  // the ~5% bucket width (and never beyond the exact max).
+  for (double p : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_NEAR(hist.Percentile(p), 0.010, 0.010 * 0.05) << "p=" << p;
+    EXPECT_LE(hist.Percentile(p), hist.max_seconds());
+  }
+  const loadgen::LatencySummary summary = hist.Summary();
+  EXPECT_EQ(summary.count, 1);
+  EXPECT_NEAR(summary.mean_ms, 10.0, 0.01);
+  EXPECT_NEAR(summary.max_ms, 10.0, 1e-6);
+}
+
+TEST(LatencyHistogramTest, PercentilesTrackAKnownDistribution) {
+  // 1..1000 ms uniformly: the p-quantile is ~p seconds.
+  LatencyHistogram hist;
+  for (int i = 1; i <= 1000; ++i) {
+    hist.Record(static_cast<double>(i) * 1e-3);
+  }
+  EXPECT_EQ(hist.count(), 1000);
+  EXPECT_NEAR(hist.Percentile(0.50), 0.500, 0.500 * 0.05);
+  EXPECT_NEAR(hist.Percentile(0.95), 0.950, 0.950 * 0.05);
+  EXPECT_NEAR(hist.Percentile(0.99), 0.990, 0.990 * 0.05);
+  EXPECT_NEAR(hist.max_seconds(), 1.000, 1e-9);
+  EXPECT_NEAR(hist.total_seconds(), 500.5, 0.5);
+  // Percentiles are nondecreasing in p.
+  EXPECT_LE(hist.Percentile(0.50), hist.Percentile(0.95));
+  EXPECT_LE(hist.Percentile(0.95), hist.Percentile(0.99));
+  EXPECT_LE(hist.Percentile(0.99), hist.max_seconds());
+}
+
+TEST(LatencyHistogramTest, DegenerateSamplesClampInsteadOfCrashing) {
+  LatencyHistogram hist;
+  hist.Record(-0.5);  // open-loop latency can round below zero
+  hist.Record(std::numeric_limits<double>::quiet_NaN());
+  hist.Record(std::numeric_limits<double>::infinity());
+  hist.Record(0.0);
+  hist.Record(1e-12);  // below range: lowest bucket
+  hist.Record(1e6);    // above range: highest bucket, exact max kept
+  EXPECT_EQ(hist.count(), 6);
+  EXPECT_NEAR(hist.max_seconds(), 1e6, 1.0);
+  EXPECT_LE(hist.Percentile(0.5), LatencyHistogram::kMinSeconds * 2.0);
+}
+
+TEST(LatencyHistogramTest, MergeAndCopyPreserveEverySample) {
+  LatencyHistogram fast, slow;
+  for (int i = 0; i < 100; ++i) fast.Record(0.001);
+  for (int i = 0; i < 100; ++i) slow.Record(0.100);
+  fast.Merge(slow);
+  EXPECT_EQ(fast.count(), 200);
+  EXPECT_NEAR(fast.max_seconds(), 0.100, 1e-9);
+  EXPECT_NEAR(fast.Percentile(0.25), 0.001, 0.001 * 0.05);
+  EXPECT_NEAR(fast.Percentile(0.75), 0.100, 0.100 * 0.05);
+
+  const LatencyHistogram copy = fast;  // snapshot
+  EXPECT_EQ(copy.count(), fast.count());
+  EXPECT_EQ(copy.max_seconds(), fast.max_seconds());
+  EXPECT_EQ(copy.Percentile(0.75), fast.Percentile(0.75));
+
+  fast.Reset();
+  EXPECT_EQ(fast.count(), 0);
+  EXPECT_EQ(copy.count(), 200);  // the copy is independent
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordDropsNothing) {
+  // Harvest threads record while the driver submits; every sample must
+  // land exactly once.
+  LatencyHistogram hist;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Record(1e-3 * static_cast<double>(1 + (i + t) % 50));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hist.count(), kThreads * kPerThread);
+  EXPECT_NEAR(hist.max_seconds(), 0.050, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Arrival schedules: deterministic, monotone, correctly spaced.
+// ---------------------------------------------------------------------
+
+TEST(ArrivalScheduleTest, FixedRateIsExact) {
+  loadgen::OpenLoopOptions options;
+  options.process = loadgen::ArrivalProcess::kFixedRate;
+  options.offered_rps = 100.0;
+  options.requests = 10;
+  const std::vector<double> offsets =
+      loadgen::IntendedArrivalOffsets(options);
+  ASSERT_EQ(offsets.size(), 10u);
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(offsets[i], static_cast<double>(i) / 100.0);
+  }
+}
+
+TEST(ArrivalScheduleTest, PoissonIsSeededMonotoneWithMatchingMeanGap) {
+  loadgen::OpenLoopOptions options;
+  options.process = loadgen::ArrivalProcess::kPoisson;
+  options.offered_rps = 1000.0;
+  options.requests = 4000;
+  options.seed = 123;
+  const std::vector<double> a = loadgen::IntendedArrivalOffsets(options);
+  const std::vector<double> b = loadgen::IntendedArrivalOffsets(options);
+  ASSERT_EQ(a.size(), 4000u);
+  // Same seed: the identical schedule, sample for sample.
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.front(), 0.0);  // the first arrival also waits a gap
+  for (size_t i = 1; i < a.size(); ++i) {
+    ASSERT_LE(a[i - 1], a[i]) << "arrival " << i << " moved backwards";
+  }
+  // Mean inter-arrival gap ~ 1/rate (4000 draws: well within 10%).
+  const double mean_gap = a.back() / static_cast<double>(a.size());
+  EXPECT_NEAR(mean_gap, 1e-3, 1e-4);
+
+  options.seed = 124;
+  EXPECT_NE(loadgen::IntendedArrivalOffsets(options), a);
+}
+
+// ---------------------------------------------------------------------
+// OpenLoopDriver / RunLoadSweep against a real service.
+// ---------------------------------------------------------------------
+
+core::CamalEnsemble TinyEnsemble(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<core::EnsembleMember> members;
+  for (int64_t k : {5, 9}) {
+    core::ResNetConfig config;
+    config.base_filters = 4;
+    config.kernel_size = k;
+    core::EnsembleMember member;
+    member.model = std::make_unique<core::ResNetClassifier>(config, &rng);
+    member.kernel_size = k;
+    members.push_back(std::move(member));
+  }
+  return core::CamalEnsemble::FromMembers(std::move(members));
+}
+
+serve::BatchRunnerOptions TinyRunner() {
+  serve::BatchRunnerOptions opt;
+  opt.stream.window_length = 16;
+  opt.stream.stride = 8;
+  opt.stream.batch_size = 4;
+  opt.appliance_avg_power_w = 700.0f;
+  return opt;
+}
+
+std::vector<std::vector<float>> TinyCohort(int households, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> cohort;
+  for (int h = 0; h < households; ++h) {
+    std::vector<float> series(64);
+    for (auto& v : series) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
+    cohort.push_back(std::move(series));
+  }
+  return cohort;
+}
+
+std::vector<data::SeriesView> Views(
+    const std::vector<std::vector<float>>& cohort) {
+  std::vector<data::SeriesView> views;
+  for (const auto& series : cohort) views.emplace_back(series);
+  return views;
+}
+
+TEST(OpenLoopDriverTest, BelowCapacityEveryRequestCompletes) {
+  core::CamalEnsemble ensemble = TinyEnsemble(71);
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 2;
+  serve::Service service(service_opt);
+  ASSERT_TRUE(
+      service.RegisterAppliance("appliance", &ensemble, TinyRunner()).ok());
+  ASSERT_TRUE(service.Start().ok());
+  const std::vector<std::vector<float>> cohort = TinyCohort(3, 72);
+
+  loadgen::OpenLoopOptions options;
+  options.offered_rps = 200.0;
+  options.requests = 40;
+  options.seed = 7;
+  loadgen::OpenLoopDriver driver(&service, Views(cohort), options);
+  const loadgen::OpenLoopResult result = driver.Run();
+  EXPECT_EQ(result.intended, 40);
+  EXPECT_EQ(result.submitted, 40);
+  EXPECT_EQ(result.completed, 40);
+  EXPECT_EQ(result.rejected_backpressure, 0);
+  EXPECT_EQ(result.shed_deadline, 0);
+  EXPECT_EQ(result.failed, 0);
+  EXPECT_EQ(result.latency.count(), 40);
+  EXPECT_GT(result.wall_seconds, 0.0);
+  EXPECT_GT(result.achieved_rps, 0.0);
+  EXPECT_GT(result.latency.Summary().p99_ms, 0.0);
+  service.Shutdown();
+  EXPECT_EQ(service.stats().completed, 40);
+}
+
+TEST(OpenLoopDriverTest, OverloadWithDeadlinesShedsInsteadOfFailing) {
+  // Pin the per-request cost with a sleeping hook so overload is a
+  // property of the test, not of the machine: 1 worker x 5ms = 200 rps
+  // capacity, offered 2000 rps, 20ms deadline. The early arrivals find a
+  // short queue and complete; deeper ones expire waiting and must come
+  // back as shed_deadline — never as generic failures.
+  core::CamalEnsemble ensemble = TinyEnsemble(73);
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 1;
+  service_opt.queue_capacity = 0;
+  service_opt.coalesce_budget = 1;
+  service_opt.pre_scan_hook = [](const serve::ScanRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  };
+  serve::Service service(service_opt);
+  ASSERT_TRUE(
+      service.RegisterAppliance("appliance", &ensemble, TinyRunner()).ok());
+  ASSERT_TRUE(service.Start().ok());
+  const std::vector<std::vector<float>> cohort = TinyCohort(2, 74);
+
+  loadgen::OpenLoopOptions options;
+  options.offered_rps = 2000.0;
+  options.requests = 60;
+  options.seed = 9;
+  options.deadline_seconds = 0.020;
+  loadgen::OpenLoopDriver driver(&service, Views(cohort), options);
+  const loadgen::OpenLoopResult result = driver.Run();
+  EXPECT_EQ(result.submitted, 60);
+  EXPECT_GT(result.completed, 0);
+  EXPECT_GT(result.shed_deadline, 0);
+  EXPECT_EQ(result.failed, 0);
+  EXPECT_EQ(result.completed + result.shed_deadline +
+                result.rejected_backpressure,
+            60);
+  EXPECT_EQ(result.latency.count(), result.completed);
+  service.Shutdown();
+  EXPECT_EQ(service.stats().shed_deadline, result.shed_deadline);
+}
+
+TEST(LoadSweepTest, FindsTheKneeOnAPinnedCostService) {
+  // 2ms pinned cost, 1 worker: capacity is a few hundred rps whatever
+  // the machine (or sanitizer) underneath. A 20 rps point keeps up; a
+  // 1000 rps point cannot — the knee lands on the former.
+  core::CamalEnsemble ensemble = TinyEnsemble(75);
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 1;
+  service_opt.queue_capacity = 0;
+  service_opt.coalesce_budget = 1;
+  service_opt.pre_scan_hook = [](const serve::ScanRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  };
+  serve::Service service(service_opt);
+  ASSERT_TRUE(
+      service.RegisterAppliance("appliance", &ensemble, TinyRunner()).ok());
+  ASSERT_TRUE(service.Start().ok());
+  const std::vector<std::vector<float>> cohort = TinyCohort(2, 76);
+  const std::vector<data::SeriesView> views = Views(cohort);
+
+  loadgen::LoadSweepOptions sweep;
+  sweep.offered_rps = {20.0, 1000.0};
+  sweep.seconds_per_point = 0.2;
+  sweep.min_requests_per_point = 8;
+  sweep.max_requests_per_point = 60;
+  sweep.base.seed = 11;
+  sweep.base.appliance = "appliance";
+  const loadgen::LoadSweepResult result =
+      loadgen::RunLoadSweep(&service, views, sweep);
+
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_LT(result.points[0].offered_rps, result.points[1].offered_rps);
+  EXPECT_GE(result.points[0].utilization, 0.9);  // 50ms gaps vs 2ms cost
+  EXPECT_LT(result.points[1].utilization, 0.9);  // 2x capacity at best
+  EXPECT_EQ(result.knee_index, 0);
+  EXPECT_EQ(result.knee_basis, "utilization");
+  EXPECT_DOUBLE_EQ(result.knee_rps, 20.0);
+  for (const loadgen::LoadSweepPoint& point : result.points) {
+    EXPECT_GT(point.completed, 0);
+    EXPECT_EQ(point.latency.count, point.completed);
+    EXPECT_GT(point.latency.p99_ms, 0.0);
+  }
+
+  // An all-overloaded ladder still anchors a knee: the peak-achieved
+  // fallback reports the capacity estimate instead of giving up.
+  loadgen::LoadSweepOptions overloaded = sweep;
+  overloaded.offered_rps = {1500.0, 3000.0};
+  overloaded.base.seed = 12;
+  const loadgen::LoadSweepResult fallback =
+      loadgen::RunLoadSweep(&service, views, overloaded);
+  ASSERT_EQ(fallback.points.size(), 2u);
+  EXPECT_EQ(fallback.knee_basis, "peak_achieved");
+  EXPECT_GE(fallback.knee_index, 0);
+  EXPECT_GT(fallback.knee_rps, 0.0);
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace camal

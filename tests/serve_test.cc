@@ -868,6 +868,137 @@ TEST(RequestQueueTest, PushReportsBackpressureDistinctFromShutdown) {
   EXPECT_FALSE(rejected_full);
 }
 
+serve::QueuedScan MakePriorityTask(const std::vector<float>* series,
+                                   serve::RequestPriority priority,
+                                   const std::string& id) {
+  serve::QueuedScan task = MakeTask(series);
+  task.request.priority = priority;
+  task.request.household_id = id;
+  return task;
+}
+
+TEST(RequestQueueTest, PopPrefersHigherPriorityKeepingFifoWithinClass) {
+  std::vector<float> series(4, 1.0f);
+  serve::RequestQueue queue(/*capacity=*/0);
+  using serve::RequestPriority;
+  for (const auto& [priority, id] :
+       std::vector<std::pair<RequestPriority, std::string>>{
+           {RequestPriority::kNormal, "n1"},
+           {RequestPriority::kLow, "l1"},
+           {RequestPriority::kHigh, "h1"},
+           {RequestPriority::kNormal, "n2"},
+           {RequestPriority::kHigh, "h2"}}) {
+    serve::QueuedScan task = MakePriorityTask(&series, priority, id);
+    ASSERT_TRUE(queue.Push(&task).ok());
+  }
+
+  // Most-urgent class first; admission (FIFO) order within each class.
+  serve::QueuedScan out;
+  for (const char* expected : {"h1", "h2", "n1", "n2", "l1"}) {
+    ASSERT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out.request.household_id, expected);
+  }
+  EXPECT_EQ(queue.size(), 0);
+}
+
+TEST(RequestQueueTest, PopGroupGroupsOnlySamePriority) {
+  std::vector<float> series(4, 1.0f);
+  serve::RequestQueue queue(/*capacity=*/0);
+  using serve::RequestPriority;
+  serve::QueuedScan n1 = MakePriorityTask(&series, RequestPriority::kNormal,
+                                          "n1");
+  serve::QueuedScan h1 = MakePriorityTask(&series, RequestPriority::kHigh,
+                                          "h1");
+  serve::QueuedScan n2 = MakePriorityTask(&series, RequestPriority::kNormal,
+                                          "n2");
+  serve::QueuedScan h2 = MakePriorityTask(&series, RequestPriority::kHigh,
+                                          "h2");
+  serve::QueuedScan hb = MakePriorityTask(&series, RequestPriority::kHigh,
+                                          "hb");
+  hb.request.appliance = "boiler";
+  for (serve::QueuedScan* task : {&n1, &h1, &n2, &h2, &hb}) {
+    ASSERT_TRUE(queue.Push(task).ok());
+  }
+
+  // The head jumps to h1 (highest class). Extras may only be same
+  // appliance AND same priority: h2 joins, but n1/n2 (lower class, same
+  // appliance) and hb (same class, other appliance) must not ride along
+  // in a group whose batching order ignores their own class boundaries.
+  serve::QueuedScan first;
+  std::vector<serve::QueuedScan> extras;
+  ASSERT_TRUE(queue.PopGroup(&first, &extras, 8));
+  EXPECT_EQ(first.request.household_id, "h1");
+  ASSERT_EQ(extras.size(), 1u);
+  EXPECT_EQ(extras[0].request.household_id, "h2");
+
+  // hb is now the most urgent; the normals follow in admission order.
+  serve::QueuedScan out;
+  for (const char* expected : {"hb", "n1", "n2"}) {
+    ASSERT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out.request.household_id, expected);
+  }
+}
+
+TEST(RequestQueueTest, AdaptiveDrainBudgetPolicy) {
+  using serve::RequestQueue;
+  // Deep backlog, no idle siblings: coalesce at full configured budget.
+  EXPECT_EQ(RequestQueue::AdaptiveDrainBudget(8, 100, 0), 8);
+  // Backlog smaller than the budget: never drain more than is waiting.
+  EXPECT_EQ(RequestQueue::AdaptiveDrainBudget(8, 4, 0), 4);
+  // Idle siblings carve their share out of the backlog first.
+  EXPECT_EQ(RequestQueue::AdaptiveDrainBudget(8, 4, 3), 1);
+  EXPECT_EQ(RequestQueue::AdaptiveDrainBudget(8, 4, 4), 0);
+  // More idle workers than backlog: no coalescing at all, floor at 0.
+  EXPECT_EQ(RequestQueue::AdaptiveDrainBudget(8, 2, 100), 0);
+  // Degenerate inputs stay sane.
+  EXPECT_EQ(RequestQueue::AdaptiveDrainBudget(0, 100, 0), 0);
+  EXPECT_EQ(RequestQueue::AdaptiveDrainBudget(8, 0, 0), 0);
+  EXPECT_EQ(RequestQueue::AdaptiveDrainBudget(8, 100, -3), 8);
+}
+
+TEST(RequestQueueTest, PopGroupLeavesWorkForIdleSiblings) {
+  std::vector<float> series(4, 1.0f);
+  serve::RequestQueue queue(/*capacity=*/0);
+
+  // Control: with no idle sibling, a 2-deep same-appliance backlog
+  // coalesces into one group under a generous budget.
+  serve::QueuedScan a1 = MakeApplianceTask(&series, "a", "a1");
+  serve::QueuedScan a2 = MakeApplianceTask(&series, "a", "a2");
+  ASSERT_TRUE(queue.Push(&a1).ok());
+  ASSERT_TRUE(queue.Push(&a2).ok());
+  serve::QueuedScan first;
+  std::vector<serve::QueuedScan> extras;
+  ASSERT_TRUE(queue.PopGroup(&first, &extras, 8));
+  EXPECT_EQ(extras.size(), 1u);
+  EXPECT_EQ(queue.size(), 0);
+
+  // Now park a sibling consumer in Pop on the empty queue...
+  std::atomic<int> sibling_popped{0};
+  std::thread sibling([&] {
+    serve::QueuedScan out;
+    if (queue.Pop(&out)) sibling_popped.fetch_add(1);
+  });
+  while (queue.waiting_consumers() != 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // ...and replay the same 2-deep backlog. Whatever the wakeup race, the
+  // adaptive budget must keep this PopGroup from draining the sibling's
+  // share: either the sibling grabs one first (backlog 1 when we pop), or
+  // we pop first and see one idle consumer against a backlog of one
+  // remaining task — budget 0 both ways. Each consumer serves exactly one.
+  serve::QueuedScan b1 = MakeApplianceTask(&series, "a", "b1");
+  serve::QueuedScan b2 = MakeApplianceTask(&series, "a", "b2");
+  ASSERT_TRUE(queue.Push(&b1).ok());
+  ASSERT_TRUE(queue.Push(&b2).ok());
+  ASSERT_TRUE(queue.PopGroup(&first, &extras, 8));
+  EXPECT_TRUE(extras.empty());
+  sibling.join();
+  EXPECT_EQ(sibling_popped.load(), 1);
+  EXPECT_EQ(queue.size(), 0);
+  queue.Close();
+}
+
 // ---------------------------------------------------------------------
 // serve::Service: the asynchronous multi-appliance facade.
 // ---------------------------------------------------------------------
@@ -1243,6 +1374,249 @@ TEST(ServiceTest, CoalescedScansMatchSequentialBitwise) {
           << "household " << i << " t " << t;
       EXPECT_EQ(got.status.at(t), expected.status.at(t));
       EXPECT_EQ(got.power.at(t), expected.power.at(t));
+    }
+  }
+}
+
+TEST(ServiceTest, HighPriorityOvertakesQueuedBacklog) {
+  // One worker, busy with a long scan; behind it queue three kLow
+  // requests and then one kHigh. The worker must serve the late kHigh
+  // before any of the earlier kLow ones — observed through the pre-scan
+  // hook, which fires in serving order.
+  core::CamalEnsemble ensemble = RandomEnsemble(61);
+  std::mutex served_mu;
+  std::vector<std::string> served;
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 1;
+  service_opt.queue_capacity = 0;
+  service_opt.coalesce_budget = 1;
+  service_opt.pre_scan_hook = [&](const serve::ScanRequest& request) {
+    std::lock_guard<std::mutex> lock(served_mu);
+    served.push_back(request.household_id);
+  };
+  serve::Service service(service_opt);
+  ASSERT_TRUE(service
+                  .RegisterAppliance("oven", &ensemble,
+                                     SmallRunner(16, 8, 4, 2000.0f))
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  std::vector<float> slow_series(60000, 800.0f);
+  std::vector<float> short_series(64, 800.0f);
+  std::vector<std::future<Result<serve::ScanResult>>> futures;
+  serve::ScanRequest slow;
+  slow.household_id = "slow";
+  slow.appliance = "oven";
+  slow.series = data::SeriesView(slow_series);
+  futures.push_back(service.Submit(std::move(slow)));
+  while (service.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int i = 0; i < 3; ++i) {
+    serve::ScanRequest low;
+    low.household_id = "low_" + std::to_string(i);
+    low.appliance = "oven";
+    low.series = data::SeriesView(short_series);
+    low.priority = serve::RequestPriority::kLow;
+    futures.push_back(service.Submit(std::move(low)));
+  }
+  serve::ScanRequest high;
+  high.household_id = "high";
+  high.appliance = "oven";
+  high.series = data::SeriesView(short_series);
+  high.priority = serve::RequestPriority::kHigh;
+  futures.push_back(service.Submit(std::move(high)));
+
+  for (auto& future : futures) {
+    ASSERT_TRUE(future.get().ok());
+  }
+  service.Shutdown();
+  ASSERT_EQ(served.size(), 5u);
+  EXPECT_EQ(served[0], "slow");
+  // The kHigh submission was last in but first out of the backlog.
+  EXPECT_EQ(served[1], "high");
+  EXPECT_EQ(served[2], "low_0");
+  EXPECT_EQ(served[3], "low_1");
+  EXPECT_EQ(served[4], "low_2");
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed_high, 1);
+  EXPECT_EQ(stats.completed_normal, 1);
+  EXPECT_EQ(stats.completed_low, 3);
+  EXPECT_EQ(stats.completed_high + stats.completed_normal +
+                stats.completed_low,
+            stats.completed);
+}
+
+TEST(ServiceTest, ExpiredRequestsAreShedBeforeScanning) {
+  // While the worker is held inside a gate request, one queued request's
+  // deadline lapses. On release, the worker must shed it — distinct
+  // kDeadlineExceeded status, no scan (the pre-scan hook never sees it) —
+  // and still serve its unexpired neighbor.
+  core::CamalEnsemble ensemble = RandomEnsemble(63);
+  std::atomic<bool> release{false};
+  std::mutex served_mu;
+  std::vector<std::string> served;
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 1;
+  service_opt.queue_capacity = 0;
+  service_opt.coalesce_budget = 1;
+  service_opt.pre_scan_hook = [&](const serve::ScanRequest& request) {
+    {
+      std::lock_guard<std::mutex> lock(served_mu);
+      served.push_back(request.household_id);
+    }
+    if (request.household_id == "gate") {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  };
+  serve::Service service(service_opt);
+  ASSERT_TRUE(service
+                  .RegisterAppliance("kettle", &ensemble,
+                                     SmallRunner(16, 8, 4, 900.0f))
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  std::vector<float> series(64, 500.0f);
+  serve::ScanRequest gate;
+  gate.household_id = "gate";
+  gate.appliance = "kettle";
+  gate.series = data::SeriesView(series);
+  std::future<Result<serve::ScanResult>> gate_future =
+      service.Submit(std::move(gate));
+  while (service.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  serve::ScanRequest doomed;
+  doomed.household_id = "doomed";
+  doomed.appliance = "kettle";
+  doomed.series = data::SeriesView(series);
+  doomed.deadline_seconds = 0.02;
+  std::future<Result<serve::ScanResult>> doomed_future =
+      service.Submit(std::move(doomed));
+  serve::ScanRequest patient;
+  patient.household_id = "patient";
+  patient.appliance = "kettle";
+  patient.series = data::SeriesView(series);
+  std::future<Result<serve::ScanResult>> patient_future =
+      service.Submit(std::move(patient));
+
+  // Let the 20ms deadline lapse while the worker is still gated, then
+  // release it onto the backlog.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  release.store(true);
+
+  ASSERT_TRUE(gate_future.get().ok());
+  Result<serve::ScanResult> shed = doomed_future.get();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(shed.status().message().find("shed without scanning"),
+            std::string::npos);
+  ASSERT_TRUE(patient_future.get().ok());
+  service.Shutdown();
+
+  // The shed request never reached the scan path: the hook saw only the
+  // gate and the patient request.
+  ASSERT_EQ(served.size(), 2u);
+  EXPECT_EQ(served[0], "gate");
+  EXPECT_EQ(served[1], "patient");
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed_deadline, 1);
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.accepted, 3);
+}
+
+TEST(ServiceTest, NegativeDeadlineIsRejectedAsInvalid) {
+  core::CamalEnsemble ensemble = RandomEnsemble(65);
+  serve::Service service;
+  ASSERT_TRUE(service
+                  .RegisterAppliance("fridge", &ensemble,
+                                     SmallRunner(16, 8, 4, 150.0f))
+                  .ok());
+  ASSERT_TRUE(service.Start().ok());
+  std::vector<float> series(32, 100.0f);
+  serve::ScanRequest request;
+  request.appliance = "fridge";
+  request.series = data::SeriesView(series);
+  request.deadline_seconds = -0.5;
+  Result<serve::ScanResult> rejected = service.Submit(std::move(request)).get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.stats().rejected_invalid, 1);
+}
+
+TEST(ServiceTest, MixedPrioritiesWithSlackDeadlinesStayBitwiseIdentical) {
+  // The QoS knobs reorder and (under load) shed, but for requests that DO
+  // get served the results policy is untouched: a burst with mixed
+  // priorities and generous deadlines must reproduce lone sequential
+  // BatchRunner scans bit for bit, exactly like the plain coalescing test.
+  core::CamalEnsemble ensemble = RandomEnsemble(67);
+  const serve::BatchRunnerOptions runner = SmallRunner(16, 8, 8, 600.0f);
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 1;
+  service_opt.queue_capacity = 0;
+  service_opt.coalesce_budget = 4;
+  serve::Service service(service_opt);
+  ASSERT_TRUE(service.RegisterAppliance("fridge", &ensemble, runner).ok());
+  ASSERT_TRUE(service.Start().ok());
+
+  std::vector<float> slow_series(60000, 350.0f);
+  std::vector<std::vector<float>> small = SyntheticCohort(8, 69);
+  const serve::RequestPriority priorities[] = {serve::RequestPriority::kHigh,
+                                               serve::RequestPriority::kNormal,
+                                               serve::RequestPriority::kLow};
+
+  serve::ScanRequest slow;
+  slow.household_id = "slow";
+  slow.appliance = "fridge";
+  slow.series = data::SeriesView(slow_series);
+  std::future<Result<serve::ScanResult>> slow_future =
+      service.Submit(std::move(slow));
+  while (service.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::vector<std::future<Result<serve::ScanResult>>> futures;
+  for (size_t i = 0; i < small.size(); ++i) {
+    serve::ScanRequest request;
+    request.household_id = "small_" + std::to_string(i);
+    request.appliance = "fridge";
+    request.series = data::SeriesView(small[i]);
+    request.priority = priorities[i % 3];
+    request.deadline_seconds = 30.0;  // generous: never sheds in-test
+    futures.push_back(service.Submit(std::move(request)));
+  }
+
+  ASSERT_TRUE(slow_future.get().ok());
+  std::vector<serve::ScanResult> async_results;
+  for (auto& future : futures) {
+    Result<serve::ScanResult> result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    async_results.push_back(std::move(result).value());
+  }
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 9);
+  EXPECT_EQ(stats.shed_deadline, 0);
+  EXPECT_EQ(stats.completed_high + stats.completed_normal +
+                stats.completed_low,
+            stats.completed);
+  service.Shutdown();
+
+  // futures[i] corresponds to small[i] regardless of the order the
+  // scheduler served them in — reordering moves time, never bits.
+  serve::BatchRunner sequential(&ensemble, runner);
+  for (size_t i = 0; i < small.size(); ++i) {
+    const serve::ScanResult& got = async_results[i];
+    serve::ScanResult expected = sequential.Scan(small[i]);
+    ASSERT_EQ(got.windows, expected.windows) << "household " << i;
+    ASSERT_EQ(got.detection.numel(), expected.detection.numel());
+    for (int64_t t = 0; t < expected.detection.numel(); ++t) {
+      ASSERT_EQ(got.detection.at(t), expected.detection.at(t))
+          << "household " << i << " t " << t;
+      ASSERT_EQ(got.status.at(t), expected.status.at(t));
+      ASSERT_EQ(got.power.at(t), expected.power.at(t));
     }
   }
 }
