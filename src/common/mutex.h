@@ -1,0 +1,85 @@
+#ifndef CAMAL_COMMON_MUTEX_H_
+#define CAMAL_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+/// \file mutex.h
+/// The repo's ONLY mutex primitives: thin wrappers over std::mutex /
+/// std::condition_variable that carry Clang Thread Safety Analysis
+/// capability attributes, so `CAMAL_GUARDED_BY(mu_)` fields and
+/// `CAMAL_REQUIRES(mu_)` helpers are checked at compile time under clang
+/// (-Werror=thread-safety). Raw std::mutex / std::lock_guard /
+/// std::unique_lock elsewhere in src/ are rejected by
+/// scripts/check_invariants.py — the analysis cannot see through the
+/// unannotated standard types, so one stray std::lock_guard silently
+/// punches a hole in the proof.
+
+namespace camal {
+
+/// Annotated exclusive mutex. Same semantics and cost as the std::mutex it
+/// wraps; the capability attribute is what lets clang connect Lock/Unlock
+/// to CAMAL_GUARDED_BY fields.
+class CAMAL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CAMAL_ACQUIRE() { mu_.lock(); }
+  void Unlock() CAMAL_RELEASE() { mu_.unlock(); }
+  bool TryLock() CAMAL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex (the std::lock_guard shape, annotated). Takes a
+/// pointer, not a reference, so a lock site reads `MutexLock lock(&mu_);`
+/// and can never be mistaken for a copy.
+class CAMAL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) CAMAL_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() CAMAL_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to camal::Mutex. Wait atomically releases the
+/// mutex and reacquires it before returning, exactly like
+/// std::condition_variable — callers hold the lock across the call, which
+/// is what CAMAL_REQUIRES expresses. Deliberately predicate-free: callers
+/// write the standard `while (!ready_) cv_.Wait(&mu_);` loop with the
+/// guarded fields read directly in the loop condition, so the analysis
+/// sees every access (a predicate lambda would be opaque to it).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (spurious wakeups possible, as ever). \p mu
+  /// must be held by the caller.
+  void Wait(Mutex* mu) CAMAL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still owns the mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace camal
+
+#endif  // CAMAL_COMMON_MUTEX_H_

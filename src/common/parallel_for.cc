@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace camal {
 namespace {
@@ -73,10 +72,10 @@ class Pool {
   void Run(Job* job) {
     CAMAL_CHECK_GE(job->n_chunks, 1);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       jobs_.push_back(job);
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     // Claim chunks of our own job until none remain.
     for (;;) {
       const int64_t c = job->next.fetch_add(1, std::memory_order_relaxed);
@@ -86,15 +85,15 @@ class Pool {
     // Wait for chunks claimed by workers (none in the common case where
     // the caller drained the job itself).
     if (job->done.load(std::memory_order_acquire) != job->n_chunks) {
-      std::unique_lock<std::mutex> lock(done_mu_);
-      done_cv_.wait(lock, [job] {
-        return job->done.load(std::memory_order_acquire) == job->n_chunks;
-      });
+      MutexLock lock(&done_mu_);
+      while (job->done.load(std::memory_order_acquire) != job->n_chunks) {
+        done_cv_.Wait(&done_mu_);
+      }
     }
     // Unlink the job before it goes out of scope on the caller's stack
     // (a worker that saw it exhausted may already have removed it).
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
         if (*it == job) {
           jobs_.erase(it);
@@ -119,36 +118,39 @@ class Pool {
     // total, the caller may return and destroy the job.
     const int64_t total = job->n_chunks;
     if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
-      std::lock_guard<std::mutex> lock(done_mu_);
-      done_cv_.notify_all();
+      MutexLock lock(&done_mu_);
+      done_cv_.NotifyAll();
     }
   }
 
   void WorkerLoop() {
-    std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
-      cv_.wait(lock, [this] { return !jobs_.empty(); });
-      Job* job = jobs_.front();
-      const int64_t c = job->next.fetch_add(1, std::memory_order_relaxed);
-      if (c >= job->n_chunks) {
-        // Exhausted: retire it so the queue advances to the next job.
-        // (Only the front pointer is compared — the owner may have
-        // unlinked it already.)
-        if (!jobs_.empty() && jobs_.front() == job) jobs_.pop_front();
-        continue;
+      Job* job = nullptr;
+      int64_t c = 0;
+      {
+        MutexLock lock(&mu_);
+        while (jobs_.empty()) cv_.Wait(&mu_);
+        job = jobs_.front();
+        c = job->next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= job->n_chunks) {
+          // Exhausted: retire it so the queue advances to the next job.
+          // (Only the front pointer is compared — the owner may have
+          // unlinked it already.)
+          if (!jobs_.empty() && jobs_.front() == job) jobs_.pop_front();
+          continue;
+        }
       }
-      lock.unlock();
       RunChunk(job, c);
-      lock.lock();
     }
   }
 
   int workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Job*> jobs_;  // FIFO: outer jobs drain before inner ones
-  std::mutex done_mu_;
-  std::condition_variable done_cv_;
+  Mutex mu_;
+  CondVar cv_;
+  /// FIFO: outer jobs drain before inner ones.
+  std::deque<Job*> jobs_ CAMAL_GUARDED_BY(mu_);
+  Mutex done_mu_;
+  CondVar done_cv_;
   std::vector<std::thread> threads_;
 };
 
@@ -157,6 +159,7 @@ Pool* GetPool() {
   // processes (CAMAL_THREADS=1) never spawn workers. Leaked intentionally:
   // threads run for the process lifetime (style-guide pattern for
   // non-trivially-destructible singletons).
+  // lint: new-ok(intentionally leaked process-lifetime singleton)
   static Pool* pool = new Pool(NumThreads() - 1);
   return pool;
 }

@@ -31,7 +31,12 @@ const char* StatusCodeName(StatusCode code);
 /// A Status is either OK or carries a code plus a message. Functions that can
 /// fail for reasons outside the programmer's control return Status (or
 /// Result<T> when they also produce a value).
-class Status {
+///
+/// The class is [[nodiscard]]: every function returning a Status by value
+/// inherits must-use, so a dropped kIoError/kDeadlineExceeded is a compile
+/// error under CAMAL_WERROR, not a silent success. A deliberate discard is
+/// written `(void)DoThing();  // why it is safe to ignore`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -78,8 +83,10 @@ class Status {
 };
 
 /// Either a value of type T or an error Status (Arrow's Result idiom).
+/// [[nodiscard]] like Status: discarding a Result drops the value AND the
+/// error, so the compiler rejects it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: allows `return value;` in Result-returning functions.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

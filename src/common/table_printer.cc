@@ -27,15 +27,20 @@ std::string TablePrinter::ToString() const {
   auto render_row = [&](const std::vector<std::string>& row) {
     std::string line = "|";
     for (size_t c = 0; c < row.size(); ++c) {
-      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
     }
-    return line + "\n";
+    line += '\n';
+    return line;
   };
   std::string sep = "+";
   for (size_t c = 0; c < widths.size(); ++c) {
-    sep += std::string(widths[c] + 2, '-') + "+";
+    sep.append(widths[c] + 2, '-');
+    sep += '+';
   }
-  sep += "\n";
+  sep += '\n';
   std::string out = sep + render_row(headers_) + sep;
   for (const auto& row : rows_) out += render_row(row);
   out += sep;

@@ -1,0 +1,68 @@
+#ifndef CAMAL_COMMON_THREAD_ANNOTATIONS_H_
+#define CAMAL_COMMON_THREAD_ANNOTATIONS_H_
+
+/// \file thread_annotations.h
+/// Clang Thread Safety Analysis attribute macros (the Abseil/LLVM idiom):
+/// declare which mutex guards a field and which lock a function needs, and
+/// clang proves every access at COMPILE time (-Werror=thread-safety in CI)
+/// instead of hoping the TSan job happens to hit the bad interleaving.
+/// GCC has no such analysis; the macros expand to nothing there, so the
+/// annotations cost nothing outside clang builds.
+///
+/// Use via common/mutex.h — camal::Mutex / camal::MutexLock / camal::CondVar
+/// are the annotated primitives — not by annotating std::mutex directly
+/// (the standard library types carry no capability attributes, so the
+/// analysis cannot see through them).
+
+#if defined(__clang__) && !defined(SWIG)
+#define CAMAL_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CAMAL_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability (mutexes).
+#define CAMAL_CAPABILITY(x) CAMAL_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define CAMAL_SCOPED_CAPABILITY CAMAL_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a field/variable may only be accessed while holding \p x.
+#define CAMAL_GUARDED_BY(x) CAMAL_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Declares that the data POINTED TO may only be accessed holding \p x.
+#define CAMAL_PT_GUARDED_BY(x) CAMAL_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares that a function may only be called while holding the given
+/// capabilities (the `...Locked` helper contract).
+#define CAMAL_REQUIRES(...) \
+  CAMAL_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the given capabilities and holds them
+/// on return.
+#define CAMAL_ACQUIRE(...) \
+  CAMAL_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Declares that a function releases the given capabilities.
+#define CAMAL_RELEASE(...) \
+  CAMAL_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Declares that a function tries to acquire the capability and returns
+/// \p ret on success.
+#define CAMAL_TRY_ACQUIRE(ret, ...) \
+  CAMAL_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Declares that a function must NOT be called while holding the given
+/// capabilities (deadlock prevention for non-reentrant locks).
+#define CAMAL_EXCLUDES(...) \
+  CAMAL_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares that a function returns a reference to the given capability.
+#define CAMAL_RETURN_CAPABILITY(x) CAMAL_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Every use must
+/// carry a comment explaining why the invariant holds anyway (see
+/// scripts/check_invariants.py, which counts these).
+#define CAMAL_NO_THREAD_SAFETY_ANALYSIS \
+  CAMAL_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // CAMAL_COMMON_THREAD_ANNOTATIONS_H_

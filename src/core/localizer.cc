@@ -62,7 +62,7 @@ LocalizationResult CamalLocalizer::Localize(const nn::Tensor& inputs) {
 
     for (int64_t t = 0; t < l; ++t) {
       const float cam = result.ensemble_cam.at2(i, t);
-      float s;
+      float s = 0.0f;
       if (options_.use_attention) {
         const float x_std =
             (inputs.at3(i, 0, t) - static_cast<float>(mean)) * inv_std -

@@ -56,7 +56,7 @@ nn::Tensor EstimatePowerRefined(const nn::Tensor& status,
       }
       for (int64_t u = seg_begin; u < seg_end; ++u) {
         const float x = std::max(0.0f, watts.at2(i, u));
-        float estimate;
+        float estimate = 0.0f;
         if (off_samples.empty()) {
           estimate = std::min(avg_power_w, x);  // constant-model fallback
         } else {

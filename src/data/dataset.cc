@@ -54,8 +54,8 @@ Result<WindowDataset> BuildWindowDataset(
   struct Slice {
     const HouseRecord* house;
     const ApplianceTrace* trace;  // may be null (possession-only house)
-    int64_t offset;
-    bool owned;
+    int64_t offset = 0;
+    bool owned = false;
   };
   std::vector<Slice> slices;
   for (const auto& house : houses) {
@@ -113,7 +113,7 @@ Result<WindowDataset> BuildWindowDataset(
       ds.appliance_power.at2(i, t) = power;
       any_on = any_on || on > 0.5f;
     }
-    int weak;
+    int weak = 0;
     if (s.trace != nullptr) {
       weak = any_on ? 1 : 0;
     } else {

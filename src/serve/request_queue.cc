@@ -52,7 +52,7 @@ Status RequestQueue::Push(QueuedScan* task, bool* rejected_full,
   CAMAL_CHECK(task != nullptr);
   if (rejected_full != nullptr) *rejected_full = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (closed_) {
       return Status::FailedPrecondition("request queue is shut down");
     }
@@ -65,15 +65,15 @@ Status RequestQueue::Push(QueuedScan* task, bool* rejected_full,
     }
     tasks_.push_back(std::move(*task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return Status::OK();
 }
 
 bool RequestQueue::Pop(QueuedScan* out) {
   CAMAL_CHECK(out != nullptr);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++waiting_;
-  cv_.wait(lock, [this] { return closed_ || !tasks_.empty(); });
+  while (!closed_ && tasks_.empty()) cv_.Wait(&mu_);
   --waiting_;
   if (tasks_.empty()) return false;  // closed and drained
   const size_t head = HeadIndexLocked();
@@ -87,9 +87,9 @@ bool RequestQueue::PopGroup(QueuedScan* first, std::vector<QueuedScan>* extras,
   CAMAL_CHECK(first != nullptr);
   CAMAL_CHECK(extras != nullptr);
   extras->clear();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++waiting_;
-  cv_.wait(lock, [this] { return closed_ || !tasks_.empty(); });
+  while (!closed_ && tasks_.empty()) cv_.Wait(&mu_);
   --waiting_;
   if (tasks_.empty()) return false;  // closed and drained
   const size_t head = HeadIndexLocked();
@@ -137,24 +137,24 @@ bool RequestQueue::PopGroup(QueuedScan* first, std::vector<QueuedScan>* extras,
 
 void RequestQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 int64_t RequestQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int64_t>(tasks_.size());
 }
 
 bool RequestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return closed_;
 }
 
 int64_t RequestQueue::waiting_consumers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return waiting_;
 }
 

@@ -2,16 +2,15 @@
 #define CAMAL_SERVE_REQUEST_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "data/series_view.h"
 #include "serve/batch_runner.h"
@@ -181,14 +180,15 @@ class RequestQueue {
  private:
   /// Index of the task Pop/PopGroup takes: earliest of the most urgent
   /// priority class present. Caller holds mu_; tasks_ must be non-empty.
-  size_t HeadIndexLocked() const;
+  size_t HeadIndexLocked() const CAMAL_REQUIRES(mu_);
 
   const int64_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<QueuedScan> tasks_;
-  bool closed_ = false;
-  int64_t waiting_ = 0;  ///< consumers blocked in Pop/PopGroup.
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<QueuedScan> tasks_ CAMAL_GUARDED_BY(mu_);
+  bool closed_ CAMAL_GUARDED_BY(mu_) = false;
+  /// Consumers blocked in Pop/PopGroup.
+  int64_t waiting_ CAMAL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace camal::serve

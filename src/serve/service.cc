@@ -20,7 +20,7 @@ Service::~Service() { Shutdown(); }
 Status Service::RegisterAppliance(std::string name,
                                   core::CamalEnsemble* ensemble,
                                   BatchRunnerOptions runner) {
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  MutexLock lock(&lifecycle_mu_);
   if (state_.load() != State::kIdle) {
     return Status::FailedPrecondition(
         "appliances must be registered before Start");
@@ -47,7 +47,7 @@ Status Service::RegisterAppliance(std::string name,
 }
 
 Status Service::Start() {
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  MutexLock lock(&lifecycle_mu_);
   if (state_.load() != State::kIdle) {
     return Status::FailedPrecondition("service already started");
   }
@@ -340,10 +340,13 @@ Result<std::shared_ptr<Session>> Service::CreateSession(
       options.household_id.empty()
           ? "session-" + std::to_string(session_seq_.fetch_add(1) + 1)
           : options.household_id;
+  // Session's ctor is private to Service, so make_shared cannot reach it;
+  // the pointer lands in the shared_ptr on the same expression.
+  // lint: new-ok(private ctor; immediately owned by shared_ptr)
   std::shared_ptr<Session> session(
       new Session(this, std::move(id), appliance, std::move(options)));
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(&sessions_mu_);
     if (!sessions_.emplace(session->id(), session).second) {
       return Status::InvalidArgument("session '" + session->id() +
                                      "' already exists");
@@ -372,35 +375,36 @@ std::future<Result<ScanResult>> Service::AppendReadings(
   task.admitted = std::chrono::steady_clock::now();
   std::future<Result<ScanResult>> future = task.promise.get_future();
 
-  std::lock_guard<std::mutex> lock(session->mu_);
-  if (session->closed_) {
+  Session* raw = session.get();
+  MutexLock lock(&raw->mu_);
+  if (raw->closed_) {
     rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
     task.promise.set_value(Result<ScanResult>(Status::FailedPrecondition(
         "session '" + session->id() + "' is closed")));
     return future;
   }
-  session->last_active_ = std::chrono::steady_clock::now();
-  if (session->in_flight_) {
+  raw->last_active_ = std::chrono::steady_clock::now();
+  if (raw->in_flight_) {
     // Same-session appends serialize: park behind the in-flight one; the
     // worker that finishes it hands the head of the park to the queue.
-    if (static_cast<int64_t>(session->pending_.size()) >=
-        session->options_.max_pending_appends) {
+    if (static_cast<int64_t>(raw->pending_.size()) >=
+        raw->options_.max_pending_appends) {
       rejected_backpressure_.fetch_add(1, std::memory_order_relaxed);
       task.promise.set_value(Result<ScanResult>(Status::FailedPrecondition(
           "session '" + session->id() +
           "' append backlog is full (backpressure, max " +
-          std::to_string(session->options_.max_pending_appends) + ")")));
+          std::to_string(raw->options_.max_pending_appends) + ")")));
       return future;
     }
-    session->pending_.push_back(std::move(task));
+    raw->pending_.push_back(std::move(task));
     accepted_.fetch_add(1, std::memory_order_relaxed);
     return future;
   }
-  session->in_flight_ = true;
+  raw->in_flight_ = true;
   Status admitted = queue_.Push(&task, nullptr, /*force=*/true);
   if (!admitted.ok()) {
     // Shutdown closed the queue between the state check and here.
-    session->in_flight_ = false;
+    raw->in_flight_ = false;
     rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
     task.promise.set_value(Result<ScanResult>(std::move(admitted)));
     return future;
@@ -423,17 +427,18 @@ Status Service::CloseSession(const std::shared_ptr<Session>& session) {
     return Status::InvalidArgument("session does not belong to this service");
   }
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(&sessions_mu_);
     sessions_.erase(session->id());
   }
-  std::lock_guard<std::mutex> lock(session->mu_);
-  if (session->closed_) return Status::OK();  // idempotent
-  session->closed_ = true;
+  Session* raw = session.get();
+  MutexLock lock(&raw->mu_);
+  if (raw->closed_) return Status::OK();  // idempotent
+  raw->closed_ = true;
   sessions_closed_.fetch_add(1, std::memory_order_relaxed);
   // An already-running append still completes (it was admitted); parked
   // ones were promised to a household that no longer exists, so they fail
   // now instead of scanning a closed session.
-  DrainPendingLocked(session.get(),
+  DrainPendingLocked(raw,
                      Status::FailedPrecondition("session '" + session->id() +
                                                 "' is closed"));
   return Status::OK();
@@ -442,28 +447,29 @@ Status Service::CloseSession(const std::shared_ptr<Session>& session) {
 void Service::FailSession(const std::shared_ptr<Session>& session,
                           const Status& failure) {
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(&sessions_mu_);
     sessions_.erase(session->id());
   }
-  std::lock_guard<std::mutex> lock(session->mu_);
-  if (!session->closed_) {
-    session->closed_ = true;
+  Session* raw = session.get();
+  MutexLock lock(&raw->mu_);
+  if (!raw->closed_) {
+    raw->closed_ = true;
     sessions_closed_.fetch_add(1, std::memory_order_relaxed);
   }
-  DrainPendingLocked(session.get(), failure);
-  session->in_flight_ = false;
+  DrainPendingLocked(raw, failure);
+  raw->in_flight_ = false;
 }
 
 int64_t Service::EvictIdleSessions(double idle_seconds) {
   const auto now = std::chrono::steady_clock::now();
   std::vector<std::shared_ptr<Session>> evicted;
   {
-    std::lock_guard<std::mutex> map_lock(sessions_mu_);
+    MutexLock map_lock(&sessions_mu_);
     for (auto it = sessions_.begin(); it != sessions_.end();) {
       Session* session = it->second.get();
       bool evict = false;
       {
-        std::lock_guard<std::mutex> lock(session->mu_);
+        MutexLock lock(&session->mu_);
         // Only truly quiescent sessions go: anything queued, parked, or
         // running keeps the session alive, so eviction can never yank
         // stitch state out from under a worker.
@@ -487,17 +493,18 @@ int64_t Service::EvictIdleSessions(double idle_seconds) {
 }
 
 int64_t Service::live_sessions() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(&sessions_mu_);
   return static_cast<int64_t>(sessions_.size());
 }
 
 void Service::FinishAppend(const std::shared_ptr<Session>& session) {
-  std::lock_guard<std::mutex> lock(session->mu_);
-  session->committed_readings_ = session->scan_state_.readings();
-  session->last_active_ = std::chrono::steady_clock::now();
-  while (!session->pending_.empty()) {
-    QueuedScan next = std::move(session->pending_.front());
-    session->pending_.pop_front();
+  Session* raw = session.get();
+  MutexLock lock(&raw->mu_);
+  raw->committed_readings_ = raw->scan_state_.readings();
+  raw->last_active_ = std::chrono::steady_clock::now();
+  while (!raw->pending_.empty()) {
+    QueuedScan next = std::move(raw->pending_.front());
+    raw->pending_.pop_front();
     Status admitted = queue_.Push(&next, nullptr, /*force=*/true);
     if (admitted.ok()) return;  // still in flight; the next worker continues
     // Queue closed mid-stream (shutdown): this parked append and every
@@ -505,11 +512,11 @@ void Service::FinishAppend(const std::shared_ptr<Session>& session) {
     failed_.fetch_add(1, std::memory_order_relaxed);
     next.promise.set_value(Result<ScanResult>(admitted));
   }
-  session->in_flight_ = false;
+  raw->in_flight_ = false;
 }
 
 void Service::Shutdown() {
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  MutexLock lock(&lifecycle_mu_);
   if (state_.load() != State::kRunning) {
     // Never started (or already stopped): just refuse future use.
     state_.store(State::kStopped);
@@ -527,18 +534,19 @@ void Service::Shutdown() {
   // sessions remain so handles read closed and late appends fail fast.
   std::map<std::string, std::shared_ptr<Session>> sessions;
   {
-    std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
+    MutexLock sessions_lock(&sessions_mu_);
     sessions.swap(sessions_);
   }
   for (auto& [id, session] : sessions) {
-    std::lock_guard<std::mutex> session_lock(session->mu_);
-    if (!session->closed_) {
-      session->closed_ = true;
+    Session* raw = session.get();
+    MutexLock session_lock(&raw->mu_);
+    if (!raw->closed_) {
+      raw->closed_ = true;
       sessions_closed_.fetch_add(1, std::memory_order_relaxed);
     }
-    DrainPendingLocked(session.get(),
+    DrainPendingLocked(raw,
                        Status::FailedPrecondition("service is shut down"));
-    session->in_flight_ = false;
+    raw->in_flight_ = false;
   }
 }
 

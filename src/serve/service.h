@@ -6,11 +6,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "serve/request_queue.h"
 #include "serve/session.h"
 
@@ -173,13 +173,15 @@ class Service {
   /// class contract for codes). Thread-safe. The request must set exactly
   /// one of `series` (borrowed view — its backing storage must outlive
   /// the future) and `owned_series` (the request carries the buffer).
-  std::future<Result<ScanResult>> Submit(ScanRequest request);
+  /// [[nodiscard]]: dropping the future loses the only handle on the
+  /// request's outcome (including a rejection already resolved into it).
+  [[nodiscard]] std::future<Result<ScanResult>> Submit(ScanRequest request);
 
   /// Owning one-shot convenience: the request carries \p series, so the
   /// caller has no buffer to keep alive — use this instead of a borrowed
   /// ScanRequest unless the series already outlives the call.
-  std::future<Result<ScanResult>> Submit(std::string appliance,
-                                         std::vector<float> series);
+  [[nodiscard]] std::future<Result<ScanResult>> Submit(
+      std::string appliance, std::vector<float> series);
 
   /// Opens a streaming session for \p appliance (see Session for the
   /// lifecycle and serialization contract). kFailedPrecondition before
@@ -197,7 +199,7 @@ class Service {
   /// max_pending_appends may park behind the in-flight one before
   /// kFailedPrecondition backpressure. A closed / evicted session or a
   /// shut-down service rejects with kFailedPrecondition. Thread-safe.
-  std::future<Result<ScanResult>> AppendReadings(
+  [[nodiscard]] std::future<Result<ScanResult>> AppendReadings(
       const std::shared_ptr<Session>& session, std::vector<float> readings);
 
   /// Closes \p session: parked appends fail with kFailedPrecondition (an
@@ -292,7 +294,8 @@ class Service {
 
   /// Fails every parked append of \p session with \p status and counts
   /// them failed. Caller holds session->mu_.
-  void DrainPendingLocked(Session* session, const Status& status);
+  void DrainPendingLocked(Session* session, const Status& status)
+      CAMAL_REQUIRES(session->mu_);
 
   /// Ready future carrying \p status; counts an invalid-request rejection.
   std::future<Result<ScanResult>> Reject(Status status);
@@ -300,17 +303,24 @@ class Service {
   ServiceOptions options_;
   /// Live coalescing budget; see coalesce_budget().
   std::atomic<int> coalesce_budget_;
-  std::map<std::string, Appliance> appliances_;  // frozen at Start
+  /// Written under lifecycle_mu_ before Start publishes kRunning, frozen
+  /// (read lock-free by Submit and the workers) after — a publish-then-
+  /// freeze field, deliberately NOT CAMAL_GUARDED_BY: annotating it would
+  /// force every reader through a lock the freeze makes unnecessary.
+  std::map<std::string, Appliance> appliances_;
   RequestQueue queue_;
+  /// Same publish-then-freeze discipline as appliances_ (and the same
+  /// reason it carries no guard annotation).
   std::vector<std::unique_ptr<Worker>> workers_;
   int inner_budget_ = 1;  ///< nested-GEMM budget per worker (see Start).
   std::atomic<State> state_{State::kIdle};
-  std::mutex lifecycle_mu_;  ///< serializes Register/Start/Shutdown.
+  Mutex lifecycle_mu_;  ///< serializes Register/Start/Shutdown.
   /// Live sessions by id; guarded by sessions_mu_ (lock order: before any
   /// Session::mu_). Values are shared with caller handles, so erasing
   /// here never frees a session somebody still appends through.
-  mutable std::mutex sessions_mu_;
-  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  mutable Mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_
+      CAMAL_GUARDED_BY(sessions_mu_);
   std::atomic<int64_t> session_seq_{0};  ///< auto-generated id counter.
   mutable std::atomic<int64_t> accepted_{0};
   mutable std::atomic<int64_t> rejected_invalid_{0};

@@ -15,12 +15,12 @@ Session::Session(Service* service, std::string id, std::string appliance,
       last_active_(std::chrono::steady_clock::now()) {}
 
 int64_t Session::readings() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return committed_readings_;
 }
 
 bool Session::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return closed_;
 }
 

@@ -6,10 +6,10 @@
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "serve/request_queue.h"
 
 namespace camal::serve {
@@ -68,18 +68,21 @@ class Session : public std::enable_shared_from_this<Session> {
   /// Appends \p readings (unscaled Watts, NaN = missing) to the household
   /// and rescans incrementally. Shorthand for
   /// Service::AppendReadings(session, readings); see it for the contract.
-  std::future<Result<ScanResult>> AppendReadings(std::vector<float> readings);
+  /// [[nodiscard]] like Service::Submit: the future is the outcome.
+  [[nodiscard]] std::future<Result<ScanResult>> AppendReadings(
+      std::vector<float> readings);
 
   /// Copying overload for a borrowed delta (e.g. a mapped ColumnStore
   /// chunk): the readings are copied into the request, so the view only
   /// needs to live for this call — an append commits the delta into the
   /// session's own series either way.
-  std::future<Result<ScanResult>> AppendReadings(data::SeriesView readings);
+  [[nodiscard]] std::future<Result<ScanResult>> AppendReadings(
+      data::SeriesView readings);
 
   /// Copying overload for callers holding a raw buffer. \p readings may
   /// be null only when \p count is 0.
-  std::future<Result<ScanResult>> AppendReadings(const float* readings,
-                                                 int64_t count);
+  [[nodiscard]] std::future<Result<ScanResult>> AppendReadings(
+      const float* readings, int64_t count);
 
   /// Shorthand for Service::CloseSession(session).
   Status Close();
@@ -97,16 +100,17 @@ class Session : public std::enable_shared_from_this<Session> {
 
   /// Guards every field below. Lock order: Service::sessions_mu_ before
   /// mu_ before RequestQueue::mu_ — never the reverse.
-  mutable std::mutex mu_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  bool closed_ CAMAL_GUARDED_BY(mu_) = false;
   /// An append of this session is queued or running. The flag is the
   /// serializer: while set, new appends park in pending_ and the worker
   /// that finishes the in-flight append hands the head of pending_ to the
   /// queue (Service::FinishAppend).
-  bool in_flight_ = false;
-  std::deque<QueuedScan> pending_;
-  std::chrono::steady_clock::time_point last_active_;
-  int64_t committed_readings_ = 0;  ///< readings() snapshot, under mu_.
+  bool in_flight_ CAMAL_GUARDED_BY(mu_) = false;
+  std::deque<QueuedScan> pending_ CAMAL_GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point last_active_ CAMAL_GUARDED_BY(mu_);
+  /// readings() snapshot, under mu_.
+  int64_t committed_readings_ CAMAL_GUARDED_BY(mu_) = 0;
 
   /// Persisted stitch state (committed series + grid-window votes). NOT
   /// guarded by mu_: only the worker serving the session's single

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <set>
+#include <string>
 #include <thread>
+#include <utility>
 
 #include "common/csv.h"
 #include "common/parallel_for.h"
@@ -48,6 +50,38 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
   EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
                "DeadlineExceeded");
+}
+
+TEST(StatusTest, StatusCodeNameRoundTripsAllCodes) {
+  // Exhaustive over the enum: all 8 codes carry unique, stable names
+  // (never the "Unknown" fallback), and every non-OK code round-trips
+  // code -> Status -> ToString with its name as the prefix. A StatusCode
+  // added without a StatusCodeName entry fails the uniqueness count here
+  // even if the switch's -Wswitch warning is missed.
+  const std::pair<StatusCode, const char*> kCodes[] = {
+      {StatusCode::kOk, "OK"},
+      {StatusCode::kInvalidArgument, "InvalidArgument"},
+      {StatusCode::kOutOfRange, "OutOfRange"},
+      {StatusCode::kNotFound, "NotFound"},
+      {StatusCode::kIoError, "IoError"},
+      {StatusCode::kFailedPrecondition, "FailedPrecondition"},
+      {StatusCode::kInternal, "Internal"},
+      {StatusCode::kDeadlineExceeded, "DeadlineExceeded"},
+  };
+  constexpr size_t kNumCodes = sizeof(kCodes) / sizeof(kCodes[0]);
+  static_assert(kNumCodes == 8, "keep this table exhaustive");
+  std::set<std::string> names;
+  for (const auto& [code, expected] : kCodes) {
+    EXPECT_STREQ(StatusCodeName(code), expected);
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+    names.insert(StatusCodeName(code));
+    if (code != StatusCode::kOk) {
+      Status st(code, "detail");
+      EXPECT_EQ(st.code(), code);
+      EXPECT_EQ(st.ToString(), std::string(expected) + ": detail");
+    }
+  }
+  EXPECT_EQ(names.size(), kNumCodes);  // names are pairwise distinct
 }
 
 TEST(StatusTest, DeadlineExceededHelper) {

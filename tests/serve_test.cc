@@ -868,6 +868,58 @@ TEST(RequestQueueTest, PushReportsBackpressureDistinctFromShutdown) {
   EXPECT_FALSE(rejected_full);
 }
 
+TEST(RequestQueueTest, AnnotatedLockPathKeepsAllNormalTrafficBitwiseFifo) {
+  // PR 9 moved RequestQueue onto the annotated camal::Mutex/CondVar so
+  // clang's thread-safety analysis proves the locking discipline at
+  // compile time; the migration must be behavior-neutral. All-kNormal
+  // traffic is the PR 8 degenerate case in which the priority scheduler
+  // must reproduce plain FIFO bit for bit — asserted here as exact
+  // admission-order service across both blocking dequeue paths
+  // (Pop and PopGroup, i.e. MutexLock scopes plus the CondVar wait loop)
+  // while a concurrent producer races the consumer in and out of waits.
+  std::vector<float> series(4, 1.0f);
+  serve::RequestQueue queue(/*capacity=*/0);
+  constexpr int kTasks = 96;
+  std::vector<std::string> served;  // written by consumer, read after join
+  std::thread consumer([&] {
+    serve::QueuedScan first;
+    std::vector<serve::QueuedScan> extras;
+    bool use_group = false;
+    for (;;) {
+      if (use_group) {
+        if (!queue.PopGroup(&first, &extras, /*budget=*/4)) break;
+        served.push_back(first.request.household_id);
+        for (const auto& extra : extras) {
+          served.push_back(extra.request.household_id);
+        }
+      } else {
+        if (!queue.Pop(&first)) break;
+        served.push_back(first.request.household_id);
+      }
+      use_group = !use_group;
+    }
+  });
+  for (int i = 0; i < kTasks; ++i) {
+    // One appliance, one (default) priority: every PopGroup drain is
+    // eligible for every queued task, so any reordering the new lock
+    // path introduced would surface as an out-of-place id below.
+    serve::QueuedScan task =
+        MakeApplianceTask(&series, "fridge", std::to_string(i));
+    ASSERT_TRUE(queue.Push(&task).ok());
+    if (i % 7 == 0) {
+      // Let the consumer drain dry periodically so it re-enters the
+      // CondVar wait path instead of always finding a backlog.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  queue.Close();
+  consumer.join();
+  ASSERT_EQ(served.size(), static_cast<size_t>(kTasks));
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(served[i], std::to_string(i)) << "position " << i;
+  }
+}
+
 serve::QueuedScan MakePriorityTask(const std::vector<float>* series,
                                    serve::RequestPriority priority,
                                    const std::string& id) {
