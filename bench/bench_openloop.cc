@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/fault_injection.h"
 #include "common/parallel_for.h"
 #include "common/stopwatch.h"
 #include "loadgen/open_loop.h"
@@ -176,14 +177,16 @@ int Run() {
   // the per-request service time, so overload (and therefore shedding
   // and priority inversionless-ness) is deterministic enough to gate.
   const double kPinnedScanSeconds = 2e-3;
+  FaultInjector pinned_cost;
+  pinned_cost.set_scan_hook([&](const std::string&) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(kPinnedScanSeconds));
+  });
   serve::ServiceOptions qos_opt;
   qos_opt.workers = workers;
   qos_opt.queue_capacity = 0;
   qos_opt.coalesce_budget = 1;  // per-request cost stays exactly pinned
-  qos_opt.pre_scan_hook = [&](const serve::ScanRequest&) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(kPinnedScanSeconds));
-  };
+  qos_opt.fault_injector = &pinned_cost;
   serve::Service qos_service(qos_opt);
   CAMAL_CHECK(
       qos_service.RegisterAppliance("appliance", &ensemble, runner).ok());

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
+#include <filesystem>
 #include <future>
 #include <string>
 #include <thread>
@@ -367,6 +368,126 @@ void SoakScenario(const eval::BenchParams& params,
   bench::WriteTextFile("BENCH_soak.json", json);
 }
 
+/// Crash-recovery phase: stream a session fleet, checkpoint it, kill the
+/// service, and time how long a cold service takes to restore the whole
+/// fleet and resume streaming — the recovery wall-time an operator sizes
+/// their restart budget by. Emits BENCH_recovery.json.
+void RecoveryScenario(const eval::BenchParams& params,
+                      core::CamalEnsemble* ensemble,
+                      const serve::BatchRunnerOptions& runner) {
+  int sessions = 96;
+  int appends = 4;
+  if (params.mode == eval::BenchMode::kSmoke) {
+    sessions = 64;
+    appends = 3;
+  } else if (params.mode == eval::BenchMode::kFull) {
+    sessions = 256;
+    appends = 6;
+  }
+  const auto append_samples = static_cast<size_t>(runner.stream.stride);
+  const std::string dir = "bench_recovery_ckpt";
+
+  std::printf("\nCrash recovery — session checkpoint/restore\n"
+              "(%d sessions x %d appends of %zu samples, then checkpoint,\n"
+              "kill, and cold restore)\n",
+              sessions, appends, append_samples);
+
+  serve::ServiceOptions service_opt;
+  service_opt.workers = std::min(2, NumThreads());
+  service_opt.queue_capacity = 0;
+  service_opt.coalesce_budget = 8;
+
+  Rng rng(29);
+  auto make_chunk = [&] {
+    std::vector<float> chunk(append_samples);
+    for (auto& v : chunk) v = static_cast<float>(rng.Uniform(0.0, 3000.0));
+    return chunk;
+  };
+
+  double checkpoint_s = 0.0;
+  int64_t checkpoint_bytes = 0;
+  {
+    serve::Service service(service_opt);
+    CAMAL_CHECK(
+        service.RegisterAppliance("appliance", ensemble, runner).ok());
+    CAMAL_CHECK(service.Start().ok());
+    std::vector<std::shared_ptr<serve::Session>> fleet;
+    fleet.reserve(static_cast<size_t>(sessions));
+    for (int s = 0; s < sessions; ++s) {
+      serve::SessionOptions session_opt;
+      session_opt.household_id = "house_" + FmtInt(s);
+      fleet.push_back(
+          service.CreateSession("appliance", session_opt).value());
+    }
+    for (int round = 0; round < appends; ++round) {
+      std::vector<std::future<Result<serve::ScanResult>>> futures;
+      futures.reserve(fleet.size());
+      for (auto& session : fleet) {
+        futures.push_back(session->AppendReadings(make_chunk()));
+      }
+      for (auto& future : futures) CAMAL_CHECK(future.get().ok());
+    }
+    Stopwatch checkpoint_watch;
+    CAMAL_CHECK(service.CheckpointSessions(dir).ok());
+    checkpoint_s = checkpoint_watch.ElapsedSeconds();
+    checkpoint_bytes = static_cast<int64_t>(
+        std::filesystem::file_size(serve::Service::CheckpointFile(dir)));
+    service.Shutdown();  // the "crash": only the snapshot survives
+  }
+
+  serve::Service revived(service_opt);
+  CAMAL_CHECK(revived.RegisterAppliance("appliance", ensemble, runner).ok());
+  CAMAL_CHECK(revived.Start().ok());
+  Stopwatch restore_watch;
+  Result<int64_t> restored = revived.RestoreSessions(dir);
+  const double restore_s = restore_watch.ElapsedSeconds();
+  CAMAL_CHECK(restored.ok());
+  CAMAL_CHECK(restored.value() == sessions);
+
+  // The fleet streams on: one more append per restored session.
+  {
+    std::vector<std::future<Result<serve::ScanResult>>> futures;
+    futures.reserve(static_cast<size_t>(sessions));
+    for (int s = 0; s < sessions; ++s) {
+      auto session = revived.GetSession("house_" + FmtInt(s));
+      CAMAL_CHECK(session.ok());
+      futures.push_back(session.value()->AppendReadings(make_chunk()));
+    }
+    for (auto& future : futures) CAMAL_CHECK(future.get().ok());
+  }
+  const serve::ServiceStats stats = revived.stats();
+  revived.Shutdown();
+  std::filesystem::remove_all(dir);
+
+  const double restore_rate =
+      restore_s > 0.0 ? sessions / restore_s : 0.0;
+  TablePrinter table({"Sessions", "Checkpoint ms", "Snapshot KB",
+                      "Restore ms", "Sessions/s restored"});
+  table.AddRow({FmtInt(sessions), Fmt(checkpoint_s * 1e3, 2),
+                FmtInt(checkpoint_bytes / 1024), Fmt(restore_s * 1e3, 2),
+                Fmt(restore_rate, 0)});
+  table.Print(stdout);
+  std::printf("restored %lld sessions in %.2f ms; every one resumed "
+              "streaming after the cold restore\n",
+              static_cast<long long>(stats.sessions_restored),
+              restore_s * 1e3);
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"serve_recovery\",\n";
+  json += "  \"sessions\": " + FmtInt(sessions) + ",\n";
+  json += "  \"appends_per_session\": " + FmtInt(appends) + ",\n";
+  json += "  \"append_samples\": " +
+          FmtInt(static_cast<int64_t>(append_samples)) + ",\n";
+  json += "  \"checkpoint_seconds\": " + Fmt(checkpoint_s, 4) + ",\n";
+  json += "  \"checkpoint_bytes\": " + FmtInt(checkpoint_bytes) + ",\n";
+  json += "  \"restore_seconds\": " + Fmt(restore_s, 4) + ",\n";
+  json += "  \"sessions_restored\": " + FmtInt(stats.sessions_restored) +
+          ",\n";
+  json += "  \"restore_sessions_per_sec\": " + Fmt(restore_rate, 1) + "\n";
+  json += "}\n";
+  bench::WriteTextFile("BENCH_recovery.json", json);
+}
+
 void Run() {
   bench::PrintHeader("Serving latency — async serve::Service",
                      "serving extension (request latency vs workers)");
@@ -488,6 +609,7 @@ void Run() {
 
   DeepQueueScenario(params, &ensemble, runner);
   SoakScenario(params, &ensemble, runner);
+  RecoveryScenario(params, &ensemble, runner);
 }
 
 }  // namespace

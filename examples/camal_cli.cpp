@@ -411,7 +411,8 @@ int CmdServe(const Args& args) {
                  "usage: camal_cli serve <model_dir> <data_dir> --appliance "
                  "NAME [--window 128] [--workers 0] [--queue 0] "
                  "[--coalesce 8] [--avg-power 800] [--session-chunk 0] "
-                 "[--store 1]\n");
+                 "[--store 1] [--checkpoint-dir DIR] "
+                 "[--checkpoint-interval 30]\n");
     return 1;
   }
   auto ensemble_result = core::LoadEnsemble(args.positional[0]);
@@ -437,6 +438,13 @@ int CmdServe(const Args& args) {
   // into one shared-GEMM scan. Results are bitwise-identical either way;
   // --coalesce 1 disables (per-request scans).
   service_opt.coalesce_budget = static_cast<int>(args.FlagInt("coalesce", 8));
+  // Crash safety: with --checkpoint-dir, live sessions are periodically
+  // snapshotted there (and flushed on Shutdown), and a snapshot left by a
+  // previous run is restored right after Start — streams resume where
+  // the crash cut them, bitwise-identical from there on.
+  service_opt.checkpoint_dir = args.Flag("checkpoint-dir", "");
+  service_opt.checkpoint_interval_seconds =
+      args.FlagDouble("checkpoint-interval", 30.0);
   serve::Service service(service_opt);
   serve::BatchRunnerOptions runner;
   runner.stream.window_length = args.FlagInt("window", 128);
@@ -446,6 +454,20 @@ int CmdServe(const Args& args) {
   if (!st.ok()) return Fail(st);
   st = service.Start();
   if (!st.ok()) return Fail(st);
+  if (!service_opt.checkpoint_dir.empty()) {
+    Result<int64_t> restored =
+        service.RestoreSessions(service_opt.checkpoint_dir);
+    if (!restored.ok()) {
+      // Graceful degradation: a corrupt snapshot is reported and the
+      // service boots with fresh sessions instead of crashing.
+      std::printf("checkpoint restore skipped: %s\n",
+                  restored.status().ToString().c_str());
+    } else if (restored.value() > 0) {
+      std::printf("restored %lld session(s) from %s\n",
+                  static_cast<long long>(restored.value()),
+                  service_opt.checkpoint_dir.c_str());
+    }
+  }
   const std::string capacity =
       service_opt.queue_capacity > 0
           ? std::to_string(service_opt.queue_capacity)
@@ -557,7 +579,17 @@ int CmdServe(const Args& args) {
                 static_cast<double>(stats.coalesced_requests) /
                     static_cast<double>(stats.coalesced_groups));
   }
-  service.Shutdown();
+  service.Shutdown();  // flushes a final session snapshot if checkpointing
+  if (!service_opt.checkpoint_dir.empty()) {
+    const serve::ServiceStats final_stats = service.stats();
+    std::printf("checkpoints: %lld written (%lld failures), "
+                "%lld session(s) restored, snapshot at %s\n",
+                static_cast<long long>(final_stats.checkpoints_written),
+                static_cast<long long>(final_stats.checkpoint_failures),
+                static_cast<long long>(final_stats.sessions_restored),
+                serve::Service::CheckpointFile(service_opt.checkpoint_dir)
+                    .c_str());
+  }
   return 0;
 }
 

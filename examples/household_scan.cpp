@@ -272,6 +272,90 @@ int main() {
                 store_identical ? "yes" : "NO");
     std::remove(store_path.c_str());
     if (!store_identical) return 1;
+
+    // Crash-and-restore epilogue: stream the first half of the same
+    // household, checkpoint the live session, then "kill" the server and
+    // boot a fresh Service that restores the snapshot and streams the
+    // rest. The final result must still be bitwise-identical to the
+    // one-shot scan — a crash in the middle of a stream loses nothing.
+    const std::string ckpt_dir = "/tmp/household_scan_ckpt";
+    serve::SessionOptions crash_opt;
+    crash_opt.household_id = "crash_demo";
+    auto crash_result = service.CreateSession(name, crash_opt);
+    if (!crash_result.ok()) {
+      std::fprintf(stderr, "create crash session: %s\n",
+                   crash_result.status().ToString().c_str());
+      return 1;
+    }
+    const int64_t half = n / 2;
+    Result<serve::ScanResult> first_half =
+        crash_result.value()->AppendReadings(house.aggregate.data(), half)
+            .get();
+    if (!first_half.ok()) {
+      std::fprintf(stderr, "first-half append: %s\n",
+                   first_half.status().ToString().c_str());
+      return 1;
+    }
+    Status checkpointed = service.CheckpointSessions(ckpt_dir);
+    if (!checkpointed.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n",
+                   checkpointed.ToString().c_str());
+      return 1;
+    }
+    // The "restarted server": a brand-new Service over the same trained
+    // ensemble revives the session from the snapshot alone.
+    serve::Service revived;
+    serve::BatchRunnerOptions crash_runner;
+    crash_runner.stream.window_length = kWindow;
+    crash_runner.stream.stride = kWindow / 2;
+    crash_runner.stream.batch_size = 32;
+    crash_runner.appliance_avg_power_w = trained.front().spec.avg_power_w;
+    if (!revived.RegisterAppliance(name, &trained.front().ensemble,
+                                   crash_runner)
+             .ok() ||
+        !revived.Start().ok()) {
+      std::fprintf(stderr, "revived service failed to start\n");
+      return 1;
+    }
+    Result<int64_t> restored = revived.RestoreSessions(ckpt_dir);
+    if (!restored.ok() || restored.value() != 1) {
+      std::fprintf(stderr, "restore: %s\n",
+                   restored.ok() ? "wrong session count"
+                                 : restored.status().ToString().c_str());
+      return 1;
+    }
+    auto revived_session = revived.GetSession("crash_demo");
+    if (!revived_session.ok()) {
+      std::fprintf(stderr, "revived session lookup: %s\n",
+                   revived_session.status().ToString().c_str());
+      return 1;
+    }
+    Result<serve::ScanResult> resumed =
+        revived_session.value()
+            ->AppendReadings(house.aggregate.data() + half, n - half)
+            .get();
+    if (!resumed.ok()) {
+      std::fprintf(stderr, "post-restore append: %s\n",
+                   resumed.status().ToString().c_str());
+      return 1;
+    }
+    bool crash_identical =
+        resumed.value().detection.numel() == oneshot.value().detection.numel();
+    for (int64_t t = 0;
+         crash_identical && t < oneshot.value().detection.numel(); ++t) {
+      crash_identical =
+          resumed.value().detection.at(t) ==
+              oneshot.value().detection.at(t) &&
+          resumed.value().status.at(t) == oneshot.value().status.at(t) &&
+          resumed.value().power.at(t) == oneshot.value().power.at(t);
+    }
+    std::printf("crash-and-restore (%lld of %lld readings checkpointed): "
+                "resumed stream bitwise-identical to the one-shot scan: %s\n",
+                static_cast<long long>(half), static_cast<long long>(n),
+                crash_identical ? "yes" : "NO");
+    revived.Shutdown();
+    std::remove(serve::Service::CheckpointFile(ckpt_dir).c_str());
+    if (!crash_identical) return 1;
   }
   service.Shutdown();
   return 0;

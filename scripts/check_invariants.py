@@ -21,6 +21,13 @@ Rules (see README "Static analysis"):
   R5  Every bench/bench_*.cc that writes a machine-readable artifact
       (WriteTextFile / *.json) names it BENCH_*.json, so CI's artifact
       steps and humans grepping bench_results/ can rely on the convention.
+  R6  Durable files in src/serve/ and src/data/ are written through
+      WriteFileAtomic / AtomicFileWriter (common/atomic_file.h), never a
+      naked fopen-for-write: a process dying between fopen("w") and
+      fclose leaves a torn file where a reader expects a complete
+      snapshot — the crash the checkpoint format exists to rule out.
+      Heuristic: fopen with a "w"/"a" mode string in those layers. The
+      rare justified site carries `lint: fopen-ok(<reason>)`.
 
 Suppressions are per-line and must name a reason; a bare marker fails.
 Exit status: 0 clean, 1 findings, 2 usage error.
@@ -40,6 +47,9 @@ STD_LOCK_RE = re.compile(
     r"unique_lock|scoped_lock|shared_lock|condition_variable(_any)?)\b"
 )
 CHECK_REQUEST_RE = re.compile(r"CAMAL_CHECK\w*\s*\(.*\brequest\b")
+# Matched against the RAW line (the stripper blanks string contents, and
+# the mode lives in a string literal).
+FOPEN_WRITE_RE = re.compile(r"\bfopen\s*\([^;]*\"[wa][b+]*\"")
 NAKED_NEW_RE = re.compile(r"(?<![:\w])new\b(?!\s*\()")  # `::new (` = placement
 OPERATOR_NEW_RE = re.compile(r"operator\s+new\b")
 PLACEMENT_NEW_RE = re.compile(r"::\s*new\s*\(")
@@ -121,6 +131,7 @@ def main() -> int:
         raw = path.read_text().splitlines()
         code = strip_comments_and_strings(path.read_text())
         in_serve = "src/serve" in path.as_posix()
+        in_durable_layer = in_serve or "src/data" in path.as_posix()
         is_mutex_header = path.as_posix().endswith("src/common/mutex.h")
 
         for idx, line in enumerate(code):
@@ -148,6 +159,15 @@ def main() -> int:
                     "raw std lock primitive outside common/mutex.h (use "
                     "camal::Mutex/MutexLock/CondVar so clang thread-safety "
                     "analysis covers the critical section)")
+            if (in_durable_layer and "fopen" in line
+                    and FOPEN_WRITE_RE.search(raw[idx])):
+                if not has_suppression(raw, idx, "fopen"):
+                    finding(
+                        path, lineno, "R6",
+                        "naked fopen-for-write on a persisted path (write "
+                        "through WriteFileAtomic/AtomicFileWriter so a "
+                        "crash cannot leave a torn file, or mark the site "
+                        "`lint: fopen-ok(reason)`)")
             if "CAMAL_NO_THREAD_SAFETY_ANALYSIS" in line and \
                     "define" not in line:
                 if not any(TSA_OFF_RE.search(raw[j])

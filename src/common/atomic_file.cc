@@ -1,0 +1,98 @@
+#include "common/atomic_file.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/fault_injection.h"
+
+namespace camal {
+
+AtomicFileWriter::AtomicFileWriter(std::string path, FaultInjector* faults)
+    : path_(std::move(path)),
+      // Same directory as the destination: rename(2) is only atomic
+      // within a filesystem, and a crash leaves the orphan temp next to
+      // the file it was meant to replace, where a sweep can find it.
+      temp_path_(path_ + ".tmp"),
+      faults_(faults) {
+  file_ = std::fopen(temp_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot create " + temp_path_ + ": " +
+                              std::strerror(errno));
+  }
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (!committed_) {
+    std::remove(temp_path_.c_str());  // uncommitted: discard, keep the old
+  }
+}
+
+Status AtomicFileWriter::Fail(Status status) {
+  status_ = std::move(status);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::remove(temp_path_.c_str());
+  return status_;
+}
+
+Status AtomicFileWriter::Write(const void* bytes, size_t size) {
+  if (!status_.ok()) return status_;
+  if (committed_) {
+    return Status::FailedPrecondition("write after Commit on " + path_);
+  }
+  if (faults_ != nullptr) {
+    Status injected = faults_->OnWrite(path_);
+    if (!injected.ok()) return Fail(std::move(injected));
+  }
+  if (size > 0 && std::fwrite(bytes, 1, size, file_) != size) {
+    return Fail(Status::IoError("short write to " + temp_path_));
+  }
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (!status_.ok()) return status_;
+  if (committed_) {
+    return Status::FailedPrecondition("double Commit on " + path_);
+  }
+  if (std::fflush(file_) != 0) {
+    return Fail(Status::IoError("cannot flush " + temp_path_));
+  }
+  // fsync before rename: the rename must not become durable ahead of the
+  // data it points at, or a crash yields exactly the torn file this
+  // class exists to prevent.
+  if (fsync(fileno(file_)) != 0) {
+    return Fail(Status::IoError("cannot fsync " + temp_path_));
+  }
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    return Fail(Status::IoError("cannot close " + temp_path_));
+  }
+  file_ = nullptr;
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    return Fail(Status::IoError("cannot rename " + temp_path_ + " to " +
+                                path_ + ": " + std::strerror(errno)));
+  }
+  committed_ = true;
+  if (faults_ != nullptr) faults_->OnFileCommitted(path_);
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const void* bytes,
+                       size_t size, FaultInjector* faults) {
+  AtomicFileWriter writer(path, faults);
+  CAMAL_RETURN_NOT_OK(writer.Write(bytes, size));
+  return writer.Commit();
+}
+
+}  // namespace camal

@@ -1,0 +1,68 @@
+#ifndef CAMAL_COMMON_ATOMIC_FILE_H_
+#define CAMAL_COMMON_ATOMIC_FILE_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+
+namespace camal {
+
+class FaultInjector;
+
+/// Crash-safe file writer: bytes go to a temp file in the destination's
+/// directory, and Commit fsyncs then renames it over the destination —
+/// so readers only ever see the old complete file or the new complete
+/// file, never a partial one. A writer destroyed (or failed) before
+/// Commit removes its temp file and leaves the destination untouched.
+///
+/// Every durable file in src/serve/ and src/data/ is written through
+/// this class (invariant R6, scripts/check_invariants.py): a naked
+/// fopen-for-write on a persisted path is exactly the torn-file bug the
+/// session checkpointer exists to rule out.
+///
+/// \p faults (borrowed, optional) threads the fault-injection seams
+/// through the IO: FaultInjector::OnWrite may fail any Write with
+/// kIoError, and OnFileCommitted may tear the committed file — the
+/// hooks the crash-matrix tests drive.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path, FaultInjector* faults = nullptr);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Buffers \p size bytes into the temp file. After any failure the
+  /// writer is dead: further Writes and Commit return the first error.
+  Status Write(const void* bytes, size_t size);
+
+  /// Flushes, fsyncs, closes, and renames the temp file over the
+  /// destination. After an OK Commit the destination is durably the new
+  /// content; after a failed one it is untouched (temp removed).
+  /// Calling Commit twice, or after a failed Write, returns the error.
+  Status Commit();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  /// Records the first failure, closes and removes the temp file.
+  Status Fail(Status status);
+
+  const std::string path_;
+  const std::string temp_path_;
+  FaultInjector* const faults_;
+  std::FILE* file_ = nullptr;
+  bool committed_ = false;
+  Status status_;
+};
+
+/// One-shot convenience over AtomicFileWriter: atomically replaces
+/// \p path with \p size bytes. On any failure the previous content of
+/// \p path (or its absence) is preserved.
+Status WriteFileAtomic(const std::string& path, const void* bytes,
+                       size_t size, FaultInjector* faults = nullptr);
+
+}  // namespace camal
+
+#endif  // CAMAL_COMMON_ATOMIC_FILE_H_

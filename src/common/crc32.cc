@@ -1,0 +1,40 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace camal {
+namespace {
+
+/// 256-entry lookup table for the reflected polynomial, built once at
+/// first use (function-local static: thread-safe, no global ctor order).
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size) {
+  const auto& table = Crc32Table();
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+uint32_t Crc32(const void* data, size_t size) {
+  return Crc32Finalize(Crc32Update(kCrc32Initial, data, size));
+}
+
+}  // namespace camal

@@ -1,0 +1,27 @@
+#ifndef CAMAL_COMMON_CRC32_H_
+#define CAMAL_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace camal {
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial 0xEDB88320), implemented
+/// in-repo so binary formats can checksum their payloads without a
+/// dependency. Used by the session checkpoint format to reject torn or
+/// bit-flipped snapshots before any field is trusted.
+///
+/// Known answer (the classic check value): Crc32("123456789", 9) ==
+/// 0xCBF43926.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Streaming form: feed chunks through \p crc, starting from
+/// kCrc32Initial and finishing with Crc32Finalize. Equivalent to one
+/// Crc32 call over the concatenation.
+inline constexpr uint32_t kCrc32Initial = 0xFFFFFFFFu;
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+inline uint32_t Crc32Finalize(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+}  // namespace camal
+
+#endif  // CAMAL_COMMON_CRC32_H_

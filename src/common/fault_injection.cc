@@ -1,0 +1,99 @@
+#include "common/fault_injection.h"
+
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+namespace camal {
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+void FaultInjector::OnScan(const std::string& label) {
+  // Copy the hook out and run it unlocked: a hook that blocks (barrier
+  // tests) or sleeps (pinned-cost benches) must not hold the injector's
+  // lock against other workers.
+  std::function<void(const std::string&)> hook;
+  {
+    MutexLock lock(&mu_);
+    hook = scan_hook_;
+  }
+  if (hook) hook(label);
+
+  bool fault = false;
+  int64_t index = 0;
+  {
+    MutexLock lock(&mu_);
+    ++scans_;
+    const bool matches = plan_.scan_label.empty() || label == plan_.scan_label;
+    if (matches) {
+      index = ++matching_scans_;
+      if (plan_.fail_scan_at > 0) {
+        fault = index >= plan_.fail_scan_at &&
+                index < plan_.fail_scan_at + plan_.fail_scan_count;
+      } else if (plan_.scan_fault_rate > 0.0) {
+        fault = rng_.Bernoulli(plan_.scan_fault_rate);
+      } else if (!plan_.scan_label.empty()) {
+        fault = true;  // labeled plan with no window: always poison
+      }
+    }
+    if (fault) ++faults_;
+  }
+  if (fault) {
+    throw std::runtime_error("injected scan fault for '" + label +
+                             "' (matching scan " + std::to_string(index) +
+                             ")");
+  }
+}
+
+Status FaultInjector::OnWrite(const std::string& path) {
+  MutexLock lock(&mu_);
+  ++writes_;
+  if (plan_.fail_write_at > 0 && writes_ == plan_.fail_write_at) {
+    ++faults_;
+    return Status::IoError("injected write fault on " + path + " (write " +
+                           std::to_string(writes_) + ")");
+  }
+  return Status::OK();
+}
+
+void FaultInjector::OnFileCommitted(const std::string& path) {
+  bool torn = false;
+  {
+    MutexLock lock(&mu_);
+    ++commits_;
+    torn = plan_.truncate_commit_at > 0 &&
+           commits_ == plan_.truncate_commit_at;
+    if (torn) ++faults_;
+  }
+  if (torn) {
+    // The crash-after-rename torn write: the destination exists but its
+    // tail never reached disk. resize_file is the deterministic stand-in.
+    std::error_code ec;
+    std::filesystem::resize_file(
+        path, static_cast<uintmax_t>(plan_.truncate_to_bytes), ec);
+  }
+}
+
+void FaultInjector::set_scan_hook(
+    std::function<void(const std::string&)> hook) {
+  MutexLock lock(&mu_);
+  scan_hook_ = std::move(hook);
+}
+
+int64_t FaultInjector::scans() const {
+  MutexLock lock(&mu_);
+  return scans_;
+}
+
+int64_t FaultInjector::writes() const {
+  MutexLock lock(&mu_);
+  return writes_;
+}
+
+int64_t FaultInjector::faults_injected() const {
+  MutexLock lock(&mu_);
+  return faults_;
+}
+
+}  // namespace camal

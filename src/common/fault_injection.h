@@ -1,0 +1,110 @@
+#ifndef CAMAL_COMMON_FAULT_INJECTION_H_
+#define CAMAL_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace camal {
+
+/// Deterministic fault plan: which operations fail, decided up front.
+///
+/// A FaultPlan is data, not callbacks — the same plan replays the same
+/// faults on the same operation sequence, which is what makes crash and
+/// retry tests reproducible. Counters are 1-based and count only
+/// operations that match the label filter (all of them when
+/// `scan_label` is empty).
+struct FaultPlan {
+  // --- Scan faults (FaultInjector::OnScan, the worker-thread seam) ---
+  /// Only scans whose label (the request's household_id) equals this
+  /// fault; empty matches every scan. A label with neither
+  /// `fail_scan_at` nor `scan_fault_rate` set faults on EVERY matching
+  /// scan — the "this household is poison" shape.
+  std::string scan_label;
+  /// 1-based index of the first matching scan to fault; 0 = no indexed
+  /// window. With `fail_scan_count` this carves a fault window: matching
+  /// scans [at, at + count) throw, everything after succeeds — the
+  /// transient-fault shape bounded retry is tested against.
+  int64_t fail_scan_at = 0;
+  int64_t fail_scan_count = 1;
+  /// Seeded probabilistic faults: each matching scan throws with this
+  /// probability, drawn from an Rng seeded with `seed` — deterministic
+  /// for a fixed seed and scan order. 0 disables.
+  double scan_fault_rate = 0.0;
+  uint64_t seed = 0;
+
+  // --- Write faults (OnWrite, the durable-IO seam) ---
+  /// 1-based index of the IO write to fail with kIoError; 0 = never.
+  int64_t fail_write_at = 0;
+
+  // --- Torn writes (OnFileCommitted, the post-rename seam) ---
+  /// 1-based index of the committed file to truncate — simulating a
+  /// crash after rename but before the data pages hit disk, the torn
+  /// write a checkpoint reader must reject by CRC. 0 = never.
+  int64_t truncate_commit_at = 0;
+  int64_t truncate_to_bytes = 0;  ///< size the torn file is cut to.
+};
+
+/// Structured fault-injection seam, threaded through the serving scan
+/// path (serve::ServiceOptions::fault_injector) and durable IO
+/// (AtomicFileWriter). Replaces the old bare pre_scan_hook: instead of
+/// every test hand-rolling throw logic in a lambda, faults are declared
+/// in a FaultPlan and the injector decides; a plain observation hook
+/// (set_scan_hook) remains for tests that gate or record scan order.
+///
+/// Thread-safe: workers call OnScan concurrently; counters and the
+/// seeded Rng are guarded. An injector outlives the Service/writer it is
+/// wired into (it is borrowed, never owned).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan = {});
+
+  /// Scan seam. Called on the worker thread for each request of a group
+  /// immediately before the shared scan, with the request's household_id
+  /// as \p label. Runs the observation hook first (outside the lock),
+  /// then throws std::runtime_error("injected scan fault ...") when the
+  /// plan says this scan faults. The service turns the throw into
+  /// kInternal exactly like any scan failure.
+  void OnScan(const std::string& label);
+
+  /// Durable-write seam. Called before each buffered write of an
+  /// AtomicFileWriter; a non-OK return (kIoError per plan) aborts the
+  /// write so the temp file is discarded and the destination survives.
+  [[nodiscard]] Status OnWrite(const std::string& path);
+
+  /// Post-commit seam. Called after an AtomicFileWriter renames its temp
+  /// file over the destination; per plan, truncates the committed file
+  /// to truncate_to_bytes — the torn-write a reader must reject.
+  void OnFileCommitted(const std::string& path);
+
+  /// Observation hook run at the top of every OnScan (fault or not),
+  /// with the scan's label. The structured home for what tests used
+  /// pre_scan_hook for: recording serve order, gating on a barrier,
+  /// pinning per-request cost with a sleep. May throw; a throw is a scan
+  /// fault like any other.
+  void set_scan_hook(std::function<void(const std::string&)> hook);
+
+  /// Telemetry: operations seen and faults injected so far.
+  int64_t scans() const;
+  int64_t writes() const;
+  int64_t faults_injected() const;
+
+ private:
+  const FaultPlan plan_;
+  mutable Mutex mu_;
+  Rng rng_ CAMAL_GUARDED_BY(mu_);
+  std::function<void(const std::string&)> scan_hook_ CAMAL_GUARDED_BY(mu_);
+  int64_t scans_ CAMAL_GUARDED_BY(mu_) = 0;
+  int64_t matching_scans_ CAMAL_GUARDED_BY(mu_) = 0;
+  int64_t writes_ CAMAL_GUARDED_BY(mu_) = 0;
+  int64_t commits_ CAMAL_GUARDED_BY(mu_) = 0;
+  int64_t faults_ CAMAL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace camal
+
+#endif  // CAMAL_COMMON_FAULT_INJECTION_H_

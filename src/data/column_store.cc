@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <limits>
 
+#include "common/atomic_file.h"
 #include "data/csv_loader.h"
 
 namespace camal::data {
@@ -55,15 +56,6 @@ Header DecodeHeader(const uint8_t* in) {
 
 int64_t AlignUp(int64_t offset, int64_t alignment) {
   return (offset + alignment - 1) / alignment * alignment;
-}
-
-/// fwrite that surfaces disk errors as a Status instead of dropping bytes.
-Status WriteBytes(std::FILE* f, const void* bytes, size_t n,
-                  const std::string& path) {
-  if (n > 0 && std::fwrite(bytes, 1, n, f) != n) {
-    return Status::IoError("short write to " + path);
-  }
-  return Status::OK();
 }
 
 }  // namespace
@@ -124,13 +116,13 @@ Status WriteColumnStore(const HouseRecord& house, const std::string& path,
   header.data_offset =
       AlignUp(metadata_end, ColumnStoreFormat::kDataAlignment);
 
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IoError("cannot create " + path);
-  }
+  // Atomic replace (temp + fsync + rename, invariant R6): a crash — or
+  // an injected fault — mid-write leaves the previous store intact
+  // instead of a partial file the mmap reader would reject on next boot.
+  AtomicFileWriter writer(path);
   Status status = Status::OK();
   const auto write = [&](const void* bytes, size_t n) {
-    if (status.ok()) status = WriteBytes(f, bytes, n, path);
+    if (status.ok()) status = writer.Write(bytes, n);
   };
   uint8_t encoded[ColumnStoreFormat::kHeaderBytes];
   EncodeHeader(header, encoded);
@@ -154,10 +146,8 @@ Status WriteColumnStore(const HouseRecord& house, const std::string& path,
   for (const ApplianceTrace& trace : house.appliances) {
     write(trace.power.data(), static_cast<size_t>(total) * 4);
   }
-  if (std::fclose(f) != 0 && status.ok()) {
-    status = Status::IoError("cannot flush " + path);
-  }
-  return status;
+  CAMAL_RETURN_NOT_OK(status);
+  return writer.Commit();
 }
 
 Result<ColumnStore> ColumnStore::Open(const std::string& path) {

@@ -101,6 +101,10 @@ struct QueuedScan {
   /// empty = no deadline. Workers compare against steady_clock::now()
   /// once per dequeued group, before scanning.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Scan attempts already consumed by this task (retry bookkeeping; see
+  /// RetryPolicy). A re-enqueued task keeps its admission timestamp,
+  /// priority, and deadline — only this counter moves.
+  int attempts = 0;
 };
 
 /// Bounded MPMC admission queue of the serving front-end: producers are

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <exception>
+#include <filesystem>
+#include <thread>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/parallel_for.h"
+#include "serve/checkpoint.h"
 
 namespace camal::serve {
 
@@ -84,6 +88,10 @@ Status Service::Start() {
           std::make_unique<BatchRunner>(replica_ensemble, appliance.runner));
     }
   }
+  // Arm the periodic checkpoint sweep from "now": the first checkpoint
+  // lands one interval after Start, not immediately.
+  last_checkpoint_ticks_.store(
+      std::chrono::steady_clock::now().time_since_epoch().count());
   // Publish the running state before the workers exist: WorkerLoop only
   // touches the queue and its own Worker, so late thread starts are safe.
   state_.store(State::kRunning);
@@ -107,6 +115,10 @@ void Service::WorkerLoop(Worker* worker) {
       static_cast<int64_t>(coalesce_budget_.load()) - 1)) {
     BatchRunner* runner = worker->runners.at(first.request.appliance).get();
     ServeGroup(runner, &first, &extras);
+    // Crash safety rides the worker loop like idle eviction rides
+    // CreateSession: no background thread, just an opportunistic sweep
+    // between groups, CAS-claimed so one worker writes per interval.
+    MaybeCheckpoint();
   }
 }
 
@@ -161,9 +173,9 @@ void Service::ServeGroup(BatchRunner* runner, QueuedScan* first,
   std::vector<ScanResult> append_results;
   Status failure = Status::OK();
   try {
-    if (options_.pre_scan_hook) {
+    if (options_.fault_injector != nullptr) {
       for (const QueuedScan* task : tasks) {
-        options_.pre_scan_hook(task->request);
+        options_.fault_injector->OnScan(task->request.household_id);
       }
     }
     if (!scans.empty()) {
@@ -199,15 +211,66 @@ void Service::ServeGroup(BatchRunner* runner, QueuedScan* first,
   }
 
   if (!failure.ok()) {
-    failed_.fetch_add(static_cast<int64_t>(tasks.size()),
+    // Appends never retry: the throwing scan may have half-updated their
+    // sessions' stitch state, so a rerun could serve corrupt results.
+    // Fail them and close the sessions (graceful degradation — the
+    // caller re-creates or restores the stream).
+    failed_.fetch_add(static_cast<int64_t>(appends.size()),
                       std::memory_order_relaxed);
-    for (QueuedScan* task : tasks) {
+    for (QueuedScan* task : appends) {
+      // Close the session BEFORE the promise resolves (mirroring the
+      // success path): a caller that wakes on the failed future must
+      // already see the session closed.
+      FailSession(task->session, failure);
       task->promise.set_value(Result<ScanResult>(failure));
     }
-    // A faulted append leaves its session's stitch state half-updated;
-    // close those sessions so later appends can't serve corrupt results.
-    for (QueuedScan* task : appends) {
-      FailSession(task->session, failure);
+    // One-shot scans: a transient kInternal fault is retried within
+    // RetryPolicy — re-enqueued at original priority with its original
+    // admission time and deadline (an expired one is shed like any
+    // other; the deadline is still honored across retries).
+    std::vector<QueuedScan*> retriable;
+    for (QueuedScan* task : scans) {
+      ++task->attempts;
+      if (task->attempts < options_.retry.max_attempts) {
+        retriable.push_back(task);
+        continue;
+      }
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      if (task->attempts > 1) {
+        retries_exhausted_.fetch_add(1, std::memory_order_relaxed);
+      }
+      task->promise.set_value(Result<ScanResult>(failure));
+    }
+    if (!retriable.empty()) {
+      // Bounded exponential backoff, slept on THIS worker (the one that
+      // saw the fault) before the re-enqueue: siblings keep serving, and
+      // a flapping fault is not hammered at queue speed. Exponent from
+      // the group's most-retried task.
+      int attempts = 1;
+      for (const QueuedScan* task : retriable) {
+        attempts = std::max(attempts, task->attempts);
+      }
+      double backoff = options_.retry.initial_backoff_seconds;
+      for (int k = 1; k < attempts; ++k) backoff *= 2.0;
+      backoff = std::min(
+          std::max(backoff, 0.0), options_.retry.max_backoff_seconds);
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      for (QueuedScan* task : retriable) {
+        QueuedScan requeue = std::move(*task);
+        // force: the task was already admitted once; bouncing its retry
+        // off the capacity bound would turn backpressure into failure.
+        Status admitted = queue_.Push(&requeue, nullptr, /*force=*/true);
+        if (admitted.ok()) {
+          retries_attempted_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // Queue closed (shutdown): no more attempts are coming.
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        retries_exhausted_.fetch_add(1, std::memory_order_relaxed);
+        requeue.promise.set_value(Result<ScanResult>(failure));
+      }
     }
     return;
   }
@@ -497,6 +560,129 @@ int64_t Service::live_sessions() const {
   return static_cast<int64_t>(sessions_.size());
 }
 
+Result<std::shared_ptr<Session>> Service::GetSession(
+    const std::string& id) const {
+  MutexLock lock(&sessions_mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no live session '" + id + "'");
+  }
+  return it->second;
+}
+
+std::string Service::CheckpointFile(const std::string& dir) {
+  return dir + "/sessions.ckpt";
+}
+
+Status Service::CheckpointSessions(const std::string& dir) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("checkpoint directory must not be empty");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // writer surfaces errors
+  std::vector<SessionSnapshot> snapshots;
+  {
+    MutexLock map_lock(&sessions_mu_);
+    snapshots.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) {
+      Session* raw = session.get();
+      MutexLock lock(&raw->mu_);
+      // Quiescent sessions only: an in-flight append may be mutating
+      // scan_state_ on a worker right now. Reading it here is safe
+      // because the worker that last wrote it locked mu_ afterwards
+      // (FinishAppend), so holding mu_ with in_flight_ == false
+      // happens-after the state commit. Skipped sessions are caught by
+      // the next sweep — and by the Shutdown flush, which runs with the
+      // workers joined, when every session is quiescent.
+      if (raw->closed_ || raw->in_flight_) continue;
+      SessionSnapshot snapshot;
+      snapshot.id = raw->id_;
+      snapshot.appliance = raw->appliance_;
+      snapshot.max_pending_appends = raw->options_.max_pending_appends;
+      snapshot.state = raw->scan_state_;
+      snapshots.push_back(std::move(snapshot));
+    }
+  }
+  CAMAL_RETURN_NOT_OK(WriteSessionCheckpoint(CheckpointFile(dir), snapshots,
+                                             options_.fault_injector));
+  checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<int64_t> Service::RestoreSessions(const std::string& dir) {
+  if (state_.load() != State::kRunning) {
+    return Status::FailedPrecondition(
+        "RestoreSessions needs a running service (call Start first)");
+  }
+  const std::string path = CheckpointFile(dir);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return static_cast<int64_t>(0);  // fresh boot: nothing to restore
+  }
+  // Any malformed file — truncated, torn, bit-flipped, version-skewed —
+  // surfaces here as the reader's Status: the caller degrades to fresh
+  // sessions and the service keeps serving.
+  CAMAL_ASSIGN_OR_RETURN(std::vector<SessionSnapshot> snapshots,
+                         ReadSessionCheckpoint(path));
+  const auto now = std::chrono::steady_clock::now();
+  int64_t restored = 0;
+  for (SessionSnapshot& snapshot : snapshots) {
+    // Degrade per record, never reject the whole restore: an appliance
+    // this deployment no longer registers, or an id a live session
+    // already owns (the live session wins — it is newer by definition),
+    // skips the record.
+    if (appliances_.find(snapshot.appliance) == appliances_.end()) continue;
+    SessionOptions options;
+    options.household_id = snapshot.id;
+    options.max_pending_appends = snapshot.max_pending_appends;
+    // lint: new-ok(private ctor; immediately owned by shared_ptr)
+    std::shared_ptr<Session> session(new Session(
+        this, snapshot.id, snapshot.appliance, std::move(options)));
+    session->scan_state_ = std::move(snapshot.state);
+    {
+      // Not yet published, but the annotations (rightly) demand mu_.
+      MutexLock lock(&session->mu_);
+      session->committed_readings_ = session->scan_state_.readings();
+      session->last_active_ = now;
+    }
+    {
+      MutexLock map_lock(&sessions_mu_);
+      if (!sessions_.emplace(session->id(), session).second) continue;
+    }
+    ++restored;
+  }
+  sessions_restored_.fetch_add(restored, std::memory_order_relaxed);
+  return restored;
+}
+
+void Service::MaybeCheckpoint() {
+  if (options_.checkpoint_dir.empty() ||
+      options_.checkpoint_interval_seconds <= 0.0) {
+    return;
+  }
+  const int64_t now =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  const int64_t interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              options_.checkpoint_interval_seconds))
+          .count();
+  int64_t last = last_checkpoint_ticks_.load(std::memory_order_relaxed);
+  if (now - last < interval) return;
+  // CAS claims the sweep: the losing workers see the fresh timestamp and
+  // go back to serving.
+  if (!last_checkpoint_ticks_.compare_exchange_strong(
+          last, now, std::memory_order_relaxed)) {
+    return;
+  }
+  Status written = CheckpointSessions(options_.checkpoint_dir);
+  if (!written.ok()) {
+    // Degrade, don't crash serving: the failure is telemetry
+    // (checkpoint_failures) and the next sweep tries again.
+    checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void Service::FinishAppend(const std::shared_ptr<Session>& session) {
   Session* raw = session.get();
   MutexLock lock(&raw->mu_);
@@ -528,6 +714,16 @@ void Service::Shutdown() {
   queue_.Close();
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
+  }
+  // Flush a final checkpoint while the sessions still exist: with the
+  // workers joined every session is quiescent, so this snapshot is the
+  // complete pre-shutdown state a restart restores from. Best-effort —
+  // shutdown must finish even on a full disk.
+  if (!options_.checkpoint_dir.empty()) {
+    Status flushed = CheckpointSessions(options_.checkpoint_dir);
+    if (!flushed.ok()) {
+      checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   // With the workers joined, no append is in flight and (FinishAppend
   // drained against the closed queue) none is parked; close whatever
@@ -577,6 +773,16 @@ ServiceStats Service::stats() const {
       appended_readings_.load(std::memory_order_relaxed);
   stats.incremental_windows_saved =
       windows_saved_.load(std::memory_order_relaxed);
+  stats.retries_attempted =
+      retries_attempted_.load(std::memory_order_relaxed);
+  stats.retries_exhausted =
+      retries_exhausted_.load(std::memory_order_relaxed);
+  stats.sessions_restored =
+      sessions_restored_.load(std::memory_order_relaxed);
+  stats.checkpoints_written =
+      checkpoints_written_.load(std::memory_order_relaxed);
+  stats.checkpoint_failures =
+      checkpoint_failures_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -14,7 +14,30 @@
 #include "serve/request_queue.h"
 #include "serve/session.h"
 
+namespace camal {
+class FaultInjector;
+}  // namespace camal
+
 namespace camal::serve {
+
+/// Bounded retry of transiently-failed one-shot scans. A scan that
+/// throws (kInternal) is re-enqueued — at its original priority, its
+/// deadline still honored — after an exponential backoff, up to
+/// max_attempts total attempts; only then does the caller's future see
+/// the failure. Session appends NEVER retry: a faulted append may have
+/// half-updated the session's stitch state, so rerunning it could serve
+/// corrupt results — the session is closed instead (graceful
+/// degradation, ServiceStats::retries_exhausted tells the operator).
+struct RetryPolicy {
+  /// Total scan attempts per request (first try included). 1 = no
+  /// retry, the pre-retry behaviour exactly.
+  int max_attempts = 1;
+  /// Backoff before attempt k+1 is initial * 2^(k-1), capped at max —
+  /// slept on the failing worker, so a flapping dependency is not
+  /// hammered at queue speed.
+  double initial_backoff_seconds = 0.001;
+  double max_backoff_seconds = 0.1;
+};
 
 /// Configuration of a serve::Service worker pool.
 struct ServiceOptions {
@@ -45,11 +68,28 @@ struct ServiceOptions {
   /// configure or leak). <= 0 disables the sweep; EvictIdleSessions
   /// evicts on demand either way.
   double session_idle_seconds = 0.0;
-  /// Test seam (fault injection): runs on the worker thread immediately
-  /// before each request is scanned. An exception thrown here — or
-  /// anywhere in the scan — resolves the affected requests' futures with
-  /// kInternal instead of leaving them hung and killing the worker.
-  std::function<void(const ScanRequest&)> pre_scan_hook;
+  /// Structured fault-injection seam (replaces the old bare
+  /// pre_scan_hook): borrowed, must outlive the service. Each worker
+  /// calls FaultInjector::OnScan(request.household_id) immediately
+  /// before a request is scanned — the injector's plan decides whether
+  /// to throw, and its observation hook replaces ad-hoc test lambdas.
+  /// An exception thrown there — or anywhere in the scan — resolves the
+  /// affected requests' futures with kInternal (after any retries; see
+  /// `retry`) instead of leaving them hung and killing the worker. The
+  /// same injector can be threaded through checkpoint IO to fault
+  /// writes and tear committed files. Null disables the seam.
+  FaultInjector* fault_injector = nullptr;
+  /// Bounded retry of transient one-shot scan faults; see RetryPolicy.
+  RetryPolicy retry;
+  /// Crash safety: directory session checkpoints are written to (file
+  /// Service::CheckpointFile(dir)). Empty disables checkpointing.
+  /// With a directory set, Shutdown flushes a final checkpoint, and —
+  /// when checkpoint_interval_seconds > 0 — workers sweep one
+  /// opportunistically after serving, at most once per interval (no
+  /// background thread to configure or leak, like the idle-session
+  /// sweep). Restore is explicit: call RestoreSessions after Start.
+  std::string checkpoint_dir;
+  double checkpoint_interval_seconds = 0.0;
 };
 
 /// Monotonic request counters (totals since Start).
@@ -90,6 +130,21 @@ struct ServiceStats {
   /// Feed windows the persisted stitch state saved versus from-scratch
   /// rescans: sum over completed appends of windows_full - windows.
   int64_t incremental_windows_saved = 0;
+  /// Degradation telemetry (crash safety + retry). A retried request
+  /// that eventually completes counts under `completed` as usual;
+  /// retries_attempted counts the extra scan attempts it consumed, and
+  /// retries_exhausted the requests that failed even after retrying —
+  /// the "the fault was not transient" signal.
+  int64_t retries_attempted = 0;
+  int64_t retries_exhausted = 0;
+  /// Sessions revived from a checkpoint by RestoreSessions.
+  int64_t sessions_restored = 0;
+  /// Checkpoint files durably written (periodic sweeps, explicit calls,
+  /// and the Shutdown flush) — and sweep writes that failed, which an
+  /// operator alerts on: a service that cannot persist its sessions has
+  /// silently lost crash safety.
+  int64_t checkpoints_written = 0;
+  int64_t checkpoint_failures = 0;
 
   /// All rejections, whatever the reason.
   int64_t rejected_total() const {
@@ -207,6 +262,37 @@ class Service {
   /// and the service drops its reference. Idempotent. Thread-safe.
   Status CloseSession(const std::shared_ptr<Session>& session);
 
+  /// Looks up a live session by household id — the handle-recovery path
+  /// after RestoreSessions, which revives sessions nobody holds a
+  /// pointer to yet. kNotFound when no live session has \p id.
+  /// Thread-safe.
+  Result<std::shared_ptr<Session>> GetSession(const std::string& id) const;
+
+  /// Snapshots every quiescent live session into
+  /// CheckpointFile(\p dir), written atomically (temp + fsync + rename)
+  /// so a crash mid-checkpoint leaves the previous snapshot intact.
+  /// Sessions with an append queued, parked, or running are skipped —
+  /// their stitch state may be mid-update on a worker — and are caught
+  /// by the next sweep. Zero live sessions still write a (valid, empty)
+  /// checkpoint: "nothing was live" is state worth persisting.
+  /// Thread-safe; safe to race with appends and Close.
+  Status CheckpointSessions(const std::string& dir);
+
+  /// Revives sessions from CheckpointFile(\p dir) into this service and
+  /// returns how many were restored. Appends to a restored session
+  /// produce results bitwise-identical to a session that was never
+  /// interrupted: the snapshot carries the exact stitch accumulators.
+  /// Degrades, never crashes: a missing file restores 0 (a fresh boot
+  /// is not an error); a corrupt, torn, or version-skewed file returns
+  /// the reader's Status and the service keeps serving; records whose
+  /// appliance is not registered, or whose id collides with a live
+  /// session (the live one wins), are skipped. Requires a running
+  /// service (kFailedPrecondition otherwise).
+  Result<int64_t> RestoreSessions(const std::string& dir);
+
+  /// The checkpoint file CheckpointSessions writes inside \p dir.
+  static std::string CheckpointFile(const std::string& dir);
+
   /// Evicts every session whose last append activity is at least
   /// \p idle_seconds ago and that has nothing queued, parked, or running.
   /// Evicted sessions read as closed. Returns how many were evicted.
@@ -271,16 +357,23 @@ class Service {
 
   /// Serves one dequeued group (head task plus same-appliance extras) on
   /// \p runner. Expired-deadline tasks are shed first — their promises
-  /// resolve with kDeadlineExceeded and they never reach the pre-scan
-  /// hook or a runner. The rest: one-shot tasks through one coalesced
-  /// ScanMany pass,
-  /// session appends through one coalesced AppendScanMany pass (a group
-  /// never holds two appends of the same session — the session serializer
-  /// admits one at a time). Every task's promise is resolved exactly once
-  /// — with its ScanResult, or with kInternal if the scan threw, which
-  /// also closes the affected sessions (their stitch state is suspect).
+  /// resolve with kDeadlineExceeded and they never reach the fault-
+  /// injection seam or a runner. The rest: one-shot tasks through one
+  /// coalesced ScanMany pass, session appends through one coalesced
+  /// AppendScanMany pass (a group never holds two appends of the same
+  /// session — the session serializer admits one at a time). Every
+  /// task's promise is resolved exactly once — with its ScanResult, or
+  /// with kInternal if the scan threw and retries are exhausted. A
+  /// throwing scan closes the affected sessions (their stitch state is
+  /// suspect; appends never retry) and re-enqueues one-shot tasks still
+  /// inside RetryPolicy::max_attempts after a bounded backoff.
   void ServeGroup(BatchRunner* runner, QueuedScan* first,
                   std::vector<QueuedScan>* extras);
+
+  /// Opportunistic checkpoint sweep, run by workers between groups: at
+  /// most one checkpoint per checkpoint_interval_seconds, claimed by
+  /// atomic CAS so concurrent workers never write twice.
+  void MaybeCheckpoint();
 
   /// Post-append session handoff, on the worker thread: commits the
   /// readings gauge, then either hands the next parked append to the
@@ -338,6 +431,14 @@ class Service {
   mutable std::atomic<int64_t> session_appends_{0};
   mutable std::atomic<int64_t> appended_readings_{0};
   mutable std::atomic<int64_t> windows_saved_{0};
+  mutable std::atomic<int64_t> retries_attempted_{0};
+  mutable std::atomic<int64_t> retries_exhausted_{0};
+  mutable std::atomic<int64_t> sessions_restored_{0};
+  mutable std::atomic<int64_t> checkpoints_written_{0};
+  mutable std::atomic<int64_t> checkpoint_failures_{0};
+  /// steady_clock ticks of the last periodic sweep; CAS-claimed in
+  /// MaybeCheckpoint.
+  std::atomic<int64_t> last_checkpoint_ticks_{0};
 };
 
 }  // namespace camal::serve

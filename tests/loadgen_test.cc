@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "core/ensemble.h"
 #include "core/resnet.h"
@@ -252,13 +253,15 @@ TEST(OpenLoopDriverTest, OverloadWithDeadlinesShedsInsteadOfFailing) {
   // short queue and complete; deeper ones expire waiting and must come
   // back as shed_deadline — never as generic failures.
   core::CamalEnsemble ensemble = TinyEnsemble(73);
+  FaultInjector injector;
+  injector.set_scan_hook([](const std::string&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  });
   serve::ServiceOptions service_opt;
   service_opt.workers = 1;
   service_opt.queue_capacity = 0;
   service_opt.coalesce_budget = 1;
-  service_opt.pre_scan_hook = [](const serve::ScanRequest&) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  };
+  service_opt.fault_injector = &injector;
   serve::Service service(service_opt);
   ASSERT_TRUE(
       service.RegisterAppliance("appliance", &ensemble, TinyRunner()).ok());
@@ -289,13 +292,15 @@ TEST(LoadSweepTest, FindsTheKneeOnAPinnedCostService) {
   // the machine (or sanitizer) underneath. A 20 rps point keeps up; a
   // 1000 rps point cannot — the knee lands on the former.
   core::CamalEnsemble ensemble = TinyEnsemble(75);
+  FaultInjector injector;
+  injector.set_scan_hook([](const std::string&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
   serve::ServiceOptions service_opt;
   service_opt.workers = 1;
   service_opt.queue_capacity = 0;
   service_opt.coalesce_budget = 1;
-  service_opt.pre_scan_hook = [](const serve::ScanRequest&) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  };
+  service_opt.fault_injector = &injector;
   serve::Service service(service_opt);
   ASSERT_TRUE(
       service.RegisterAppliance("appliance", &ensemble, TinyRunner()).ok());

@@ -12,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/parallel_for.h"
 #include "common/rng.h"
 #include "core/ensemble.h"
@@ -1433,19 +1434,21 @@ TEST(ServiceTest, CoalescedScansMatchSequentialBitwise) {
 TEST(ServiceTest, HighPriorityOvertakesQueuedBacklog) {
   // One worker, busy with a long scan; behind it queue three kLow
   // requests and then one kHigh. The worker must serve the late kHigh
-  // before any of the earlier kLow ones — observed through the pre-scan
-  // hook, which fires in serving order.
+  // before any of the earlier kLow ones — observed through the fault
+  // injector's scan hook, which fires in serving order.
   core::CamalEnsemble ensemble = RandomEnsemble(61);
   std::mutex served_mu;
   std::vector<std::string> served;
+  FaultInjector injector;
+  injector.set_scan_hook([&](const std::string& household) {
+    std::lock_guard<std::mutex> lock(served_mu);
+    served.push_back(household);
+  });
   serve::ServiceOptions service_opt;
   service_opt.workers = 1;
   service_opt.queue_capacity = 0;
   service_opt.coalesce_budget = 1;
-  service_opt.pre_scan_hook = [&](const serve::ScanRequest& request) {
-    std::lock_guard<std::mutex> lock(served_mu);
-    served.push_back(request.household_id);
-  };
+  service_opt.fault_injector = &injector;
   serve::Service service(service_opt);
   ASSERT_TRUE(service
                   .RegisterAppliance("oven", &ensemble,
@@ -1502,27 +1505,29 @@ TEST(ServiceTest, HighPriorityOvertakesQueuedBacklog) {
 TEST(ServiceTest, ExpiredRequestsAreShedBeforeScanning) {
   // While the worker is held inside a gate request, one queued request's
   // deadline lapses. On release, the worker must shed it — distinct
-  // kDeadlineExceeded status, no scan (the pre-scan hook never sees it) —
+  // kDeadlineExceeded status, no scan (the scan hook never sees it) —
   // and still serve its unexpired neighbor.
   core::CamalEnsemble ensemble = RandomEnsemble(63);
   std::atomic<bool> release{false};
   std::mutex served_mu;
   std::vector<std::string> served;
-  serve::ServiceOptions service_opt;
-  service_opt.workers = 1;
-  service_opt.queue_capacity = 0;
-  service_opt.coalesce_budget = 1;
-  service_opt.pre_scan_hook = [&](const serve::ScanRequest& request) {
+  FaultInjector injector;
+  injector.set_scan_hook([&](const std::string& household) {
     {
       std::lock_guard<std::mutex> lock(served_mu);
-      served.push_back(request.household_id);
+      served.push_back(household);
     }
-    if (request.household_id == "gate") {
+    if (household == "gate") {
       while (!release.load()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
     }
-  };
+  });
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 1;
+  service_opt.queue_capacity = 0;
+  service_opt.coalesce_budget = 1;
+  service_opt.fault_injector = &injector;
   serve::Service service(service_opt);
   ASSERT_TRUE(service
                   .RegisterAppliance("kettle", &ensemble,
@@ -1679,14 +1684,13 @@ TEST(ServiceTest, ThrowingScanResolvesFutureWithInternal) {
   // unwound the worker thread. It must resolve the future with kInternal
   // and keep the worker alive for the next request.
   core::CamalEnsemble ensemble = RandomEnsemble(57);
+  FaultPlan plan;
+  plan.scan_label = "poison";  // every scan of this household throws
+  FaultInjector injector(plan);
   serve::ServiceOptions service_opt;
   service_opt.workers = 1;
   service_opt.coalesce_budget = 1;
-  service_opt.pre_scan_hook = [](const serve::ScanRequest& request) {
-    if (request.household_id == "poison") {
-      throw std::runtime_error("injected scan fault");
-    }
-  };
+  service_opt.fault_injector = &injector;
   serve::Service service(service_opt);
   ASSERT_TRUE(service
                   .RegisterAppliance("kettle", &ensemble,
@@ -1722,15 +1726,14 @@ TEST(ServiceTest, ThrowingCoalescedGroupFailsEveryMemberOnce) {
   // group resolves with kInternal (exactly once — no hung futures), and
   // the worker lives on to serve later requests.
   core::CamalEnsemble ensemble = RandomEnsemble(59);
+  FaultPlan plan;
+  plan.scan_label = "poison";
+  FaultInjector injector(plan);
   serve::ServiceOptions service_opt;
   service_opt.workers = 1;
   service_opt.queue_capacity = 0;
   service_opt.coalesce_budget = 8;
-  service_opt.pre_scan_hook = [](const serve::ScanRequest& request) {
-    if (request.household_id == "poison") {
-      throw std::runtime_error("injected group fault");
-    }
-  };
+  service_opt.fault_injector = &injector;
   serve::Service service(service_opt);
   ASSERT_TRUE(service
                   .RegisterAppliance("oven", &ensemble,
@@ -2185,16 +2188,18 @@ TEST(ServiceTest, SessionBackpressureBoundsParkedAppends) {
   // A session's park is bounded by max_pending_appends; the overflow
   // append rejects as backpressure without touching the global queue.
   core::CamalEnsemble ensemble = RandomEnsemble(75);
-  serve::ServiceOptions service_opt;
-  service_opt.workers = 1;
   std::promise<void> gate;
   std::shared_future<void> gate_future = gate.get_future().share();
   std::atomic<bool> gate_armed{true};
-  service_opt.pre_scan_hook = [&](const serve::ScanRequest& request) {
-    if (gate_armed.load() && request.household_id == "slow-house") {
+  FaultInjector injector;
+  injector.set_scan_hook([&](const std::string& household) {
+    if (gate_armed.load() && household == "slow-house") {
       gate_future.wait();
     }
-  };
+  });
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 1;
+  service_opt.fault_injector = &injector;
   serve::Service service(service_opt);
   ASSERT_TRUE(service
                   .RegisterAppliance("boiler", &ensemble,
@@ -2233,16 +2238,18 @@ TEST(ServiceTest, EvictIdleSessionsSkipsBusyAndReclaimsQuiescent) {
   // a gated append while the sweep runs, so it must survive; the idle one
   // goes. The busy session keeps working afterwards.
   core::CamalEnsemble ensemble = RandomEnsemble(77);
-  serve::ServiceOptions service_opt;
-  service_opt.workers = 1;
   std::promise<void> gate;
   std::shared_future<void> gate_future = gate.get_future().share();
   std::atomic<bool> gate_armed{true};
-  service_opt.pre_scan_hook = [&](const serve::ScanRequest& request) {
-    if (gate_armed.load() && request.household_id == "busy-house") {
+  FaultInjector injector;
+  injector.set_scan_hook([&](const std::string& household) {
+    if (gate_armed.load() && household == "busy-house") {
       gate_future.wait();
     }
-  };
+  });
+  serve::ServiceOptions service_opt;
+  service_opt.workers = 1;
+  service_opt.fault_injector = &injector;
   serve::Service service(service_opt);
   ASSERT_TRUE(service
                   .RegisterAppliance("fan", &ensemble,
